@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 4: the same grid as Figure 3 with conditional watchpoints.
+ * The predicate compares the watched expression to a constant it never
+ * matches, so every value change becomes a spurious predicate
+ * transition for the trap-based implementations; only DISE (which
+ * evaluates the predicate inside the application) keeps its constant
+ * low overhead. Expected crossover (paper Section 5.2): hardware/VM
+ * win only when the watched address is written less than ~once per
+ * 100K stores.
+ */
+
+#include "fig_common.hh"
+
+using namespace dise;
+
+int
+main(int argc, char **argv)
+{
+    HarnessOptions opts = parseHarnessArgs(argc, argv);
+    ExperimentRunner run(opts);
+    std::printf("== Figure 4: conditional watchpoints "
+                "(slowdown vs baseline) ==\n");
+    runComparisonGrid(run, true);
+    return 0;
+}

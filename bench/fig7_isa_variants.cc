@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: six DISE replacement-sequence organizations on bzip2, mcf,
+ * and twolf — {with, without} the conditional call/trap ISA extension,
+ * crossed with {Match-Address/Evaluate-Expression (Fig. 2d),
+ * Evaluate-Expression inline (Fig. 2b), Match-Address-Value inline}.
+ *
+ * Expected shape: without ctrap/d_ccall every store incurs a pipeline
+ * flush, raising overhead several-fold ("intra-replacement-sequence
+ * control transfers should be avoided even at the expense of executing
+ * more instructions"); with them, Match-Address-Value is usually
+ * cheapest (no loads, no calls), and Evaluate-Expression beats
+ * Match-Address for very hot watchpoints (the paper's HOT/bzip2 4.62x
+ * case) by avoiding handler calls.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+using namespace dise;
+
+int
+main(int argc, char **argv)
+{
+    HarnessOptions opts = parseHarnessArgs(argc, argv);
+    ExperimentRunner run(opts);
+    const WatchSel sels[] = {WatchSel::HOT, WatchSel::WARM1,
+                             WatchSel::WARM2, WatchSel::COLD};
+
+    std::printf("== Figure 7: alternate DISE implementations ==\n");
+    for (bool cc : {true, false}) {
+        std::printf("-- %s conditional call/trap --\n",
+                    cc ? "with" : "without");
+        TextTable table;
+        table.setHeader({"benchmark", "watchpoint",
+                         "Match-Addr/Eval-Expr", "Eval-Expr/-",
+                         "Match-Addr-Value/-"});
+        for (const std::string name : {"bzip2", "mcf", "twolf"}) {
+            for (WatchSel sel : sels) {
+                std::vector<std::string> row = {name,
+                                                watchSelName(sel)};
+                WatchSpec spec = run.standardWatch(name, sel, false);
+                for (DiseVariant variant :
+                     {DiseVariant::MatchAddrEvalExpr,
+                      DiseVariant::EvalExpr,
+                      DiseVariant::MatchAddrValue}) {
+                    DebuggerOptions dd;
+                    dd.backend = BackendKind::Dise;
+                    dd.dise.variant = variant;
+                    dd.dise.condCallTrap = cc;
+                    row.push_back(
+                        slowdownCell(run.debugged(name, {spec}, dd)));
+                }
+                table.addRow(std::move(row));
+            }
+        }
+        std::fputs((opts.csv ? table.renderCsv() : table.render())
+                       .c_str(),
+                   stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the Figure 3/4 style comparison grids.
+ */
+
+#ifndef DISE_BENCH_FIG_COMMON_HH
+#define DISE_BENCH_FIG_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace dise {
+
+/** The four implementations the paper's Figures 3 and 4 compare. */
+inline const std::vector<BackendKind> &
+figureBackends()
+{
+    static const std::vector<BackendKind> kinds = {
+        BackendKind::SingleStep,
+        BackendKind::VirtualMemory,
+        BackendKind::HardwareReg,
+        BackendKind::Dise,
+    };
+    return kinds;
+}
+
+/** Run the 6-benchmark x 6-watchpoint x 4-implementation grid. */
+inline void
+runComparisonGrid(ExperimentRunner &run, bool conditional)
+{
+    const WatchSel sels[] = {WatchSel::HOT,  WatchSel::WARM1,
+                             WatchSel::WARM2, WatchSel::COLD,
+                             WatchSel::INDIRECT, WatchSel::RANGE};
+    for (WatchSel sel : sels) {
+        std::printf("-- watchpoint %s --\n", watchSelName(sel));
+        TextTable table;
+        table.setHeader({"benchmark", "Single-Stepping", "Virtual Memory",
+                         "Hardware", "DISE"});
+        for (const auto &name : workloadNames()) {
+            std::vector<std::string> row = {name};
+            WatchSpec spec = run.standardWatch(name, sel, conditional);
+            for (BackendKind kind : figureBackends()) {
+                DebuggerOptions dopts;
+                dopts.backend = kind;
+                RunOutcome outcome = run.debugged(name, {spec}, dopts);
+                row.push_back(slowdownCell(outcome));
+            }
+            table.addRow(std::move(row));
+        }
+        std::fputs((run.options().csv ? table.renderCsv()
+                                      : table.render())
+                       .c_str(),
+                   stdout);
+    }
+}
+
+} // namespace dise
+
+#endif // DISE_BENCH_FIG_COMMON_HH

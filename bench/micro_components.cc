@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's components:
+ * decoder throughput, DISE pattern match + expansion, cache access,
+ * branch-predictor lookup/update, and end-to-end simulated MIPS.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "cpu/func_cpu.hh"
+#include "cpu/timing_cpu.hh"
+#include "debug/target.hh"
+#include "dise/engine.hh"
+#include "isa/encoding.hh"
+#include "mem/cache.hh"
+#include "workloads/workload.hh"
+
+using namespace dise;
+
+static void
+BM_Decode(benchmark::State &state)
+{
+    std::vector<uint32_t> words;
+    for (unsigned i = 0; i < 1024; ++i) {
+        Inst inst = makeOp(Opcode::ADDQ, ir(i % 31), ir((i * 7) % 31),
+                           ir((i * 13) % 31));
+        words.push_back(encode(inst));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        auto dec = decode(words[i++ & 1023]);
+        benchmark::DoNotOptimize(dec);
+    }
+}
+BENCHMARK(BM_Decode);
+
+static void
+BM_DiseMatchExpand(benchmark::State &state)
+{
+    DiseEngine engine;
+    Production p;
+    p.name = "bench";
+    p.pattern = Pattern::forClass(OpClass::Store);
+    p.replacement = {
+        TemplateInst::trigInst(),
+        TemplateInst::mem(Opcode::LDA, TRegField::reg(dr(1)),
+                          TImmField::trigImm(), TRegField::trigRb()),
+        TemplateInst::opImm(Opcode::BIC_I, TRegField::reg(dr(1)), 7,
+                            TRegField::reg(dr(1))),
+        TemplateInst::op3(Opcode::CMPEQ, TRegField::reg(dr(1)),
+                          TRegField::reg(dr(3)), TRegField::reg(dr(2))),
+    };
+    engine.addProduction(p);
+    Inst store = makeMem(Opcode::STQ, reg::t0, 16, reg::sp);
+    for (auto _ : state) {
+        const Production *prod = engine.matchFunctional(store, 0x1000);
+        auto seq = engine.expand(*prod, store);
+        benchmark::DoNotOptimize(seq);
+    }
+}
+BENCHMARK(BM_DiseMatchExpand);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"bench", 32 * 1024, 2, 64, 1});
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        auto r = cache.access(addr, false);
+        benchmark::DoNotOptimize(r);
+        addr += 64 * 9; // stride through sets
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_PredictorUpdate(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Addr pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        bool pred = bp.predictDirection(pc);
+        benchmark::DoNotOptimize(pred);
+        bp.update(pc, taken, pc + 64, true);
+        taken = !taken;
+        pc += 4;
+        if (pc > 0x9000)
+            pc = 0x1000;
+    }
+}
+BENCHMARK(BM_PredictorUpdate);
+
+static void
+BM_FunctionalSim(benchmark::State &state)
+{
+    Workload w = buildBzip2({});
+    for (auto _ : state) {
+        DebugTarget t(w.program);
+        t.load();
+        StreamEnv env;
+        env.sink = &t.sink;
+        FuncCpu cpu(t.arch, t.mem, &t.engine, env);
+        FuncResult r = cpu.run(100000);
+        benchmark::DoNotOptimize(r);
+        state.SetItemsProcessed(state.items_processed() + r.appInsts);
+    }
+}
+BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TimingSim(benchmark::State &state)
+{
+    Workload w = buildBzip2({});
+    for (auto _ : state) {
+        DebugTarget t(w.program);
+        t.load();
+        StreamEnv env;
+        env.sink = &t.sink;
+        TimingCpu cpu(t.arch, t.mem, &t.engine, env, {});
+        RunStats r = cpu.run({100000, 0});
+        benchmark::DoNotOptimize(r);
+        state.SetItemsProcessed(state.items_processed() + r.appInsts);
+    }
+}
+BENCHMARK(BM_TimingSim)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

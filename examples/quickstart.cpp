@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: assemble a tiny program, set a DISE watchpoint on one of
+ * its variables, run under the cycle-level simulator, and print every
+ * user-visible watchpoint event plus the measured overhead.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "asm/assembler.hh"
+#include "cpu/loader.hh"
+#include "debug/debugger.hh"
+
+using namespace dise;
+
+int
+main()
+{
+    using namespace reg;
+
+    // 1. A little program: x starts at 3, is doubled five times.
+    Assembler a;
+    a.data(layout::DataBase);
+    a.label("x");
+    a.quad(3);
+    a.text(layout::TextBase);
+    a.label("main");
+    a.la(s0, "x");
+    a.lda(t1, 0, zero);
+    a.label("loop");
+    a.ldq(t0, 0, s0);
+    a.addq(t0, t0, t0);
+    a.stq(t0, 0, s0); // the watched store
+    a.addq(t1, 1, t1);
+    a.cmplt(t1, 5, t2);
+    a.bne(t2, "loop");
+    a.syscall(SysExit);
+    Program prog = a.finish("main");
+
+    // 2. Attach a DISE-backed debugger and watch x.
+    DebugTarget target(prog);
+    DebuggerOptions opts;
+    opts.backend = BackendKind::Dise;
+    Debugger dbg(target, opts);
+    dbg.watch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    if (!dbg.attach()) {
+        std::fprintf(stderr, "attach failed\n");
+        return 1;
+    }
+
+    // 3. Run under the timing model and report.
+    RunStats stats = dbg.run();
+    std::printf("program ran %llu instructions in %llu cycles "
+                "(IPC %.2f)\n",
+                static_cast<unsigned long long>(stats.appInsts),
+                static_cast<unsigned long long>(stats.cycles),
+                stats.ipc());
+    std::printf("watchpoint events:\n");
+    for (const auto &e : dbg.watchEvents())
+        std::printf("  x: %llu -> %llu  (store at 0x%llx)\n",
+                    static_cast<unsigned long long>(e.oldValue),
+                    static_cast<unsigned long long>(e.newValue),
+                    static_cast<unsigned long long>(e.addr));
+    std::printf("spurious debugger transitions: %llu (DISE prunes them "
+                "inside the application)\n",
+                static_cast<unsigned long long>(
+                    stats.spuriousTransitions()));
+    return 0;
+}

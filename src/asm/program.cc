@@ -1,0 +1,46 @@
+#include "asm/program.hh"
+
+#include "common/logging.hh"
+
+namespace dise {
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '", name, "'");
+    return it->second;
+}
+
+bool
+Program::contains(Addr addr) const
+{
+    for (const auto &seg : segments) {
+        if (addr >= seg.base && addr < seg.base + seg.bytes.size())
+            return true;
+    }
+    return false;
+}
+
+Addr
+Program::textEnd() const
+{
+    Addr end = 0;
+    for (const auto &seg : segments)
+        if (seg.executable)
+            end = std::max(end, seg.base + seg.bytes.size());
+    return end;
+}
+
+uint64_t
+Program::textWords() const
+{
+    uint64_t words = 0;
+    for (const auto &seg : segments)
+        if (seg.executable)
+            words += seg.bytes.size() / 4;
+    return words;
+}
+
+} // namespace dise

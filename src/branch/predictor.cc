@@ -1,0 +1,128 @@
+#include "branch/predictor.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+namespace {
+
+void
+bump(uint8_t &ctr, bool up)
+{
+    if (up && ctr < 3)
+        ++ctr;
+    else if (!up && ctr > 0)
+        --ctr;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &cfg)
+    : cfg_(cfg),
+      bimodal_(cfg.hybridEntries, 1),
+      gshare_(cfg.hybridEntries, 1),
+      chooser_(cfg.hybridEntries, 1),
+      btb_(cfg.btbEntries),
+      ras_(cfg.rasEntries, 0),
+      stats_("bpred")
+{
+    DISE_ASSERT(isPow2(cfg.hybridEntries), "hybrid table must be pow2");
+    DISE_ASSERT(cfg.btbEntries % cfg.btbAssoc == 0, "BTB geometry");
+    DISE_ASSERT(isPow2(cfg.btbEntries / cfg.btbAssoc), "BTB sets pow2");
+}
+
+unsigned
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg_.hybridEntries - 1);
+}
+
+unsigned
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    uint64_t hist = history_ & ((uint64_t{1} << cfg_.historyBits) - 1);
+    return ((pc >> 2) ^ hist) & (cfg_.hybridEntries - 1);
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc) const
+{
+    bool useGshare = chooser_[bimodalIndex(pc)] >= 2;
+    uint8_t ctr =
+        useGshare ? gshare_[gshareIndex(pc)] : bimodal_[bimodalIndex(pc)];
+    return ctr >= 2;
+}
+
+Addr
+BranchPredictor::predictTarget(Addr pc) const
+{
+    unsigned sets = cfg_.btbEntries / cfg_.btbAssoc;
+    unsigned set = (pc >> 2) & (sets - 1);
+    uint64_t tag = pc >> 2 >> log2i(sets);
+    const BtbEntry *base = &btb_[set * cfg_.btbAssoc];
+    for (unsigned w = 0; w < cfg_.btbAssoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return base[w].target;
+    return 0;
+}
+
+void
+BranchPredictor::pushRas(Addr retAddr)
+{
+    ras_[rasTop_ % cfg_.rasEntries] = retAddr;
+    ++rasTop_;
+}
+
+Addr
+BranchPredictor::popRas()
+{
+    if (rasTop_ == 0)
+        return 0;
+    --rasTop_;
+    return ras_[rasTop_ % cfg_.rasEntries];
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken, Addr target, bool isCond)
+{
+    ++useClock_;
+    if (isCond) {
+        uint8_t &bim = bimodal_[bimodalIndex(pc)];
+        uint8_t &gsh = gshare_[gshareIndex(pc)];
+        bool bimCorrect = (bim >= 2) == taken;
+        bool gshCorrect = (gsh >= 2) == taken;
+        uint8_t &cho = chooser_[bimodalIndex(pc)];
+        if (gshCorrect != bimCorrect)
+            bump(cho, gshCorrect);
+        bump(bim, taken);
+        bump(gsh, taken);
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+        stats_.inc("cond_updates");
+    }
+    if (taken && target) {
+        unsigned sets = cfg_.btbEntries / cfg_.btbAssoc;
+        unsigned set = (pc >> 2) & (sets - 1);
+        uint64_t tag = pc >> 2 >> log2i(sets);
+        BtbEntry *base = &btb_[set * cfg_.btbAssoc];
+        BtbEntry *victim = nullptr;
+        for (unsigned w = 0; w < cfg_.btbAssoc; ++w) {
+            BtbEntry &e = base[w];
+            if (e.valid && e.tag == tag) {
+                e.target = target;
+                e.lastUse = useClock_;
+                return;
+            }
+            if (!victim || !e.valid ||
+                (victim->valid && e.lastUse < victim->lastUse)) {
+                victim = &e;
+            }
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->target = target;
+        victim->lastUse = useClock_;
+    }
+}
+
+} // namespace dise

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Branch prediction: an 8K-entry hybrid direction predictor (bimodal +
+ * gshare with a chooser, as in the paper's configuration), a 2K-entry
+ * 4-way BTB, and a return-address stack.
+ */
+
+#ifndef DISE_BRANCH_PREDICTOR_HH
+#define DISE_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/inst.hh"
+
+namespace dise {
+
+struct BranchPredictorConfig
+{
+    unsigned hybridEntries = 8192; ///< per component table
+    unsigned historyBits = 13;
+    unsigned btbEntries = 2048;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 16;
+};
+
+/** Direction + target prediction state for the fetch stage. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &cfg = {});
+
+    /** Predicted direction for a conditional branch at @p pc. */
+    bool predictDirection(Addr pc) const;
+
+    /** Predicted target from the BTB; 0 if no entry. */
+    Addr predictTarget(Addr pc) const;
+
+    /** @name Return-address stack */
+    ///@{
+    void pushRas(Addr retAddr);
+    Addr popRas();
+    ///@}
+
+    /** Train tables with the resolved outcome of a branch. */
+    void update(Addr pc, bool taken, Addr target, bool isCond);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct BtbEntry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        Addr target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned gshareIndex(Addr pc) const;
+
+    BranchPredictorConfig cfg_;
+    std::vector<uint8_t> bimodal_;  ///< 2-bit counters
+    std::vector<uint8_t> gshare_;   ///< 2-bit counters
+    std::vector<uint8_t> chooser_;  ///< 2-bit: >=2 prefers gshare
+    uint64_t history_ = 0;
+    std::vector<BtbEntry> btb_;
+    std::vector<Addr> ras_;
+    size_t rasTop_ = 0;
+    uint64_t useClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_BRANCH_PREDICTOR_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA, caches, and predictors.
+ */
+
+#ifndef DISE_COMMON_BITUTILS_HH
+#define DISE_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dise {
+
+/** Extract bits [lo, lo+width) of val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return val >> lo;
+    return (val >> lo) & ((uint64_t{1} << width) - 1);
+}
+
+/** Sign-extend the low @p width bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(val);
+    uint64_t sign_bit = uint64_t{1} << (width - 1);
+    uint64_t mask = (uint64_t{1} << width) - 1;
+    uint64_t v = val & mask;
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** True if @p val fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(int64_t val, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    int64_t lo = -(int64_t{1} << (width - 1));
+    int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** True if @p val fits in an unsigned field of @p width bits. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    return val < (uint64_t{1} << width);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace dise
+
+#endif // DISE_COMMON_BITUTILS_HH

@@ -1,0 +1,22 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <mutex>
+
+namespace dise {
+namespace detail {
+
+namespace {
+std::mutex emitMutex;
+} // namespace
+
+void
+emitMessage(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(emitMutex);
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace dise

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal simulator bugs
+ * (aborts), fatal() for user/configuration errors (clean exit),
+ * warn()/inform() for status messages that never stop the simulation.
+ */
+
+#ifndef DISE_COMMON_LOGGING_HH
+#define DISE_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dise {
+
+/** Exception thrown by panic(); tests catch it via EXPECT_THROW. */
+struct PanicError : std::logic_error {
+    using std::logic_error::logic_error;
+};
+
+/** Exception thrown by fatal(); distinguishes user error from bug. */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+void emitMessage(const char *prefix, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a simulator bug) and throw.
+ * Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::formatParts(std::forward<Args>(args)...);
+    detail::emitMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user/configuration error and throw.
+ * Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::formatParts(std::forward<Args>(args)...);
+    detail::emitMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn",
+                        detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info",
+                        detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define DISE_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::dise::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                          ":", __LINE__, ": ", ##__VA_ARGS__);               \
+        }                                                                    \
+    } while (0)
+
+} // namespace dise
+
+#endif // DISE_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters grouped per component,
+ * with a registry that can be dumped for debugging or consumed by the
+ * experiment harness.
+ */
+
+#ifndef DISE_COMMON_STATS_HH
+#define DISE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dise {
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p key (creating it at zero). */
+    void
+    inc(const std::string &key, uint64_t delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Set counter @p key to an absolute value. */
+    void
+    set(const std::string &key, uint64_t value)
+    {
+        counters_[key] = value;
+    }
+
+    /** Read counter @p key (zero if never touched). */
+    uint64_t
+    get(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        counters_.clear();
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Dump "group.key value" lines. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[key, value] : counters_)
+            os << name_ << '.' << key << ' ' << value << '\n';
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace dise
+
+#endif // DISE_COMMON_STATS_HH

@@ -1,0 +1,118 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace dise {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' &&
+            c != 'x')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            size_t pad = widths[i] - row[i].size();
+            bool right = looksNumeric(row[i]);
+            if (i)
+                os << "  ";
+            if (right)
+                os << std::string(pad, ' ') << row[i];
+            else
+                os << row[i] << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << row[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtSlowdown(double v)
+{
+    if (v >= 1000)
+        return fmtDouble(v, 0);
+    if (v >= 100)
+        return fmtDouble(v, 1);
+    return fmtDouble(v, 2);
+}
+
+} // namespace dise

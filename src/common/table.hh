@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every table/figure binary prints its rows through this formatter so the
+ * output is uniform and easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef DISE_COMMON_TABLE_HH
+#define DISE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dise {
+
+/** Accumulates rows of strings and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment; numeric-looking cells right-align. */
+    std::string render() const;
+
+    /** Render as comma-separated values (for machine consumption). */
+    std::string renderCsv() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a slowdown factor the way the paper's figures read (e.g. 1.23,
+ *  45.6, 40100). */
+std::string fmtSlowdown(double v);
+
+} // namespace dise
+
+#endif // DISE_COMMON_TABLE_HH

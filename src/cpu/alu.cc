@@ -1,0 +1,74 @@
+#include "cpu/alu.hh"
+
+#include "common/logging.hh"
+
+namespace dise {
+
+uint64_t
+aluCompute(Opcode op, uint64_t a, uint64_t b)
+{
+    switch (op) {
+      case Opcode::ADDQ: case Opcode::ADDQ_I:
+        return a + b;
+      case Opcode::SUBQ: case Opcode::SUBQ_I:
+        return a - b;
+      case Opcode::MULQ: case Opcode::MULQ_I:
+        return a * b;
+      case Opcode::AND: case Opcode::AND_I:
+        return a & b;
+      case Opcode::BIS: case Opcode::BIS_I:
+        return a | b;
+      case Opcode::XOR: case Opcode::XOR_I:
+        return a ^ b;
+      case Opcode::BIC: case Opcode::BIC_I:
+        return a & ~b;
+      case Opcode::SLL: case Opcode::SLL_I:
+        return a << (b & 63);
+      case Opcode::SRL: case Opcode::SRL_I:
+        return a >> (b & 63);
+      case Opcode::SRA: case Opcode::SRA_I:
+        return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+      case Opcode::CMPEQ: case Opcode::CMPEQ_I:
+        return a == b;
+      case Opcode::CMPLT: case Opcode::CMPLT_I:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      case Opcode::CMPLE: case Opcode::CMPLE_I:
+        return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+      case Opcode::CMPULT: case Opcode::CMPULT_I:
+        return a < b;
+      case Opcode::CMPULE: case Opcode::CMPULE_I:
+        return a <= b;
+      default:
+        panic("aluCompute: not an ALU opcode: ", opName(op));
+    }
+}
+
+bool
+branchTaken(Opcode op, uint64_t condVal)
+{
+    int64_t sv = static_cast<int64_t>(condVal);
+    switch (op) {
+      case Opcode::BEQ:
+        return condVal == 0;
+      case Opcode::BNE:
+        return condVal != 0;
+      case Opcode::BLT:
+        return sv < 0;
+      case Opcode::BLE:
+        return sv <= 0;
+      case Opcode::BGT:
+        return sv > 0;
+      case Opcode::BGE:
+        return sv >= 0;
+      case Opcode::BR: case Opcode::BSR:
+        return true;
+      case Opcode::D_BEQ:
+        return condVal == 0;
+      case Opcode::D_BNE:
+        return condVal != 0;
+      default:
+        panic("branchTaken: not a branch: ", opName(op));
+    }
+}
+
+} // namespace dise

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Pure ALU semantics, shared by the functional oracle and tests.
+ */
+
+#ifndef DISE_CPU_ALU_HH
+#define DISE_CPU_ALU_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Compute a register-register or register-literal ALU result. */
+uint64_t aluCompute(Opcode op, uint64_t a, uint64_t b);
+
+/** Evaluate a conditional branch direction given its condition value. */
+bool branchTaken(Opcode op, uint64_t condVal);
+
+} // namespace dise
+
+#endif // DISE_CPU_ALU_HH

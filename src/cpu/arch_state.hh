@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Architectural state: the 32 integer registers, the 8 private DISE
+ * registers (one renamed register space, per the DISE design), and the
+ * program counter. Memory lives separately in MainMemory.
+ */
+
+#ifndef DISE_CPU_ARCH_STATE_HH
+#define DISE_CPU_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+class ArchState
+{
+  public:
+    /** Read a register; the zero register always reads 0. */
+    uint64_t
+    read(RegId r) const
+    {
+        if (!r.valid() || r.isZero())
+            return 0;
+        return regs_[r.flat()];
+    }
+
+    /** Write a register; writes to the zero register are discarded. */
+    void
+    write(RegId r, uint64_t v)
+    {
+        if (!r.valid() || r.isZero())
+            return;
+        regs_[r.flat()] = v;
+    }
+
+    /** @name Privileged DISE-register access (controller/debugger). */
+    ///@{
+    uint64_t readDise(unsigned idx) const { return regs_[NumIntRegs + idx]; }
+    void writeDise(unsigned idx, uint64_t v) { regs_[NumIntRegs + idx] = v; }
+    ///@}
+
+    Addr pc = 0;
+
+    void
+    reset()
+    {
+        regs_.fill(0);
+        pc = 0;
+    }
+
+  private:
+    std::array<uint64_t, NumLogicalRegs> regs_{};
+};
+
+} // namespace dise
+
+#endif // DISE_CPU_ARCH_STATE_HH

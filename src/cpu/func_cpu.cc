@@ -1,0 +1,44 @@
+#include "cpu/func_cpu.hh"
+
+namespace dise {
+
+FuncCpu::FuncCpu(ArchState &arch, MainMemory &mem, DiseEngine *engine,
+                 StreamEnv env)
+    : stream_(arch, mem, engine, env)
+{
+}
+
+FuncResult
+FuncCpu::run(uint64_t maxAppInsts)
+{
+    FuncResult res;
+    MicroOp op;
+    while (stream_.next(op)) {
+        ++res.microOps;
+        if (op.isAppInst()) {
+            ++res.appInsts;
+            if (op.isStoreOp())
+                ++res.stores;
+            if (op.isLoadOp())
+                ++res.loads;
+        } else if (op.inHandler) {
+            ++res.handlerOps;
+        } else {
+            ++res.expansionOps;
+        }
+        if (op.isHalt) {
+            res.halt = op.haltReason;
+            break;
+        }
+        if (maxAppInsts && res.appInsts >= maxAppInsts) {
+            res.halt = HaltReason::InstLimit;
+            break;
+        }
+    }
+    if (res.halt == HaltReason::None)
+        res.halt = stream_.haltReason();
+    res.faultMessage = stream_.faultMessage();
+    return res;
+}
+
+} // namespace dise

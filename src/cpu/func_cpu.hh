@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Functional-only CPU: drains the InstStream with no timing model.
+ * Used for fast correctness tests, cross-backend validation of
+ * debugger event sequences, and workload calibration.
+ */
+
+#ifndef DISE_CPU_FUNC_CPU_HH
+#define DISE_CPU_FUNC_CPU_HH
+
+#include "cpu/inst_stream.hh"
+
+namespace dise {
+
+/** Aggregate outcome of a functional run. */
+struct FuncResult
+{
+    uint64_t microOps = 0;
+    uint64_t appInsts = 0;
+    uint64_t expansionOps = 0;
+    uint64_t handlerOps = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0; ///< application stores only
+    HaltReason halt = HaltReason::None;
+    std::string faultMessage;
+};
+
+class FuncCpu
+{
+  public:
+    FuncCpu(ArchState &arch, MainMemory &mem, DiseEngine *engine,
+            StreamEnv env = {});
+
+    /** Run until halt/fault or @p maxAppInsts application instructions. */
+    FuncResult run(uint64_t maxAppInsts = 0);
+
+    InstStream &stream() { return stream_; }
+
+  private:
+    InstStream stream_;
+};
+
+} // namespace dise
+
+#endif // DISE_CPU_FUNC_CPU_HH

@@ -1,0 +1,349 @@
+#include "cpu/inst_stream.hh"
+
+#include "common/logging.hh"
+#include "cpu/alu.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace dise {
+
+InstStream::InstStream(ArchState &arch, MainMemory &mem, DiseEngine *engine,
+                       StreamEnv env)
+    : arch_(arch), mem_(mem), engine_(engine), env_(env)
+{
+}
+
+void
+InstStream::fault(MicroOp &op, const std::string &msg)
+{
+    warn("CPU fault at pc 0x", std::hex, op.pc, std::dec, ": ", msg);
+    op.isHalt = true;
+    op.haltReason = HaltReason::Fault;
+    op.flush = FlushClass::Serialize;
+    halted_ = true;
+    haltReason_ = HaltReason::Fault;
+    faultMsg_ = msg;
+}
+
+void
+InstStream::finishExpansionIfDone()
+{
+    if (expanding_ && seqIdx_ >= seq_.size()) {
+        expanding_ = false;
+        arch_.pc = seqNextPc_;
+    }
+}
+
+bool
+InstStream::next(MicroOp &op)
+{
+    if (halted_)
+        return false;
+    op = MicroOp{};
+    op.seq = seqCounter_++;
+
+    for (;;) {
+        if (expanding_) {
+            if (seqIdx_ >= seq_.size()) {
+                expanding_ = false;
+                arch_.pc = seqNextPc_;
+                continue;
+            }
+            op.inst = seq_[seqIdx_];
+            op.pc = trigPc_;
+            op.disepc = static_cast<uint16_t>(seqIdx_ + 1);
+            op.fromExpansion = true;
+            op.isTriggerCopy =
+                curProd_ && curProd_->replacement[seqIdx_].triggerCopy;
+            ++seqIdx_;
+            execute(op);
+            finishExpansionIfDone();
+            return true;
+        }
+
+        Addr pc = arch_.pc;
+        op.pc = pc;
+        uint32_t word = static_cast<uint32_t>(mem_.read(pc, 4));
+        auto dec = decode(word);
+        if (!dec) {
+            fault(op, "illegal instruction word");
+            return true;
+        }
+        Inst inst = *dec;
+
+        if (engine_ && engine_->enabled() && !inHandler_) {
+            const Production *prod = engine_->matchFunctional(inst, pc);
+            if (prod) {
+                seq_ = engine_->expand(*prod, inst);
+                seqIdx_ = 0;
+                trigger_ = inst;
+                trigPc_ = pc;
+                seqNextPc_ = pc + 4;
+                curProd_ = prod;
+                expanding_ = true;
+                continue;
+            }
+        }
+
+        op.inst = inst;
+        op.disepc = 0;
+        op.inHandler = inHandler_;
+        if (inHandler_)
+            op.handlerCallerPc = saved_.trigPc;
+        if (!inHandler_ && env_.monitor && env_.stmtTraps &&
+            env_.stmtTraps->count(pc)) {
+            DebugAction act = env_.monitor->onStatement(pc);
+            if (act.transitions())
+                op.debug = act;
+        }
+        execute(op);
+        return true;
+    }
+}
+
+void
+InstStream::execute(MicroOp &op)
+{
+    const Inst &in = op.inst;
+    const bool raw = !op.fromExpansion;
+    auto rd = [&](RegId r) { return arch_.read(r); };
+    auto wr = [&](RegId r, uint64_t v) { arch_.write(r, v); };
+    auto advance = [&] {
+        if (raw)
+            arch_.pc = op.pc + 4;
+    };
+    auto controlTo = [&](bool taken, Addr target) {
+        op.isCtrl = true;
+        op.taken = taken;
+        op.target = taken ? target : op.pc + 4;
+        if (raw) {
+            arch_.pc = op.target;
+        } else if (taken) {
+            // Conventional control transfer inside a replacement
+            // sequence: goes to <newPC:0>, aborting the expansion, and
+            // flushes like any DISE-internal transfer (not predicted).
+            expanding_ = false;
+            arch_.pc = target;
+            op.flush = FlushClass::DiseTransfer;
+        }
+    };
+    auto doTrap = [&] {
+        DebugAction act = env_.monitor ? env_.monitor->onTrap(op)
+                                       : DebugAction{TransitionKind::User};
+        op.debug = act;
+        op.flush = FlushClass::Serialize;
+    };
+
+    switch (in.info().fmt) {
+      case Format::Operate:
+        wr(in.rc, aluCompute(in.op, rd(in.ra), rd(in.rb)));
+        advance();
+        break;
+
+      case Format::OperateImm:
+        wr(in.rc, aluCompute(in.op, rd(in.ra),
+                             static_cast<uint64_t>(in.imm) & 0xff));
+        advance();
+        break;
+
+      case Format::Memory: {
+        if (in.op == Opcode::LDA) {
+            wr(in.ra, rd(in.rb) + in.imm);
+            advance();
+            break;
+        }
+        if (in.op == Opcode::LDAH) {
+            wr(in.ra, rd(in.rb) + (static_cast<int64_t>(in.imm) << 16));
+            advance();
+            break;
+        }
+        Addr addr = rd(in.rb) + in.imm;
+        unsigned bytes = in.memBytes();
+        op.effAddr = addr;
+        op.memBytes = bytes;
+        if (in.isLoad()) {
+            uint64_t v = in.op == Opcode::LDL
+                             ? static_cast<uint64_t>(
+                                   mem_.readSigned(addr, bytes))
+                             : mem_.read(addr, bytes);
+            wr(in.ra, v);
+        } else {
+            op.storeOld = mem_.read(addr, bytes);
+            uint64_t v = rd(in.ra);
+            mem_.write(addr, bytes, v);
+            op.storeNew = mem_.read(addr, bytes);
+            if (env_.monitor && env_.monitorStores) {
+                DebugAction act = env_.monitor->onStore(op);
+                if (act.transitions())
+                    op.debug = act;
+            }
+        }
+        advance();
+        break;
+      }
+
+      case Format::Branch: {
+        uint64_t cond = rd(in.ra);
+        bool taken = branchTaken(in.op, cond);
+        Addr target = op.pc + 4 + in.imm * 4;
+        if (in.op == Opcode::BSR)
+            wr(in.ra, op.pc + 4);
+        controlTo(taken, target);
+        break;
+      }
+
+      case Format::Jump: {
+        Addr target = rd(in.rb);
+        if (in.op == Opcode::JSR)
+            wr(in.ra, op.pc + 4);
+        controlTo(true, target);
+        break;
+      }
+
+      case Format::System:
+        switch (in.op) {
+          case Opcode::SYSCALL:
+            switch (in.imm) {
+              case SysExit:
+                op.isHalt = true;
+                op.haltReason = HaltReason::Exited;
+                halted_ = true;
+                haltReason_ = HaltReason::Exited;
+                break;
+              case SysPutChar:
+                if (env_.sink)
+                    env_.sink->putChar(
+                        static_cast<char>(rd(reg::a0) & 0xff));
+                break;
+              case SysPutInt:
+                if (env_.sink)
+                    env_.sink->putInt(
+                        static_cast<int64_t>(rd(reg::a0)));
+                break;
+              case SysMark:
+                if (env_.sink)
+                    env_.sink->mark(rd(reg::a0));
+                break;
+              default:
+                fault(op, "unknown syscall " + std::to_string(in.imm));
+                return;
+            }
+            op.flush = FlushClass::Serialize;
+            advance();
+            break;
+          case Opcode::TRAP:
+            doTrap();
+            advance();
+            break;
+          case Opcode::CODEWORD:
+            // Unmatched codeword behaves as a nop.
+            advance();
+            break;
+          default:
+            fault(op, "bad system-format opcode");
+            return;
+        }
+        break;
+
+      case Format::Ctrap: {
+        uint64_t cond = rd(in.ra);
+        if (cond != 0)
+            doTrap();
+        advance();
+        break;
+      }
+
+      case Format::Nullary:
+        switch (in.op) {
+          case Opcode::HALT:
+            op.isHalt = true;
+            op.haltReason = HaltReason::Halted;
+            op.flush = FlushClass::Serialize;
+            halted_ = true;
+            haltReason_ = HaltReason::Halted;
+            break;
+          case Opcode::NOP:
+            advance();
+            break;
+          case Opcode::D_RET: {
+            if (!inHandler_) {
+                fault(op, "d_ret outside a DISE-called function");
+                return;
+            }
+            inHandler_ = false;
+            seq_ = std::move(saved_.seq);
+            seqIdx_ = saved_.idx;
+            trigger_ = saved_.trigger;
+            trigPc_ = saved_.trigPc;
+            seqNextPc_ = saved_.nextPc;
+            curProd_ = saved_.prod;
+            expanding_ = true;
+            op.flush = FlushClass::DiseTransfer;
+            break;
+          }
+          default:
+            fault(op, "bad nullary opcode");
+            return;
+        }
+        break;
+
+      case Format::DiseBranch: {
+        if (raw) {
+            fault(op, "DISE branch outside a replacement sequence");
+            return;
+        }
+        uint64_t cond = rd(in.ra);
+        bool taken = branchTaken(in.op, cond);
+        op.isCtrl = true;
+        op.taken = taken;
+        if (taken) {
+            int64_t newIdx = static_cast<int64_t>(seqIdx_) + in.imm;
+            if (newIdx < 0) {
+                fault(op, "DISE branch to negative DISEPC");
+                return;
+            }
+            seqIdx_ = static_cast<size_t>(newIdx);
+            op.flush = FlushClass::DiseTransfer;
+        }
+        break;
+      }
+
+      case Format::DiseCall: {
+        if (raw) {
+            fault(op, "DISE call outside a replacement sequence");
+            return;
+        }
+        if (in.op == Opcode::D_CCALL && rd(in.ra) == 0)
+            break; // condition false: fall through, no flush
+        Addr target = rd(in.rb);
+        saved_.seq = std::move(seq_);
+        saved_.idx = seqIdx_;
+        saved_.trigger = trigger_;
+        saved_.trigPc = trigPc_;
+        saved_.nextPc = seqNextPc_;
+        saved_.prod = curProd_;
+        expanding_ = false;
+        inHandler_ = true;
+        arch_.pc = target;
+        op.isCtrl = true;
+        op.taken = true;
+        op.target = target;
+        op.flush = FlushClass::DiseTransfer;
+        break;
+      }
+
+      case Format::DiseMove:
+        if (!inHandler_) {
+            fault(op, "d_mfr/d_mtr outside a DISE-called function");
+            return;
+        }
+        if (in.op == Opcode::D_MFR)
+            wr(in.ra, rd(in.rb));
+        else
+            wr(in.rb, rd(in.ra));
+        advance();
+        break;
+    }
+}
+
+} // namespace dise

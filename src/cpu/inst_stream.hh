@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The correct-path instruction-stream oracle.
+ *
+ * InstStream fetches from functional memory, runs the DISE engine at
+ * "decode" (expanding triggers into replacement sequences, tracking
+ * DISEPC, entering/leaving DISE-called functions), executes every
+ * correct-path instruction against architectural state in program
+ * order, and invokes the installed DebugMonitor at the points a real
+ * debugger would observe: store execution, statement boundaries, and
+ * trap instructions.
+ *
+ * Both the simple functional CPU and the cycle-level timing CPU consume
+ * this stream; the timing model replays it with costs (functional-first
+ * simulation in the SimpleScalar tradition).
+ */
+
+#ifndef DISE_CPU_INST_STREAM_HH
+#define DISE_CPU_INST_STREAM_HH
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/arch_state.hh"
+#include "cpu/microop.hh"
+#include "dise/engine.hh"
+#include "mem/mainmem.hh"
+
+namespace dise {
+
+/** Destination for syscall output and test marks. */
+class OutputSink
+{
+  public:
+    virtual ~OutputSink() = default;
+    virtual void putChar(char c) { text += c; }
+    virtual void
+    putInt(int64_t v)
+    {
+        text += std::to_string(v);
+    }
+    virtual void mark(uint64_t v) { marks.push_back(v); }
+
+    std::string text;
+    std::vector<uint64_t> marks;
+};
+
+/** Hooks and configuration for the stream (installed by backends). */
+struct StreamEnv
+{
+    DebugMonitor *monitor = nullptr;
+    /** Call monitor->onStore for every store (VM / HW-reg backends). */
+    bool monitorStores = false;
+    /** Statement-boundary PCs that trigger monitor->onStatement. */
+    const std::unordered_set<Addr> *stmtTraps = nullptr;
+    OutputSink *sink = nullptr;
+};
+
+/** Syscall codes understood by the simulated OS layer. */
+enum : int64_t {
+    SysExit = 0,
+    SysPutChar = 1,
+    SysPutInt = 2,
+    SysMark = 3,
+};
+
+class InstStream
+{
+  public:
+    InstStream(ArchState &arch, MainMemory &mem, DiseEngine *engine,
+               StreamEnv env = {});
+
+    /**
+     * Produce the next correct-path micro-op (functionally executed).
+     * Returns false once the program has halted or faulted.
+     */
+    bool next(MicroOp &op);
+
+    bool halted() const { return halted_; }
+    HaltReason haltReason() const { return haltReason_; }
+    const std::string &faultMessage() const { return faultMsg_; }
+
+    /** True while expanding a replacement sequence (tests). */
+    bool inExpansion() const { return expanding_; }
+    /** True while executing a DISE-called function (tests). */
+    bool inHandler() const { return inHandler_; }
+
+  private:
+    void execute(MicroOp &op);
+    void fault(MicroOp &op, const std::string &msg);
+    void finishExpansionIfDone();
+
+    ArchState &arch_;
+    MainMemory &mem_;
+    DiseEngine *engine_;
+    StreamEnv env_;
+
+    // Expansion state.
+    bool expanding_ = false;
+    std::vector<Inst> seq_;
+    size_t seqIdx_ = 0;
+    Inst trigger_{};
+    Addr trigPc_ = 0;
+    Addr seqNextPc_ = 0;
+    const Production *curProd_ = nullptr;
+
+    // DISE-called function state.
+    bool inHandler_ = false;
+    struct SavedCtx
+    {
+        std::vector<Inst> seq;
+        size_t idx = 0;
+        Inst trigger{};
+        Addr trigPc = 0;
+        Addr nextPc = 0;
+        const Production *prod = nullptr;
+    } saved_;
+
+    bool halted_ = false;
+    HaltReason haltReason_ = HaltReason::None;
+    std::string faultMsg_;
+    uint64_t seqCounter_ = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_CPU_INST_STREAM_HH

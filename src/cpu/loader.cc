@@ -1,0 +1,18 @@
+#include "cpu/loader.hh"
+
+namespace dise {
+
+LoadInfo
+loadProgram(MainMemory &mem, ArchState &arch, const Program &prog,
+            Addr stackTop)
+{
+    for (const auto &seg : prog.segments)
+        if (!seg.bytes.empty())
+            mem.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+
+    arch.pc = prog.entry;
+    arch.write(reg::sp, stackTop);
+    return {prog.entry, stackTop};
+}
+
+} // namespace dise

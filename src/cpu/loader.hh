@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Program loader: copies a Program image into functional memory and
+ * initializes architectural state (entry PC, stack pointer).
+ */
+
+#ifndef DISE_CPU_LOADER_HH
+#define DISE_CPU_LOADER_HH
+
+#include "asm/program.hh"
+#include "cpu/arch_state.hh"
+#include "mem/mainmem.hh"
+
+namespace dise {
+
+/** Default memory map (all below 2^26 so la/li pairs reach them). */
+namespace layout {
+constexpr Addr TextBase = 0x0100'0000;
+constexpr Addr DebuggerTextBase = 0x0180'0000; ///< appended handler code
+constexpr Addr DataBase = 0x0200'0000;
+constexpr Addr HeapBase = 0x0280'0000;
+constexpr Addr DebuggerDataBase = 0x0300'0000; ///< appended dseg
+constexpr Addr StackTop = 0x03f0'0000;
+} // namespace layout
+
+struct LoadInfo
+{
+    Addr entry = 0;
+    Addr stackTop = 0;
+};
+
+/** Load @p prog, set pc/sp. Returns entry/stack info. */
+LoadInfo loadProgram(MainMemory &mem, ArchState &arch, const Program &prog,
+                     Addr stackTop = layout::StackTop);
+
+} // namespace dise
+
+#endif // DISE_CPU_LOADER_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The micro-operation record flowing through the pipeline, the debugger
+ * transition classification, and the monitor interface that debugger
+ * backends install to observe the instruction stream in functional
+ * (program) order.
+ *
+ * The simulator is functional-first: the InstStream oracle executes
+ * correct-path instructions at delivery time and stores all outcomes
+ * (results, addresses, branch directions, debugger-transition
+ * decisions) in the MicroOp; the timing model replays them with costs.
+ */
+
+#ifndef DISE_CPU_MICROOP_HH
+#define DISE_CPU_MICROOP_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Why an op forces a pipeline flush. */
+enum class FlushClass : uint8_t {
+    None,
+    Mispredict,   ///< conventional branch resolved against prediction
+    DiseTransfer, ///< taken d-branch / d_call / d_ret (flush-based)
+    Serialize,    ///< syscalls and committed debugger traps
+};
+
+/** How a store or statement boundary fails to reach the user. */
+enum class TransitionKind : uint8_t {
+    None,
+    SpuriousAddress,   ///< watched data not actually written
+    SpuriousValue,     ///< written but value unchanged (silent store)
+    SpuriousPredicate, ///< value changed but the condition is false
+    User,              ///< control genuinely transfers to the user
+};
+
+/** Debugger-transition decision attached to an op in functional order. */
+struct DebugAction
+{
+    TransitionKind kind = TransitionKind::None;
+
+    bool transitions() const { return kind != TransitionKind::None; }
+    bool
+    spurious() const
+    {
+        return transitions() && kind != TransitionKind::User;
+    }
+};
+
+/** Program-halt reasons. */
+enum class HaltReason : uint8_t {
+    None,
+    Halted,      ///< HALT instruction
+    Exited,      ///< exit syscall
+    Fault,       ///< illegal instruction / DISE misuse
+    InstLimit,   ///< harness instruction budget reached
+    CycleLimit,  ///< harness cycle budget reached
+};
+
+/** One correct-path micro-operation with oracle outcomes. */
+struct MicroOp
+{
+    Inst inst{};
+    Addr pc = 0;
+    /** Position within a replacement sequence, plus one; 0 means the op
+     *  came from the fetched stream unexpanded. */
+    uint16_t disepc = 0;
+    bool fromExpansion = false;
+    bool inHandler = false; ///< executing a DISE-called function
+    /** This op is the T.INST trigger copy inside an expansion: it is
+     *  the application's own instruction and counts as such. */
+    bool isTriggerCopy = false;
+    /** For ops inside a DISE-called function: the trigger instruction's
+     *  PC (the architecturally-saved return context <PC:DISEPC+1>). */
+    Addr handlerCallerPc = 0;
+    uint64_t seq = 0;
+
+    // Memory oracle.
+    Addr effAddr = 0;
+    unsigned memBytes = 0;
+    uint64_t storeOld = 0;
+    uint64_t storeNew = 0;
+
+    // Control oracle.
+    bool isCtrl = false;
+    bool taken = false;
+    Addr target = 0;
+
+    // Timing classification.
+    FlushClass flush = FlushClass::None;
+    DebugAction debug{};
+    bool isHalt = false;
+    HaltReason haltReason = HaltReason::None;
+
+    bool isStoreOp() const { return inst.isStore(); }
+    bool isLoadOp() const { return inst.isLoad(); }
+    /** Ops the paper's simulator would count as application work. */
+    bool
+    isAppInst() const
+    {
+        return (!fromExpansion && !inHandler) || isTriggerCopy;
+    }
+};
+
+/**
+ * Functional-order observer installed by debugger backends.
+ *
+ * All callbacks run in program order with architectural memory state
+ * exactly as an in-order machine would see it, so backends evaluate
+ * watchpoint expressions the way the real debugger process would.
+ */
+class DebugMonitor
+{
+  public:
+    virtual ~DebugMonitor() = default;
+
+    /**
+     * A store just executed (old/new value of the stored bytes given).
+     * Called for every store when installed. Return the transition this
+     * store causes, if any (VM and HW-register backends).
+     */
+    virtual DebugAction
+    onStore(const MicroOp &op)
+    {
+        return {};
+    }
+
+    /** A source-statement boundary was reached (single-stepping). */
+    virtual DebugAction
+    onStatement(Addr pc)
+    {
+        return {};
+    }
+
+    /**
+     * A TRAP/CTRAP-taken instruction executed (DISE and binary-rewriting
+     * backends reach the debugger this way). The monitor classifies it
+     * and records the user-visible event.
+     */
+    virtual DebugAction
+    onTrap(const MicroOp &op)
+    {
+        return {TransitionKind::User};
+    }
+};
+
+} // namespace dise
+
+#endif // DISE_CPU_MICROOP_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The debugger-backend interface: one implementation per watchpoint
+ * technique the paper evaluates (single-stepping, virtual memory,
+ * hardware registers, static binary rewriting, and DISE).
+ *
+ * A backend (1) installs its machinery into the target before it is
+ * loaded, and (2) acts as the DebugMonitor observing the run in
+ * functional order to classify debugger transitions and record
+ * user-visible events. The common host-side state (shadow values and
+ * event lists) lives here.
+ */
+
+#ifndef DISE_DEBUG_BACKEND_HH
+#define DISE_DEBUG_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/microop.hh"
+#include "debug/target.hh"
+#include "debug/watch.hh"
+
+namespace dise {
+
+/** Breakpoint request. */
+struct BreakSpec
+{
+    Addr pc = 0;
+    std::string name;
+    /** Conditional: only invoke the user when mem[condAddr] == const. */
+    bool conditional = false;
+    Addr condAddr = 0;
+    unsigned condSize = 8;
+    uint64_t condConst = 0;
+};
+
+class DebugBackend : public DebugMonitor
+{
+  public:
+    ~DebugBackend() override = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Install watchpoints/breakpoints. Called once, before
+     * target.load(). May modify target.program (rewriting), the engine
+     * (DISE), page protections, etc. Returns false if the technique
+     * cannot implement the request (the paper's "no experiment" cases,
+     * e.g. INDIRECT under virtual memory).
+     */
+    virtual bool install(DebugTarget &target,
+                         const std::vector<WatchSpec> &watches,
+                         const std::vector<BreakSpec> &breaks) = 0;
+
+    /** Called after target.load() for memory-dependent setup. */
+    virtual void prime(DebugTarget &target) {}
+
+    /** Stream hooks this backend needs. */
+    virtual StreamEnv
+    streamEnv(DebugTarget &target)
+    {
+        StreamEnv env;
+        env.monitor = this;
+        env.sink = &target.sink;
+        return env;
+    }
+
+    const std::vector<WatchEvent> &watchEvents() const
+    {
+        return watchEvents_;
+    }
+    const std::vector<BreakEvent> &breakEvents() const
+    {
+        return breakEvents_;
+    }
+    const std::vector<ProtectionEvent> &protectionEvents() const
+    {
+        return protectionEvents_;
+    }
+
+  protected:
+    void
+    recordWatch(int idx, const WatchChange &ch, uint64_t seq,
+                Addr pc = 0)
+    {
+        watchEvents_.push_back({idx, ch.addr, ch.oldValue, ch.newValue,
+                                pc, seq});
+    }
+
+    std::vector<WatchEvent> watchEvents_;
+    std::vector<BreakEvent> breakEvents_;
+    std::vector<ProtectionEvent> protectionEvents_;
+};
+
+} // namespace dise
+
+#endif // DISE_DEBUG_BACKEND_HH

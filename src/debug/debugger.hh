@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The interactive-debugger front end.
+ *
+ * Presents the classic breakpoint/watchpoint interface and hides the
+ * implementation technique behind it: the same session code runs over
+ * the DISE backend or any of the four incumbent implementations the
+ * paper compares against. This mirrors the paper's framing — the
+ * debugger auto-generates productions/machinery from user requests;
+ * users never write productions themselves.
+ */
+
+#ifndef DISE_DEBUG_DEBUGGER_HH
+#define DISE_DEBUG_DEBUGGER_HH
+
+#include <memory>
+
+#include "cpu/func_cpu.hh"
+#include "cpu/timing_cpu.hh"
+#include "debug/backend.hh"
+#include "debug/dise_backend.hh"
+
+namespace dise {
+
+/** Which watchpoint implementation to use. */
+enum class BackendKind : uint8_t {
+    Dise,
+    SingleStep,
+    VirtualMemory,
+    HardwareReg,
+    Rewrite,
+};
+
+const char *backendName(BackendKind kind);
+
+struct DebuggerOptions
+{
+    BackendKind backend = BackendKind::Dise;
+    DiseOptions dise{};
+    unsigned hwRegs = 4;
+};
+
+class Debugger
+{
+  public:
+    Debugger(DebugTarget &target, DebuggerOptions opts = {});
+    ~Debugger();
+
+    /** Register a watchpoint. Returns its index. */
+    int watch(const WatchSpec &spec);
+
+    /** Register a breakpoint. Returns its index. */
+    int breakAt(const BreakSpec &spec);
+    int
+    breakAt(Addr pc)
+    {
+        BreakSpec bp;
+        bp.pc = pc;
+        return breakAt(bp);
+    }
+
+    /**
+     * Install the backend machinery, load the program, and prime
+     * shadow state. Returns false when the chosen technique cannot
+     * implement the request (the paper's "no experiment" cells).
+     */
+    bool attach();
+    bool attached() const { return attached_; }
+
+    /** Cycle-level run under the timing model. */
+    RunStats run(TimingConfig cfg = {}, RunLimits limits = {});
+
+    /** Timing-free functional run (tests, calibration). */
+    FuncResult runFunctional(uint64_t maxAppInsts = 0);
+
+    const std::vector<WatchEvent> &watchEvents() const;
+    const std::vector<BreakEvent> &breakEvents() const;
+    const std::vector<ProtectionEvent> &protectionEvents() const;
+
+    DebugBackend &backend() { return *backend_; }
+    DebugTarget &target() { return target_; }
+
+  private:
+    DebugTarget &target_;
+    DebuggerOptions opts_;
+    std::unique_ptr<DebugBackend> backend_;
+    std::vector<WatchSpec> watches_;
+    std::vector<BreakSpec> breaks_;
+    bool attached_ = false;
+};
+
+} // namespace dise
+
+#endif // DISE_DEBUG_DEBUGGER_HH

@@ -1,0 +1,104 @@
+#include "debug/hwreg_backend.hh"
+
+#include "common/bitutils.hh"
+
+namespace dise {
+
+bool
+HwRegBackend::install(DebugTarget &target,
+                      const std::vector<WatchSpec> &watches,
+                      const std::vector<BreakSpec> &breaks)
+{
+    target_ = &target;
+    if (!breaks.empty())
+        return false;
+    for (const auto &w : watches) {
+        // Registers watch scalars; debuggers fall back to other
+        // techniques for indirect/non-scalar data (paper Section 5.1).
+        if (w.kind != WatchKind::Scalar)
+            return false;
+        watches_.emplace_back(w);
+    }
+
+    hwCount_ = std::min<unsigned>(numRegs_, watches.size());
+    for (unsigned i = 0; i < hwCount_; ++i)
+        hwQuads_.push_back(alignDown(watches[i].addr, 8));
+
+    // Overflow watchpoints use virtual-memory protection.
+    for (size_t i = hwCount_; i < watches.size(); ++i) {
+        const auto &w = watches[i];
+        Addr lo = alignDown(w.addr, PageBytes);
+        Addr hi = alignDown(w.addr + w.size - 1, PageBytes);
+        for (Addr p = lo; p <= hi; p += PageBytes)
+            pages_.push_back(p);
+    }
+    return true;
+}
+
+void
+HwRegBackend::prime(DebugTarget &target)
+{
+    for (auto &w : watches_)
+        w.prime(target.mem);
+    for (Addr p : pages_)
+        target.mem.protectPage(p);
+}
+
+StreamEnv
+HwRegBackend::streamEnv(DebugTarget &target)
+{
+    StreamEnv env = DebugBackend::streamEnv(target);
+    env.monitorStores = true;
+    return env;
+}
+
+DebugAction
+HwRegBackend::onStore(const MicroOp &op)
+{
+    Addr quad = alignDown(op.effAddr, 8);
+    Addr quadEnd = alignDown(op.effAddr + op.memBytes - 1, 8);
+
+    bool hwHit = false;
+    for (Addr w : hwQuads_) {
+        if (w == quad || w == quadEnd) {
+            hwHit = true;
+            break;
+        }
+    }
+    bool vmHit =
+        !pages_.empty() && (target_->mem.isWriteProtected(op.effAddr) ||
+                            target_->mem.isWriteProtected(
+                                op.effAddr + op.memBytes - 1));
+    if (!hwHit && !vmHit)
+        return {};
+
+    ++seq_;
+    bool anyOverlap = false;
+    bool anyPredicateFail = false;
+    bool anyUser = false;
+    for (size_t i = 0; i < watches_.size(); ++i) {
+        if (!watches_[i].overlaps(op.effAddr, op.memBytes))
+            continue;
+        anyOverlap = true;
+        auto ch = watches_[i].evaluate(target_->mem);
+        if (!ch)
+            continue;
+        if (watches_[i].predicatePasses(ch->newValue)) {
+            recordWatch(static_cast<int>(i), *ch, seq_, op.pc);
+            anyUser = true;
+        } else {
+            anyPredicateFail = true;
+        }
+    }
+
+    if (anyUser)
+        return {TransitionKind::User};
+    if (anyPredicateFail)
+        return {TransitionKind::SpuriousPredicate};
+    if (anyOverlap)
+        return {TransitionKind::SpuriousValue};
+    // Partial-quad or same-page false positive.
+    return {TransitionKind::SpuriousAddress};
+}
+
+} // namespace dise

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hardware-watchpoint-register backend. Models the four quad-
+ * granularity data-breakpoint registers of IA-32/IA-64: a store whose
+ * quad-aligned address matches a register traps to the debugger.
+ * Matching is free of address false positives except partial-quad
+ * overlap, but silent stores still cause spurious value transitions,
+ * and conditional predicates still cause spurious predicate
+ * transitions — the effects Figures 3 and 4 measure.
+ *
+ * When more watchpoints are requested than registers exist, the
+ * remainder falls back to virtual-memory page protection (the paper's
+ * Figure 6 "Hardware/Virtual Memory" hybrid). Indirect and range
+ * watchpoints are unsupported, matching the missing bars.
+ */
+
+#ifndef DISE_DEBUG_HWREG_BACKEND_HH
+#define DISE_DEBUG_HWREG_BACKEND_HH
+
+#include "debug/backend.hh"
+
+namespace dise {
+
+class HwRegBackend : public DebugBackend
+{
+  public:
+    explicit HwRegBackend(unsigned numRegs = 4) : numRegs_(numRegs) {}
+
+    std::string name() const override { return "hardware-registers"; }
+
+    bool install(DebugTarget &target, const std::vector<WatchSpec> &watches,
+                 const std::vector<BreakSpec> &breaks) override;
+
+    void prime(DebugTarget &target) override;
+
+    StreamEnv streamEnv(DebugTarget &target) override;
+
+    DebugAction onStore(const MicroOp &op) override;
+
+    unsigned hwAssigned() const { return hwCount_; }
+    size_t vmPages() const { return pages_.size(); }
+
+  private:
+    DebugTarget *target_ = nullptr;
+    unsigned numRegs_;
+    unsigned hwCount_ = 0; ///< first hwCount_ watchpoints use registers
+    std::vector<WatchState> watches_;
+    std::vector<Addr> hwQuads_; ///< quad-aligned register contents
+    std::vector<Addr> pages_;   ///< VM-fallback protected pages
+    uint64_t seq_ = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_DEBUG_HWREG_BACKEND_HH

@@ -1,0 +1,77 @@
+#include "debug/singlestep_backend.hh"
+
+namespace dise {
+
+bool
+SingleStepBackend::install(DebugTarget &target,
+                           const std::vector<WatchSpec> &watches,
+                           const std::vector<BreakSpec> &breaks)
+{
+    target_ = &target;
+    for (const auto &w : watches)
+        watches_.emplace_back(w);
+    breaks_ = breaks;
+    stmtSet_.insert(target.program.stmtBoundaries.begin(),
+                    target.program.stmtBoundaries.end());
+    // Single-stepping supports everything (that is its sole virtue).
+    return true;
+}
+
+void
+SingleStepBackend::prime(DebugTarget &target)
+{
+    for (auto &w : watches_)
+        w.prime(target.mem);
+}
+
+StreamEnv
+SingleStepBackend::streamEnv(DebugTarget &target)
+{
+    StreamEnv env = DebugBackend::streamEnv(target);
+    env.stmtTraps = &stmtSet_;
+    return env;
+}
+
+DebugAction
+SingleStepBackend::onStatement(Addr pc)
+{
+    ++seq_;
+    bool anyUser = false;
+    bool anyPredicateFail = false;
+
+    for (const auto &bp : breaks_) {
+        if (bp.pc != pc)
+            continue;
+        bool pass = !bp.conditional ||
+                    target_->mem.read(bp.condAddr, bp.condSize) ==
+                        bp.condConst;
+        if (pass) {
+            breakEvents_.push_back(
+                {static_cast<int>(&bp - breaks_.data()), pc, seq_});
+            anyUser = true;
+        } else {
+            anyPredicateFail = true;
+        }
+    }
+
+    for (size_t i = 0; i < watches_.size(); ++i) {
+        auto ch = watches_[i].evaluate(target_->mem);
+        if (!ch)
+            continue;
+        if (watches_[i].predicatePasses(ch->newValue)) {
+            recordWatch(static_cast<int>(i), *ch, seq_, pc);
+            anyUser = true;
+        } else {
+            anyPredicateFail = true;
+        }
+    }
+
+    // Every statement is one debugger transition; classify it.
+    if (anyUser)
+        return {TransitionKind::User};
+    if (anyPredicateFail)
+        return {TransitionKind::SpuriousPredicate};
+    return {TransitionKind::SpuriousAddress};
+}
+
+} // namespace dise

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Single-stepping backend: the naive implementation that transfers
+ * control to the debugger after every source-level statement and
+ * re-evaluates every watchpoint there. Every statement therefore costs
+ * one debugger transition, nearly all of them spurious — the paper's
+ * 6,000-40,000x slowdown case.
+ */
+
+#ifndef DISE_DEBUG_SINGLESTEP_BACKEND_HH
+#define DISE_DEBUG_SINGLESTEP_BACKEND_HH
+
+#include <unordered_set>
+
+#include "debug/backend.hh"
+
+namespace dise {
+
+class SingleStepBackend : public DebugBackend
+{
+  public:
+    std::string name() const override { return "single-stepping"; }
+
+    bool install(DebugTarget &target, const std::vector<WatchSpec> &watches,
+                 const std::vector<BreakSpec> &breaks) override;
+
+    void prime(DebugTarget &target) override;
+
+    StreamEnv streamEnv(DebugTarget &target) override;
+
+    DebugAction onStatement(Addr pc) override;
+
+  private:
+    DebugTarget *target_ = nullptr;
+    std::vector<WatchState> watches_;
+    std::vector<BreakSpec> breaks_;
+    std::unordered_set<Addr> stmtSet_;
+    uint64_t seq_ = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_DEBUG_SINGLESTEP_BACKEND_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The debuggee: program image plus the machine it runs on (registers,
+ * memory, DISE engine, simulated-OS output). Debugger backends attach
+ * to a DebugTarget; the harness then runs it functionally or under the
+ * timing model.
+ */
+
+#ifndef DISE_DEBUG_TARGET_HH
+#define DISE_DEBUG_TARGET_HH
+
+#include "asm/program.hh"
+#include "cpu/arch_state.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "dise/engine.hh"
+#include "mem/mainmem.hh"
+
+namespace dise {
+
+class DebugTarget
+{
+  public:
+    explicit DebugTarget(Program prog) : program(std::move(prog)) {}
+
+    /** Load the (possibly backend-modified) image into memory. */
+    void
+    load()
+    {
+        loadProgram(mem, arch, program);
+        loaded_ = true;
+    }
+
+    bool loaded() const { return loaded_; }
+
+    Addr symbol(const std::string &name) const
+    {
+        return program.symbol(name);
+    }
+
+    ArchState arch;
+    MainMemory mem;
+    DiseEngine engine;
+    OutputSink sink;
+    Program program;
+
+  private:
+    bool loaded_ = false;
+};
+
+} // namespace dise
+
+#endif // DISE_DEBUG_TARGET_HH

@@ -1,0 +1,85 @@
+#include "debug/vm_backend.hh"
+
+#include "common/bitutils.hh"
+
+namespace dise {
+
+bool
+VmBackend::install(DebugTarget &target,
+                   const std::vector<WatchSpec> &watches,
+                   const std::vector<BreakSpec> &breaks)
+{
+    target_ = &target;
+    if (!breaks.empty())
+        return false; // breakpoints use binary patching, not VM
+    for (const auto &w : watches) {
+        if (w.kind == WatchKind::Indirect)
+            return false; // cannot statically determine pages
+        watches_.emplace_back(w);
+    }
+    for (const auto &w : watches) {
+        Addr lo = alignDown(w.addr, PageBytes);
+        uint64_t len = w.kind == WatchKind::Range ? w.length : w.size;
+        Addr hi = alignDown(w.addr + (len ? len : 1) - 1, PageBytes);
+        for (Addr p = lo; p <= hi; p += PageBytes)
+            pages_.push_back(p);
+    }
+    return true;
+}
+
+void
+VmBackend::prime(DebugTarget &target)
+{
+    for (auto &w : watches_)
+        w.prime(target.mem);
+    for (Addr p : pages_)
+        target.mem.protectPage(p);
+}
+
+StreamEnv
+VmBackend::streamEnv(DebugTarget &target)
+{
+    StreamEnv env = DebugBackend::streamEnv(target);
+    env.monitorStores = true;
+    return env;
+}
+
+DebugAction
+VmBackend::onStore(const MicroOp &op)
+{
+    const MainMemory &mem = target_->mem;
+    if (!mem.isWriteProtected(op.effAddr) &&
+        !mem.isWriteProtected(op.effAddr + op.memBytes - 1))
+        return {};
+
+    // The store faulted: the debugger takes a transition, single-steps
+    // the store, and re-evaluates the watched expressions.
+    ++seq_;
+    bool anyOverlap = false;
+    bool anyPredicateFail = false;
+    bool anyUser = false;
+    for (size_t i = 0; i < watches_.size(); ++i) {
+        if (!watches_[i].overlaps(op.effAddr, op.memBytes))
+            continue;
+        anyOverlap = true;
+        auto ch = watches_[i].evaluate(mem);
+        if (!ch)
+            continue;
+        if (watches_[i].predicatePasses(ch->newValue)) {
+            recordWatch(static_cast<int>(i), *ch, seq_, op.pc);
+            anyUser = true;
+        } else {
+            anyPredicateFail = true;
+        }
+    }
+
+    if (anyUser)
+        return {TransitionKind::User};
+    if (anyPredicateFail)
+        return {TransitionKind::SpuriousPredicate};
+    if (anyOverlap)
+        return {TransitionKind::SpuriousValue};
+    return {TransitionKind::SpuriousAddress};
+}
+
+} // namespace dise

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The OS-mediated DISE controller.
+ *
+ * The paper wraps the raw engine in two abstraction layers: a physical
+ * controller that virtualizes internal format/capacity, and an OS
+ * policy that lets applications create productions for their own code
+ * stream freely but reserves cross-process productions for trusted
+ * entities (like a debugger operating on its debuggee). This class
+ * models that access-control seam.
+ */
+
+#ifndef DISE_DISE_CONTROLLER_HH
+#define DISE_DISE_CONTROLLER_HH
+
+#include "dise/engine.hh"
+
+namespace dise {
+
+/** Identity presented to the controller. */
+struct DiseClient
+{
+    int pid = 0;       ///< owning process
+    bool trusted = false; ///< may act on other processes (debuggers)
+};
+
+class DiseController
+{
+  public:
+    explicit DiseController(DiseEngine &engine, int ownerPid)
+        : engine_(engine), ownerPid_(ownerPid)
+    {
+    }
+
+    /**
+     * Install a production on behalf of @p client targeting process
+     * @p targetPid. Applications may instrument themselves; only
+     * trusted clients may instrument others. Returns 0 on policy
+     * rejection.
+     */
+    ProductionId
+    install(const DiseClient &client, int targetPid, Production p)
+    {
+        if (!allowed(client, targetPid))
+            return 0;
+        if (targetPid != ownerPid_)
+            return 0; // this controller fronts a single engine/process
+        return engine_.addProduction(std::move(p));
+    }
+
+    /** Remove a production, subject to the same policy. */
+    bool
+    remove(const DiseClient &client, int targetPid, ProductionId id)
+    {
+        if (!allowed(client, targetPid) || targetPid != ownerPid_)
+            return false;
+        engine_.removeProduction(id);
+        return true;
+    }
+
+    static bool
+    allowed(const DiseClient &client, int targetPid)
+    {
+        return client.trusted || client.pid == targetPid;
+    }
+
+  private:
+    DiseEngine &engine_;
+    int ownerPid_;
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_CONTROLLER_HH

@@ -1,0 +1,157 @@
+#include "dise/engine.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+DiseEngine::DiseEngine(const DiseEngineConfig &cfg)
+    : cfg_(cfg), slots_(cfg.patternTableEntries), stats_("dise")
+{
+    unsigned numLines = cfg_.replacementTableInsts / cfg_.replacementLineInsts;
+    DISE_ASSERT(numLines % cfg_.replacementTableAssoc == 0,
+                "replacement table geometry");
+    rtLines_.resize(numLines);
+}
+
+ProductionId
+DiseEngine::addProduction(Production p)
+{
+    for (auto &slot : slots_) {
+        if (!slot.valid) {
+            slot.valid = true;
+            slot.id = nextId_++;
+            slot.prod = std::move(p);
+            return slot.id;
+        }
+    }
+    fatal("DISE pattern table full (", cfg_.patternTableEntries,
+          " entries)");
+}
+
+void
+DiseEngine::removeProduction(ProductionId id)
+{
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.id == id) {
+            slot.valid = false;
+            return;
+        }
+    }
+    warn("removeProduction: no production with id ", id);
+}
+
+void
+DiseEngine::clear()
+{
+    for (auto &slot : slots_)
+        slot.valid = false;
+}
+
+size_t
+DiseEngine::productionCount() const
+{
+    size_t n = 0;
+    for (const auto &slot : slots_)
+        n += slot.valid;
+    return n;
+}
+
+const Production *
+DiseEngine::production(ProductionId id) const
+{
+    for (const auto &slot : slots_)
+        if (slot.valid && slot.id == id)
+            return &slot.prod;
+    return nullptr;
+}
+
+const Production *
+DiseEngine::matchFunctional(const Inst &inst, Addr pc) const
+{
+    if (!enabled_)
+        return nullptr;
+    const Production *best = nullptr;
+    unsigned bestSpec = 0;
+    for (const auto &slot : slots_) {
+        if (!slot.valid || !slot.prod.pattern.matches(inst, pc))
+            continue;
+        unsigned spec = slot.prod.pattern.specificity();
+        if (!best || spec > bestSpec) {
+            best = &slot.prod;
+            bestSpec = spec;
+        }
+    }
+    return best;
+}
+
+unsigned
+DiseEngine::rtTouch(ProductionId id, size_t seqLen)
+{
+    unsigned sets =
+        rtLines_.size() / cfg_.replacementTableAssoc;
+    unsigned linesNeeded =
+        (seqLen + cfg_.replacementLineInsts - 1) / cfg_.replacementLineInsts;
+    unsigned stall = 0;
+    for (unsigned i = 0; i < linesNeeded; ++i) {
+        ++rtClock_;
+        uint64_t lineKey = (static_cast<uint64_t>(id) << 8) | i;
+        unsigned set = lineKey % sets;
+        RtLine *base = &rtLines_[set * cfg_.replacementTableAssoc];
+        RtLine *victim = nullptr;
+        bool hit = false;
+        for (unsigned w = 0; w < cfg_.replacementTableAssoc; ++w) {
+            RtLine &line = base[w];
+            if (line.valid && line.tag == lineKey) {
+                line.lastUse = rtClock_;
+                hit = true;
+                break;
+            }
+            if (!victim || !line.valid ||
+                (victim->valid && line.lastUse < victim->lastUse)) {
+                victim = &line;
+            }
+        }
+        if (!hit) {
+            stats_.inc("rt_misses");
+            stall += cfg_.replacementMissPenalty;
+            victim->valid = true;
+            victim->tag = lineKey;
+            victim->lastUse = rtClock_;
+        }
+    }
+    return stall;
+}
+
+MatchResult
+DiseEngine::match(const Inst &inst, Addr pc)
+{
+    MatchResult res;
+    const Production *prod = matchFunctional(inst, pc);
+    if (!prod)
+        return res;
+
+    stats_.inc("matches");
+    ProductionId id = 0;
+    for (const auto &slot : slots_) {
+        if (slot.valid && &slot.prod == prod) {
+            id = slot.id;
+            break;
+        }
+    }
+    res.production = prod;
+    res.stallCycles = rtTouch(id, prod->replacement.size());
+    return res;
+}
+
+std::vector<Inst>
+DiseEngine::expand(const Production &prod, const Inst &trigger) const
+{
+    std::vector<Inst> out;
+    out.reserve(prod.replacement.size());
+    for (const auto &tmpl : prod.replacement)
+        out.push_back(tmpl.instantiate(trigger));
+    return out;
+}
+
+} // namespace dise

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The DISE engine: production storage, pattern matching, replacement
+ * instantiation, and a capacity/timing model for the pattern and
+ * replacement tables (32 patterns; 512 instructions, 2-way
+ * set-associative, per the paper's modest configuration).
+ *
+ * The engine sits logically between fetch and decode. It holds no
+ * architectural register state — the private DISE register file is
+ * renamed and lives with the rest of the architectural state in the
+ * CPU — the engine is pure instruction-stream transformation.
+ */
+
+#ifndef DISE_DISE_ENGINE_HH
+#define DISE_DISE_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dise/pattern.hh"
+#include "dise/template.hh"
+
+namespace dise {
+
+using ProductionId = uint32_t;
+
+/** A rewriting rule: pattern plus parameterized replacement sequence. */
+struct Production
+{
+    std::string name;
+    Pattern pattern;
+    std::vector<TemplateInst> replacement;
+};
+
+struct DiseEngineConfig
+{
+    unsigned patternTableEntries = 32;
+    unsigned replacementTableInsts = 512;
+    unsigned replacementTableAssoc = 2;
+    /** Cycles to refill one replacement-table line from memory. */
+    unsigned replacementMissPenalty = 24;
+    unsigned replacementLineInsts = 8;
+};
+
+/** Result of presenting one fetched instruction to the engine. */
+struct MatchResult
+{
+    const Production *production = nullptr; ///< null: no expansion
+    unsigned stallCycles = 0; ///< replacement-table refill stalls
+};
+
+class DiseEngine
+{
+  public:
+    explicit DiseEngine(const DiseEngineConfig &cfg = {});
+
+    /** @name Controller (privileged) interface */
+    ///@{
+    ProductionId addProduction(Production p);
+    void removeProduction(ProductionId id);
+    void clear();
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+    size_t productionCount() const;
+    const Production *production(ProductionId id) const;
+    ///@}
+
+    /**
+     * Decode-time matching. Returns the most specific matching
+     * production (ties broken by insertion order) and any
+     * replacement-table refill stall.
+     */
+    MatchResult match(const Inst &inst, Addr pc);
+
+    /** Pure matching without timing side effects (functional path). */
+    const Production *matchFunctional(const Inst &inst, Addr pc) const;
+
+    /** Instantiate production @p prod for @p trigger. */
+    std::vector<Inst> expand(const Production &prod,
+                             const Inst &trigger) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        ProductionId id = 0;
+        Production prod;
+    };
+
+    /** Replacement-table residency model (tag-only, like a cache). */
+    struct RtLine
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned rtTouch(ProductionId id, size_t seqLen);
+
+    DiseEngineConfig cfg_;
+    bool enabled_ = true;
+    std::vector<Slot> slots_;
+    ProductionId nextId_ = 1;
+    std::vector<RtLine> rtLines_;
+    uint64_t rtClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_ENGINE_HH

@@ -1,0 +1,106 @@
+#include "dise/pattern.hh"
+
+#include <sstream>
+
+namespace dise {
+
+unsigned
+Pattern::specificity() const
+{
+    unsigned n = 0;
+    n += opclass.has_value();
+    n += opcode.has_value();
+    n += baseReg.has_value();
+    n += pc.has_value();
+    n += codewordId.has_value();
+    return n;
+}
+
+bool
+Pattern::matches(const Inst &inst, Addr instPc) const
+{
+    if (opclass && inst.cls() != *opclass)
+        return false;
+    if (opcode && inst.op != *opcode)
+        return false;
+    if (baseReg) {
+        if (inst.info().fmt != Format::Memory || inst.rb != *baseReg)
+            return false;
+    }
+    if (pc && instPc != *pc)
+        return false;
+    if (codewordId) {
+        if (inst.op != Opcode::CODEWORD || inst.imm != *codewordId)
+            return false;
+    }
+    return specificity() > 0;
+}
+
+std::string
+Pattern::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << " & ";
+        first = false;
+    };
+    if (opclass) {
+        sep();
+        os << "T.OPCLASS==" << static_cast<int>(*opclass);
+    }
+    if (opcode) {
+        sep();
+        os << "T.OP==" << opName(*opcode);
+    }
+    if (baseReg) {
+        sep();
+        os << "T.RB==" << regName(*baseReg);
+    }
+    if (pc) {
+        sep();
+        os << "T.PC==0x" << std::hex << *pc << std::dec;
+    }
+    if (codewordId) {
+        sep();
+        os << "T.CODEWORD==" << *codewordId;
+    }
+    if (first)
+        os << "<empty>";
+    return os.str();
+}
+
+Pattern
+Pattern::forClass(OpClass cls)
+{
+    Pattern p;
+    p.opclass = cls;
+    return p;
+}
+
+Pattern
+Pattern::forOpcode(Opcode op)
+{
+    Pattern p;
+    p.opcode = op;
+    return p;
+}
+
+Pattern
+Pattern::forPc(Addr pc)
+{
+    Pattern p;
+    p.pc = pc;
+    return p;
+}
+
+Pattern
+Pattern::forCodeword(int64_t id)
+{
+    Pattern p;
+    p.codewordId = id;
+    return p;
+}
+
+} // namespace dise

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DISE pattern specifications.
+ *
+ * A pattern inspects a single fetched instruction (peephole matching,
+ * per the DISE papers): any combination of operation class, exact
+ * opcode, base-register identity (the paper's T.RS==sp example), PC,
+ * and codeword id. When several patterns match, the most specific one
+ * (most specified fields) wins.
+ */
+
+#ifndef DISE_DISE_PATTERN_HH
+#define DISE_DISE_PATTERN_HH
+
+#include <optional>
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** A single-instruction match specification. */
+struct Pattern
+{
+    std::optional<OpClass> opclass;
+    std::optional<Opcode> opcode;
+    /** Matches the base register of memory-format instructions. */
+    std::optional<RegId> baseReg;
+    /** Exact-PC trigger (the hardware-breakpoint-register analog). */
+    std::optional<Addr> pc;
+    /** Matches CODEWORD instructions carrying this id. */
+    std::optional<int64_t> codewordId;
+
+    /** Number of specified fields; higher overrides lower. */
+    unsigned specificity() const;
+
+    /** Does @p inst fetched from @p instPc satisfy this pattern? */
+    bool matches(const Inst &inst, Addr instPc) const;
+
+    /** Human-readable form (for logs and tests). */
+    std::string str() const;
+
+    /** @name Convenience factories */
+    ///@{
+    static Pattern forClass(OpClass cls);
+    static Pattern forOpcode(Opcode op);
+    static Pattern forPc(Addr pc);
+    static Pattern forCodeword(int64_t id);
+    ///@}
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_PATTERN_HH

@@ -1,0 +1,102 @@
+#include "dise/template.hh"
+
+#include "common/logging.hh"
+
+namespace dise {
+
+RegId
+TRegField::resolve(const Inst &trigger) const
+{
+    switch (kind) {
+      case Kind::Lit:
+        return lit;
+      case Kind::TrigRa:
+        return trigger.ra;
+      case Kind::TrigRb:
+        return trigger.rb;
+      case Kind::TrigRc:
+        return trigger.rc;
+    }
+    panic("bad template register field");
+}
+
+int64_t
+TImmField::resolve(const Inst &trigger) const
+{
+    switch (kind) {
+      case Kind::Lit:
+        return lit;
+      case Kind::TrigImm:
+        return trigger.imm;
+    }
+    panic("bad template immediate field");
+}
+
+Inst
+TemplateInst::instantiate(const Inst &trigger) const
+{
+    if (triggerCopy)
+        return trigger;
+    Inst inst;
+    inst.op = op;
+    inst.ra = ra.resolve(trigger);
+    inst.rb = rb.resolve(trigger);
+    inst.rc = rc.resolve(trigger);
+    inst.imm = imm.resolve(trigger);
+    return inst;
+}
+
+TemplateInst
+TemplateInst::trigInst()
+{
+    TemplateInst t;
+    t.triggerCopy = true;
+    return t;
+}
+
+TemplateInst
+TemplateInst::fixed(const Inst &inst)
+{
+    TemplateInst t;
+    t.op = inst.op;
+    t.ra = TRegField::reg(inst.ra);
+    t.rb = TRegField::reg(inst.rb);
+    t.rc = TRegField::reg(inst.rc);
+    t.imm = TImmField::imm(inst.imm);
+    return t;
+}
+
+TemplateInst
+TemplateInst::op3(Opcode o, TRegField a, TRegField b, TRegField c)
+{
+    TemplateInst t;
+    t.op = o;
+    t.ra = a;
+    t.rb = b;
+    t.rc = c;
+    return t;
+}
+
+TemplateInst
+TemplateInst::opImm(Opcode o, TRegField a, int64_t imm, TRegField c)
+{
+    TemplateInst t;
+    t.op = o;
+    t.ra = a;
+    t.rc = c;
+    t.imm = TImmField::imm(imm);
+    return t;
+}
+
+TemplateInst
+TemplateInst::mem(Opcode o, TRegField a, TImmField disp, TRegField b)
+{
+    TemplateInst t;
+    t.op = o;
+    t.ra = a;
+    t.rb = b;
+    t.imm = disp;
+    return t;
+}
+
+} // namespace dise

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parameterized replacement-sequence templates.
+ *
+ * A replacement sequence is a list of template instructions whose
+ * fields are either literal or instantiated from the trigger
+ * instruction (the paper's T.OP / T.RD / T.RS1 / T.IMM / T.INST
+ * directives). Instantiation produces ordinary Inst records that flow
+ * down the pipeline tagged with a DISEPC.
+ */
+
+#ifndef DISE_DISE_TEMPLATE_HH
+#define DISE_DISE_TEMPLATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** A register field of a template: literal or copied from the trigger. */
+struct TRegField
+{
+    enum class Kind : uint8_t { Lit, TrigRa, TrigRb, TrigRc };
+    Kind kind = Kind::Lit;
+    RegId lit{};
+
+    RegId resolve(const Inst &trigger) const;
+
+    static TRegField reg(RegId r) { return {Kind::Lit, r}; }
+    static TRegField trigRa() { return {Kind::TrigRa, {}}; }
+    static TRegField trigRb() { return {Kind::TrigRb, {}}; }
+    static TRegField trigRc() { return {Kind::TrigRc, {}}; }
+};
+
+/** An immediate field of a template: literal or the trigger's. */
+struct TImmField
+{
+    enum class Kind : uint8_t { Lit, TrigImm };
+    Kind kind = Kind::Lit;
+    int64_t lit = 0;
+
+    int64_t resolve(const Inst &trigger) const;
+
+    static TImmField imm(int64_t v) { return {Kind::Lit, v}; }
+    static TImmField trigImm() { return {Kind::TrigImm, 0}; }
+};
+
+/** One template instruction. */
+struct TemplateInst
+{
+    /** T.INST: reproduce the trigger unchanged. */
+    bool triggerCopy = false;
+
+    Opcode op = Opcode::NOP;
+    TRegField ra, rb, rc;
+    TImmField imm;
+
+    /** Materialize for a specific trigger. */
+    Inst instantiate(const Inst &trigger) const;
+
+    /** @name Factories mirroring the paper's production syntax */
+    ///@{
+    static TemplateInst trigInst();
+    static TemplateInst fixed(const Inst &inst);
+    static TemplateInst op3(Opcode o, TRegField a, TRegField b, TRegField c);
+    static TemplateInst opImm(Opcode o, TRegField a, int64_t imm,
+                              TRegField c);
+    static TemplateInst mem(Opcode o, TRegField a, TImmField disp,
+                            TRegField b);
+    ///@}
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_TEMPLATE_HH

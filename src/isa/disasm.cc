@@ -1,0 +1,94 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace dise {
+
+namespace {
+
+std::string
+render(const Inst &inst, bool havePc, Addr pc)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+    auto sep = [&, first = true]() mutable {
+        os << (first ? " " : ", ");
+        first = false;
+    };
+    switch (inst.info().fmt) {
+      case Format::Operate:
+        sep(); os << regName(inst.ra);
+        sep(); os << regName(inst.rb);
+        sep(); os << regName(inst.rc);
+        break;
+      case Format::OperateImm:
+        sep(); os << regName(inst.ra);
+        sep(); os << inst.imm;
+        sep(); os << regName(inst.rc);
+        break;
+      case Format::Memory:
+        sep(); os << regName(inst.ra);
+        sep(); os << inst.imm << '(' << regName(inst.rb) << ')';
+        break;
+      case Format::Branch:
+        if (inst.isCondBranch() || inst.op == Opcode::BSR) {
+            sep(); os << regName(inst.ra);
+        }
+        sep();
+        if (havePc)
+            os << "0x" << std::hex << (pc + 4 + inst.imm * 4) << std::dec;
+        else
+            os << (inst.imm >= 0 ? "+" : "") << inst.imm;
+        break;
+      case Format::Jump:
+        if (inst.op == Opcode::JSR) {
+            sep(); os << regName(inst.ra);
+        }
+        sep(); os << '(' << regName(inst.rb) << ')';
+        break;
+      case Format::System:
+        sep(); os << inst.imm;
+        break;
+      case Format::Ctrap:
+        sep(); os << regName(inst.ra);
+        break;
+      case Format::DiseBranch:
+        sep(); os << regName(inst.ra);
+        sep(); os << (inst.imm >= 0 ? "+" : "") << inst.imm;
+        break;
+      case Format::DiseCall:
+        if (inst.op == Opcode::D_CCALL) {
+            sep(); os << regName(inst.ra);
+        }
+        sep(); os << regName(inst.rb);
+        break;
+      case Format::DiseMove:
+        if (inst.op == Opcode::D_MFR) {
+            sep(); os << regName(inst.ra);
+            sep(); os << regName(inst.rb);
+        } else {
+            sep(); os << regName(inst.rb);
+            sep(); os << regName(inst.ra);
+        }
+        break;
+      case Format::Nullary:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disasm(const Inst &inst)
+{
+    return render(inst, false, 0);
+}
+
+std::string
+disasm(const Inst &inst, Addr pc)
+{
+    return render(inst, true, pc);
+}
+
+} // namespace dise

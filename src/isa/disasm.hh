@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: renders an Inst in the paper's assembly syntax
+ * (destination right-most, e.g. "addq sp, 8, dr0").
+ */
+
+#ifndef DISE_ISA_DISASM_HH
+#define DISE_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Disassemble one instruction. */
+std::string disasm(const Inst &inst);
+
+/** Disassemble with PC context (branch targets become absolute). */
+std::string disasm(const Inst &inst, Addr pc);
+
+} // namespace dise
+
+#endif // DISE_ISA_DISASM_HH

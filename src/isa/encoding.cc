@@ -1,0 +1,167 @@
+#include "isa/encoding.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+namespace {
+
+uint32_t
+regField(RegId r, RegKind expect)
+{
+    if (!r.valid())
+        return 31; // encode missing register operands as the zero register
+    DISE_ASSERT(r.kind == expect, "register kind not encodable here: ",
+                regName(r));
+    return r.idx;
+}
+
+} // namespace
+
+bool
+encodable(const Inst &inst)
+{
+    const OpInfo &info = inst.info();
+    if (!info.encodable)
+        return false;
+    switch (info.fmt) {
+      case Format::Memory:
+        if (!fitsSigned(inst.imm, MemDispBits))
+            return false;
+        break;
+      case Format::Branch:
+        if (!fitsSigned(inst.imm, BranchDispBits))
+            return false;
+        break;
+      case Format::OperateImm:
+        if (!fitsUnsigned(static_cast<uint64_t>(inst.imm), 8))
+            return false;
+        break;
+      case Format::System:
+        if (!fitsUnsigned(static_cast<uint64_t>(inst.imm), SystemImmBits))
+            return false;
+        break;
+      case Format::Ctrap:
+        if (!fitsUnsigned(static_cast<uint64_t>(inst.imm), 19))
+            return false;
+        break;
+      default:
+        break;
+    }
+    // Any DISE-register operand outside DiseMove kills encodability.
+    if (info.fmt != Format::DiseMove) {
+        for (RegId r : {inst.ra, inst.rb, inst.rc})
+            if (r.valid() && r.kind == RegKind::Dise)
+                return false;
+    }
+    return true;
+}
+
+uint32_t
+encode(const Inst &inst)
+{
+    DISE_ASSERT(encodable(inst), "instruction not encodable: ",
+                opName(inst.op));
+    const OpInfo &info = inst.info();
+    uint32_t w = static_cast<uint32_t>(inst.op) << 24;
+    switch (info.fmt) {
+      case Format::Operate:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= regField(inst.rb, RegKind::Int) << 14;
+        w |= regField(inst.rc, RegKind::Int) << 9;
+        break;
+      case Format::OperateImm:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= (static_cast<uint32_t>(inst.imm) & 0xff) << 11;
+        w |= regField(inst.rc, RegKind::Int) << 6;
+        break;
+      case Format::Memory:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= regField(inst.rb, RegKind::Int) << 14;
+        w |= static_cast<uint32_t>(inst.imm) & ((1u << MemDispBits) - 1);
+        break;
+      case Format::Branch:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= static_cast<uint32_t>(inst.imm) & ((1u << BranchDispBits) - 1);
+        break;
+      case Format::Jump:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= regField(inst.rb, RegKind::Int) << 14;
+        break;
+      case Format::System:
+        w |= static_cast<uint32_t>(inst.imm) & 0xffffff;
+        break;
+      case Format::Ctrap:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= static_cast<uint32_t>(inst.imm) & 0x7ffff;
+        break;
+      case Format::DiseMove:
+        w |= regField(inst.ra, RegKind::Int) << 19;
+        w |= (inst.rb.idx & 0x7u) << 16;
+        break;
+      case Format::Nullary:
+        break;
+      default:
+        panic("unencodable format for ", opName(inst.op));
+    }
+    return w;
+}
+
+std::optional<Inst>
+decode(uint32_t word)
+{
+    unsigned opByte = word >> 24;
+    if (opByte >= NumOpcodes)
+        return std::nullopt;
+    Opcode op = static_cast<Opcode>(opByte);
+    const OpInfo &info = opInfo(op);
+    if (!info.encodable)
+        return std::nullopt;
+
+    Inst inst;
+    inst.op = op;
+    switch (info.fmt) {
+      case Format::Operate:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.rb = ir(bits(word, 14, 5));
+        inst.rc = ir(bits(word, 9, 5));
+        break;
+      case Format::OperateImm:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.imm = static_cast<int64_t>(bits(word, 11, 8));
+        inst.rc = ir(bits(word, 6, 5));
+        break;
+      case Format::Memory:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.rb = ir(bits(word, 14, 5));
+        inst.imm = sext(bits(word, 0, MemDispBits), MemDispBits);
+        break;
+      case Format::Branch:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.imm = sext(bits(word, 0, BranchDispBits), BranchDispBits);
+        break;
+      case Format::Jump:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.rb = ir(bits(word, 14, 5));
+        break;
+      case Format::System:
+        inst.imm = static_cast<int64_t>(bits(word, 0, SystemImmBits));
+        break;
+      case Format::Ctrap:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.imm = static_cast<int64_t>(bits(word, 0, 19));
+        break;
+      case Format::DiseMove:
+        inst.ra = ir(bits(word, 19, 5));
+        inst.rb = dr(bits(word, 16, 3));
+        break;
+      case Format::Nullary:
+        break;
+      default:
+        return std::nullopt;
+    }
+    return inst;
+}
+
+} // namespace dise

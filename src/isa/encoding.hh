@@ -1,0 +1,52 @@
+/**
+ * @file
+ * 32-bit memory encoding of the ISA.
+ *
+ * Only "conventional" instructions have memory encodings; DISE-internal
+ * opcodes (d_beq/d_bne/d_call/d_ccall) exist solely inside the DISE
+ * engine's replacement table and are rejected by the encoder. d_ret,
+ * d_mfr, and d_mtr are encodable because debugger-generated handler
+ * functions, which live in ordinary text pages, contain them.
+ *
+ * Layout (bit 31 is the MSB):
+ *   [31:24] opcode
+ *   Operate:     [23:19] ra  [18:14] rb  [13:9] rc
+ *   OperateImm:  [23:19] ra  [18:11] imm8  [10:6] rc
+ *   Memory:      [23:19] ra  [18:14] rb  [13:0] disp14 (signed)
+ *   Branch:      [23:19] ra  [18:0]  disp19 (signed words)
+ *   Jump:        [23:19] ra  [18:14] rb
+ *   System:      [23:0]  imm24
+ *   Ctrap:       [23:19] ra  [18:0]  code19
+ *   DiseMove:    [23:19] ra  [18:16] dise reg index
+ */
+
+#ifndef DISE_ISA_ENCODING_HH
+#define DISE_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Displacement field widths, shared with the assembler's range checks. */
+constexpr unsigned MemDispBits = 14;
+constexpr unsigned BranchDispBits = 19;
+constexpr unsigned SystemImmBits = 24;
+
+/** Encode @p inst into a 32-bit word. panic()s on unencodable input. */
+uint32_t encode(const Inst &inst);
+
+/** True if @p inst can be represented in the 32-bit encoding. */
+bool encodable(const Inst &inst);
+
+/**
+ * Decode a 32-bit word. Returns std::nullopt for illegal words (e.g.
+ * wrong-path fetches of data); never panics on arbitrary input.
+ */
+std::optional<Inst> decode(uint32_t word);
+
+} // namespace dise
+
+#endif // DISE_ISA_ENCODING_HH

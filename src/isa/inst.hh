@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The decoded instruction record plus convenience constructors.
+ *
+ * Inst is the common currency of the whole system: the decoder produces
+ * them from 32-bit words, the DISE engine instantiates them from
+ * replacement templates, the functional core executes them, and the
+ * timing pipeline schedules them.
+ */
+
+#ifndef DISE_ISA_INST_HH
+#define DISE_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace dise {
+
+using Addr = uint64_t;
+
+/** One decoded instruction. Field meaning depends on opInfo(op).fmt:
+ *
+ *  - Operate:     rc = ra OP rb
+ *  - OperateImm:  rc = ra OP zext(imm & 0xff)
+ *  - Memory:      loads: ra <- mem[rb+imm]; stores: mem[rb+imm] <- ra;
+ *                 lda: ra = rb+imm; ldah: ra = rb+(imm<<16)
+ *  - Branch:      cond(ra); target = pc+4+imm*4; BSR links ra
+ *  - Jump:        PC = rb; JSR links ra
+ *  - System:      imm = code
+ *  - Ctrap:       trap if ra != 0
+ *  - DiseBranch:  cond(ra); DISEPC += imm (relative skip count)
+ *  - DiseCall:    target address held in DISE reg rb; ccall cond = ra
+ *  - DiseMove:    d_mfr: ra <- rb(dise); d_mtr: rb(dise) <- ra
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    RegId ra{};
+    RegId rb{};
+    RegId rc{};
+    int64_t imm = 0;
+
+    bool operator==(const Inst &) const = default;
+
+    const OpInfo &info() const { return opInfo(op); }
+    OpClass cls() const { return info().cls; }
+    bool isLoad() const { return cls() == OpClass::Load; }
+    bool isStore() const { return cls() == OpClass::Store; }
+    bool isCondBranch() const { return cls() == OpClass::CtrlBr; }
+    bool isDise() const { return cls() == OpClass::DiseCtl; }
+    /** Memory access size in bytes (loads/stores only). */
+    unsigned memBytes() const { return info().memBytes; }
+};
+
+/** @name Inst constructors used by the assembler, templates, and tests.
+ *  Operand order mirrors the paper's assembly: destination right-most
+ *  for ALU ops ("addq sp, 8, dr0" => dr0 = sp + 8).
+ */
+///@{
+Inst makeOp(Opcode op, RegId ra, RegId rb, RegId rc);
+Inst makeOpImm(Opcode op, RegId ra, uint8_t imm, RegId rc);
+Inst makeMem(Opcode op, RegId ra, int64_t disp, RegId rb);
+Inst makeBranch(Opcode op, RegId ra, int64_t dispWords);
+Inst makeJump(Opcode op, RegId link, RegId target);
+Inst makeSystem(Opcode op, int64_t code);
+Inst makeCtrap(RegId cond, int64_t code);
+Inst makeDiseBranch(Opcode op, RegId cond, int64_t skip);
+Inst makeDiseCall(RegId cond, RegId targetHolder);
+Inst makeDiseMove(Opcode op, RegId archReg, RegId diseReg);
+Inst makeNullary(Opcode op);
+///@}
+
+/** Registers read by @p inst (up to 2); invalid entries unused. */
+struct SrcRegs
+{
+    RegId r[2]{};
+};
+SrcRegs srcRegs(const Inst &inst);
+
+/** Register written by @p inst, or invalid RegId. */
+RegId dstReg(const Inst &inst);
+
+} // namespace dise
+
+#endif // DISE_ISA_INST_HH

@@ -1,0 +1,123 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace dise {
+
+namespace {
+
+constexpr OpInfo kTable[] = {
+    // name      cls              fmt                 bytes dise  enc
+    {"ldq",     OpClass::Load,    Format::Memory,     8, false, true},
+    {"ldl",     OpClass::Load,    Format::Memory,     4, false, true},
+    {"ldw",     OpClass::Load,    Format::Memory,     2, false, true},
+    {"ldb",     OpClass::Load,    Format::Memory,     1, false, true},
+    {"lda",     OpClass::IntAlu,  Format::Memory,     0, false, true},
+    {"ldah",    OpClass::IntAlu,  Format::Memory,     0, false, true},
+    {"stq",     OpClass::Store,   Format::Memory,     8, false, true},
+    {"stl",     OpClass::Store,   Format::Memory,     4, false, true},
+    {"stw",     OpClass::Store,   Format::Memory,     2, false, true},
+    {"stb",     OpClass::Store,   Format::Memory,     1, false, true},
+    {"addq",    OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"subq",    OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"mulq",    OpClass::IntMul,  Format::Operate,    0, false, true},
+    {"and",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"bis",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"xor",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"bic",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"sll",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"srl",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"sra",     OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"cmpeq",   OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"cmplt",   OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"cmple",   OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"cmpult",  OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"cmpule",  OpClass::IntAlu,  Format::Operate,    0, false, true},
+    {"addqi",   OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"subqi",   OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"mulqi",   OpClass::IntMul,  Format::OperateImm, 0, false, true},
+    {"andi",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"bisi",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"xori",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"bici",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"slli",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"srli",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"srai",    OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"cmpeqi",  OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"cmplti",  OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"cmplei",  OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"cmpulti", OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"cmpulei", OpClass::IntAlu,  Format::OperateImm, 0, false, true},
+    {"beq",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"bne",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"blt",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"ble",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"bgt",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"bge",     OpClass::CtrlBr,  Format::Branch,     0, false, true},
+    {"br",      OpClass::CtrlJmp, Format::Branch,     0, false, true},
+    {"bsr",     OpClass::CtrlJmp, Format::Branch,     0, false, true},
+    {"jmp",     OpClass::CtrlJmp, Format::Jump,       0, false, true},
+    {"jsr",     OpClass::CtrlJmp, Format::Jump,       0, false, true},
+    {"ret",     OpClass::CtrlJmp, Format::Jump,       0, false, true},
+    {"syscall", OpClass::Sys,     Format::System,     0, false, true},
+    {"trap",    OpClass::Sys,     Format::System,     0, false, true},
+    {"ctrap",   OpClass::Sys,     Format::Ctrap,      0, false, true},
+    {"halt",    OpClass::Sys,     Format::Nullary,    0, false, true},
+    {"nop",     OpClass::Sys,     Format::Nullary,    0, false, true},
+    {"codeword",OpClass::Sys,     Format::System,     0, false, true},
+    {"d_beq",   OpClass::DiseCtl, Format::DiseBranch, 0, true,  false},
+    {"d_bne",   OpClass::DiseCtl, Format::DiseBranch, 0, true,  false},
+    {"d_call",  OpClass::DiseCtl, Format::DiseCall,   0, true,  false},
+    {"d_ccall", OpClass::DiseCtl, Format::DiseCall,   0, true,  false},
+    {"d_ret",   OpClass::DiseCtl, Format::Nullary,    0, false, true},
+    {"d_mfr",   OpClass::DiseCtl, Format::DiseMove,   0, false, true},
+    {"d_mtr",   OpClass::DiseCtl, Format::DiseMove,   0, false, true},
+};
+
+static_assert(std::size(kTable) == NumOpcodes,
+              "opcode metadata table out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<unsigned>(op);
+    DISE_ASSERT(idx < NumOpcodes, "bad opcode ", idx);
+    return kTable[idx];
+}
+
+const char *
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opInfo(op).cls == OpClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opInfo(op).cls == OpClass::Store;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opInfo(op).cls == OpClass::CtrlBr;
+}
+
+bool
+isControl(Opcode op)
+{
+    OpClass c = opInfo(op).cls;
+    return c == OpClass::CtrlBr || c == OpClass::CtrlJmp;
+}
+
+} // namespace dise

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Opcode set, operation classes, instruction formats, and the static
+ * per-opcode metadata table for the Alpha-like ISA.
+ */
+
+#ifndef DISE_ISA_OPCODES_HH
+#define DISE_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace dise {
+
+/**
+ * Operation classes. DISE pattern specifications match on these
+ * (e.g. the paper's T.OPCLASS==store).
+ */
+enum class OpClass : uint8_t {
+    IntAlu,  ///< single-cycle integer ops, lda/ldah
+    IntMul,  ///< integer multiply
+    Load,    ///< memory loads
+    Store,   ///< memory stores
+    CtrlBr,  ///< conditional PC-relative branches
+    CtrlJmp, ///< unconditional branches, jumps, calls, returns
+    Sys,     ///< traps, syscalls, halt, nop, codeword
+    DiseCtl, ///< DISE-internal control (d_b*, d_call, d_ccall, d_ret, ...)
+};
+
+/** Encoding/operand formats. */
+enum class Format : uint8_t {
+    Operate,    ///< rc = ra OP rb
+    OperateImm, ///< rc = ra OP zext(imm8)
+    Memory,     ///< ra op mem[rb + sext(disp14)]; lda/ldah compute only
+    Branch,     ///< cond(ra) -> PC+4+sext(disp19)*4; BSR links ra
+    Jump,       ///< ra = PC+4 (JSR); PC = rb
+    System,     ///< imm24 code
+    Ctrap,      ///< trap if ra != 0, code imm19
+    DiseBranch, ///< d_beq/d_bne: cond(ra) -> DISEPC += imm
+    DiseCall,   ///< d_call/d_ccall: cond ra (ccall), target in rb
+    DiseMove,   ///< d_mfr ra<-rb(dise) / d_mtr rb(dise)<-ra
+    Nullary,    ///< d_ret, halt, nop
+};
+
+/** The instruction set. */
+enum class Opcode : uint8_t {
+    // Loads / address generation.
+    LDQ, LDL, LDW, LDB, LDA, LDAH,
+    // Stores.
+    STQ, STL, STW, STB,
+    // Register-register ALU.
+    ADDQ, SUBQ, MULQ, AND, BIS, XOR, BIC, SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE, CMPULT, CMPULE,
+    // Register-immediate ALU (8-bit zero-extended literal).
+    ADDQ_I, SUBQ_I, MULQ_I, AND_I, BIS_I, XOR_I, BIC_I, SLL_I, SRL_I, SRA_I,
+    CMPEQ_I, CMPLT_I, CMPLE_I, CMPULT_I, CMPULE_I,
+    // Control.
+    BEQ, BNE, BLT, BLE, BGT, BGE, BR, BSR,
+    JMP, JSR, RET,
+    // System.
+    SYSCALL, TRAP, CTRAP, HALT, NOP, CODEWORD,
+    // DISE.
+    D_BEQ, D_BNE, D_CALL, D_CCALL, D_RET, D_MFR, D_MTR,
+
+    NumOpcodes,
+};
+
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;   ///< mnemonic
+    OpClass cls;        ///< operation class (DISE pattern granularity)
+    Format fmt;         ///< operand/encoding format
+    uint8_t memBytes;   ///< access size for loads/stores, else 0
+    bool diseOnly;      ///< legal only inside DISE replacement sequences
+    bool encodable;     ///< has a 32-bit memory encoding
+};
+
+/** Metadata for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for @p op. */
+const char *opName(Opcode op);
+
+/** Convenience category tests. */
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isCondBranch(Opcode op);
+bool isControl(Opcode op);
+
+} // namespace dise
+
+#endif // DISE_ISA_OPCODES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Register identifiers for the Alpha-like ISA, including the private DISE
+ * register file that only replacement-sequence instructions (and the
+ * d_mfr/d_mtr instructions of DISE-called functions) may name.
+ */
+
+#ifndef DISE_ISA_REGISTERS_HH
+#define DISE_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace dise {
+
+/** Number of architectural integer registers (r31 is hardwired zero). */
+constexpr unsigned NumIntRegs = 32;
+/** Number of private DISE registers (dr0..dr7). */
+constexpr unsigned NumDiseRegs = 8;
+/** Unified logical register space used by the renamer. */
+constexpr unsigned NumLogicalRegs = NumIntRegs + NumDiseRegs;
+
+/** Which register file an operand names. */
+enum class RegKind : uint8_t { None, Int, Dise };
+
+/** A register operand: file + index. */
+struct RegId
+{
+    RegKind kind = RegKind::None;
+    uint8_t idx = 0;
+
+    constexpr bool valid() const { return kind != RegKind::None; }
+    constexpr bool isZero() const
+    {
+        return kind == RegKind::Int && idx == NumIntRegs - 1;
+    }
+    constexpr bool operator==(const RegId &) const = default;
+
+    /** Flat index into the unified logical space (renamer view). */
+    constexpr unsigned
+    flat() const
+    {
+        return kind == RegKind::Dise ? NumIntRegs + idx : idx;
+    }
+};
+
+/** Architectural integer register rN. */
+constexpr RegId
+ir(unsigned n)
+{
+    return RegId{RegKind::Int, static_cast<uint8_t>(n)};
+}
+
+/** Private DISE register drN. */
+constexpr RegId
+dr(unsigned n)
+{
+    return RegId{RegKind::Dise, static_cast<uint8_t>(n)};
+}
+
+/** Conventional register aliases (Alpha-flavored calling convention). */
+namespace reg {
+constexpr RegId v0 = ir(0);
+constexpr RegId t0 = ir(1), t1 = ir(2), t2 = ir(3), t3 = ir(4);
+constexpr RegId t4 = ir(5), t5 = ir(6), t6 = ir(7), t7 = ir(8);
+constexpr RegId s0 = ir(9), s1 = ir(10), s2 = ir(11), s3 = ir(12);
+constexpr RegId s4 = ir(13), s5 = ir(14);
+constexpr RegId fp = ir(15);
+constexpr RegId a0 = ir(16), a1 = ir(17), a2 = ir(18), a3 = ir(19);
+constexpr RegId a4 = ir(20), a5 = ir(21);
+constexpr RegId t8 = ir(22), t9 = ir(23), t10 = ir(24), t11 = ir(25);
+constexpr RegId ra = ir(26);
+constexpr RegId t12 = ir(27);
+constexpr RegId at = ir(28);
+constexpr RegId gp = ir(29);
+constexpr RegId sp = ir(30);
+constexpr RegId zero = ir(31);
+} // namespace reg
+
+/** Human-readable register name ("t3", "sp", "dr2", ...). */
+std::string regName(RegId r);
+
+} // namespace dise
+
+#endif // DISE_ISA_REGISTERS_HH

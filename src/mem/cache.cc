@@ -1,0 +1,85 @@
+#include "mem/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg), stats_(cfg.name)
+{
+    DISE_ASSERT(isPow2(cfg_.lineBytes), "line size must be a power of two");
+    DISE_ASSERT(cfg_.assoc > 0, "associativity must be nonzero");
+    uint64_t numLines = cfg_.sizeBytes / cfg_.lineBytes;
+    DISE_ASSERT(numLines % cfg_.assoc == 0, "geometry mismatch");
+    numSets_ = numLines / cfg_.assoc;
+    DISE_ASSERT(isPow2(numSets_), "set count must be a power of two");
+    lines_.resize(numLines);
+}
+
+uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / cfg_.lineBytes) & (numSets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr / cfg_.lineBytes / numSets_;
+}
+
+CacheResult
+Cache::access(Addr addr, bool isWrite)
+{
+    ++useClock_;
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.assoc];
+
+    stats_.inc(isWrite ? "writes" : "reads");
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || isWrite;
+            return {true, false};
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+
+    stats_.inc("misses");
+    bool writeback = victim->valid && victim->dirty;
+    if (writeback)
+        stats_.inc("writebacks");
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return {false, writeback};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace dise

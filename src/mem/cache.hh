@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tag-only set-associative timing cache with true-LRU replacement and a
+ * write-back/write-allocate policy. Data values live in the functional
+ * MainMemory; these caches model latency and occupancy only, which is
+ * all the paper's evaluation needs (instruction-cache pressure from
+ * rewriting, load-port contention from replacement sequences, memory
+ * boundedness of mcf).
+ */
+
+#ifndef DISE_MEM_CACHE_HH
+#define DISE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 1; ///< cycles added on hit
+};
+
+/** Result of a cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty victim was evicted
+};
+
+/** One level of tag-only cache state. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access @p addr. Allocates on miss. @p isWrite marks the line dirty.
+     * Caller composes latency from hit/miss outcome and the next level.
+     */
+    CacheResult access(Addr addr, bool isWrite);
+
+    /** Probe without modifying state (for tests). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all lines (e.g. when a program image is rewritten). */
+    void flushAll();
+
+    const CacheConfig &config() const { return cfg_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    uint64_t setIndex(Addr addr) const;
+    uint64_t tagOf(Addr addr) const;
+
+    CacheConfig cfg_;
+    unsigned numSets_;
+    std::vector<Line> lines_; ///< numSets_ x assoc
+    uint64_t useClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_CACHE_HH

@@ -1,0 +1,66 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+namespace dise {
+
+MemSystem::MemSystem(const MemSystemConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2),
+      itlb_(cfg.itlb), dtlb_(cfg.dtlb)
+{
+}
+
+uint64_t
+MemSystem::busOccupy(uint64_t earliest)
+{
+    uint64_t start = std::max(earliest, busBusyUntil_);
+    busBusyUntil_ = start + cfg_.busCyclesPerLine;
+    return busBusyUntil_ - earliest;
+}
+
+uint64_t
+MemSystem::fetchAccess(Addr addr, uint64_t now)
+{
+    uint64_t lat = itlb_.access(addr);
+    CacheResult r1 = l1i_.access(addr, false);
+    lat += cfg_.l1i.hitLatency;
+    if (r1.hit)
+        return lat;
+    CacheResult r2 = l2_.access(addr, false);
+    lat += cfg_.l2.hitLatency;
+    if (r2.hit)
+        return lat;
+    if (r2.writeback)
+        busOccupy(now + lat); // dirty victim drains first
+    lat += cfg_.memLatency;
+    lat += busOccupy(now + lat);
+    return lat;
+}
+
+uint64_t
+MemSystem::dataAccess(Addr addr, bool isWrite, uint64_t now)
+{
+    uint64_t lat = dtlb_.access(addr);
+    CacheResult r1 = l1d_.access(addr, isWrite);
+    lat += cfg_.l1d.hitLatency;
+    if (r1.hit)
+        return lat;
+    CacheResult r2 = l2_.access(addr, isWrite);
+    lat += cfg_.l2.hitLatency;
+    if (r2.hit)
+        return lat;
+    if (r2.writeback)
+        busOccupy(now + lat);
+    lat += cfg_.memLatency;
+    lat += busOccupy(now + lat);
+    return lat;
+}
+
+void
+MemSystem::flushInstructionState()
+{
+    l1i_.flushAll();
+    itlb_.flushAll();
+}
+
+} // namespace dise

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The full on-chip memory system of the simulated processor: split L1
+ * instruction/data caches, unified L2, I/D TLBs, and a bandwidth-limited
+ * memory bus (32 bytes wide at 1/4 core frequency, per the paper's
+ * configuration). The pipeline asks it for access latencies; port
+ * arbitration happens in the pipeline's issue stage.
+ */
+
+#ifndef DISE_MEM_HIERARCHY_HH
+#define DISE_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+
+namespace dise {
+
+/** Configuration matching Section 5 of the paper. */
+struct MemSystemConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 2, 64, 0};
+    CacheConfig l1d{"l1d", 32 * 1024, 2, 64, 2};
+    CacheConfig l2{"l2", 1024 * 1024, 4, 64, 12};
+    TlbConfig itlb{"itlb", 64, 4, 4096, 30};
+    TlbConfig dtlb{"dtlb", 64, 4, 4096, 30};
+    unsigned memLatency = 100;      ///< DRAM access cycles
+    unsigned busCyclesPerLine = 8;  ///< 64B line over a 32B bus at 1/4 freq
+};
+
+/** Timing-side memory system. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &cfg = {});
+
+    /**
+     * Latency in cycles of an instruction fetch touching @p addr
+     * beginning at cycle @p now (0 = same-cycle hit).
+     */
+    uint64_t fetchAccess(Addr addr, uint64_t now);
+
+    /** Latency in cycles of a data access beginning at @p now. */
+    uint64_t dataAccess(Addr addr, bool isWrite, uint64_t now);
+
+    /** Invalidate instruction-side state (after code rewriting). */
+    void flushInstructionState();
+
+    const MemSystemConfig &config() const { return cfg_; }
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Tlb &itlb() { return itlb_; }
+    Tlb &dtlb() { return dtlb_; }
+
+  private:
+    /** Claim the memory bus at @p earliest; returns transfer-done delay. */
+    uint64_t busOccupy(uint64_t earliest);
+
+    MemSystemConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    uint64_t busBusyUntil_ = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_HIERARCHY_HH

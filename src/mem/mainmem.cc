@@ -1,0 +1,130 @@
+#include "mem/mainmem.hh"
+
+#include <cstring>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+MainMemory::Page &
+MainMemory::pageFor(Addr addr)
+{
+    uint64_t frame = addr / PageBytes;
+    auto &slot = pages_[frame];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+const MainMemory::Page *
+MainMemory::pageForConst(Addr addr) const
+{
+    auto it = pages_.find(addr / PageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+MainMemory::read(Addr addr, unsigned bytes) const
+{
+    DISE_ASSERT(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+                "bad access size ", bytes);
+    uint64_t v = 0;
+    // Fast path: access within one page.
+    uint64_t off = addr % PageBytes;
+    if (off + bytes <= PageBytes) {
+        const Page *p = pageForConst(addr);
+        if (!p)
+            return 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<uint64_t>(p->bytes[off + i]) << (8 * i);
+        return v;
+    }
+    for (unsigned i = 0; i < bytes; ++i) {
+        const Page *p = pageForConst(addr + i);
+        uint8_t b = p ? p->bytes[(addr + i) % PageBytes] : 0;
+        v |= static_cast<uint64_t>(b) << (8 * i);
+    }
+    return v;
+}
+
+int64_t
+MainMemory::readSigned(Addr addr, unsigned bytes) const
+{
+    return sext(read(addr, bytes), bytes * 8);
+}
+
+void
+MainMemory::write(Addr addr, unsigned bytes, uint64_t value)
+{
+    DISE_ASSERT(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+                "bad access size ", bytes);
+    uint64_t off = addr % PageBytes;
+    if (off + bytes <= PageBytes) {
+        Page &p = pageFor(addr);
+        for (unsigned i = 0; i < bytes; ++i)
+            p.bytes[off + i] = (value >> (8 * i)) & 0xff;
+        return;
+    }
+    for (unsigned i = 0; i < bytes; ++i)
+        pageFor(addr + i).bytes[(addr + i) % PageBytes] =
+            (value >> (8 * i)) & 0xff;
+}
+
+void
+MainMemory::writeBlock(Addr addr, const uint8_t *src, size_t len)
+{
+    while (len) {
+        Page &p = pageFor(addr);
+        uint64_t off = addr % PageBytes;
+        size_t chunk = std::min<size_t>(len, PageBytes - off);
+        std::memcpy(&p.bytes[off], src, chunk);
+        addr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::readBlock(Addr addr, uint8_t *dst, size_t len) const
+{
+    while (len) {
+        const Page *p = pageForConst(addr);
+        uint64_t off = addr % PageBytes;
+        size_t chunk = std::min<size_t>(len, PageBytes - off);
+        if (p)
+            std::memcpy(dst, &p->bytes[off], chunk);
+        else
+            std::memset(dst, 0, chunk);
+        addr += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::protectPage(Addr addr)
+{
+    protectedPages_.insert(addr / PageBytes);
+}
+
+void
+MainMemory::unprotectPage(Addr addr)
+{
+    protectedPages_.erase(addr / PageBytes);
+}
+
+void
+MainMemory::clearProtections()
+{
+    protectedPages_.clear();
+}
+
+bool
+MainMemory::isWriteProtected(Addr addr) const
+{
+    return !protectedPages_.empty() &&
+           protectedPages_.count(addr / PageBytes);
+}
+
+} // namespace dise

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sparse, page-backed functional main memory.
+ *
+ * Holds the architectural memory image. Also tracks per-page write
+ * protection, which the virtual-memory watchpoint backend uses the way
+ * a real debugger uses mprotect(): a store to a protected page raises
+ * a debugger trap instead of completing silently.
+ */
+
+#ifndef DISE_MEM_MAINMEM_HH
+#define DISE_MEM_MAINMEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Page size used by both the functional memory and the VM debugger. */
+constexpr uint64_t PageBytes = 4096;
+
+/** Sparse functional memory. */
+class MainMemory
+{
+  public:
+    /** Read @p bytes (1/2/4/8) at @p addr, little-endian, zero-extended. */
+    uint64_t read(Addr addr, unsigned bytes) const;
+
+    /** Write the low @p bytes of @p value at @p addr. */
+    void write(Addr addr, unsigned bytes, uint64_t value);
+
+    /** Sign-extending load helper. */
+    int64_t readSigned(Addr addr, unsigned bytes) const;
+
+    /** Bulk copy-in used by the program loader. */
+    void writeBlock(Addr addr, const uint8_t *src, size_t len);
+
+    /** Bulk copy-out (range-watchpoint shadow comparison). */
+    void readBlock(Addr addr, uint8_t *dst, size_t len) const;
+
+    /** @name mprotect()-style page protection */
+    ///@{
+    void protectPage(Addr addr);
+    void unprotectPage(Addr addr);
+    void clearProtections();
+    bool isWriteProtected(Addr addr) const;
+    size_t protectedPageCount() const { return protectedPages_.size(); }
+    ///@}
+
+    /** Number of distinct pages touched (for tests). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        uint8_t bytes[PageBytes] = {};
+    };
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    std::unordered_set<uint64_t> protectedPages_;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_MAINMEM_HH

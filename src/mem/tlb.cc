@@ -1,0 +1,63 @@
+#include "mem/tlb.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dise {
+
+Tlb::Tlb(const TlbConfig &cfg) : cfg_(cfg), stats_(cfg.name)
+{
+    DISE_ASSERT(cfg_.entries % cfg_.assoc == 0, "TLB geometry mismatch");
+    numSets_ = cfg_.entries / cfg_.assoc;
+    DISE_ASSERT(isPow2(numSets_), "TLB set count must be a power of two");
+    entries_.resize(cfg_.entries);
+}
+
+unsigned
+Tlb::access(Addr addr)
+{
+    ++useClock_;
+    uint64_t vpn = addr / cfg_.pageBytes;
+    uint64_t set = vpn & (numSets_ - 1);
+    Entry *base = &entries_[set * cfg_.assoc];
+
+    stats_.inc("accesses");
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = useClock_;
+            return 0;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+    stats_.inc("misses");
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock_;
+    return cfg_.missPenalty;
+}
+
+bool
+Tlb::probe(Addr addr) const
+{
+    uint64_t vpn = addr / cfg_.pageBytes;
+    uint64_t set = vpn & (numSets_ - 1);
+    const Entry *base = &entries_[set * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w)
+        if (base[w].valid && base[w].vpn == vpn)
+            return true;
+    return false;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+} // namespace dise

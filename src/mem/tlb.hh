@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tag-only set-associative TLB (timing model). The simulator maps
+ * virtual addresses identity-style, so the TLB contributes only the
+ * miss penalty of a page-table walk.
+ */
+
+#ifndef DISE_MEM_TLB_HH
+#define DISE_MEM_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/inst.hh"
+
+namespace dise {
+
+struct TlbConfig
+{
+    std::string name = "tlb";
+    unsigned entries = 64;
+    unsigned assoc = 4;
+    uint64_t pageBytes = 4096;
+    unsigned missPenalty = 30; ///< page-walk cycles
+};
+
+/** Timing TLB: access() returns the added latency (0 on hit). */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /** Touch the page containing @p addr; returns extra cycles. */
+    unsigned access(Addr addr);
+
+    bool probe(Addr addr) const;
+    void flushAll();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t vpn = 0;
+        uint64_t lastUse = 0;
+    };
+
+    TlbConfig cfg_;
+    unsigned numSets_;
+    std::vector<Entry> entries_;
+    uint64_t useClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_TLB_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * bzip2 generateMTFValues kernel.
+ *
+ * Move-to-front recoding of a pseudo-random block: for each input
+ * symbol, rotate the front of the MTF list, emit the rank, and update
+ * output counters. Calibration targets (paper Table 1/2): IPC ~2.45,
+ * store density ~19.8%, HOT written on ~25% of stores with almost no
+ * silent stores, WARM1 sharing a page with the hot output buffer (the
+ * paper's VM worst case), COLD on a quiet page (the VM best case).
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildBzip2(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "bzip2";
+    w.function = "generateMTFValues";
+
+    const uint64_t iters = 16000ull * params.scale;
+    constexpr unsigned FrameBytes = 64;
+    constexpr unsigned Warm2Off = 16;
+    // COLD lives on its own quiet data page (never written at runtime).
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.label("yy"); // MTF list, 256 bytes
+    a.space(256);
+    a.align(8);
+    a.label("freq"); // rank frequency counters
+    a.space(64 * 8);
+    a.align(4096);
+    a.label("block"); // input block (page of its own)
+    a.space(4096);
+    // Hot page: the MTF output buffer and WARM1 share this page, so a
+    // VM watchpoint on WARM1 traps on every mtfout store.
+    a.align(4096);
+    a.label("mtfout");
+    a.space(2048);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_hot"); // hot page: only HOT and the pointer cell
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot"); // *p aliases HOT
+    a.align(4096);
+    a.label("wp_cold"); // quiet page
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_range"); // 64-byte structure, occasionally updated
+    a.space(64);
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+
+    // s0=block s1=yy s2=mtfout s3=freq s4=hot-value s5=iteration count
+    a.la(s0, "block");
+    a.la(s1, "yy");
+    a.la(s2, "mtfout");
+    a.la(s3, "freq");
+    a.lda(s4, 0, zero);
+    a.li(s5, iters);
+
+    // Fill the block with LCG bytes; initialize the MTF list.
+    a.stmt(2);
+    a.li(t0, params.seed | 1);
+    a.li(t1, 1103515245);
+    a.lda(t2, 0, zero); // i
+    a.label("initloop");
+    a.mulq(t0, t1, t0);
+    a.addq(t0, 12345 & 0xff, t0);
+    a.srl(t0, 7, t3);
+    a.addq(s0, t2, t4);
+    a.stb(t3, 0, t4); // block[i] = lcg byte
+    a.and_(t2, 255, t5);
+    a.addq(s1, t5, t6);
+    a.stb(t5, 0, t6); // yy[i & 255] = i & 255
+    a.addq(t2, 1, t2);
+    a.li(t7, 4096);
+    a.cmplt(t2, t7, t7);
+    a.bne(t7, "initloop");
+
+    // Main MTF loop. t2 = i
+    a.lda(t2, 0, zero);
+    a.label("mtfloop");
+    a.stmt(10);
+    // sym = block[i & 4095]
+    a.li(t7, 4095);
+    a.and_(t2, t7, t3);
+    a.addq(s0, t3, t3);
+    a.ldb(t3, 0, t3); // sym
+    a.stmt(11);
+    // Rotate the first three MTF slots (straight-line, branch-free).
+    a.ldb(t4, 0, s1);
+    a.ldb(t5, 1, s1);
+    a.ldb(t6, 2, s1);
+    a.stb(t4, 1, s1);
+    a.stb(t5, 2, s1);
+    a.stb(t6, 3, s1);
+    a.stb(t3, 0, s1); // yy[0] = sym
+    a.stmt(12);
+    // rank = sym & 15; emit into mtfout (hot buffer page)
+    a.and_(t3, 15, t4);
+    a.li(t7, 2047);
+    a.and_(t2, t7, t5);
+    a.addq(s2, t5, t5);
+    a.stb(t4, 0, t5);
+    a.stmt(13);
+    // freq[rank] += 1
+    a.sll(t4, 3, t6);
+    a.addq(s3, t6, t6);
+    a.ldq(t8, 0, t6);
+    a.addq(t8, 1, t8);
+    a.stq(t8, 0, t6);
+    a.stmt(14);
+    // hot accumulator: always changes (no silent stores)
+    a.addq(s4, t4, s4);
+    a.addq(s4, 1, s4);
+    a.la(t9, "wp_hot");
+    a.stq(s4, 0, t9);
+    a.stmt(15);
+    // WARM1 every 128 iterations (shares the mtfout page)
+    a.and_(t2, 127, t6);
+    a.bne(t6, "skip_warm1");
+    a.la(t9, "wp_warm1");
+    a.ldq(t8, 0, t9);
+    a.addq(t8, 1, t8);
+    a.stq(t8, 0, t9);
+    a.label("skip_warm1");
+    a.stmt(16);
+    // RANGE structure every 256 iterations
+    a.li(t7, 255);
+    a.and_(t2, t7, t6);
+    a.bne(t6, "skip_range");
+    a.srl(t2, 8, t6);
+    a.and_(t6, 7, t6);
+    a.sll(t6, 3, t6);
+    a.la(t9, "wp_range");
+    a.addq(t9, t6, t9);
+    a.stq(t2, 0, t9);
+    a.label("skip_range");
+    a.stmt(17);
+    a.addq(t2, 1, t2);
+    a.cmplt(t2, s5, t7);
+    a.bne(t7, "mtfloop");
+
+    // Epilogue: WARM2 written once; COLD never.
+    a.stmt(20);
+    a.stq(s4, Warm2Off, sp);
+    a.lda(a0, 0, zero);
+    a.syscall(SysMark); // checksum hook for tests
+    a.mov(s4, a0);
+    a.syscall(SysMark);
+    a.stmt(21);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = w.program.symbol("wp_cold");
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("wp_range");
+    w.rangeLen = 64;
+    return w;
+}
+
+} // namespace dise

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * crafty InitializeAttackBoards kernel.
+ *
+ * Chess bitboard table initialization: for every square, build rook and
+ * bishop attack masks with shift/mask chains and fill ray tables.
+ * Calibration targets: IPC ~2.39 (ALU-dense, highly predictable
+ * control), store density ~10.8%, HOT written on ~6.5% of stores with
+ * well over half of them silent (the same row mask repeats across a
+ * rank), which makes hardware watchpoint registers look bad (Fig. 3).
+ * Provides the Figure 6 multi-watchpoint set; the fifth watchpoint
+ * shares a page with the heavily-written rook table so the VM fallback
+ * collapses beyond four watchpoints.
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildCrafty(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "crafty";
+    w.function = "InitializeAttackBoards";
+
+    const uint64_t rounds = 48ull * params.scale;
+    constexpr unsigned FrameBytes = 64;
+    constexpr unsigned Warm2Off = 24;
+    constexpr unsigned ColdOff = 40;
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.align(4096);
+    a.label("attack_r"); // rook attacks, written every square
+    a.space(64 * 8);
+    // Fifth Figure 6 watchpoint lives on the rook-table page: watching
+    // it with VM protection traps on every attack_r store.
+    a.label("wp_m0");
+    a.quad(0);
+    a.align(4096);
+    a.label("attack_b"); // bishop attacks
+    a.space(64 * 8);
+    a.align(4096);
+    a.label("ray"); // 8 rays x 64 squares
+    a.space(64 * 8 * 8);
+    a.align(4096);
+    a.label("wp_hot");
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot");
+    a.align(4096);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_cold_heap"); // unused heap twin of COLD
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_range"); // 64-byte per-round summary struct
+    a.space(64);
+    // Remaining Figure 6 scalars: quad-spaced, quiet pages.
+    a.align(4096);
+    for (int i = 1; i < 12; ++i) {
+        a.label("wp_m" + std::to_string(i));
+        a.quad(0);
+        a.space(56);
+    }
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+    a.la(s0, "attack_r");
+    a.la(s1, "attack_b");
+    a.la(s2, "ray");
+    a.la(s3, "wp_hot");
+    a.lda(s4, 0, zero); // round counter
+    a.li(s5, rounds);
+    a.li(gp, 0x9e3779b9); // magic multiplier (hoisted)
+
+    a.label("roundloop");
+    a.stmt(10);
+    a.lda(t0, 0, zero); // sq = 0
+    a.label("sqloop");
+    a.stmt(11);
+    // row = sq >> 3, col = sq & 7, bit = 1 << sq
+    a.srl(t0, 3, t1);
+    a.and_(t0, 7, t2);
+    a.lda(t3, 1, zero);
+    a.sll(t3, t0, t3); // bit
+    a.stmt(12);
+    // Rook mask: full row | full column, minus own square.
+    a.lda(t4, 255, zero);
+    a.sll(t1, 3, t5);
+    a.sll(t4, t5, t4); // row mask
+    a.li(t5, 0x01010101);
+    a.sll(t5, 32, t6);
+    a.bis(t5, t6, t5);
+    a.sll(t5, t2, t5); // column mask
+    a.bis(t4, t5, t6);
+    a.bic(t6, t3, t6); // rook attacks
+    a.sll(t0, 3, t7);
+    a.addq(s0, t7, t7);
+    a.stq(t6, 0, t7); // attack_r[sq]
+    a.stmt(13);
+    // Bishop mask: two diagonal shifts of the bit.
+    a.sll(t3, 9, t8);
+    a.srl(t3, 9, t9);
+    a.bis(t8, t9, t8);
+    a.sll(t3, 7, t9);
+    a.bis(t8, t9, t8);
+    a.srl(t3, 7, t9);
+    a.bis(t8, t9, t8);
+    a.sll(t0, 3, t9);
+    a.addq(s1, t9, t9);
+    a.stq(t8, 0, t9); // attack_b[sq]
+    a.stmt(14);
+    // Two ray table entries per square (north and east rays).
+    a.bic(t4, t3, t10);
+    a.sll(t0, 6, t9);
+    a.addq(s2, t9, t9);
+    a.stq(t10, 0, t9); // ray[sq][0]
+    a.bic(t5, t3, t10);
+    a.stq(t10, 8, t9); // ray[sq][1]
+    a.stmt(15);
+    // Magic-multiply board checksum: both multiplies sit on the
+    // loop-carried critical path (like magic-bitboard hashing).
+    a.xor_(at, t6, at);
+    a.mulq(at, gp, at);
+    a.xor_(at, t8, at);
+    a.mulq(at, gp, at);
+    a.stmt(16);
+    // HOT: the rank summary, written every fourth square but changing
+    // only at rank boundaries — half of the stores are silent.
+    a.and_(t0, 3, t9);
+    a.bne(t9, "skip_hot");
+    a.and_(t4, 255, t11);
+    a.bis(t1, t11, t11);
+    a.stq(t11, 0, s3);
+    a.label("skip_hot");
+    a.stmt(17);
+    // WARM1 every eighth square.
+    a.and_(t0, 7, t9);
+    a.bne(t9, "skip_warm1");
+    a.la(t9, "wp_warm1");
+    a.ldq(t10, 0, t9);
+    a.addq(t10, 1, t10);
+    a.stq(t10, 0, t9);
+    a.label("skip_warm1");
+    a.stmt(18);
+    a.addq(t0, 1, t0);
+    a.li(t9, 64);
+    a.cmplt(t0, t9, t9);
+    a.bne(t9, "sqloop");
+
+    a.stmt(20);
+    // RANGE summary struct every fourth round.
+    a.and_(s4, 3, t9);
+    a.bne(t9, "skip_range");
+    a.and_(s4, 7, t9);
+    a.sll(t9, 3, t9);
+    a.la(t10, "wp_range");
+    a.addq(t10, t9, t10);
+    a.stq(s4, 0, t10);
+    a.label("skip_range");
+    a.stmt(21);
+    // WARM2 (frame local) every 64th round.
+    a.li(t9, 63);
+    a.and_(s4, t9, t9);
+    a.bne(t9, "skip_warm2");
+    a.ldq(t10, Warm2Off, sp);
+    a.addq(t10, 1, t10);
+    a.stq(t10, Warm2Off, sp);
+    a.label("skip_warm2");
+    a.stmt(22);
+    a.addq(s4, 1, s4);
+    a.cmplt(s4, s5, t9);
+    a.bne(t9, "roundloop");
+
+    // COLD (frame local): written exactly once at the end.
+    a.stmt(30);
+    a.stq(s4, ColdOff, sp);
+    a.mov(s4, a0);
+    a.syscall(SysMark);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = layout::StackTop - FrameBytes + ColdOff;
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("wp_range");
+    w.rangeLen = 64;
+    for (int i = 0; i < 12; ++i)
+        w.multiAddrs.push_back(
+            w.program.symbol("wp_m" + std::to_string(i)));
+    return w;
+}
+
+} // namespace dise

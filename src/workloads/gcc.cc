@@ -1,0 +1,244 @@
+/**
+ * @file
+ * gcc regclass kernel.
+ *
+ * Models the per-insn operand-classification loop: an indirect dispatch
+ * over many distinct handler blocks (large static code footprint, the
+ * paper's Figure 5 worst case for binary rewriting), each updating
+ * register-class cost accumulators. Calibration targets: IPC ~1.90
+ * (indirect-branch mispredictions and a near-L1-capacity instruction
+ * working set), store density ~9.7%, a RANGE watchpoint (the cost
+ * array) written by ~8% of stores, and cool scalars. The Figure 6
+ * multi-watchpoint set places its fifth scalar on the cost-array page
+ * to reproduce the VM collapse; the sixth lives on the same page as
+ * the fifth so that watching it converts previously-spurious traps to
+ * user transitions (the paper's 5-to-8 anomaly).
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildGcc(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "gcc";
+    w.function = "regclass";
+
+    const uint64_t insns = 7000ull * params.scale;
+    constexpr unsigned NumBlocks = 288;
+    // regclass has a large -O0 frame; the interesting consequence is
+    // that its frame locals (WARM2/COLD) sit on a different stack page
+    // from the per-insn spill slots, so VM protection on them is cheap
+    // (the paper's "slightly outperform DISE" case in Section 5.2).
+    constexpr unsigned FrameBytes = 8064;
+    constexpr unsigned Warm2Off = 4032;
+    constexpr unsigned ColdOff = 4072;
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.align(4096);
+    a.label("insn_codes"); // pseudo instruction stream
+    a.space(8192);
+    a.align(4096);
+    a.label("op_costs"); // RANGE: register-class costs, 1KB
+    a.space(1024);
+    // Figure 6 watchpoints five and six share the hot cost page.
+    a.label("wp_m0");
+    a.quad(0);
+    a.label("wp_m1");
+    a.quad(0);
+    a.align(4096);
+    a.label("result_buf");
+    a.space(8192);
+    a.align(4096);
+    a.label("wp_hot");
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot");
+    a.align(4096);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("dispatch_table");
+    for (unsigned b = 0; b < NumBlocks; ++b)
+        a.quadLabel("blk" + std::to_string(b));
+    a.align(4096);
+    for (int i = 2; i < 12; ++i) {
+        a.label("wp_m" + std::to_string(i));
+        a.quad(0);
+        a.space(56);
+    }
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+    a.la(s0, "insn_codes");
+    a.la(s1, "op_costs");
+    a.la(s2, "result_buf");
+    a.la(s3, "dispatch_table");
+    a.lda(s4, 0, zero); // i
+    a.li(s5, insns);
+
+    // Initialize the pseudo instruction stream with an LCG.
+    a.stmt(2);
+    a.li(t0, params.seed * 2 + 1);
+    a.li(t1, 1103515245);
+    a.lda(t2, 0, zero);
+    a.label("initloop");
+    a.mulq(t0, t1, t0);
+    a.addq(t0, 12345 & 0xff, t0);
+    a.srl(t0, 9, t3);
+    a.addq(s0, t2, t4);
+    a.stb(t3, 0, t4);
+    a.addq(t2, 1, t2);
+    a.li(t5, 8192);
+    a.cmplt(t2, t5, t5);
+    a.bne(t5, "initloop");
+
+    a.label("insnloop");
+    a.stmt(10);
+    // code = insn_codes[(i >> 2) & 8191]: insn patterns arrive in short
+    // runs, so the dispatch target repeats briefly (regclass-like
+    // locality; the indirect branch still mispredicts at run starts).
+    a.srl(s4, 2, t0);
+    a.li(t1, 8191);
+    a.and_(t0, t1, t0);
+    a.addq(s0, t0, t0);
+    a.ldb(t0, 0, t0); // code
+    a.stmt(11);
+    // dispatch: a phase-rotated window over the handler table keeps a
+    // ~16KB instruction working set live at a time.
+    a.and_(t0, 127, t1);
+    a.srl(s4, 10, t2);
+    a.and_(t2, 3, t2);
+    a.mulq(t2, 40, t2);
+    a.addq(t1, t2, t1);
+    a.sll(t1, 3, t1);
+    a.addq(s3, t1, t1);
+    a.ldq(t1, 0, t1);
+    a.jmp(t1);
+
+    // Handler blocks: distinct shift/mask/arith signatures per block.
+    for (unsigned b = 0; b < NumBlocks; ++b) {
+        a.label("blk" + std::to_string(b));
+        a.stmt(100 + static_cast<int>(b));
+        // Unique per-block constant work on the insn code (t0).
+        uint8_t k1 = static_cast<uint8_t>(17 + (b * 7) % 200);
+        uint8_t k2 = static_cast<uint8_t>(3 + (b * 13) % 60);
+        uint8_t sh = static_cast<uint8_t>(1 + b % 23);
+        a.mulq(t0, k1, t3);
+        a.xor_(t3, k2, t3);
+        a.sll(t3, sh % 7, t4);
+        a.srl(t3, (sh % 5) + 1, t5);
+        a.addq(t4, t5, t4);
+        a.bic(t4, k2, t5);
+        a.cmplt(t5, t3, t6);
+        a.addq(t6, t4, t6);
+        switch (b % 4) {
+          case 0:
+            a.xor_(t6, t0, t6);
+            a.sll(t6, 2, t7);
+            a.addq(t6, t7, t6);
+            break;
+          case 1:
+            a.bis(t6, k1, t6);
+            a.srl(t6, 1, t6);
+            break;
+          case 2:
+            a.subq(t6, t0, t6);
+            a.and_(t6, 127, t7);
+            a.addq(t6, t7, t6);
+            break;
+          case 3:
+            a.mulq(t6, 3, t6);
+            a.xor_(t6, t0, t6);
+            break;
+        }
+        // Spill the intermediates (stack traffic, -O0 flavor).
+        a.stq(t6, 64, sp);
+        a.stq(t3, 72, sp);
+        a.stmt(200 + static_cast<int>(b));
+        // result_buf[i & 1023 quads] = classification
+        a.li(t7, 1023);
+        a.and_(s4, t7, t7);
+        a.sll(t7, 3, t7);
+        a.addq(s2, t7, t7);
+        a.stq(t6, 0, t7);
+        // A quarter of the handlers update the cost array (RANGE).
+        if (b % 4 == 0) {
+            a.and_(t6, 127, t7);
+            a.sll(t7, 3, t7);
+            a.addq(s1, t7, t7);
+            a.ldq(t8, 0, t7);
+            a.addq(t8, 1, t8);
+            a.stq(t8, 0, t7);
+        }
+        a.br("blkdone");
+    }
+
+    a.label("blkdone");
+    a.stmt(20);
+    // HOT every 64 insns; the stored value is code&1 (about half of
+    // the writes are silent, per the paper's Section 5.1 observation).
+    a.and_(s4, 63, t7);
+    a.bne(t7, "skip_hot");
+    a.and_(t0, 1, t7);
+    a.la(t8, "wp_hot");
+    a.stq(t7, 0, t8);
+    a.label("skip_hot");
+    a.stmt(21);
+    // WARM1 every 128 insns.
+    a.li(t7, 127);
+    a.and_(s4, t7, t7);
+    a.bne(t7, "skip_warm1");
+    a.la(t8, "wp_warm1");
+    a.ldq(t9, 0, t8);
+    a.addq(t9, 1, t9);
+    a.stq(t9, 0, t8);
+    // wp_m1 (unwatched at five watchpoints) shares the cost page.
+    a.la(t8, "wp_m1");
+    a.ldq(t9, 0, t8);
+    a.addq(t9, 1, t9);
+    a.stq(t9, 0, t8);
+    a.label("skip_warm1");
+    a.stmt(22);
+    a.addq(s4, 1, s4);
+    a.cmplt(s4, s5, t7);
+    a.bne(t7, "insnloop");
+
+    // WARM2 and COLD: single writes at the end (frame locals).
+    a.stmt(30);
+    a.stq(s4, Warm2Off, sp);
+    a.stq(s4, ColdOff, sp);
+    a.mov(s4, a0);
+    a.syscall(SysMark);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = layout::StackTop - FrameBytes + ColdOff;
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("op_costs");
+    w.rangeLen = 1024;
+    w.multiAddrs.push_back(w.program.symbol("wp_m0"));
+    w.multiAddrs.push_back(w.program.symbol("wp_m1"));
+    for (int i = 2; i < 12; ++i)
+        w.multiAddrs.push_back(
+            w.program.symbol("wp_m" + std::to_string(i)));
+    return w;
+}
+
+} // namespace dise

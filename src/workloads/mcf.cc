@@ -1,0 +1,171 @@
+/**
+ * @file
+ * mcf write_circs kernel.
+ *
+ * Pointer-chasing over a multi-megabyte arc/node array, the paper's
+ * memory-bound benchmark: two interleaved dependent load chains walk
+ * pseudo-random permutations whose 2MB-per-chain footprint misses both
+ * cache levels constantly, pinning IPC near 0.33 and masking most
+ * instrumentation cost (the paper's HOT/mcf observation). Store density
+ * ~16%; HOT is a flow-direction flag that rarely changes (>50% silent
+ * stores); RANGE exists but is never written during the run.
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildMcf(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "mcf";
+    w.function = "write_circs";
+
+    const uint64_t iters = 15000ull * params.scale;
+    constexpr unsigned NumNodes = 65536; // x64B = 4MB network
+    constexpr unsigned NodeShift = 6;
+    constexpr unsigned FrameBytes = 64;
+    constexpr unsigned Warm2Off = 16;
+    constexpr unsigned ColdOff = 32;
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.align(4096);
+    a.label("nodes"); // node[i]: {next, flow, potential, pad...}
+    {
+        // The arc network is part of the input data set (the paper's
+        // benchmark reads it from disk): a full-cycle pseudo-random
+        // permutation whose hops land megabytes apart.
+        std::vector<uint8_t> net(static_cast<size_t>(NumNodes)
+                                 << NodeShift);
+        const Addr base = layout::DataBase; // == &nodes after align
+        // Four disjoint 16K-node regions, each its own full-cycle
+        // permutation, so the four chase chains never share lines.
+        constexpr uint64_t RegionNodes = NumNodes / 4;
+        for (uint64_t r = 0; r < 4; ++r) {
+            for (uint64_t j = 0; j < RegionNodes; ++j) {
+                uint64_t nxt = (j + 6151) & (RegionNodes - 1);
+                uint64_t idx = r * RegionNodes + j;
+                uint64_t ptr =
+                    base + ((r * RegionNodes + nxt) << NodeShift);
+                for (int b = 0; b < 8; ++b)
+                    net[(idx << NodeShift) + b] = (ptr >> (8 * b)) & 0xff;
+            }
+        }
+        a.blob(std::move(net));
+    }
+    a.align(4096);
+    a.label("wp_hot");
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot");
+    a.align(4096);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_range"); // never written during write_circs
+    a.space(128);
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+    a.la(s0, "nodes");
+    a.la(s1, "wp_hot");
+    a.lda(s4, 0, zero); // i
+    a.li(s5, iters);
+
+    // Four independent chains give the machine memory-level
+    // parallelism (IPC ~0.33 rather than ~0.1).
+    a.stmt(2);
+    a.mov(s0, t0); // chain 0
+    a.li(t2, static_cast<uint64_t>(NumNodes / 4) << NodeShift);
+    a.addq(s0, t2, t1);  // chain 1
+    a.addq(t1, t2, t9);  // chain 2
+    a.addq(t9, t2, t10); // chain 3
+
+    a.label("chainloop");
+    a.stmt(10);
+    a.ldq(t0, 0, t0); // p = p->next (dependent, cache-missing)
+    a.ldq(t1, 0, t1);
+    a.ldq(t9, 0, t9);
+    a.ldq(t10, 0, t10);
+    a.stmt(11);
+    // flow computation and updates along the chains
+    a.addq(s4, t0, t3);
+    a.srl(t3, 4, t3);
+    a.stq(t3, 8, t0); // flow
+    a.xor_(t3, t1, t4);
+    a.stq(t4, 16, t1); // potential
+    a.addq(t9, t10, t4);
+    a.srl(t4, 6, t4);
+    a.stq(t4, 8, t9);
+    a.subq(t10, t3, t5);
+    a.and_(t5, 127, t5);
+    a.stq(t5, 16, t10);
+    // residual-capacity arithmetic (write_circs does real work too)
+    a.mulq(t3, 3, t6);
+    a.addq(t6, t4, t6);
+    a.sra(t6, 2, t6);
+    a.xor_(t6, t5, t6);
+    a.cmplt(t6, t3, t7);
+    a.addq(t7, t6, t7);
+    a.stq(t7, 24, t0); // cost field
+    a.stmt(12);
+    // HOT: a flow-direction flag every iteration; the flag value is
+    // almost always the same (silent stores dominate).
+    a.and_(t3, 1, t5);
+    a.cmplt(t5, 2, t5); // constant 1 in practice: silent
+    a.stq(t5, 0, s1);
+    a.stmt(13);
+    // WARM1 every 32 iterations.
+    a.and_(s4, 31, t5);
+    a.bne(t5, "skip_warm1");
+    a.la(t6, "wp_warm1");
+    a.ldq(t7, 0, t6);
+    a.addq(t7, 1, t7);
+    a.stq(t7, 0, t6);
+    a.label("skip_warm1");
+    a.stmt(14);
+    // WARM2 (frame local) every 256 iterations.
+    a.li(t5, 255);
+    a.and_(s4, t5, t5);
+    a.bne(t5, "skip_warm2");
+    a.ldq(t7, Warm2Off, sp);
+    a.addq(t7, 1, t7);
+    a.stq(t7, Warm2Off, sp);
+    a.label("skip_warm2");
+    a.stmt(15);
+    a.addq(s4, 1, s4);
+    a.cmplt(s4, s5, t5);
+    a.bne(t5, "chainloop");
+
+    a.stmt(20);
+    a.stq(s4, ColdOff, sp); // COLD: once, at the very end
+    a.addq(t0, t1, a0);
+    a.addq(a0, t9, a0);
+    a.addq(a0, t10, a0);
+    a.syscall(SysMark);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = layout::StackTop - FrameBytes + ColdOff;
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("wp_range");
+    w.rangeLen = 128;
+    return w;
+}
+
+} // namespace dise

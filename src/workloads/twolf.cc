@@ -1,0 +1,230 @@
+/**
+ * @file
+ * twolf uloop kernel.
+ *
+ * Simulated-annealing placement moves: pick two cells, evaluate the
+ * wire-cost delta of swapping them, accept or reject on a data-
+ * dependent threshold (branchy, ~IPC 1.87), and write back positions on
+ * acceptance. Move evaluation dispatches over sixteen distinct move
+ * handlers (medium code footprint). Store density ~13.7% including
+ * per-iteration stack spills — which share a page with the COLD and
+ * WARM2 frame locals, making twolf one of the paper's VM worst cases
+ * for cold watchpoints. HOT is the running cost total, updated with a
+ * quantized delta that is frequently zero (>50% silent stores).
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildTwolf(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "twolf";
+    w.function = "uloop";
+
+    const uint64_t iters = 14000ull * params.scale;
+    constexpr unsigned NumCells = 1024; // x32B = 32KB: mostly L1
+    constexpr unsigned CellShift = 5;
+    constexpr unsigned NumMoves = 16;
+    constexpr unsigned FrameBytes = 96;
+    constexpr unsigned Warm2Off = 24;
+    constexpr unsigned ColdOff = 48;
+    constexpr unsigned SpillOff = 72; // same page as COLD/WARM2
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.align(4096);
+    a.label("cells"); // cell[i]: {x, y, width, cost}
+    a.space(static_cast<uint64_t>(NumCells) << CellShift);
+    a.align(4096);
+    a.label("wp_hot"); // running total cost
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot");
+    a.align(4096);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_range"); // per-row cost summary, 512 bytes
+    a.space(512);
+    a.align(4096);
+    a.label("move_table");
+    for (unsigned m = 0; m < NumMoves; ++m)
+        a.quadLabel("move" + std::to_string(m));
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+    a.la(s0, "cells");
+    a.la(s1, "wp_hot");
+    a.la(s2, "move_table");
+    a.lda(s3, 0, zero); // accepted-move counter
+    a.lda(s4, 0, zero); // i
+    a.li(s5, iters);
+    a.li(t11, params.seed * 4 + 1); // LCG state lives in t11
+
+    // Initialize cell positions from the LCG.
+    a.stmt(2);
+    a.lda(t0, 0, zero);
+    a.li(t1, NumCells);
+    a.label("initloop");
+    a.li(t2, 1103515245);
+    a.mulq(t11, t2, t11);
+    a.addq(t11, 12345 & 0xff, t11);
+    a.sll(t0, CellShift, t3);
+    a.addq(s0, t3, t3);
+    a.srl(t11, 16, t4);
+    a.li(t5, 1023);
+    a.and_(t4, t5, t4);
+    a.stq(t4, 0, t3); // x
+    a.srl(t11, 32, t4);
+    a.and_(t4, t5, t4);
+    a.stq(t4, 8, t3); // y
+    a.addq(t0, 1, t0);
+    a.cmplt(t0, t1, t4);
+    a.bne(t4, "initloop");
+
+    a.label("moveloop");
+    a.stmt(10);
+    // Pick two cells and a move type from the LCG.
+    a.li(t2, 1103515245);
+    a.mulq(t11, t2, t11);
+    a.addq(t11, 12345 & 0xff, t11);
+    a.li(t3, NumCells - 1);
+    a.srl(t11, 8, t0);
+    a.and_(t0, t3, t0); // cell a index
+    a.srl(t11, 24, t1);
+    a.and_(t1, t3, t1); // cell b index
+    a.stmt(11);
+    a.sll(t0, CellShift, t4);
+    a.addq(s0, t4, t4); // &cell[a]
+    a.sll(t1, CellShift, t5);
+    a.addq(s0, t5, t5); // &cell[b]
+    a.ldq(t6, 0, t4);   // ax
+    a.ldq(t7, 0, t5);   // bx
+    a.stq(t6, SpillOff, sp); // spills (busy stack page, -O0 flavor)
+    a.stq(t7, SpillOff + 8, sp);
+    a.stmt(12);
+    // Dispatch one of the move evaluators.
+    a.srl(t11, 40, t8);
+    a.and_(t8, NumMoves - 1, t8);
+    a.sll(t8, 3, t8);
+    a.addq(s2, t8, t8);
+    a.ldq(t8, 0, t8);
+    a.jmp(t8);
+
+    for (unsigned m = 0; m < NumMoves; ++m) {
+        a.label("move" + std::to_string(m));
+        a.stmt(100 + static_cast<int>(m));
+        uint8_t k = static_cast<uint8_t>(5 + m * 11);
+        // delta = f_m(ax, bx): distinct arithmetic per move type.
+        a.subq(t6, t7, t9);
+        a.mulq(t9, k, t9);
+        a.sra(t9, (m % 5) + 4, t9);
+        if (m % 3 == 0) {
+            a.ldq(t10, 8, t4); // ay
+            a.subq(t9, t10, t9);
+            a.sra(t9, 3, t9);
+        } else if (m % 3 == 1) {
+            a.xor_(t9, t6, t10);
+            a.and_(t10, 15, t10);
+            a.subq(t9, t10, t9);
+        } else {
+            a.addq(t9, t7, t9);
+            a.sra(t9, 5, t9);
+        }
+        a.br("evaldone");
+    }
+
+    a.label("evaldone");
+    a.stmt(20);
+    a.stq(t9, SpillOff + 16, sp); // delta spill
+    // Accept if the quantized delta clears a threshold: data-dependent
+    // and biased toward rejection like a cool annealing schedule (the
+    // classic hard-to-predict accept branch).
+    a.addq(t9, 9, t10);
+    a.bge(t10, "reject");
+    // Accept: swap x coordinates and update cost.
+    a.stq(t7, 0, t4);
+    a.stq(t6, 0, t5);
+    a.addq(s3, 1, s3);
+    a.stmt(21);
+    // HOT: a cost summary written every 16th accepted move; the value
+    // only changes every 64 accepts, so three quarters of the stores
+    // are silent.
+    a.and_(s3, 15, t10);
+    a.bne(t10, "skip_hot");
+    a.srl(s3, 6, t2);
+    a.stq(t2, 0, s1);
+    a.label("skip_hot");
+    a.stmt(22);
+    // WARM1 every 64 accepted moves.
+    a.and_(s3, 63, t10);
+    a.bne(t10, "reject");
+    a.la(t10, "wp_warm1");
+    a.ldq(t2, 0, t10);
+    a.addq(t2, 1, t2);
+    a.stq(t2, 0, t10);
+    a.label("reject");
+    a.stmt(23);
+    // RANGE row summary every 128 iterations.
+    a.li(t10, 127);
+    a.and_(s4, t10, t10);
+    a.bne(t10, "skip_range");
+    a.srl(s4, 7, t10);
+    a.and_(t10, 63, t10);
+    a.sll(t10, 3, t10);
+    a.la(t2, "wp_range");
+    a.addq(t2, t10, t2);
+    a.stq(s4, 0, t2);
+    a.label("skip_range");
+    a.stmt(24);
+    // WARM2 every 512 iterations; COLD every 1024 (both frame locals
+    // on the same busy stack page as the spill slot).
+    a.li(t10, 511);
+    a.and_(s4, t10, t10);
+    a.bne(t10, "skip_warm2");
+    a.ldq(t2, Warm2Off, sp);
+    a.addq(t2, 1, t2);
+    a.stq(t2, Warm2Off, sp);
+    a.label("skip_warm2");
+    a.li(t10, 1023);
+    a.and_(s4, t10, t10);
+    a.bne(t10, "skip_cold");
+    a.ldq(t2, ColdOff, sp);
+    a.addq(t2, 1, t2);
+    a.stq(t2, ColdOff, sp);
+    a.label("skip_cold");
+    a.stmt(25);
+    a.addq(s4, 1, s4);
+    a.cmplt(s4, s5, t10);
+    a.bne(t10, "moveloop");
+
+    a.stmt(30);
+    a.mov(s3, a0);
+    a.syscall(SysMark);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = layout::StackTop - FrameBytes + ColdOff;
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("wp_range");
+    w.rangeLen = 512;
+    return w;
+}
+
+} // namespace dise

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * vortex BMT_TraverseSets kernel.
+ *
+ * Object-database set traversal: walk sets of records, dispatching to
+ * per-type validation routines through real calls (exercising the
+ * return-address stack), updating record status bytes and per-set
+ * bookkeeping. Calibration targets: IPC ~2.25, store density ~17.6%,
+ * HOT (the traversal's current-set key) written on ~7% of stores and
+ * silent for all but the first record of each set (>50% silent, the
+ * paper's hardware-register pain point), very cool WARM/COLD/RANGE.
+ * Larger static code footprint (many distinct validators) so binary
+ * rewriting shows instruction-cache pressure in Figure 5. Provides the
+ * Figure 6 multi-watchpoint set; the fifth scalar shares a page with
+ * the per-set accounting array that every set updates.
+ */
+
+#include "asm/assembler.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+
+Workload
+buildVortex(const WorkloadParams &params)
+{
+    using namespace reg;
+    Assembler a;
+    Workload w;
+    w.name = "vortex";
+    w.function = "BMT_TraverseSets";
+
+    const uint64_t sweeps = 40ull * params.scale;
+    constexpr unsigned NumRecords = 1024; // x32B = 32KB (L1-friendly)
+    constexpr unsigned RecShift = 5;
+    constexpr unsigned RecsPerSet = 64;
+    constexpr unsigned NumValidators = 40;
+    constexpr unsigned FrameBytes = 96;
+    constexpr unsigned Warm2Off = 24;
+    constexpr unsigned ColdOff = 48;
+    constexpr unsigned SpillOff = 64; // busy slot on the COLD page
+
+    // ---- data ---------------------------------------------------------
+    a.data(layout::DataBase);
+    a.align(4096);
+    a.label("records"); // record: {key, type, status, link}
+    a.space(static_cast<uint64_t>(NumRecords) << RecShift);
+    a.align(4096);
+    a.label("set_acct"); // per-set accounting, written every set
+    a.space(2048);
+    a.label("wp_m0"); // fifth Figure 6 watchpoint on the busy page
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_hot"); // current-set key
+    a.quad(0);
+    a.align(8);
+    a.label("wp_ptr");
+    a.quadLabel("wp_hot");
+    a.align(4096);
+    a.label("wp_warm1");
+    a.quad(0);
+    a.align(4096);
+    a.label("wp_range"); // schema descriptor, essentially read-only
+    a.space(256);
+    a.align(4096);
+    a.label("validator_table");
+    for (unsigned v = 0; v < NumValidators; ++v)
+        a.quadLabel("val" + std::to_string(v));
+    a.align(4096);
+    for (int i = 1; i < 12; ++i) {
+        a.label("wp_m" + std::to_string(i));
+        a.quad(0);
+        a.space(56);
+    }
+
+    // ---- text ---------------------------------------------------------
+    a.text(layout::TextBase);
+    a.label("main");
+    a.stmt(1);
+    a.lda(sp, -static_cast<int64_t>(FrameBytes), sp);
+    a.la(s0, "records");
+    a.la(s1, "wp_hot");
+    a.la(s2, "validator_table");
+    a.la(s3, "set_acct");
+    a.lda(s4, 0, zero); // sweep counter
+    a.li(s5, sweeps);
+
+    // Initialize record keys/types from the LCG.
+    a.stmt(2);
+    a.li(t11, params.seed * 8 + 5);
+    a.lda(t0, 0, zero);
+    a.li(t1, NumRecords);
+    a.label("initloop");
+    a.li(t2, 1103515245);
+    a.mulq(t11, t2, t11);
+    a.addq(t11, 12345 & 0xff, t11);
+    a.sll(t0, RecShift, t3);
+    a.addq(s0, t3, t3);
+    a.srl(t11, 12, t4);
+    a.stq(t4, 0, t3); // key
+    a.srl(t0, 4, t4); // runs of 16 same-type records: the validator
+    a.and_(t4, 63, t4); // dispatch is predictable within a run
+    a.stq(t4, 8, t3); // type
+    a.stq(zero, 16, t3); // status
+    a.addq(t0, 1, t0);
+    a.cmplt(t0, t1, t4);
+    a.bne(t4, "initloop");
+
+    a.label("sweeploop");
+    a.stmt(10);
+    a.lda(t0, 0, zero); // record index
+    a.li(t1, NumRecords);
+    a.label("recloop");
+    a.stmt(11);
+    // set id = record / RecsPerSet
+    a.srl(t0, 6, t2); // set id
+    a.sll(t0, RecShift, t3);
+    a.addq(s0, t3, t3); // &record
+    a.ldq(t4, 0, t3);   // key
+    a.ldq(t5, 8, t3);   // type
+    a.stmt(12);
+    // HOT: the current-set key, rewritten for every fourth record but
+    // changing only at set boundaries — ~94% silent stores.
+    a.and_(t0, 3, t6);
+    a.bne(t6, "skip_hot");
+    a.stq(t2, 0, s1);
+    a.label("skip_hot");
+    // Record-update log (vortex writes object state back constantly).
+    a.stq(t4, 24, t3);
+    a.stmt(13);
+    // Validate through a per-type routine (real call: RAS exercise).
+    a.cmplt(t5, NumValidators, t6);
+    a.bne(t6, "val_ok");
+    a.subq(t5, NumValidators, t5);
+    a.cmplt(t5, NumValidators, t6);
+    a.bne(t6, "val_ok");
+    a.lda(t5, 0, zero);
+    a.label("val_ok");
+    a.sll(t5, 3, t6);
+    a.addq(s2, t6, t6);
+    a.ldq(t6, 0, t6);
+    a.jsr(ra, t6);
+    a.stmt(14);
+    // status byte: usually already 1 (silent record store)
+    a.stb(v0, 16, t3);
+    a.stmt(15);
+    // Per-set accounting on the last record of each set.
+    a.and_(t0, RecsPerSet - 1, t6);
+    a.li(t7, RecsPerSet - 1);
+    a.cmpeq(t6, t7, t6);
+    a.beq(t6, "skip_acct");
+    a.and_(t2, 255, t6);
+    a.sll(t6, 3, t6);
+    a.addq(s3, t6, t6);
+    a.ldq(t7, 0, t6);
+    a.addq(t7, 1, t7);
+    a.stq(t7, 0, t6);
+    a.label("skip_acct");
+    a.stmt(16);
+    a.addq(t0, 1, t0);
+    a.cmplt(t0, t1, t6);
+    a.bne(t6, "recloop");
+
+    a.stmt(20);
+    // WARM1 and WARM2 once per sweep.
+    a.la(t6, "wp_warm1");
+    a.ldq(t7, 0, t6);
+    a.addq(t7, 1, t7);
+    a.stq(t7, 0, t6);
+    a.ldq(t7, Warm2Off, sp);
+    a.addq(t7, 1, t7);
+    a.stq(t7, Warm2Off, sp);
+    a.stmt(21);
+    a.addq(s4, 1, s4);
+    a.cmplt(s4, s5, t6);
+    a.bne(t6, "sweeploop");
+
+    a.stmt(30);
+    a.stq(s4, ColdOff, sp); // COLD once
+    a.mov(s4, a0);
+    a.syscall(SysMark);
+    a.lda(sp, FrameBytes, sp);
+    a.syscall(SysExit);
+
+    // Validator routines: distinct field checks per record type.
+    for (unsigned v = 0; v < NumValidators; ++v) {
+        a.label("val" + std::to_string(v));
+        a.stmt(100 + static_cast<int>(v));
+        uint8_t k1 = static_cast<uint8_t>(7 + v * 5);
+        uint8_t k2 = static_cast<uint8_t>(1 + v % 31);
+        // Spill to the frame (stack traffic near COLD).
+        a.stq(t4, SpillOff, sp);
+        a.srl(t4, k2 % 13, t8);
+        a.xor_(t8, k1, t8);
+        a.and_(t8, 63, t9);
+        a.mulq(t9, k2, t9);
+        a.addq(t8, t9, t8);
+        switch (v % 4) {
+          case 0:
+            a.sll(t8, 2, t9);
+            a.subq(t9, t8, t8);
+            a.and_(t8, 127, t8);
+            break;
+          case 1:
+            a.srl(t8, 3, t9);
+            a.xor_(t8, t9, t8);
+            break;
+          case 2:
+            a.addq(t8, k1, t8);
+            a.and_(t8, 31, t8);
+            a.mulq(t8, 5, t8);
+            break;
+          case 3:
+            a.bic(t8, k2, t8);
+            a.srl(t8, 1, t8);
+            break;
+        }
+        a.cmplt(zero, t8, v0); // "valid" flag: almost always 1
+        a.lda(t9, 1, zero);
+        a.bis(v0, t9, v0);
+        a.ret(ra);
+    }
+
+    w.program = a.finish("main");
+    w.hotAddr = w.program.symbol("wp_hot");
+    w.warm1Addr = w.program.symbol("wp_warm1");
+    w.warm2Addr = layout::StackTop - FrameBytes + Warm2Off;
+    w.coldAddr = layout::StackTop - FrameBytes + ColdOff;
+    w.ptrAddr = w.program.symbol("wp_ptr");
+    w.rangeBase = w.program.symbol("wp_range");
+    w.rangeLen = 256;
+    for (int i = 0; i < 12; ++i)
+        w.multiAddrs.push_back(
+            w.program.symbol("wp_m" + std::to_string(i)));
+    return w;
+}
+
+} // namespace dise

@@ -1,0 +1,94 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace dise {
+
+const char *
+watchSelName(WatchSel sel)
+{
+    switch (sel) {
+      case WatchSel::HOT: return "HOT";
+      case WatchSel::WARM1: return "WARM1";
+      case WatchSel::WARM2: return "WARM2";
+      case WatchSel::COLD: return "COLD";
+      case WatchSel::INDIRECT: return "INDIRECT";
+      case WatchSel::RANGE: return "RANGE";
+    }
+    return "?";
+}
+
+WatchSel
+watchSelFromName(const std::string &name)
+{
+    for (WatchSel s :
+         {WatchSel::HOT, WatchSel::WARM1, WatchSel::WARM2, WatchSel::COLD,
+          WatchSel::INDIRECT, WatchSel::RANGE}) {
+        if (name == watchSelName(s))
+            return s;
+    }
+    fatal("unknown watchpoint selector '", name, "'");
+}
+
+WatchSpec
+Workload::watch(WatchSel sel) const
+{
+    switch (sel) {
+      case WatchSel::HOT:
+        return WatchSpec::scalar("HOT", hotAddr, 8);
+      case WatchSel::WARM1:
+        return WatchSpec::scalar("WARM1", warm1Addr, 8);
+      case WatchSel::WARM2:
+        return WatchSpec::scalar("WARM2", warm2Addr, 8);
+      case WatchSel::COLD:
+        return WatchSpec::scalar("COLD", coldAddr, 8);
+      case WatchSel::INDIRECT:
+        return WatchSpec::indirect("INDIRECT", ptrAddr, 8);
+      case WatchSel::RANGE:
+        return WatchSpec::range("RANGE", rangeBase, rangeLen);
+    }
+    fatal("bad watch selector");
+}
+
+std::vector<WatchSpec>
+Workload::multiWatch(unsigned n) const
+{
+    std::vector<WatchSpec> out;
+    std::vector<Addr> pool = {hotAddr, warm1Addr, warm2Addr, coldAddr};
+    pool.insert(pool.end(), multiAddrs.begin(), multiAddrs.end());
+    DISE_ASSERT(n <= pool.size(), "workload '", name, "' provides only ",
+                pool.size(), " multi-watch scalars");
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(WatchSpec::scalar("W" + std::to_string(i), pool[i],
+                                        8));
+    return out;
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "crafty", "gcc", "mcf", "twolf", "vortex",
+    };
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "bzip2")
+        return buildBzip2(params);
+    if (name == "crafty")
+        return buildCrafty(params);
+    if (name == "gcc")
+        return buildGcc(params);
+    if (name == "mcf")
+        return buildMcf(params);
+    if (name == "twolf")
+        return buildTwolf(params);
+    if (name == "vortex")
+        return buildVortex(params);
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace dise

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic SPEC2000-integer kernels.
+ *
+ * The paper profiles one statically-large, long-running function per
+ * benchmark (Table 1) and watches six expressions per benchmark
+ * (Table 2). We cannot ship SPEC, so each kernel reimplements the
+ * profiled function's algorithmic skeleton in our ISA and is calibrated
+ * to the paper's measured properties: dynamic store density, IPC class
+ * (ILP, branchiness, memory-boundedness), static code footprint, and
+ * the six watchpoints' write frequencies and silent-store behavior.
+ * DESIGN.md documents the substitution; tests/workloads_test.cc checks
+ * the calibration bands.
+ */
+
+#ifndef DISE_WORKLOADS_WORKLOAD_HH
+#define DISE_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "debug/watch.hh"
+
+namespace dise {
+
+/** The six watchpoints of Table 2. */
+enum class WatchSel : uint8_t {
+    HOT,      ///< frequently-written heap scalar
+    WARM1,    ///< occasionally-written heap scalar
+    WARM2,    ///< occasionally-written frame-local scalar
+    COLD,     ///< rarely-written frame-local scalar
+    INDIRECT, ///< *p, where p points at HOT's storage
+    RANGE,    ///< a structure / small array
+};
+
+const char *watchSelName(WatchSel sel);
+WatchSel watchSelFromName(const std::string &name);
+
+/** Scale and tuning knobs. */
+struct WorkloadParams
+{
+    /** Work multiplier; 1 gives a few hundred thousand instructions. */
+    unsigned scale = 1;
+    uint64_t seed = 12345;
+};
+
+/** A built workload: program image plus watchpoint metadata. */
+struct Workload
+{
+    std::string name;     ///< benchmark name, e.g. "bzip2"
+    std::string function; ///< profiled function it mimics
+    Program program;
+
+    /** Addresses for the standard six watchpoints. */
+    WatchSpec watch(WatchSel sel) const;
+
+    /** First @p n of the Figure 6 multi-watchpoint set (all scalars). */
+    std::vector<WatchSpec> multiWatch(unsigned n) const;
+
+    /** Statement count hint (for tests). */
+    size_t stmtCount() const { return program.stmtBoundaries.size(); }
+
+    // Resolved watchpoint addresses (filled by the builders).
+    Addr hotAddr = 0;
+    Addr warm1Addr = 0;
+    Addr warm2Addr = 0;
+    Addr coldAddr = 0;
+    Addr ptrAddr = 0;       ///< the pointer cell for INDIRECT
+    Addr rangeBase = 0;
+    uint64_t rangeLen = 0;
+    std::vector<Addr> multiAddrs; ///< extra scalars for Figure 6
+};
+
+/** @name Kernel builders */
+///@{
+Workload buildBzip2(const WorkloadParams &params = {});
+Workload buildCrafty(const WorkloadParams &params = {});
+Workload buildGcc(const WorkloadParams &params = {});
+Workload buildMcf(const WorkloadParams &params = {});
+Workload buildTwolf(const WorkloadParams &params = {});
+Workload buildVortex(const WorkloadParams &params = {});
+///@}
+
+/** All benchmark names in the paper's presentation order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build by name ("bzip2", "crafty", "gcc", "mcf", "twolf", "vortex"). */
+Workload buildWorkload(const std::string &name,
+                       const WorkloadParams &params = {});
+
+} // namespace dise
+
+#endif // DISE_WORKLOADS_WORKLOAD_HH

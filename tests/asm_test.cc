@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Assembler tests: label resolution, branch fixups, data directives,
+ * la/li pseudo-expansion, statement tables, jump tables via quadLabel,
+ * blobs, and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "cpu/loader.hh"
+#include "isa/encoding.hh"
+
+namespace dise {
+namespace {
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("start");
+    a.beq(reg::t0, "fwd");   // +2 words
+    a.br("start");           // -2 words
+    a.label("fwd");
+    a.halt();
+    Program p = a.finish("start");
+    ASSERT_EQ(p.segments.size(), 1u);
+    const auto &text = p.segments[0];
+
+    auto word = [&](size_t idx) {
+        uint32_t w = 0;
+        for (int b = 3; b >= 0; --b)
+            w = (w << 8) | text.bytes[idx * 4 + b];
+        return w;
+    };
+    auto beq = decode(word(0));
+    ASSERT_TRUE(beq);
+    EXPECT_EQ(beq->imm, 1); // 0x1000+4+1*4 = 0x1008
+    auto br = decode(word(1));
+    ASSERT_TRUE(br);
+    EXPECT_EQ(br->imm, -2); // 0x1004+4-2*4 = 0x1000
+}
+
+TEST(Assembler, SymbolsInBothSections)
+{
+    Assembler a;
+    a.data(0x2000);
+    a.label("glob");
+    a.quad(7);
+    a.text(0x1000);
+    a.label("main");
+    a.halt();
+    Program p = a.finish("main");
+    EXPECT_EQ(p.symbol("main"), 0x1000u);
+    EXPECT_EQ(p.symbol("glob"), 0x2000u);
+    EXPECT_EQ(p.entry, 0x1000u);
+}
+
+TEST(Assembler, DataDirectivesLayout)
+{
+    Assembler a;
+    a.data(0x2000);
+    a.byte(0xaa);
+    a.align(8);
+    a.label("q");
+    a.quad(0x1122334455667788ull);
+    a.word(0xbeef);
+    a.long_(0xdeadbeef);
+    a.space(3);
+    a.label("end");
+    a.text(0x1000);
+    a.label("main");
+    a.halt();
+    Program p = a.finish("main");
+    EXPECT_EQ(p.symbol("q"), 0x2008u);
+    EXPECT_EQ(p.symbol("end"), 0x2008u + 8 + 2 + 4 + 3);
+
+    // Check little-endian quad bytes.
+    const auto &data = p.segments[1];
+    EXPECT_EQ(data.bytes[8], 0x88);
+    EXPECT_EQ(data.bytes[15], 0x11);
+}
+
+TEST(Assembler, StatementTable)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("main");
+    a.stmt(10);
+    a.nop();
+    a.nop();
+    a.stmt(11);
+    a.nop();
+    a.halt();
+    Program p = a.finish("main");
+    ASSERT_EQ(p.stmtBoundaries.size(), 2u);
+    EXPECT_EQ(p.stmtBoundaries[0], 0x1000u);
+    EXPECT_EQ(p.stmtBoundaries[1], 0x1008u);
+    EXPECT_EQ(p.lineTable.at(0x1000), 10);
+    EXPECT_EQ(p.lineTable.at(0x1008), 11);
+}
+
+TEST(Assembler, QuadLabelEmitsAddress)
+{
+    Assembler a;
+    a.data(0x2000);
+    a.label("table");
+    a.quadLabel("target");
+    a.text(0x1000);
+    a.label("main");
+    a.nop();
+    a.label("target");
+    a.halt();
+    Program p = a.finish("main");
+    const auto &data = p.segments[1];
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | data.bytes[i];
+    EXPECT_EQ(v, p.symbol("target"));
+    EXPECT_EQ(v, 0x1004u);
+}
+
+TEST(Assembler, BlobBytes)
+{
+    Assembler a;
+    a.data(0x2000);
+    a.label("blobby");
+    a.blob({1, 2, 3, 4, 5});
+    a.text(0x1000);
+    a.label("main");
+    a.halt();
+    Program p = a.finish("main");
+    const auto &data = p.segments[1];
+    ASSERT_EQ(data.bytes.size(), 5u);
+    EXPECT_EQ(data.bytes[4], 5);
+}
+
+TEST(Assembler, DuplicateLabelFatal)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("x");
+    a.nop();
+    a.label("x");
+    a.halt();
+    EXPECT_THROW(a.finish("x"), FatalError);
+}
+
+TEST(Assembler, UndefinedLabelFatal)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("main");
+    a.br("nowhere");
+    EXPECT_THROW(a.finish("main"), FatalError);
+}
+
+TEST(Assembler, GenLabelUnique)
+{
+    Assembler a;
+    EXPECT_NE(a.genLabel("L"), a.genLabel("L"));
+}
+
+TEST(Assembler, TextEndAndWords)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("main");
+    a.nop();
+    a.nop();
+    a.halt();
+    Program p = a.finish("main");
+    EXPECT_EQ(p.textEnd(), 0x100cu);
+    EXPECT_EQ(p.textWords(), 3u);
+    EXPECT_TRUE(p.contains(0x1000));
+    EXPECT_TRUE(p.contains(0x100b));
+    EXPECT_FALSE(p.contains(0x100c));
+}
+
+TEST(Assembler, SourceIrRetained)
+{
+    Assembler a;
+    a.text(0x1000);
+    a.label("main");
+    a.stq(reg::t0, 8, reg::sp);
+    a.halt();
+    Program p = a.finish("main");
+    ASSERT_TRUE(p.source);
+    EXPECT_EQ(p.source->entryLabel, "main");
+    int stores = 0;
+    for (const auto &item : p.source->text.items)
+        if (item.kind == AsmItem::Kind::Inst && item.inst.isStore())
+            ++stores;
+    EXPECT_EQ(stores, 1);
+}
+
+/** la must materialize the exact address for every segment we use. */
+class LaRangeTest : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(LaRangeTest, MaterializesExactAddress)
+{
+    // Assemble "la t0, label" with the label at the parameter address,
+    // then verify the three-instruction expansion computes it.
+    Addr target = GetParam();
+    Assembler a;
+    a.data(target);
+    a.label("obj");
+    a.quad(1);
+    a.text(0x0100'0000);
+    a.label("main");
+    a.la(reg::t0, "obj");
+    a.halt();
+    Program p = a.finish("main");
+
+    // Interpret the three instructions by hand.
+    const auto &text = p.segments[0];
+    auto word = [&](size_t idx) {
+        uint32_t w = 0;
+        for (int b = 3; b >= 0; --b)
+            w = (w << 8) | text.bytes[idx * 4 + b];
+        return w;
+    };
+    auto i0 = decode(word(0));
+    auto i1 = decode(word(1));
+    auto i2 = decode(word(2));
+    ASSERT_TRUE(i0 && i1 && i2);
+    int64_t v = i0->imm;          // lda t0, hi(zero)
+    v <<= i1->imm;                // sll t0, 14, t0
+    v += i2->imm;                 // lda t0, lo(t0)
+    EXPECT_EQ(static_cast<Addr>(v), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layout, LaRangeTest,
+                         ::testing::Values(layout::DataBase,
+                                           layout::HeapBase,
+                                           layout::DebuggerDataBase,
+                                           layout::StackTop - 4096,
+                                           Addr{0x2000},
+                                           Addr{0x03ff'fff8}));
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the common runtime: bit utilities, the deterministic
+ * RNG, statistics groups, table rendering, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace dise {
+namespace {
+
+TEST(BitUtils, BitsExtractsField)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 16), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtils, SextSignExtends)
+{
+    EXPECT_EQ(sext(0x1fff, 14), 0x1fff);
+    EXPECT_EQ(sext(0x2000, 14), -8192);
+    EXPECT_EQ(sext(0x3fff, 14), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(5, 64), 5);
+}
+
+TEST(BitUtils, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(8191, 14));
+    EXPECT_FALSE(fitsSigned(8192, 14));
+    EXPECT_TRUE(fitsSigned(-8192, 14));
+    EXPECT_FALSE(fitsSigned(-8193, 14));
+}
+
+TEST(BitUtils, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+}
+
+TEST(BitUtils, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(24));
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Stats, IncAndGet)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.get("x"), 0u);
+    g.inc("x");
+    g.inc("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+    g.set("x", 2);
+    EXPECT_EQ(g.get("x"), 2u);
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("grp");
+    g.inc("hits", 3);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.hits 3\n");
+}
+
+TEST(Table, RendersAligned)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"bb", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtSlowdownScales)
+{
+    EXPECT_EQ(fmtSlowdown(1.234), "1.23");
+    EXPECT_EQ(fmtSlowdown(123.4), "123.4");
+    EXPECT_EQ(fmtSlowdown(40123.0), "40123");
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_THROW(DISE_ASSERT(1 == 2, "nope"), PanicError);
+    EXPECT_NO_THROW(DISE_ASSERT(1 == 1, "fine"));
+}
+
+} // namespace
+} // namespace dise

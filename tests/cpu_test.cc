@@ -1,0 +1,587 @@
+/**
+ * @file
+ * CPU tests: ALU semantics (parameterized), functional execution of
+ * assembled programs, syscalls, faults, and timing-pipeline properties
+ * (width bounds, dependency serialization, load latency, store
+ * forwarding, mispredict penalties, transition stalls).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/alu.hh"
+#include "cpu/func_cpu.hh"
+#include "cpu/loader.hh"
+#include "cpu/timing_cpu.hh"
+#include "debug/target.hh"
+
+namespace dise {
+namespace {
+
+using namespace reg;
+
+// ---------------------------------------------------------------- ALU
+
+struct AluCase
+{
+    Opcode op;
+    uint64_t a, b, expect;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluTest, Computes)
+{
+    const AluCase &c = GetParam();
+    EXPECT_EQ(aluCompute(c.op, c.a, c.b), c.expect)
+        << opName(c.op) << "(" << c.a << ", " << c.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Semantics, AluTest,
+    ::testing::Values(
+        AluCase{Opcode::ADDQ, 2, 3, 5},
+        AluCase{Opcode::ADDQ, ~0ull, 1, 0},
+        AluCase{Opcode::SUBQ, 3, 5, static_cast<uint64_t>(-2)},
+        AluCase{Opcode::MULQ, 7, 6, 42},
+        AluCase{Opcode::AND, 0xf0f0, 0xff00, 0xf000},
+        AluCase{Opcode::BIS, 0xf0, 0x0f, 0xff},
+        AluCase{Opcode::XOR, 0xff, 0x0f, 0xf0},
+        AluCase{Opcode::BIC, 0xff, 0x0f, 0xf0},
+        AluCase{Opcode::SLL, 1, 63, 1ull << 63},
+        AluCase{Opcode::SRL, 1ull << 63, 63, 1},
+        AluCase{Opcode::SRA, static_cast<uint64_t>(-8), 2,
+                static_cast<uint64_t>(-2)},
+        AluCase{Opcode::CMPEQ, 4, 4, 1},
+        AluCase{Opcode::CMPEQ, 4, 5, 0},
+        AluCase{Opcode::CMPLT, static_cast<uint64_t>(-1), 0, 1},
+        AluCase{Opcode::CMPULT, static_cast<uint64_t>(-1), 0, 0},
+        AluCase{Opcode::CMPLE, 4, 4, 1},
+        AluCase{Opcode::CMPULE, 5, 4, 0}));
+
+TEST(Alu, BranchDirections)
+{
+    EXPECT_TRUE(branchTaken(Opcode::BEQ, 0));
+    EXPECT_FALSE(branchTaken(Opcode::BEQ, 1));
+    EXPECT_TRUE(branchTaken(Opcode::BNE, 5));
+    EXPECT_TRUE(branchTaken(Opcode::BLT, static_cast<uint64_t>(-3)));
+    EXPECT_FALSE(branchTaken(Opcode::BLT, 3));
+    EXPECT_TRUE(branchTaken(Opcode::BGE, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BGT, 1));
+    EXPECT_TRUE(branchTaken(Opcode::BLE, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BR, 12345));
+}
+
+// ------------------------------------------------- functional programs
+
+/** Build a target from an assembly thunk and run it functionally. */
+template <typename Fn>
+FuncResult
+runProgram(Fn &&emit, DebugTarget **outTarget = nullptr,
+           uint64_t maxInsts = 0)
+{
+    Assembler a;
+    a.text(0x0100'0000);
+    a.data(0x0200'0000);
+    a.text(0x0100'0000);
+    emit(a);
+    static thread_local std::unique_ptr<DebugTarget> keep;
+    keep = std::make_unique<DebugTarget>(a.finish("main"));
+    keep->load();
+    if (outTarget)
+        *outTarget = keep.get();
+    StreamEnv env;
+    env.sink = &keep->sink;
+    FuncCpu cpu(keep->arch, keep->mem, &keep->engine, env);
+    return cpu.run(maxInsts);
+}
+
+TEST(FuncCpu, ArithmeticAndMarks)
+{
+    DebugTarget *t = nullptr;
+    FuncResult r = runProgram(
+        [](Assembler &a) {
+            a.label("main");
+            a.li(a0, 40);
+            a.addq(a0, 2, a0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(r.halt, HaltReason::Exited);
+    ASSERT_EQ(t->sink.marks.size(), 1u);
+    EXPECT_EQ(t->sink.marks[0], 42u);
+}
+
+TEST(FuncCpu, LoopSum)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.label("main");
+            a.lda(t0, 0, zero);  // i
+            a.lda(t1, 0, zero);  // sum
+            a.label("loop");
+            a.addq(t1, t0, t1);
+            a.addq(t0, 1, t0);
+            a.cmplt(t0, 100, t2);
+            a.bne(t2, "loop");
+            a.mov(t1, a0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->sink.marks[0], 4950u);
+}
+
+TEST(FuncCpu, MemoryRoundTrip)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.space(64);
+            a.text(0x0100'0000);
+            a.label("main");
+            a.la(t0, "buf");
+            a.li(t1, 0x1234567890ull);
+            a.stq(t1, 8, t0);
+            a.ldq(a0, 8, t0);
+            a.syscall(SysMark);
+            a.ldl(a0, 8, t0); // low 32 bits, sign-extended
+            a.syscall(SysMark);
+            a.ldb(a0, 9, t0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    ASSERT_EQ(t->sink.marks.size(), 3u);
+    EXPECT_EQ(t->sink.marks[0], 0x1234567890ull);
+    EXPECT_EQ(t->sink.marks[1], 0x34567890ull);
+    EXPECT_EQ(t->sink.marks[2], 0x78u);
+}
+
+TEST(FuncCpu, SignExtendingLoad)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.long_(0xffffffff);
+            a.text(0x0100'0000);
+            a.label("main");
+            a.la(t0, "buf");
+            a.ldl(a0, 0, t0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->sink.marks[0], ~0ull); // -1 sign-extended
+}
+
+TEST(FuncCpu, CallAndReturn)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.label("main");
+            a.li(a0, 5);
+            a.bsr(ra, "double");
+            a.syscall(SysMark); // expect 10
+            a.syscall(SysExit);
+            a.label("double");
+            a.addq(a0, a0, a0);
+            a.ret(ra);
+        },
+        &t);
+    EXPECT_EQ(t->sink.marks[0], 10u);
+}
+
+TEST(FuncCpu, JumpTableDispatch)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.data(0x0200'0000);
+            a.label("table");
+            a.quadLabel("case0");
+            a.quadLabel("case1");
+            a.text(0x0100'0000);
+            a.label("main");
+            a.la(t0, "table");
+            a.ldq(t1, 8, t0); // case1
+            a.jmp(t1);
+            a.label("case0");
+            a.li(a0, 100);
+            a.br("out");
+            a.label("case1");
+            a.li(a0, 200);
+            a.label("out");
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->sink.marks[0], 200u);
+}
+
+TEST(FuncCpu, ZeroRegisterDiscardsWrites)
+{
+    DebugTarget *t = nullptr;
+    runProgram(
+        [](Assembler &a) {
+            a.label("main");
+            a.li(t0, 7);
+            a.addq(t0, t0, zero); // discarded
+            a.mov(zero, a0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->sink.marks[0], 0u);
+}
+
+TEST(FuncCpu, IllegalInstructionFaults)
+{
+    FuncResult r = runProgram([](Assembler &a) {
+        a.label("main");
+        a.nop();
+        // falls off the end into zeroed memory... which decodes as
+        // opcode 0 (LDQ) forever; jump into data instead:
+        a.data(0x0200'0000);
+        a.label("bad");
+        a.quad(0xffffffffffffffffull);
+        a.text(0x0100'0000);
+        a.la(t0, "bad");
+        a.jmp(t0);
+    });
+    EXPECT_EQ(r.halt, HaltReason::Fault);
+}
+
+TEST(FuncCpu, DiseMoveOutsideHandlerFaults)
+{
+    FuncResult r = runProgram([](Assembler &a) {
+        a.label("main");
+        a.d_mfr(t0, dr(0)); // illegal outside a DISE-called function
+        a.syscall(SysExit);
+    });
+    EXPECT_EQ(r.halt, HaltReason::Fault);
+}
+
+TEST(FuncCpu, DRetOutsideHandlerFaults)
+{
+    FuncResult r = runProgram([](Assembler &a) {
+        a.label("main");
+        a.d_ret();
+        a.syscall(SysExit);
+    });
+    EXPECT_EQ(r.halt, HaltReason::Fault);
+}
+
+TEST(FuncCpu, InstLimitStopsRun)
+{
+    FuncResult r = runProgram(
+        [](Assembler &a) {
+            a.label("main");
+            a.label("spin");
+            a.br("spin");
+        },
+        nullptr, 1000);
+    EXPECT_EQ(r.halt, HaltReason::InstLimit);
+    EXPECT_EQ(r.appInsts, 1000u);
+}
+
+TEST(FuncCpu, HaltInstruction)
+{
+    FuncResult r = runProgram([](Assembler &a) {
+        a.label("main");
+        a.halt();
+    });
+    EXPECT_EQ(r.halt, HaltReason::Halted);
+}
+
+// ---------------------------------------------------- timing pipeline
+
+/** Run an assembly thunk under the timing model. */
+template <typename Fn>
+RunStats
+runTiming(Fn &&emit, TimingConfig cfg = {})
+{
+    Assembler a;
+    a.text(0x0100'0000);
+    a.data(0x0200'0000);
+    a.text(0x0100'0000);
+    emit(a);
+    DebugTarget t(a.finish("main"));
+    t.load();
+    StreamEnv env;
+    env.sink = &t.sink;
+    TimingCpu cpu(t.arch, t.mem, &t.engine, env, cfg);
+    return cpu.run({});
+}
+
+TEST(TimingCpu, IndependentOpsReachWidth)
+{
+    RunStats s = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 2000);
+        a.lda(t9, 0, zero);
+        a.label("loop");
+        for (int i = 0; i < 16; ++i)
+            a.addq(ir(1 + (i % 4)), 1, ir(5 + (i % 4)));
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+    });
+    // 16 independent adds + 3 loop ops on a 4-wide machine: IPC near 3+.
+    EXPECT_GT(s.ipc(), 2.5);
+    EXPECT_EQ(s.halt, HaltReason::Exited);
+}
+
+TEST(TimingCpu, DependencyChainSerializes)
+{
+    RunStats s = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 2000);
+        a.lda(t9, 0, zero);
+        a.label("loop");
+        for (int i = 0; i < 16; ++i)
+            a.addq(t0, 1, t0); // serial chain
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+    });
+    // The chain forces ~1 IPC for the adds.
+    EXPECT_LT(s.ipc(), 1.4);
+    EXPECT_GT(s.ipc(), 0.7);
+}
+
+TEST(TimingCpu, MulLatencyVisible)
+{
+    RunStats chain = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 1000);
+        a.lda(t9, 0, zero);
+        a.li(t0, 3);
+        a.label("loop");
+        for (int i = 0; i < 8; ++i)
+            a.mulq(t0, 3, t0); // serial multiplies
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+    });
+    // Each mul takes mulLatency cycles on the chain: IPC well under 1.
+    EXPECT_LT(chain.ipc(), 0.6);
+}
+
+TEST(TimingCpu, PredictableBranchesAreCheap)
+{
+    RunStats s = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 20000);
+        a.lda(t9, 0, zero);
+        a.label("loop");
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+    });
+    // A tight countdown loop trains to near-zero mispredicts.
+    EXPECT_LT(s.mispredictFlushes, 100u);
+}
+
+TEST(TimingCpu, DataDependentBranchesMispredict)
+{
+    RunStats s = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 4000);
+        a.lda(t9, 0, zero);
+        a.li(t11, 12345);
+        a.label("loop");
+        // LCG-driven unpredictable branch.
+        a.li(t2, 1103515245);
+        a.mulq(t11, t2, t11);
+        a.addq(t11, 57, t11);
+        a.srl(t11, 13, t3);
+        a.and_(t3, 1, t3);
+        a.beq(t3, "skip");
+        a.addq(t4, 1, t4);
+        a.label("skip");
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+    });
+    // Roughly half the 4000 data-dependent branches mispredict.
+    EXPECT_GT(s.mispredictFlushes, 800u);
+}
+
+TEST(TimingCpu, ColdLoadsSlowerThanWarm)
+{
+    auto body = [](Assembler &a, int reps) {
+        a.label("main");
+        a.li(t8, reps);
+        a.lda(t9, 0, zero);
+        a.la(s0, "buf");
+        a.label("loop");
+        a.ldq(t0, 0, s0);
+        a.ldq(t1, 8, s0);
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+        a.data(0x0200'0000);
+        a.label("buf");
+        a.space(64);
+    };
+    RunStats warm = runTiming([&](Assembler &a) { body(a, 10000); });
+    // Warm loop: all hits; IPC healthy.
+    EXPECT_GT(warm.ipc(), 1.5);
+}
+
+TEST(TimingCpu, StoreLoadForwarding)
+{
+    RunStats s = runTiming([](Assembler &a) {
+        a.label("main");
+        a.li(t8, 5000);
+        a.lda(t9, 0, zero);
+        a.la(s0, "slot");
+        a.label("loop");
+        a.stq(t9, 0, s0);
+        a.ldq(t0, 0, s0); // forwarded from the store queue
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+        a.data(0x0200'0000);
+        a.label("slot");
+        a.quad(0);
+    });
+    // Forwarding keeps this fast despite the through-memory dependence.
+    EXPECT_GT(s.ipc(), 1.0);
+}
+
+TEST(TimingCpu, SpuriousTransitionCostCharged)
+{
+    // A statement-trap monitor that flags every statement as spurious.
+    struct AllSpurious : DebugMonitor
+    {
+        DebugAction
+        onStatement(Addr) override
+        {
+            return {TransitionKind::SpuriousAddress};
+        }
+    };
+
+    Assembler a;
+    a.text(0x0100'0000);
+    a.label("main");
+    for (int i = 0; i < 10; ++i) {
+        a.stmt();
+        a.addq(t0, 1, t0);
+    }
+    a.syscall(SysExit);
+    DebugTarget t(a.finish("main"));
+    t.load();
+
+    AllSpurious mon;
+    std::unordered_set<Addr> stmts(t.program.stmtBoundaries.begin(),
+                                   t.program.stmtBoundaries.end());
+    StreamEnv env;
+    env.sink = &t.sink;
+    env.monitor = &mon;
+    env.stmtTraps = &stmts;
+    TimingConfig cfg;
+    cfg.transitionCost = 1000;
+    TimingCpu cpu(t.arch, t.mem, &t.engine, env, cfg);
+    RunStats s = cpu.run({});
+    EXPECT_EQ(s.transitionsSpuriousAddr, 10u);
+    EXPECT_GE(s.cycles, 10000u);
+    EXPECT_EQ(s.transitionStallCycles, 10000u);
+}
+
+TEST(TimingCpu, UserTransitionsAreFree)
+{
+    struct AllUser : DebugMonitor
+    {
+        DebugAction
+        onStatement(Addr) override
+        {
+            return {TransitionKind::User};
+        }
+    };
+
+    Assembler a;
+    a.text(0x0100'0000);
+    a.label("main");
+    for (int i = 0; i < 10; ++i) {
+        a.stmt();
+        a.addq(t0, 1, t0);
+    }
+    a.syscall(SysExit);
+    DebugTarget t(a.finish("main"));
+    t.load();
+
+    AllUser mon;
+    std::unordered_set<Addr> stmts(t.program.stmtBoundaries.begin(),
+                                   t.program.stmtBoundaries.end());
+    StreamEnv env;
+    env.sink = &t.sink;
+    env.monitor = &mon;
+    env.stmtTraps = &stmts;
+    TimingCpu cpu(t.arch, t.mem, &t.engine, env, {});
+    RunStats s = cpu.run({});
+    EXPECT_EQ(s.transitionsUser, 10u);
+    EXPECT_EQ(s.transitionStallCycles, 0u);
+    EXPECT_LT(s.cycles, 1000u);
+}
+
+TEST(TimingCpu, CycleLimitStops)
+{
+    Assembler a;
+    a.text(0x0100'0000);
+    a.label("main");
+    a.label("spin");
+    a.br("spin");
+    DebugTarget t(a.finish("main"));
+    t.load();
+    StreamEnv env;
+    env.sink = &t.sink;
+    TimingCpu cpu(t.arch, t.mem, &t.engine, env, {});
+    RunStats r = cpu.run({0, 5000});
+    EXPECT_EQ(r.halt, HaltReason::CycleLimit);
+}
+
+TEST(TimingCpu, TimingMatchesFunctionalCounts)
+{
+    auto emit = [](Assembler &a) {
+        a.label("main");
+        a.li(t8, 300);
+        a.lda(t9, 0, zero);
+        a.la(s0, "buf");
+        a.label("loop");
+        a.stq(t9, 0, s0);
+        a.ldq(t0, 0, s0);
+        a.addq(t9, 1, t9);
+        a.cmplt(t9, t8, t10);
+        a.bne(t10, "loop");
+        a.syscall(SysExit);
+        a.data(0x0200'0000);
+        a.label("buf");
+        a.quad(0);
+    };
+    FuncResult f = runProgram(emit);
+    RunStats s = runTiming(emit);
+    EXPECT_EQ(f.appInsts, s.appInsts);
+    EXPECT_EQ(f.stores, s.stores);
+    EXPECT_EQ(f.loads, s.loads);
+}
+
+} // namespace
+} // namespace dise

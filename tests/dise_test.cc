@@ -1,0 +1,545 @@
+/**
+ * @file
+ * DISE engine tests: pattern matching and specificity, template
+ * instantiation, the production tables (capacity, removal, replacement-
+ * table residency), the controller's OS policy, and the end-to-end
+ * expansion semantics in the instruction stream — DISEPC control flow,
+ * DISE calls into generated functions, register-space isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/func_cpu.hh"
+#include "cpu/loader.hh"
+#include "debug/target.hh"
+#include "dise/controller.hh"
+#include "dise/engine.hh"
+
+namespace dise {
+namespace {
+
+using namespace reg;
+
+// ------------------------------------------------------------ patterns
+
+TEST(Pattern, ClassMatch)
+{
+    Pattern p = Pattern::forClass(OpClass::Store);
+    EXPECT_TRUE(p.matches(makeMem(Opcode::STQ, t0, 0, sp), 0x100));
+    EXPECT_TRUE(p.matches(makeMem(Opcode::STB, t0, 4, t1), 0x100));
+    EXPECT_FALSE(p.matches(makeMem(Opcode::LDQ, t0, 0, sp), 0x100));
+}
+
+TEST(Pattern, BaseRegisterMatch)
+{
+    // The paper's example: loads whose base address is sp.
+    Pattern p = Pattern::forClass(OpClass::Load);
+    p.baseReg = sp;
+    EXPECT_TRUE(p.matches(makeMem(Opcode::LDQ, ir(4), 32, sp), 0));
+    EXPECT_FALSE(p.matches(makeMem(Opcode::LDQ, ir(4), 32, t1), 0));
+}
+
+TEST(Pattern, PcMatch)
+{
+    Pattern p = Pattern::forPc(0x1008);
+    EXPECT_TRUE(p.matches(makeNullary(Opcode::NOP), 0x1008));
+    EXPECT_FALSE(p.matches(makeNullary(Opcode::NOP), 0x100c));
+}
+
+TEST(Pattern, CodewordMatch)
+{
+    Pattern p = Pattern::forCodeword(7);
+    EXPECT_TRUE(p.matches(makeSystem(Opcode::CODEWORD, 7), 0));
+    EXPECT_FALSE(p.matches(makeSystem(Opcode::CODEWORD, 8), 0));
+    EXPECT_FALSE(p.matches(makeNullary(Opcode::NOP), 0));
+}
+
+TEST(Pattern, EmptyPatternNeverMatches)
+{
+    Pattern p;
+    EXPECT_FALSE(p.matches(makeNullary(Opcode::NOP), 0));
+    EXPECT_EQ(p.specificity(), 0u);
+}
+
+TEST(Pattern, SpecificityCounts)
+{
+    Pattern p = Pattern::forClass(OpClass::Store);
+    EXPECT_EQ(p.specificity(), 1u);
+    p.baseReg = sp;
+    EXPECT_EQ(p.specificity(), 2u);
+    p.pc = 0x1000;
+    EXPECT_EQ(p.specificity(), 3u);
+}
+
+// ----------------------------------------------------------- templates
+
+TEST(Template, TriggerCopy)
+{
+    Inst trig = makeMem(Opcode::STL, t3, 24, t4);
+    EXPECT_EQ(TemplateInst::trigInst().instantiate(trig), trig);
+}
+
+TEST(Template, PaperExpansionExample)
+{
+    // Figure 1: addq T.RS1, 8, dr0 ; T.OP T.RD, T.IMM(dr0)
+    Inst trig = makeMem(Opcode::LDQ, ir(4), 32, sp);
+    TemplateInst add = TemplateInst::opImm(
+        Opcode::ADDQ_I, TRegField::trigRb(), 8, TRegField::reg(dr(0)));
+    TemplateInst repl = TemplateInst::mem(
+        Opcode::LDQ, TRegField::trigRa(), TImmField::trigImm(),
+        TRegField::reg(dr(0)));
+
+    Inst i0 = add.instantiate(trig);
+    EXPECT_EQ(i0.ra, sp);
+    EXPECT_EQ(i0.imm, 8);
+    EXPECT_EQ(i0.rc, dr(0));
+
+    Inst i1 = repl.instantiate(trig);
+    EXPECT_EQ(i1.ra, ir(4));
+    EXPECT_EQ(i1.imm, 32);
+    EXPECT_EQ(i1.rb, dr(0));
+}
+
+// -------------------------------------------------------------- engine
+
+Production
+identityProduction(std::string name, Pattern pat)
+{
+    Production p;
+    p.name = std::move(name);
+    p.pattern = pat;
+    p.replacement = {TemplateInst::trigInst()};
+    return p;
+}
+
+TEST(Engine, AddRemoveCount)
+{
+    DiseEngine engine;
+    ProductionId id =
+        engine.addProduction(identityProduction(
+            "a", Pattern::forClass(OpClass::Store)));
+    EXPECT_EQ(engine.productionCount(), 1u);
+    EXPECT_NE(engine.production(id), nullptr);
+    engine.removeProduction(id);
+    EXPECT_EQ(engine.productionCount(), 0u);
+}
+
+TEST(Engine, PatternTableCapacity)
+{
+    DiseEngineConfig cfg;
+    cfg.patternTableEntries = 4;
+    DiseEngine engine(cfg);
+    for (int i = 0; i < 4; ++i)
+        engine.addProduction(
+            identityProduction("p", Pattern::forCodeword(i)));
+    EXPECT_THROW(engine.addProduction(identityProduction(
+                     "overflow", Pattern::forCodeword(99))),
+                 FatalError);
+}
+
+TEST(Engine, MostSpecificWins)
+{
+    DiseEngine engine;
+    Production general = identityProduction(
+        "general", Pattern::forClass(OpClass::Store));
+    Production specific = identityProduction(
+        "specific", Pattern::forClass(OpClass::Store));
+    specific.pattern.baseReg = sp;
+    engine.addProduction(general);
+    engine.addProduction(specific);
+
+    const Production *m =
+        engine.matchFunctional(makeMem(Opcode::STQ, t0, 0, sp), 0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name, "specific");
+    m = engine.matchFunctional(makeMem(Opcode::STQ, t0, 0, t1), 0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name, "general");
+}
+
+TEST(Engine, DisabledEngineMatchesNothing)
+{
+    DiseEngine engine;
+    engine.addProduction(
+        identityProduction("p", Pattern::forClass(OpClass::Store)));
+    engine.setEnabled(false);
+    EXPECT_EQ(engine.matchFunctional(makeMem(Opcode::STQ, t0, 0, sp), 0),
+              nullptr);
+}
+
+TEST(Engine, ReplacementTableMissesTracked)
+{
+    DiseEngineConfig cfg;
+    cfg.replacementTableInsts = 16;
+    cfg.replacementLineInsts = 8;
+    cfg.replacementTableAssoc = 2;
+    DiseEngine engine(cfg);
+    // Two productions whose lines collide in the single set.
+    for (int i = 0; i < 2; ++i) {
+        Production p = identityProduction("p" + std::to_string(i),
+                                          Pattern::forCodeword(i));
+        p.replacement.assign(8, TemplateInst::trigInst());
+        engine.addProduction(p);
+    }
+    Inst cw0 = makeSystem(Opcode::CODEWORD, 0);
+    Inst cw1 = makeSystem(Opcode::CODEWORD, 1);
+    MatchResult r = engine.match(cw0, 0);
+    EXPECT_GT(r.stallCycles, 0u); // compulsory miss
+    r = engine.match(cw0, 0);
+    EXPECT_EQ(r.stallCycles, 0u); // resident
+    engine.match(cw1, 0); // may or may not conflict
+    uint64_t misses = engine.stats().get("rt_misses");
+    EXPECT_GE(misses, 2u);
+}
+
+TEST(Controller, ApplicationMayInstrumentItself)
+{
+    DiseEngine engine;
+    DiseController ctl(engine, /*ownerPid=*/7);
+    DiseClient app{7, false};
+    ProductionId id = ctl.install(
+        app, 7, identityProduction("p", Pattern::forCodeword(1)));
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ctl.remove(app, 7, id));
+}
+
+TEST(Controller, UntrustedCannotTouchOthers)
+{
+    DiseEngine engine;
+    DiseController ctl(engine, 7);
+    DiseClient rogue{8, false};
+    EXPECT_EQ(ctl.install(rogue, 7,
+                          identityProduction(
+                              "p", Pattern::forCodeword(1))),
+              0u);
+    EXPECT_EQ(engine.productionCount(), 0u);
+}
+
+TEST(Controller, TrustedDebuggerMayInstrumentOthers)
+{
+    DiseEngine engine;
+    DiseController ctl(engine, 7);
+    DiseClient debugger{99, true};
+    EXPECT_NE(ctl.install(debugger, 7,
+                          identityProduction(
+                              "p", Pattern::forCodeword(1))),
+              0u);
+}
+
+// --------------------------------------------- stream-level expansion
+
+/** Run a program with productions installed. */
+template <typename Setup, typename Emit>
+FuncResult
+runWithDise(Setup &&setup, Emit &&emit, DebugTarget **outTarget)
+{
+    Assembler a;
+    a.data(0x0200'0000);
+    a.text(0x0100'0000);
+    emit(a);
+    static thread_local std::unique_ptr<DebugTarget> keep;
+    keep = std::make_unique<DebugTarget>(a.finish("main"));
+    setup(*keep);
+    keep->load();
+    *outTarget = keep.get();
+    StreamEnv env;
+    env.sink = &keep->sink;
+    FuncCpu cpu(keep->arch, keep->mem, &keep->engine, env);
+    return cpu.run();
+}
+
+TEST(Expansion, InsertedInstructionsExecute)
+{
+    // Expand every store into {T.INST; addq dr0, 1, dr0} — a dynamic
+    // store counter in a private DISE register.
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "count-stores";
+            p.pattern = Pattern::forClass(OpClass::Store);
+            p.replacement = {
+                TemplateInst::trigInst(),
+                TemplateInst::opImm(Opcode::ADDQ_I,
+                                    TRegField::reg(dr(0)), 1,
+                                    TRegField::reg(dr(0))),
+            };
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.la(s0, "buf");
+            for (int i = 0; i < 5; ++i)
+                a.stq(t0, static_cast<int64_t>(8 * i), s0);
+            a.syscall(SysExit);
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.space(64);
+        },
+        &t);
+    EXPECT_EQ(r.halt, HaltReason::Exited);
+    EXPECT_EQ(t->arch.readDise(0), 5u);
+    EXPECT_EQ(r.expansionOps, 5u); // five inserted adds
+}
+
+TEST(Expansion, TriggerCopyCountsAsAppInst)
+{
+    DebugTarget *t = nullptr;
+    FuncResult plain = runWithDise(
+        [](DebugTarget &) {},
+        [](Assembler &a) {
+            a.label("main");
+            a.la(s0, "buf");
+            a.stq(t0, 0, s0);
+            a.syscall(SysExit);
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.space(8);
+        },
+        &t);
+    DebugTarget *t2 = nullptr;
+    FuncResult expanded = runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "noop-wrap";
+            p.pattern = Pattern::forClass(OpClass::Store);
+            p.replacement = {
+                TemplateInst::trigInst(),
+                TemplateInst::opImm(Opcode::ADDQ_I,
+                                    TRegField::reg(dr(0)), 1,
+                                    TRegField::reg(dr(0))),
+            };
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.la(s0, "buf");
+            a.stq(t0, 0, s0);
+            a.syscall(SysExit);
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.space(8);
+        },
+        &t2);
+    EXPECT_EQ(plain.appInsts, expanded.appInsts);
+}
+
+static TemplateInst
+makeDiseBranchTemplate()
+{
+    TemplateInst b;
+    b.op = Opcode::D_BNE;
+    b.ra = TRegField::reg(dr(1));
+    b.imm = TImmField::imm(1);
+    return b;
+}
+
+TEST(Expansion, DiseBranchSkips)
+{
+    // Replacement: {cmpeq dr0,0 -> dr1; d_bne dr1, +1; addq dr2,1,dr2}
+    // With dr0 == 0 the branch is taken and the add is skipped.
+    DebugTarget *t = nullptr;
+    runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "skip";
+            p.pattern = Pattern::forCodeword(1);
+            p.replacement = {
+                TemplateInst::opImm(Opcode::CMPEQ_I,
+                                    TRegField::reg(dr(0)), 0,
+                                    TRegField::reg(dr(1))),
+                makeDiseBranchTemplate(),
+                TemplateInst::opImm(Opcode::ADDQ_I,
+                                    TRegField::reg(dr(2)), 1,
+                                    TRegField::reg(dr(2))),
+            };
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.codeword(1);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->arch.readDise(2), 0u); // skipped
+}
+
+TEST(Expansion, DiseCallRunsHandlerAndReturns)
+{
+    // Handler: t0 += 41 via DISE registers; returns with d_ret.
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            target.arch.writeDise(5, target.program.symbol("handler"));
+            Production p;
+            p.name = "call";
+            p.pattern = Pattern::forCodeword(2);
+            TemplateInst call;
+            call.op = Opcode::D_CALL;
+            call.rb = TRegField::reg(dr(5));
+            p.replacement = {
+                call,
+                // Executed after d_ret resumes the expansion:
+                TemplateInst::opImm(Opcode::ADDQ_I,
+                                    TRegField::reg(dr(3)), 1,
+                                    TRegField::reg(dr(3))),
+            };
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.codeword(2);
+            a.mov(t0, a0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+            // The "debugger-generated" function.
+            a.label("handler");
+            a.d_mtr(dr(0), t1); // stash t1
+            a.li(t1, 41);
+            a.addq(t0, t1, t0);
+            a.d_mfr(t1, dr(0)); // restore t1
+            a.d_ret();
+        },
+        &t);
+    (void)r;
+    // The handler ran: t0 == 41 observed via the mark.
+    ASSERT_FALSE(t->sink.marks.empty());
+    EXPECT_EQ(t->sink.marks[0], 41u);
+    // The post-return template instruction also ran.
+    EXPECT_EQ(t->arch.readDise(3), 1u);
+}
+
+TEST(Expansion, ConditionalCallNotTakenIsFree)
+{
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "ccall";
+            p.pattern = Pattern::forCodeword(3);
+            TemplateInst call;
+            call.op = Opcode::D_CCALL;
+            call.ra = TRegField::reg(dr(1)); // condition: 0
+            call.rb = TRegField::reg(dr(5));
+            p.replacement = {call};
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.codeword(3);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(r.handlerOps, 0u);
+    EXPECT_EQ(r.halt, HaltReason::Exited);
+}
+
+TEST(Expansion, HandlerIsNotReexpanded)
+{
+    // DISE is disabled inside DISE-called functions: stores in the
+    // handler must not trigger the store production (no recursion).
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            target.arch.writeDise(5, target.program.symbol("handler"));
+            Production p;
+            p.name = "stores";
+            p.pattern = Pattern::forClass(OpClass::Store);
+            TemplateInst call;
+            call.op = Opcode::D_CALL;
+            call.rb = TRegField::reg(dr(5));
+            p.replacement = {TemplateInst::trigInst(), call};
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.la(s0, "buf");
+            a.stq(t0, 0, s0); // triggers exactly one handler call
+            a.syscall(SysExit);
+            a.label("handler");
+            a.stq(t1, 8, s0); // must NOT recurse
+            a.d_ret();
+            a.data(0x0200'0000);
+            a.label("buf");
+            a.space(64);
+        },
+        &t);
+    EXPECT_EQ(r.halt, HaltReason::Exited);
+    // One handler invocation: stq + d_ret.
+    EXPECT_EQ(r.handlerOps, 2u);
+}
+
+TEST(Expansion, EmptyReplacementDeletesInstruction)
+{
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "delete-codewords";
+            p.pattern = Pattern::forCodeword(9);
+            p.replacement = {};
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.li(t0, 1);
+            a.codeword(9);
+            a.mov(t0, a0);
+            a.syscall(SysMark);
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(r.halt, HaltReason::Exited);
+    EXPECT_EQ(t->sink.marks[0], 1u);
+}
+
+TEST(Expansion, ConventionalBranchInExpansionAborts)
+{
+    // A taken conventional branch inside a replacement sequence goes to
+    // <newPC:0>, abandoning the rest of the expansion.
+    DebugTarget *t = nullptr;
+    runWithDise(
+        [](DebugTarget &target) {
+            Production p;
+            p.name = "branch-out";
+            p.pattern = Pattern::forCodeword(4);
+            p.replacement = {
+                TemplateInst::fixed(makeBranch(Opcode::BR, zero, 1)),
+                // Never reached:
+                TemplateInst::opImm(Opcode::ADDQ_I,
+                                    TRegField::reg(dr(2)), 1,
+                                    TRegField::reg(dr(2))),
+            };
+            target.engine.addProduction(p);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.codeword(4); // BR +1 lands on the syscall below
+            a.nop();
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(t->arch.readDise(2), 0u);
+}
+
+TEST(Expansion, AppCannotReadDiseRegisters)
+{
+    // d_mfr from ordinary application code faults: the DISE register
+    // space is private.
+    DebugTarget *t = nullptr;
+    FuncResult r = runWithDise(
+        [](DebugTarget &target) {
+            target.arch.writeDise(4, 0x5ec2e7);
+        },
+        [](Assembler &a) {
+            a.label("main");
+            a.d_mfr(t0, dr(4));
+            a.syscall(SysExit);
+        },
+        &t);
+    EXPECT_EQ(r.halt, HaltReason::Fault);
+}
+
+} // namespace
+} // namespace dise

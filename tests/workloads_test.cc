@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Workload tests: every kernel runs to completion deterministically,
+ * its Table 1/Table 2 calibration lands in band, and the metadata the
+ * experiments rely on (watchpoint addresses, multi-watch sets, page
+ * co-location) is sound. Bands are deliberately generous: the paper's
+ * conclusions depend on ordering and magnitude classes, not third
+ * digits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace dise {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    ExperimentRunner runner_;
+};
+
+TEST_P(WorkloadTest, RunsToCompletion)
+{
+    auto sum = runner_.functionalSummary(GetParam());
+    EXPECT_GT(sum.appInsts, 50000u);
+    EXPECT_GT(sum.stores, 1000u);
+}
+
+TEST_P(WorkloadTest, Deterministic)
+{
+    const Workload &w = runner_.workload(GetParam());
+    DebugTarget t1(w.program), t2(w.program);
+    t1.load();
+    t2.load();
+    StreamEnv e1, e2;
+    e1.sink = &t1.sink;
+    e2.sink = &t2.sink;
+    FuncCpu c1(t1.arch, t1.mem, &t1.engine, e1);
+    FuncCpu c2(t2.arch, t2.mem, &t2.engine, e2);
+    FuncResult r1 = c1.run();
+    FuncResult r2 = c2.run();
+    EXPECT_EQ(r1.appInsts, r2.appInsts);
+    EXPECT_EQ(t1.sink.marks, t2.sink.marks);
+}
+
+TEST_P(WorkloadTest, WatchAddressesResolved)
+{
+    const Workload &w = runner_.workload(GetParam());
+    EXPECT_NE(w.hotAddr, 0u);
+    EXPECT_NE(w.warm1Addr, 0u);
+    EXPECT_NE(w.warm2Addr, 0u);
+    EXPECT_NE(w.coldAddr, 0u);
+    EXPECT_NE(w.ptrAddr, 0u);
+    EXPECT_NE(w.rangeBase, 0u);
+    EXPECT_GE(w.rangeLen, 64u);
+    // The INDIRECT pointer aliases HOT's storage (Table 2 note).
+    DebugTarget t(w.program);
+    t.load();
+    EXPECT_EQ(t.mem.read(w.ptrAddr, 8), w.hotAddr);
+}
+
+TEST_P(WorkloadTest, FrequencyOrderingHolds)
+{
+    auto rows = runner_.measureFrequencies(GetParam());
+    // HOT is the hottest scalar; WARM1 >= WARM2 >= COLD.
+    EXPECT_GT(rows[WatchSel::HOT].per100k,
+              rows[WatchSel::WARM1].per100k);
+    EXPECT_GE(rows[WatchSel::WARM1].per100k,
+              rows[WatchSel::WARM2].per100k);
+    EXPECT_GE(rows[WatchSel::WARM2].per100k,
+              rows[WatchSel::COLD].per100k);
+    // INDIRECT refers to the same storage as HOT.
+    EXPECT_DOUBLE_EQ(rows[WatchSel::INDIRECT].per100k,
+                     rows[WatchSel::HOT].per100k);
+}
+
+TEST_P(WorkloadTest, ScaleGrowsWork)
+{
+    HarnessOptions big;
+    big.scale = 2;
+    ExperimentRunner bigger(big);
+    auto s1 = runner_.functionalSummary(GetParam());
+    auto s2 = bigger.functionalSummary(GetParam());
+    EXPECT_GT(s2.appInsts, s1.appInsts + s1.appInsts / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::ValuesIn(workloadNames()));
+
+// ---------------------------------------------- per-benchmark bands
+
+TEST(Calibration, StoreDensities)
+{
+    ExperimentRunner run;
+    auto band = [&](const std::string &name, double lo, double hi) {
+        double d = run.functionalSummary(name).storeDensity * 100.0;
+        EXPECT_GE(d, lo) << name;
+        EXPECT_LE(d, hi) << name;
+    };
+    // Paper: 19.8 / 10.8 / 9.68 / 16.2 / 13.7 / 17.6.
+    band("bzip2", 14, 26);
+    band("crafty", 6, 15);
+    band("gcc", 5, 13);
+    band("mcf", 11, 24);
+    band("twolf", 5, 18);
+    band("vortex", 6, 22);
+}
+
+TEST(Calibration, IpcClasses)
+{
+    ExperimentRunner run;
+    double bzip2 = run.baseline("bzip2").ipc();
+    double crafty = run.baseline("crafty").ipc();
+    double gcc = run.baseline("gcc").ipc();
+    double mcf = run.baseline("mcf").ipc();
+    double twolf = run.baseline("twolf").ipc();
+    double vortex = run.baseline("vortex").ipc();
+    // mcf is the memory-bound outlier (paper: 0.33).
+    EXPECT_LT(mcf, 1.0);
+    EXPECT_LT(mcf, twolf);
+    EXPECT_LT(mcf, gcc);
+    // The ALU-dense kernels run near machine width.
+    EXPECT_GT(bzip2, 2.0);
+    EXPECT_GT(crafty, 2.0);
+    EXPECT_GT(vortex, 1.5);
+    // The branchy/footprint kernels sit in the middle.
+    EXPECT_GT(gcc, 0.9);
+    EXPECT_LT(gcc, bzip2);
+    EXPECT_GT(twolf, 0.7);
+    EXPECT_LT(twolf, crafty);
+}
+
+TEST(Calibration, HotSilentStoreFractions)
+{
+    ExperimentRunner run;
+    auto silent = [&](const std::string &name) {
+        return run.measureFrequencies(name)[WatchSel::HOT].silentPct;
+    };
+    // Paper Section 5.1: >=50% silent for all HOT benchmarks save
+    // bzip2.
+    EXPECT_LT(silent("bzip2"), 10);
+    EXPECT_GE(silent("crafty"), 45);
+    EXPECT_GE(silent("mcf"), 50);
+    EXPECT_GE(silent("twolf"), 50);
+    EXPECT_GE(silent("vortex"), 50);
+}
+
+TEST(Calibration, CodeFootprints)
+{
+    ExperimentRunner run;
+    auto kb = [&](const std::string &name) {
+        return run.workload(name).program.textWords() * 4.0 / 1024.0;
+    };
+    // gcc carries the large static footprint (Figure 5's worst case);
+    // bzip2/crafty/mcf stay small.
+    EXPECT_GT(kb("gcc"), 12.0);
+    EXPECT_LT(kb("bzip2"), 4.0);
+    EXPECT_LT(kb("crafty"), 4.0);
+    EXPECT_LT(kb("mcf"), 4.0);
+    EXPECT_GT(kb("gcc"), kb("twolf"));
+}
+
+TEST(Calibration, MultiWatchSetsAvailable)
+{
+    ExperimentRunner run;
+    for (const std::string name : {"crafty", "gcc", "vortex"}) {
+        const Workload &w = run.workload(name);
+        auto specs = w.multiWatch(16);
+        ASSERT_EQ(specs.size(), 16u) << name;
+        // All scalars, all distinct quads (hardware-register friendly).
+        std::set<Addr> quads;
+        for (const auto &s : specs) {
+            EXPECT_EQ(s.kind, WatchKind::Scalar);
+            quads.insert(s.addr & ~7ull);
+        }
+        EXPECT_EQ(quads.size(), 16u) << name;
+    }
+}
+
+TEST(Calibration, RangeWatchpointFrequencies)
+{
+    ExperimentRunner run;
+    auto rows = run.measureFrequencies("gcc");
+    // gcc's RANGE (the cost array) is by far its hottest watchpoint.
+    EXPECT_GT(rows[WatchSel::RANGE].per100k, 1000);
+    auto mcfRows = run.measureFrequencies("mcf");
+    EXPECT_DOUBLE_EQ(mcfRows[WatchSel::RANGE].per100k, 0.0);
+}
+
+} // namespace
+} // namespace dise
