@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: simulated MIPS of the functional
+ * hot path (fetch -> decode -> DISE match -> execute) across the
+ * Figure 3/4 workloads under three instrumentation configurations:
+ *
+ *   off     - empty pattern table (undebugged baseline)
+ *   uncond  - every store expanded with an unconditional watchpoint
+ *             check (Figure 3 methodology)
+ *   cond    - every store expanded with a conditional (value-predicate)
+ *             watchpoint check (Figure 4 methodology)
+ *
+ * Each cell is measured twice: with the optimized hot path (predecoded
+ * µop cache, indexed production matching, memoized expansions) and
+ * with the legacy fallback (per-fetch memory read + decode, linear
+ * 32-slot pattern scan, per-trigger expansion instantiation), giving
+ * the host-side speedup every future PR is measured against. Results
+ * are emitted as BENCH_throughput.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/func_cpu.hh"
+#include "debug/target.hh"
+#include "dise/engine.hh"
+#include "workloads/workload.hh"
+
+using namespace dise;
+
+namespace {
+
+enum class Config { Off, Uncond, Cond };
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Off: return "off";
+      case Config::Uncond: return "uncond";
+      case Config::Cond: return "cond";
+    }
+    return "?";
+}
+
+struct Options
+{
+    bool quick = false;
+    bool noUcache = false;
+    bool noIndex = false;
+    bool noMemo = false;
+    bool noPagecache = false;
+    unsigned reps = 2;
+    uint64_t maxAppInsts = 0; ///< 0 = run workloads to completion
+    std::string out = "BENCH_throughput.json";
+};
+
+struct Measurement
+{
+    std::string workload;
+    Config config = Config::Off;
+    bool optimized = true;
+    uint64_t appInsts = 0;
+    uint64_t microOps = 0;
+    double seconds = 0.0;
+
+    double mips() const { return seconds > 0 ? appInsts / seconds / 1e6 : 0; }
+    double
+    microMips() const
+    {
+        return seconds > 0 ? microOps / seconds / 1e6 : 0;
+    }
+};
+
+/** Figure 2a-style inline watchpoint check appended to every store. */
+Production
+storeCheckProduction(bool conditional)
+{
+    auto R = [](RegId r) { return TRegField::reg(r); };
+    Production p;
+    p.name = conditional ? "watch-cond" : "watch-uncond";
+    p.pattern = Pattern::forClass(OpClass::Store);
+
+    std::vector<TemplateInst> seq;
+    seq.push_back(TemplateInst::trigInst());
+    // Reconstruct the store address into dr1.
+    seq.push_back(TemplateInst::mem(Opcode::LDA, R(dr(1)),
+                                    TImmField::trigImm(),
+                                    TRegField::trigRb()));
+    // Address match against the watched location in dr3.
+    seq.push_back(TemplateInst::op3(Opcode::CMPEQ, R(dr(1)), R(dr(3)),
+                                    R(dr(2))));
+    if (!conditional) {
+        // Unconditional: trap whenever the watched address is written.
+        TemplateInst t;
+        t.op = Opcode::CTRAP;
+        t.ra = R(dr(2));
+        t.imm = TImmField::imm(1);
+        seq.push_back(t);
+    } else {
+        // Conditional: on an address match, load the new value and
+        // trap only when it equals the predicate constant in dr4.
+        TemplateInst skip;
+        skip.op = Opcode::D_BEQ;
+        skip.ra = R(dr(2));
+        skip.imm = TImmField::imm(3);
+        seq.push_back(skip);
+        seq.push_back(TemplateInst::mem(Opcode::LDQ, R(dr(0)),
+                                        TImmField::imm(0), R(dr(1))));
+        seq.push_back(TemplateInst::op3(Opcode::CMPEQ, R(dr(0)), R(dr(4)),
+                                        R(dr(0))));
+        TemplateInst t;
+        t.op = Opcode::CTRAP;
+        t.ra = R(dr(0));
+        t.imm = TImmField::imm(1);
+        seq.push_back(t);
+    }
+    p.replacement = std::move(seq);
+    return p;
+}
+
+Measurement
+measureOnce(const Workload &w, Config config, bool optimized,
+            const Options &opts)
+{
+    DebugTarget target(w.program);
+    if (config != Config::Off) {
+        target.engine.addProduction(
+            storeCheckProduction(config == Config::Cond));
+        target.arch.writeDise(3, w.hotAddr);
+        // Figure 4 predicate: a constant the watched value never takes.
+        target.arch.writeDise(4, 0xdeadbeefcafeull);
+    }
+    target.load();
+
+    // The fallback leg reproduces the pre-overhaul hot path: per-fetch
+    // memory read + decode, linear pattern scan, per-trigger expansion
+    // instantiation, and uncached page lookups.
+    bool ucache = optimized && !opts.noUcache;
+    target.engine.setIndexedMatch(optimized && !opts.noIndex);
+    target.engine.setExpansionMemo(optimized && !opts.noMemo);
+    target.mem.setPageCacheEnabled(optimized && !opts.noPagecache);
+
+    StreamEnv env;
+    env.sink = &target.sink;
+    env.uopCache = ucache;
+    FuncCpu cpu(target.arch, target.mem, &target.engine, env);
+
+    auto t0 = std::chrono::steady_clock::now();
+    FuncResult r = cpu.run(opts.maxAppInsts);
+    auto t1 = std::chrono::steady_clock::now();
+    if (r.halt == HaltReason::Fault)
+        fatal("throughput run of '", w.name, "' faulted: ",
+              r.faultMessage);
+
+    Measurement m;
+    m.workload = w.name;
+    m.config = config;
+    m.optimized = optimized;
+    m.appInsts = r.appInsts;
+    m.microOps = r.microOps;
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return m;
+}
+
+Measurement
+measure(const Workload &w, Config config, bool optimized,
+        const Options &opts)
+{
+    // Best of N: the container's wall clock is noisy.
+    Measurement best;
+    for (unsigned i = 0; i < opts.reps; ++i) {
+        Measurement m = measureOnce(w, config, optimized, opts);
+        if (i == 0 || m.mips() > best.mips())
+            best = m;
+    }
+    return best;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opts.quick = true;
+            opts.reps = 1;
+            opts.maxAppInsts = 50000;
+        } else if (arg == "--no-ucache") {
+            opts.noUcache = true;
+        } else if (arg == "--no-index") {
+            opts.noIndex = true;
+        } else if (arg == "--no-memo") {
+            opts.noMemo = true;
+        } else if (arg == "--no-pagecache") {
+            opts.noPagecache = true;
+        } else if (arg == "--reps") {
+            opts.reps = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--insts") {
+            opts.maxAppInsts = static_cast<uint64_t>(std::atoll(next()));
+        } else if (arg == "--out") {
+            opts.out = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options:\n"
+                "  --quick       one workload, capped instructions (CI)\n"
+                "  --no-ucache   disable the predecoded µop cache\n"
+                "  --no-index    disable indexed production matching\n"
+                "  --no-memo     disable expansion memoization\n"
+                "  --no-pagecache disable the memory page-pointer "
+                "caches\n"
+                "  --reps N      repetitions per cell (best-of, default 2)\n"
+                "  --insts N     cap application instructions per run\n"
+                "  --out FILE    JSON output path "
+                "(default BENCH_throughput.json)\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '", arg, "' (try --help)");
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+
+    std::vector<std::string> names =
+        opts.quick ? std::vector<std::string>{"bzip2"} : workloadNames();
+    const Config configs[] = {Config::Off, Config::Uncond, Config::Cond};
+
+    std::vector<Measurement> results;
+    TextTable table;
+    table.setHeader({"workload", "config", "optimized MIPS",
+                     "fallback MIPS", "speedup"});
+
+    double uncondSpeedupMin = 0.0;
+    bool first = true;
+    for (const auto &name : names) {
+        WorkloadParams params;
+        Workload w = buildWorkload(name, params);
+        for (Config config : configs) {
+            Measurement opt = measure(w, config, true, opts);
+            Measurement fall = measure(w, config, false, opts);
+            results.push_back(opt);
+            results.push_back(fall);
+            double speedup =
+                fall.mips() > 0 ? opt.mips() / fall.mips() : 0.0;
+            if (config == Config::Uncond) {
+                if (first || speedup < uncondSpeedupMin)
+                    uncondSpeedupMin = speedup;
+                first = false;
+            }
+            char optBuf[32], fallBuf[32], spBuf[32];
+            std::snprintf(optBuf, sizeof optBuf, "%.2f", opt.mips());
+            std::snprintf(fallBuf, sizeof fallBuf, "%.2f", fall.mips());
+            std::snprintf(spBuf, sizeof spBuf, "%.2fx", speedup);
+            table.addRow({name, configName(config), optBuf, fallBuf, spBuf});
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("min unconditional-instrumentation speedup: %.2fx\n",
+                uncondSpeedupMin);
+
+    std::ofstream os(opts.out);
+    if (!os)
+        fatal("cannot write ", opts.out);
+    os << "{\n  \"bench\": \"throughput\",\n";
+    os << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n";
+    os << "  \"uncond_speedup_min\": " << uncondSpeedupMin << ",\n";
+    os << "  \"runs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Measurement &m = results[i];
+        os << "    {\"workload\": \"" << m.workload << "\", \"config\": \""
+           << configName(m.config) << "\", \"mode\": \""
+           << (m.optimized ? "optimized" : "fallback")
+           << "\", \"app_insts\": " << m.appInsts
+           << ", \"micro_ops\": " << m.microOps
+           << ", \"seconds\": " << m.seconds << ", \"mips\": " << m.mips()
+           << ", \"micro_mips\": " << m.microMips() << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s\n", opts.out.c_str());
+    return 0;
+}

@@ -25,7 +25,8 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig &cfg)
       chooser_(cfg.hybridEntries, 1),
       btb_(cfg.btbEntries),
       ras_(cfg.rasEntries, 0),
-      stats_("bpred")
+      stats_("bpred"),
+      condUpdatesStat_(stats_.counter("cond_updates"))
 {
     DISE_ASSERT(isPow2(cfg.hybridEntries), "hybrid table must be pow2");
     DISE_ASSERT(cfg.btbEntries % cfg.btbAssoc == 0, "BTB geometry");
@@ -98,7 +99,7 @@ BranchPredictor::update(Addr pc, bool taken, Addr target, bool isCond)
         bump(bim, taken);
         bump(gsh, taken);
         history_ = (history_ << 1) | (taken ? 1 : 0);
-        stats_.inc("cond_updates");
+        ++*condUpdatesStat_;
     }
     if (taken && target) {
         unsigned sets = cfg_.btbEntries / cfg_.btbAssoc;

@@ -31,6 +31,10 @@ class BranchPredictor
   public:
     explicit BranchPredictor(const BranchPredictorConfig &cfg = {});
 
+    // Holds interior pointers into its own StatGroup.
+    BranchPredictor(const BranchPredictor &) = delete;
+    BranchPredictor &operator=(const BranchPredictor &) = delete;
+
     /** Predicted direction for a conditional branch at @p pc. */
     bool predictDirection(Addr pc) const;
 
@@ -70,6 +74,8 @@ class BranchPredictor
     size_t rasTop_ = 0;
     uint64_t useClock_ = 0;
     StatGroup stats_;
+    /// Cached counter handle (update() runs once per resolved branch).
+    uint64_t *condUpdatesStat_;
 };
 
 } // namespace dise

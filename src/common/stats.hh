@@ -43,11 +43,22 @@ class StatGroup
         return it == counters_.end() ? 0 : it->second;
     }
 
-    /** Reset every counter to zero. */
+    /**
+     * Stable handle to counter @p key's storage (created at zero).
+     *
+     * Hot loops fetch the handle once and bump the integer directly,
+     * avoiding a string-keyed map lookup per event. Handles stay valid
+     * for the lifetime of the group: map nodes are never erased, and
+     * reset() zeroes values in place.
+     */
+    uint64_t *counter(const std::string &key) { return &counters_[key]; }
+
+    /** Reset every counter to zero (counter() handles stay valid). */
     void
     reset()
     {
-        counters_.clear();
+        for (auto &[key, value] : counters_)
+            value = 0;
     }
 
     const std::string &name() const { return name_; }

@@ -11,6 +11,49 @@ InstStream::InstStream(ArchState &arch, MainMemory &mem, DiseEngine *engine,
                        StreamEnv env)
     : arch_(arch), mem_(mem), engine_(engine), env_(env)
 {
+    if (env_.uopCache)
+        mem_.addCodeWatcher(this);
+}
+
+InstStream::~InstStream()
+{
+    if (env_.uopCache)
+        mem_.removeCodeWatcher(this);
+}
+
+void
+InstStream::onCodeWrite(uint64_t frame)
+{
+    uopPages_.erase(frame);
+    if (uopFrame_ == frame) {
+        uopFrame_ = ~uint64_t{0};
+        uopPage_ = nullptr;
+    }
+}
+
+InstStream::UopEntry *
+InstStream::uopEntryFor(Addr pc)
+{
+    uint64_t frame = pc / PageBytes;
+    if (frame != uopFrame_) {
+        auto &slot = uopPages_[frame];
+        if (!slot)
+            slot = std::make_unique<UopPage>();
+        uopFrame_ = frame;
+        uopPage_ = slot.get();
+    }
+    return &uopPage_->entries[(pc % PageBytes) / 4];
+}
+
+void
+InstStream::beginExpansion(int slot, const Inst &trigger, Addr pc)
+{
+    seq_ = engine_->expandCached(slot, trigger);
+    seqIdx_ = 0;
+    trigger_ = trigger;
+    trigPc_ = pc;
+    seqNextPc_ = pc + 4;
+    expanding_ = true;
 }
 
 void
@@ -28,7 +71,7 @@ InstStream::fault(MicroOp &op, const std::string &msg)
 void
 InstStream::finishExpansionIfDone()
 {
-    if (expanding_ && seqIdx_ >= seq_.size()) {
+    if (expanding_ && seqIdx_ >= seq_->insts.size()) {
         expanding_ = false;
         arch_.pc = seqNextPc_;
     }
@@ -44,17 +87,16 @@ InstStream::next(MicroOp &op)
 
     for (;;) {
         if (expanding_) {
-            if (seqIdx_ >= seq_.size()) {
+            if (seqIdx_ >= seq_->insts.size()) {
                 expanding_ = false;
                 arch_.pc = seqNextPc_;
                 continue;
             }
-            op.inst = seq_[seqIdx_];
+            op.inst = seq_->insts[seqIdx_];
             op.pc = trigPc_;
             op.disepc = static_cast<uint16_t>(seqIdx_ + 1);
             op.fromExpansion = true;
-            op.isTriggerCopy =
-                curProd_ && curProd_->replacement[seqIdx_].triggerCopy;
+            op.isTriggerCopy = seq_->triggerCopy[seqIdx_] != 0;
             ++seqIdx_;
             execute(op);
             finishExpansionIfDone();
@@ -63,29 +105,67 @@ InstStream::next(MicroOp &op)
 
         Addr pc = arch_.pc;
         op.pc = pc;
-        uint32_t word = static_cast<uint32_t>(mem_.read(pc, 4));
-        auto dec = decode(word);
-        if (!dec) {
-            fault(op, "illegal instruction word");
-            return true;
+
+        // Fetch + decode, through the predecoded µop cache when the PC
+        // is 4-aligned (unaligned PCs can straddle pages and would
+        // alias cache slots; they take the direct path).
+        const Inst *instP;
+        Inst directInst;
+        UopEntry *ent = nullptr;
+        if (env_.uopCache && (pc & 3) == 0) {
+            ent = uopEntryFor(pc);
+            if (ent->decoded == UopEntry::Empty) {
+                auto dec = decode(mem_.fetchWord(pc));
+                if (dec) {
+                    ent->decoded = UopEntry::Legal;
+                    ent->inst = *dec;
+                    // Arm write-invalidation for this page. Must also
+                    // cover pages that do not exist yet (all-zero
+                    // fetches decode): a later write creating the page
+                    // has to drop the cached decode. Skipped for
+                    // illegal words because that fetch faults and
+                    // halts the stream for good.
+                    mem_.markCodePage(pc);
+                } else {
+                    ent->decoded = UopEntry::Illegal;
+                }
+                ent->matchGen = ~uint64_t{0};
+            }
+            if (ent->decoded == UopEntry::Illegal) {
+                fault(op, "illegal instruction word");
+                return true;
+            }
+            instP = &ent->inst;
+        } else {
+            auto dec = decode(mem_.fetchWord(pc));
+            if (!dec) {
+                fault(op, "illegal instruction word");
+                return true;
+            }
+            directInst = *dec;
+            instP = &directInst;
         }
-        Inst inst = *dec;
 
         if (engine_ && engine_->enabled() && !inHandler_) {
-            const Production *prod = engine_->matchFunctional(inst, pc);
-            if (prod) {
-                seq_ = engine_->expand(*prod, inst);
-                seqIdx_ = 0;
-                trigger_ = inst;
-                trigPc_ = pc;
-                seqNextPc_ = pc + 4;
-                curProd_ = prod;
-                expanding_ = true;
+            int slot;
+            if (ent) {
+                // Cached match outcome, revalidated against the
+                // pattern-table generation in O(1).
+                if (ent->matchGen != engine_->generation()) {
+                    ent->matchSlot = engine_->matchSlot(*instP, pc);
+                    ent->matchGen = engine_->generation();
+                }
+                slot = ent->matchSlot;
+            } else {
+                slot = engine_->matchSlot(*instP, pc);
+            }
+            if (slot >= 0) {
+                beginExpansion(slot, *instP, pc);
                 continue;
             }
         }
 
-        op.inst = inst;
+        op.inst = *instP;
         op.disepc = 0;
         op.inHandler = inHandler_;
         if (inHandler_)
@@ -276,7 +356,6 @@ InstStream::execute(MicroOp &op)
             trigger_ = saved_.trigger;
             trigPc_ = saved_.trigPc;
             seqNextPc_ = saved_.nextPc;
-            curProd_ = saved_.prod;
             expanding_ = true;
             op.flush = FlushClass::DiseTransfer;
             break;
@@ -321,7 +400,6 @@ InstStream::execute(MicroOp &op)
         saved_.trigger = trigger_;
         saved_.trigPc = trigPc_;
         saved_.nextPc = seqNextPc_;
-        saved_.prod = curProd_;
         expanding_ = false;
         inHandler_ = true;
         arch_.pc = target;

@@ -13,12 +13,24 @@
  * Both the simple functional CPU and the cycle-level timing CPU consume
  * this stream; the timing model replays it with costs (functional-first
  * simulation in the SimpleScalar tradition).
+ *
+ * Hot-path structure: fetched instructions are decoded once into a
+ * per-page predecoded µop cache that also remembers the DISE-match
+ * outcome for each PC (validated against the engine's generation
+ * counter). Self-modifying and debugger-rewritten code stays correct
+ * because the stream registers as a CodeWatcher with MainMemory: any
+ * write to a page holding cached decodes drops that page. Replacement
+ * sequences are shared, memoized vectors from the engine rather than
+ * per-trigger allocations.
  */
 
 #ifndef DISE_CPU_INST_STREAM_HH
 #define DISE_CPU_INST_STREAM_HH
 
+#include <array>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -55,6 +67,8 @@ struct StreamEnv
     /** Statement-boundary PCs that trigger monitor->onStatement. */
     const std::unordered_set<Addr> *stmtTraps = nullptr;
     OutputSink *sink = nullptr;
+    /** Predecoded µop cache (perf only; off for A/B benchmarking). */
+    bool uopCache = true;
 };
 
 /** Syscall codes understood by the simulated OS layer. */
@@ -65,11 +79,15 @@ enum : int64_t {
     SysMark = 3,
 };
 
-class InstStream
+class InstStream : public CodeWatcher
 {
   public:
     InstStream(ArchState &arch, MainMemory &mem, DiseEngine *engine,
                StreamEnv env = {});
+    ~InstStream() override;
+
+    InstStream(const InstStream &) = delete;
+    InstStream &operator=(const InstStream &) = delete;
 
     /**
      * Produce the next correct-path micro-op (functionally executed).
@@ -86,35 +104,64 @@ class InstStream
     /** True while executing a DISE-called function (tests). */
     bool inHandler() const { return inHandler_; }
 
+    /** CodeWatcher: a write hit a page with cached decodes. */
+    void onCodeWrite(uint64_t frame) override;
+
+    /** Cached µop pages currently held (tests). */
+    size_t uopCachedPages() const { return uopPages_.size(); }
+
   private:
+    /** One predecoded fetch slot (per 4-byte-aligned PC). */
+    struct UopEntry
+    {
+        enum : uint8_t { Empty = 0, Legal, Illegal };
+        uint8_t decoded = Empty;
+        /** Cached matchSlot() outcome; -1 = no production matches. */
+        int32_t matchSlot = -1;
+        /** Engine generation the match was computed under. */
+        uint64_t matchGen = ~uint64_t{0};
+        Inst inst{};
+    };
+    struct UopPage
+    {
+        std::array<UopEntry, PageBytes / 4> entries;
+    };
+
     void execute(MicroOp &op);
     void fault(MicroOp &op, const std::string &msg);
     void finishExpansionIfDone();
+    UopEntry *uopEntryFor(Addr pc);
+    void beginExpansion(int slot, const Inst &trigger, Addr pc);
 
     ArchState &arch_;
     MainMemory &mem_;
     DiseEngine *engine_;
     StreamEnv env_;
 
-    // Expansion state.
+    // Predecoded µop cache.
+    std::unordered_map<uint64_t, std::unique_ptr<UopPage>> uopPages_;
+    uint64_t uopFrame_ = ~uint64_t{0}; ///< one-entry page cache
+    UopPage *uopPage_ = nullptr;
+
+    // Expansion state. The shared Expansion is self-contained (insts +
+    // trigger-copy flags), so nothing here dangles if the pattern table
+    // mutates while an expansion is in flight.
     bool expanding_ = false;
-    std::vector<Inst> seq_;
+    DiseEngine::ExpansionRef seq_;
     size_t seqIdx_ = 0;
     Inst trigger_{};
     Addr trigPc_ = 0;
     Addr seqNextPc_ = 0;
-    const Production *curProd_ = nullptr;
 
     // DISE-called function state.
     bool inHandler_ = false;
     struct SavedCtx
     {
-        std::vector<Inst> seq;
+        DiseEngine::ExpansionRef seq;
         size_t idx = 0;
         Inst trigger{};
         Addr trigPc = 0;
         Addr nextPc = 0;
-        const Production *prod = nullptr;
     } saved_;
 
     bool halted_ = false;

@@ -1,17 +1,82 @@
 #include "dise/engine.hh"
 
+#include <bit>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
 namespace dise {
 
-DiseEngine::DiseEngine(const DiseEngineConfig &cfg)
-    : cfg_(cfg), slots_(cfg.patternTableEntries), stats_("dise")
+size_t
+DiseEngine::ExpKeyHash::operator()(const ExpKey &k) const
 {
+    const Inst &t = k.trigger;
+    uint64_t h = k.id;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(t.op);
+    auto mixReg = [&](RegId r) {
+        h = h * 0x9e3779b97f4a7c15ULL +
+            ((static_cast<uint64_t>(r.kind) << 8) | r.idx);
+    };
+    mixReg(t.ra);
+    mixReg(t.rb);
+    mixReg(t.rc);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(t.imm);
+    return static_cast<size_t>(h ^ (h >> 32));
+}
+
+DiseEngine::DiseEngine(const DiseEngineConfig &cfg)
+    : cfg_(cfg), slots_(cfg.patternTableEntries), stats_("dise"),
+      matchesStat_(stats_.counter("matches")),
+      rtMissesStat_(stats_.counter("rt_misses"))
+{
+    indexable_ = cfg_.patternTableEntries <= MaxSlots;
     unsigned numLines = cfg_.replacementTableInsts / cfg_.replacementLineInsts;
     DISE_ASSERT(numLines % cfg_.replacementTableAssoc == 0,
                 "replacement table geometry");
     rtLines_.resize(numLines);
+}
+
+void
+DiseEngine::touchTable()
+{
+    ++generation_;
+    memo_.clear();
+    rebuildIndex();
+}
+
+void
+DiseEngine::rebuildIndex()
+{
+    if (!indexable_)
+        return; // masks cannot cover the table; matchLinear serves it
+    validMask_ = 0;
+    genericMask_ = 0;
+    byOpcode_.fill(0);
+    byClass_.fill(0);
+    pcAnchored_.clear();
+    cwAnchored_.clear();
+
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
+        if (!slot.valid)
+            continue;
+        SlotMask bit = SlotMask{1} << i;
+        validMask_ |= bit;
+        // File each production under its most selective anchor; lookup
+        // unions the buckets an instruction could possibly hit.
+        const Pattern &p = slot.prod.pattern;
+        if (p.pc) {
+            pcAnchored_[*p.pc] |= bit;
+        } else if (p.codewordId) {
+            cwAnchored_[*p.codewordId] |= bit;
+        } else if (p.opcode) {
+            byOpcode_[static_cast<unsigned>(*p.opcode)] |= bit;
+        } else if (p.opclass) {
+            byClass_[static_cast<unsigned>(*p.opclass)] |= bit;
+        } else {
+            genericMask_ |= bit;
+        }
+    }
 }
 
 ProductionId
@@ -22,6 +87,7 @@ DiseEngine::addProduction(Production p)
             slot.valid = true;
             slot.id = nextId_++;
             slot.prod = std::move(p);
+            touchTable();
             return slot.id;
         }
     }
@@ -35,6 +101,7 @@ DiseEngine::removeProduction(ProductionId id)
     for (auto &slot : slots_) {
         if (slot.valid && slot.id == id) {
             slot.valid = false;
+            touchTable();
             return;
         }
     }
@@ -46,6 +113,7 @@ DiseEngine::clear()
 {
     for (auto &slot : slots_)
         slot.valid = false;
+    touchTable();
 }
 
 size_t
@@ -67,22 +135,86 @@ DiseEngine::production(ProductionId id) const
 }
 
 const Production *
-DiseEngine::matchFunctional(const Inst &inst, Addr pc) const
+DiseEngine::slotProduction(int slot) const
 {
-    if (!enabled_)
-        return nullptr;
-    const Production *best = nullptr;
+    DISE_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size() &&
+                    slots_[slot].valid,
+                "bad pattern-table slot ", slot);
+    return &slots_[slot].prod;
+}
+
+DiseEngine::SlotMask
+DiseEngine::candidates(const Inst &inst, Addr pc) const
+{
+    SlotMask m = genericMask_ |
+                 byOpcode_[static_cast<unsigned>(inst.op)] |
+                 byClass_[static_cast<unsigned>(inst.cls())];
+    if (!pcAnchored_.empty()) {
+        auto it = pcAnchored_.find(pc);
+        if (it != pcAnchored_.end())
+            m |= it->second;
+    }
+    if (inst.op == Opcode::CODEWORD && !cwAnchored_.empty()) {
+        auto it = cwAnchored_.find(inst.imm);
+        if (it != cwAnchored_.end())
+            m |= it->second;
+    }
+    return m;
+}
+
+int
+DiseEngine::matchLinear(const Inst &inst, Addr pc) const
+{
+    int best = -1;
     unsigned bestSpec = 0;
-    for (const auto &slot : slots_) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
         if (!slot.valid || !slot.prod.pattern.matches(inst, pc))
             continue;
         unsigned spec = slot.prod.pattern.specificity();
-        if (!best || spec > bestSpec) {
-            best = &slot.prod;
+        if (best < 0 || spec > bestSpec) {
+            best = static_cast<int>(i);
             bestSpec = spec;
         }
     }
     return best;
+}
+
+int
+DiseEngine::matchSlot(const Inst &inst, Addr pc) const
+{
+    if (!enabled_)
+        return -1;
+    if (!indexed_ || !indexable_)
+        return matchLinear(inst, pc);
+    if (!validMask_)
+        return -1;
+    // Ascending slot order preserves the linear scan's tie-break
+    // (insertion order within the table; strictly-higher specificity
+    // wins).
+    int best = -1;
+    unsigned bestSpec = 0;
+    SlotMask m = candidates(inst, pc);
+    while (m) {
+        unsigned i = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        const Slot &slot = slots_[i];
+        if (!slot.prod.pattern.matches(inst, pc))
+            continue;
+        unsigned spec = slot.prod.pattern.specificity();
+        if (best < 0 || spec > bestSpec) {
+            best = static_cast<int>(i);
+            bestSpec = spec;
+        }
+    }
+    return best;
+}
+
+const Production *
+DiseEngine::matchFunctional(const Inst &inst, Addr pc) const
+{
+    int slot = matchSlot(inst, pc);
+    return slot < 0 ? nullptr : &slots_[slot].prod;
 }
 
 unsigned
@@ -113,7 +245,7 @@ DiseEngine::rtTouch(ProductionId id, size_t seqLen)
             }
         }
         if (!hit) {
-            stats_.inc("rt_misses");
+            ++*rtMissesStat_;
             stall += cfg_.replacementMissPenalty;
             victim->valid = true;
             victim->tag = lineKey;
@@ -127,20 +259,15 @@ MatchResult
 DiseEngine::match(const Inst &inst, Addr pc)
 {
     MatchResult res;
-    const Production *prod = matchFunctional(inst, pc);
-    if (!prod)
+    int slot = matchSlot(inst, pc);
+    if (slot < 0)
         return res;
 
-    stats_.inc("matches");
-    ProductionId id = 0;
-    for (const auto &slot : slots_) {
-        if (slot.valid && &slot.prod == prod) {
-            id = slot.id;
-            break;
-        }
-    }
-    res.production = prod;
-    res.stallCycles = rtTouch(id, prod->replacement.size());
+    ++*matchesStat_;
+    const Slot &s = slots_[slot];
+    res.production = &s.prod;
+    res.id = s.id;
+    res.stallCycles = rtTouch(s.id, s.prod.replacement.size());
     return res;
 }
 
@@ -152,6 +279,42 @@ DiseEngine::expand(const Production &prod, const Inst &trigger) const
     for (const auto &tmpl : prod.replacement)
         out.push_back(tmpl.instantiate(trigger));
     return out;
+}
+
+namespace {
+
+Expansion
+instantiateExpansion(const DiseEngine &engine, const Production &prod,
+                     const Inst &trigger)
+{
+    Expansion e;
+    e.insts = engine.expand(prod, trigger);
+    e.triggerCopy.reserve(prod.replacement.size());
+    for (const auto &tmpl : prod.replacement)
+        e.triggerCopy.push_back(tmpl.triggerCopy);
+    return e;
+}
+
+} // namespace
+
+DiseEngine::ExpansionRef
+DiseEngine::expandCached(int slot, const Inst &trigger)
+{
+    const Production &prod = *slotProduction(slot);
+    if (!memoize_ || !cfg_.expansionMemoEntries)
+        return std::make_shared<const Expansion>(
+            instantiateExpansion(*this, prod, trigger));
+
+    ExpKey key{slots_[slot].id, trigger};
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+    if (memo_.size() >= cfg_.expansionMemoEntries)
+        memo_.clear();
+    auto seq = std::make_shared<const Expansion>(
+        instantiateExpansion(*this, prod, trigger));
+    memo_.emplace(std::move(key), seq);
+    return seq;
 }
 
 } // namespace dise

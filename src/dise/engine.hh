@@ -9,13 +9,25 @@
  * architectural register state — the private DISE register file is
  * renamed and lives with the rest of the architectural state in the
  * CPU — the engine is pure instruction-stream transformation.
+ *
+ * Matching is indexed: every production is classified by its most
+ * selective pattern field (exact PC, codeword id, opcode, operation
+ * class), and decode-time lookup unions a handful of candidate
+ * bitmasks instead of scanning all pattern-table slots. A generation
+ * counter advances on every table mutation so fetch-side caches (the
+ * CPU's predecoded µop cache) can hold match outcomes and revalidate
+ * them in O(1). Instantiated replacement sequences are memoized per
+ * (production, trigger) since triggers repeat heavily in loops.
  */
 
 #ifndef DISE_DISE_ENGINE_HH
 #define DISE_DISE_ENGINE_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -42,19 +54,41 @@ struct DiseEngineConfig
     /** Cycles to refill one replacement-table line from memory. */
     unsigned replacementMissPenalty = 24;
     unsigned replacementLineInsts = 8;
+    /** Memoized-expansion cache capacity (entries; 0 disables). */
+    unsigned expansionMemoEntries = 4096;
 };
 
 /** Result of presenting one fetched instruction to the engine. */
 struct MatchResult
 {
     const Production *production = nullptr; ///< null: no expansion
+    ProductionId id = 0;      ///< id of the matched production
     unsigned stallCycles = 0; ///< replacement-table refill stalls
+};
+
+/**
+ * An instantiated replacement sequence, self-contained so that an
+ * expansion in flight stays valid even if the pattern table mutates
+ * (and the production's slot is reused) before it finishes.
+ */
+struct Expansion
+{
+    std::vector<Inst> insts;
+    /** Per-element T.INST flags (parallel to insts). */
+    std::vector<uint8_t> triggerCopy;
 };
 
 class DiseEngine
 {
   public:
+    /** A memoized, immutable instantiated replacement sequence. */
+    using ExpansionRef = std::shared_ptr<const Expansion>;
+
     explicit DiseEngine(const DiseEngineConfig &cfg = {});
+
+    // Holds interior pointers into its own StatGroup.
+    DiseEngine(const DiseEngine &) = delete;
+    DiseEngine &operator=(const DiseEngine &) = delete;
 
     /** @name Controller (privileged) interface */
     ///@{
@@ -77,9 +111,44 @@ class DiseEngine
     /** Pure matching without timing side effects (functional path). */
     const Production *matchFunctional(const Inst &inst, Addr pc) const;
 
-    /** Instantiate production @p prod for @p trigger. */
+    /**
+     * Pattern-table slot of the most specific matching production, or
+     * -1. The slot index is stable until the table mutates (observable
+     * through generation()), so fetch-side caches may store it.
+     */
+    int matchSlot(const Inst &inst, Addr pc) const;
+
+    /** Production occupying @p slot (from matchSlot; must be valid). */
+    const Production *slotProduction(int slot) const;
+
+    /**
+     * Advances on every pattern-table mutation. A cached matchSlot()
+     * outcome is valid iff the generation it was computed under still
+     * matches.
+     */
+    uint64_t generation() const { return generation_; }
+
+    /** Instantiate production @p prod for @p trigger (uncached). */
     std::vector<Inst> expand(const Production &prod,
                              const Inst &trigger) const;
+
+    /**
+     * Memoized expansion of the production in @p slot for @p trigger.
+     * The returned sequence is shared and immutable; it stays alive
+     * across table mutations even though the memo table is dropped.
+     */
+    ExpansionRef expandCached(int slot, const Inst &trigger);
+
+    /** @name A/B switches for benchmarking the indexed hot path */
+    ///@{
+    void setIndexedMatch(bool on) { indexed_ = on; }
+    void
+    setExpansionMemo(bool on)
+    {
+        memoize_ = on;
+        memo_.clear();
+    }
+    ///@}
 
     StatGroup &stats() { return stats_; }
 
@@ -99,15 +168,54 @@ class DiseEngine
         uint64_t lastUse = 0;
     };
 
+    /** One bit per pattern-table slot. */
+    using SlotMask = uint64_t;
+    static constexpr unsigned MaxSlots = 64;
+
+    /** Memo key: productions are immutable while installed, so the
+     *  expansion is a pure function of (production id, trigger). */
+    struct ExpKey
+    {
+        ProductionId id = 0;
+        Inst trigger{};
+        bool operator==(const ExpKey &) const = default;
+    };
+    struct ExpKeyHash
+    {
+        size_t operator()(const ExpKey &k) const;
+    };
+
     unsigned rtTouch(ProductionId id, size_t seqLen);
+    void rebuildIndex();
+    void touchTable();
+    SlotMask candidates(const Inst &inst, Addr pc) const;
+    int matchLinear(const Inst &inst, Addr pc) const;
 
     DiseEngineConfig cfg_;
     bool enabled_ = true;
+    bool indexed_ = true;
+    /** Tables wider than the candidate-mask width use the linear scan. */
+    bool indexable_ = true;
+    bool memoize_ = true;
     std::vector<Slot> slots_;
     ProductionId nextId_ = 1;
     std::vector<RtLine> rtLines_;
     uint64_t rtClock_ = 0;
+    uint64_t generation_ = 0;
+
+    // Candidate indexes, rebuilt on each (rare) table mutation.
+    SlotMask validMask_ = 0;   ///< all installed slots
+    SlotMask genericMask_ = 0; ///< slots with no indexable anchor
+    std::array<SlotMask, NumOpcodes> byOpcode_{};
+    std::array<SlotMask, NumOpClasses> byClass_{};
+    std::unordered_map<Addr, SlotMask> pcAnchored_;
+    std::unordered_map<int64_t, SlotMask> cwAnchored_;
+
+    std::unordered_map<ExpKey, ExpansionRef, ExpKeyHash> memo_;
+
     StatGroup stats_;
+    uint64_t *matchesStat_;
+    uint64_t *rtMissesStat_;
 };
 
 } // namespace dise

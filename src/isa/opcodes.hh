@@ -26,6 +26,8 @@ enum class OpClass : uint8_t {
     DiseCtl, ///< DISE-internal control (d_b*, d_call, d_ccall, d_ret, ...)
 };
 
+constexpr unsigned NumOpClasses = static_cast<unsigned>(OpClass::DiseCtl) + 1;
+
 /** Encoding/operand formats. */
 enum class Format : uint8_t {
     Operate,    ///< rc = ra OP rb

@@ -5,7 +5,11 @@
 
 namespace dise {
 
-Cache::Cache(const CacheConfig &cfg) : cfg_(cfg), stats_(cfg.name)
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), stats_(cfg.name), readsStat_(stats_.counter("reads")),
+      writesStat_(stats_.counter("writes")),
+      missesStat_(stats_.counter("misses")),
+      writebacksStat_(stats_.counter("writebacks"))
 {
     DISE_ASSERT(isPow2(cfg_.lineBytes), "line size must be a power of two");
     DISE_ASSERT(cfg_.assoc > 0, "associativity must be nonzero");
@@ -36,7 +40,7 @@ Cache::access(Addr addr, bool isWrite)
     uint64_t tag = tagOf(addr);
     Line *base = &lines_[set * cfg_.assoc];
 
-    stats_.inc(isWrite ? "writes" : "reads");
+    ++*(isWrite ? writesStat_ : readsStat_);
 
     Line *victim = nullptr;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
@@ -52,10 +56,10 @@ Cache::access(Addr addr, bool isWrite)
         }
     }
 
-    stats_.inc("misses");
+    ++*missesStat_;
     bool writeback = victim->valid && victim->dirty;
     if (writeback)
-        stats_.inc("writebacks");
+        ++*writebacksStat_;
     victim->valid = true;
     victim->dirty = isWrite;
     victim->tag = tag;

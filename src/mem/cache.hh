@@ -43,6 +43,10 @@ class Cache
   public:
     explicit Cache(const CacheConfig &cfg);
 
+    // Holds interior pointers into its own StatGroup.
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
     /**
      * Access @p addr. Allocates on miss. @p isWrite marks the line dirty.
      * Caller composes latency from hit/miss outcome and the next level.
@@ -76,6 +80,11 @@ class Cache
     std::vector<Line> lines_; ///< numSets_ x assoc
     uint64_t useClock_ = 0;
     StatGroup stats_;
+    // Cached counter handles (access() runs once per simulated access).
+    uint64_t *readsStat_;
+    uint64_t *writesStat_;
+    uint64_t *missesStat_;
+    uint64_t *writebacksStat_;
 };
 
 } // namespace dise

@@ -1,5 +1,6 @@
 #include "mem/mainmem.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bitutils.hh"
@@ -11,17 +12,80 @@ MainMemory::Page &
 MainMemory::pageFor(Addr addr)
 {
     uint64_t frame = addr / PageBytes;
+    TransEnt &ent = transCache_[frame & (NumTransEnts - 1)];
+    if (ent.frame == frame)
+        return *ent.page;
     auto &slot = pages_[frame];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Page>();
+        // A fetchWord miss may have cached "no page" for this frame.
+        if (frame == fetchFrame_)
+            fetchPage_ = slot.get();
+    }
+    if (pageCacheEnabled_) {
+        ent.frame = frame;
+        ent.page = slot.get();
+    }
     return *slot;
 }
 
 const MainMemory::Page *
 MainMemory::pageForConst(Addr addr) const
 {
-    auto it = pages_.find(addr / PageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t frame = addr / PageBytes;
+    TransEnt &ent = transCache_[frame & (NumTransEnts - 1)];
+    if (ent.frame == frame)
+        return ent.page;
+    auto it = pages_.find(frame);
+    if (it == pages_.end())
+        return nullptr; // absent pages are not cached
+    if (pageCacheEnabled_) {
+        ent.frame = frame;
+        ent.page = it->second.get();
+    }
+    return it->second.get();
+}
+
+void
+MainMemory::setPageCacheEnabled(bool on)
+{
+    pageCacheEnabled_ = on;
+    if (!on) {
+        transCache_.fill(TransEnt{});
+        fetchFrame_ = ~uint64_t{0};
+        fetchPage_ = nullptr;
+    }
+}
+
+void
+MainMemory::addCodeWatcher(CodeWatcher *w)
+{
+    codeWatchers_.push_back(w);
+}
+
+void
+MainMemory::removeCodeWatcher(CodeWatcher *w)
+{
+    codeWatchers_.erase(
+        std::remove(codeWatchers_.begin(), codeWatchers_.end(), w),
+        codeWatchers_.end());
+}
+
+void
+MainMemory::markCodePage(Addr addr)
+{
+    pageFor(addr).codeCached = true;
+}
+
+void
+MainMemory::notifyCodeWrite(Page &page, uint64_t frame)
+{
+    // Unmark first: watchers drop their cached decodes and re-mark the
+    // page when they next cache it, so store bursts to a page that is
+    // no longer executed pay for a single notification.
+    page.codeCached = false;
+    for (CodeWatcher *w : codeWatchers_)
+        w->onCodeWrite(frame);
 }
 
 uint64_t
@@ -48,6 +112,25 @@ MainMemory::read(Addr addr, unsigned bytes) const
     return v;
 }
 
+uint32_t
+MainMemory::fetchWord(Addr addr) const
+{
+    uint64_t off = addr % PageBytes;
+    if (off + 4 > PageBytes || !pageCacheEnabled_) // straddle / A-B mode
+        return static_cast<uint32_t>(read(addr, 4));
+    uint64_t frame = addr / PageBytes;
+    if (frame != fetchFrame_) {
+        fetchFrame_ = frame;
+        fetchPage_ = pageForConst(addr);
+    }
+    if (!fetchPage_)
+        return 0;
+    const uint8_t *b = &fetchPage_->bytes[off];
+    return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+           (static_cast<uint32_t>(b[2]) << 16) |
+           (static_cast<uint32_t>(b[3]) << 24);
+}
+
 int64_t
 MainMemory::readSigned(Addr addr, unsigned bytes) const
 {
@@ -64,11 +147,16 @@ MainMemory::write(Addr addr, unsigned bytes, uint64_t value)
         Page &p = pageFor(addr);
         for (unsigned i = 0; i < bytes; ++i)
             p.bytes[off + i] = (value >> (8 * i)) & 0xff;
+        if (p.codeCached)
+            notifyCodeWrite(p, addr / PageBytes);
         return;
     }
-    for (unsigned i = 0; i < bytes; ++i)
-        pageFor(addr + i).bytes[(addr + i) % PageBytes] =
-            (value >> (8 * i)) & 0xff;
+    for (unsigned i = 0; i < bytes; ++i) {
+        Page &p = pageFor(addr + i);
+        p.bytes[(addr + i) % PageBytes] = (value >> (8 * i)) & 0xff;
+        if (p.codeCached)
+            notifyCodeWrite(p, (addr + i) / PageBytes);
+    }
 }
 
 void
@@ -79,6 +167,8 @@ MainMemory::writeBlock(Addr addr, const uint8_t *src, size_t len)
         uint64_t off = addr % PageBytes;
         size_t chunk = std::min<size_t>(len, PageBytes - off);
         std::memcpy(&p.bytes[off], src, chunk);
+        if (p.codeCached)
+            notifyCodeWrite(p, addr / PageBytes);
         addr += chunk;
         src += chunk;
         len -= chunk;

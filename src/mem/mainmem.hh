@@ -6,15 +6,24 @@
  * protection, which the virtual-memory watchpoint backend uses the way
  * a real debugger uses mprotect(): a store to a protected page raises
  * a debugger trap instead of completing silently.
+ *
+ * The fetch side gets two accelerations: fetchWord() keeps a one-entry
+ * page-pointer cache (instruction fetch exhibits near-perfect page
+ * locality), and pages holding externally cached decodes can be marked
+ * so that any write to them notifies registered CodeWatchers — the
+ * invalidation discipline a predecoded-instruction cache needs to stay
+ * correct under self-modifying or debugger-rewritten code.
  */
 
 #ifndef DISE_MEM_MAINMEM_HH
 #define DISE_MEM_MAINMEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "isa/inst.hh"
 
@@ -22,6 +31,18 @@ namespace dise {
 
 /** Page size used by both the functional memory and the VM debugger. */
 constexpr uint64_t PageBytes = 4096;
+
+/**
+ * Observer of writes to pages marked via MainMemory::markCodePage.
+ * Implemented by components that cache decoded instructions.
+ */
+class CodeWatcher
+{
+  public:
+    virtual ~CodeWatcher() = default;
+    /** A byte in marked page @p frame was written. */
+    virtual void onCodeWrite(uint64_t frame) = 0;
+};
 
 /** Sparse functional memory. */
 class MainMemory
@@ -36,11 +57,36 @@ class MainMemory
     /** Sign-extending load helper. */
     int64_t readSigned(Addr addr, unsigned bytes) const;
 
+    /**
+     * Instruction-fetch fast path: a 32-bit little-endian read through
+     * a one-entry page-pointer cache. Equivalent to read(addr, 4).
+     */
+    uint32_t fetchWord(Addr addr) const;
+
     /** Bulk copy-in used by the program loader. */
     void writeBlock(Addr addr, const uint8_t *src, size_t len);
 
     /** Bulk copy-out (range-watchpoint shadow comparison). */
     void readBlock(Addr addr, uint8_t *dst, size_t len) const;
+
+    /**
+     * Toggle the fetch/data page-pointer caches (on by default).
+     * Purely a performance switch — used by bench/throughput.cc to
+     * reproduce the pre-cache hot path for A/B measurement.
+     */
+    void setPageCacheEnabled(bool on);
+
+    /** @name Code-write invalidation (predecoded-µop-cache support) */
+    ///@{
+    void addCodeWatcher(CodeWatcher *w);
+    void removeCodeWatcher(CodeWatcher *w);
+    /**
+     * Mark the page containing @p addr as holding cached decodes. The
+     * next write to it notifies every watcher (and unmarks the page;
+     * watchers re-mark when they re-cache it).
+     */
+    void markCodePage(Addr addr);
+    ///@}
 
     /** @name mprotect()-style page protection */
     ///@{
@@ -58,13 +104,33 @@ class MainMemory
     struct Page
     {
         uint8_t bytes[PageBytes] = {};
+        /** Writes to this page notify the registered CodeWatchers. */
+        bool codeCached = false;
     };
 
     Page &pageFor(Addr addr);
     const Page *pageForConst(Addr addr) const;
+    void notifyCodeWrite(Page &page, uint64_t frame);
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
     std::unordered_set<uint64_t> protectedPages_;
+    std::vector<CodeWatcher *> codeWatchers_;
+    bool pageCacheEnabled_ = true;
+
+    // One-entry fetch page cache (fetchWord).
+    mutable uint64_t fetchFrame_ = ~uint64_t{0};
+    mutable const Page *fetchPage_ = nullptr;
+
+    // Direct-mapped page-pointer cache for the data side. Pages are
+    // never destroyed once allocated, so cached pointers stay valid;
+    // absent pages are simply not cached.
+    struct TransEnt
+    {
+        uint64_t frame = ~uint64_t{0};
+        Page *page = nullptr;
+    };
+    static constexpr unsigned NumTransEnts = 16; ///< power of two
+    mutable std::array<TransEnt, NumTransEnts> transCache_{};
 };
 
 } // namespace dise

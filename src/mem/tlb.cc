@@ -5,7 +5,9 @@
 
 namespace dise {
 
-Tlb::Tlb(const TlbConfig &cfg) : cfg_(cfg), stats_(cfg.name)
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg), stats_(cfg.name), accessesStat_(stats_.counter("accesses")),
+      missesStat_(stats_.counter("misses"))
 {
     DISE_ASSERT(cfg_.entries % cfg_.assoc == 0, "TLB geometry mismatch");
     numSets_ = cfg_.entries / cfg_.assoc;
@@ -21,7 +23,7 @@ Tlb::access(Addr addr)
     uint64_t set = vpn & (numSets_ - 1);
     Entry *base = &entries_[set * cfg_.assoc];
 
-    stats_.inc("accesses");
+    ++*accessesStat_;
     Entry *victim = nullptr;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
         Entry &e = base[w];
@@ -34,7 +36,7 @@ Tlb::access(Addr addr)
             victim = &e;
         }
     }
-    stats_.inc("misses");
+    ++*missesStat_;
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = useClock_;

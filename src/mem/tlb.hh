@@ -32,6 +32,10 @@ class Tlb
   public:
     explicit Tlb(const TlbConfig &cfg);
 
+    // Holds interior pointers into its own StatGroup.
+    Tlb(const Tlb &) = delete;
+    Tlb &operator=(const Tlb &) = delete;
+
     /** Touch the page containing @p addr; returns extra cycles. */
     unsigned access(Addr addr);
 
@@ -53,6 +57,9 @@ class Tlb
     std::vector<Entry> entries_;
     uint64_t useClock_ = 0;
     StatGroup stats_;
+    // Cached counter handles (access() runs once per simulated access).
+    uint64_t *accessesStat_;
+    uint64_t *missesStat_;
 };
 
 } // namespace dise

@@ -110,6 +110,21 @@ TEST(Stats, IncAndGet)
     EXPECT_EQ(g.get("x"), 0u);
 }
 
+TEST(Stats, CounterHandleSharesStorageAndSurvivesReset)
+{
+    StatGroup g("test");
+    uint64_t *h = g.counter("hits");
+    EXPECT_EQ(g.get("hits"), 0u);
+    *h += 3;
+    g.inc("hits", 2);
+    EXPECT_EQ(g.get("hits"), 5u);
+    EXPECT_EQ(*h, 5u);
+    g.reset();
+    EXPECT_EQ(*h, 0u); // handle stays valid, value zeroed
+    ++*h;
+    EXPECT_EQ(g.get("hits"), 1u);
+}
+
 TEST(Stats, DumpFormat)
 {
     StatGroup g("grp");
