@@ -16,6 +16,11 @@
  * 32-slot pattern scan, per-trigger expansion instantiation), giving
  * the host-side speedup every future PR is measured against. Results
  * are emitted as BENCH_throughput.json.
+ *
+ * A second, cycle-level section measures the timing model's simulated
+ * MIPS with the ROB scan cursors (TimingConfig::robCursors) on vs the
+ * legacy per-cycle linear window walks — the remaining hot-path
+ * candidate named in ROADMAP.md.
  */
 
 #include <chrono>
@@ -28,6 +33,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/func_cpu.hh"
+#include "cpu/timing_cpu.hh"
 #include "debug/target.hh"
 #include "dise/engine.hh"
 #include "workloads/workload.hh"
@@ -58,6 +64,8 @@ struct Options
     bool noPagecache = false;
     unsigned reps = 2;
     uint64_t maxAppInsts = 0; ///< 0 = run workloads to completion
+    uint64_t timingInsts = 300000; ///< app-inst cap for timing cells
+    bool noTiming = false;
     std::string out = "BENCH_throughput.json";
 };
 
@@ -183,6 +191,70 @@ measure(const Workload &w, Config config, bool optimized,
     return best;
 }
 
+/** One cycle-level run: simulated MIPS of the timing model itself. */
+struct TimingMeasurement
+{
+    std::string workload;
+    Config config = Config::Off;
+    bool cursors = true;
+    uint64_t appInsts = 0;
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+
+    double mips() const { return seconds > 0 ? appInsts / seconds / 1e6 : 0; }
+};
+
+TimingMeasurement
+measureTimingOnce(const Workload &w, Config config, bool cursors,
+                  const Options &opts)
+{
+    DebugTarget target(w.program);
+    if (config != Config::Off) {
+        target.engine.addProduction(
+            storeCheckProduction(config == Config::Cond));
+        target.arch.writeDise(3, w.hotAddr);
+        target.arch.writeDise(4, 0xdeadbeefcafeull);
+    }
+    target.load();
+
+    StreamEnv env;
+    env.sink = &target.sink;
+    TimingConfig cfg;
+    cfg.robCursors = cursors;
+    TimingCpu cpu(target.arch, target.mem, &target.engine, env, cfg);
+    RunLimits lim;
+    lim.maxAppInsts = opts.timingInsts;
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunStats r = cpu.run(lim);
+    auto t1 = std::chrono::steady_clock::now();
+    if (r.halt == HaltReason::Fault)
+        fatal("timing throughput run of '", w.name, "' faulted: ",
+              r.faultMessage);
+
+    TimingMeasurement m;
+    m.workload = w.name;
+    m.config = config;
+    m.cursors = cursors;
+    m.appInsts = r.appInsts;
+    m.cycles = r.cycles;
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return m;
+}
+
+TimingMeasurement
+measureTiming(const Workload &w, Config config, bool cursors,
+              const Options &opts)
+{
+    TimingMeasurement best;
+    for (unsigned i = 0; i < opts.reps; ++i) {
+        TimingMeasurement m = measureTimingOnce(w, config, cursors, opts);
+        if (i == 0 || m.mips() > best.mips())
+            best = m;
+    }
+    return best;
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -198,6 +270,11 @@ parseArgs(int argc, char **argv)
             opts.quick = true;
             opts.reps = 1;
             opts.maxAppInsts = 50000;
+            opts.timingInsts = 30000;
+        } else if (arg == "--no-timing") {
+            opts.noTiming = true;
+        } else if (arg == "--timing-insts") {
+            opts.timingInsts = static_cast<uint64_t>(std::atoll(next()));
         } else if (arg == "--no-ucache") {
             opts.noUcache = true;
         } else if (arg == "--no-index") {
@@ -223,6 +300,8 @@ parseArgs(int argc, char **argv)
                 "caches\n"
                 "  --reps N      repetitions per cell (best-of, default 2)\n"
                 "  --insts N     cap application instructions per run\n"
+                "  --timing-insts N  app-inst cap for the timing cells\n"
+                "  --no-timing   skip the cycle-level ROB-cursor section\n"
                 "  --out FILE    JSON output path "
                 "(default BENCH_throughput.json)\n");
             std::exit(0);
@@ -277,6 +356,42 @@ main(int argc, char **argv)
     std::printf("min unconditional-instrumentation speedup: %.2fx\n",
                 uncondSpeedupMin);
 
+    // Cycle-level section: simulated MIPS of the timing model with ROB
+    // scan cursors vs the legacy linear window walks.
+    std::vector<TimingMeasurement> timingResults;
+    if (!opts.noTiming) {
+        TextTable ttable;
+        ttable.setHeader({"workload", "config", "cursors MIPS",
+                          "linear MIPS", "speedup"});
+        std::vector<std::string> tnames =
+            opts.quick ? std::vector<std::string>{"bzip2"}
+                       : std::vector<std::string>{"bzip2", "mcf"};
+        for (const auto &name : tnames) {
+            WorkloadParams params;
+            Workload w = buildWorkload(name, params);
+            for (Config config : {Config::Off, Config::Uncond}) {
+                TimingMeasurement cur =
+                    measureTiming(w, config, true, opts);
+                TimingMeasurement lin =
+                    measureTiming(w, config, false, opts);
+                if (cur.cycles != lin.cycles)
+                    fatal("ROB cursors changed simulated cycles on '",
+                          name, "': ", cur.cycles, " vs ", lin.cycles);
+                timingResults.push_back(cur);
+                timingResults.push_back(lin);
+                double sp = lin.mips() > 0 ? cur.mips() / lin.mips() : 0;
+                char curBuf[32], linBuf[32], spBuf[32];
+                std::snprintf(curBuf, sizeof curBuf, "%.2f", cur.mips());
+                std::snprintf(linBuf, sizeof linBuf, "%.2f", lin.mips());
+                std::snprintf(spBuf, sizeof spBuf, "%.2fx", sp);
+                ttable.addRow(
+                    {name, configName(config), curBuf, linBuf, spBuf});
+            }
+        }
+        std::printf("\ntiming model (ROB cursors vs linear scans):\n");
+        std::fputs(ttable.render().c_str(), stdout);
+    }
+
     std::ofstream os(opts.out);
     if (!os)
         fatal("cannot write ", opts.out);
@@ -294,6 +409,17 @@ main(int argc, char **argv)
            << ", \"seconds\": " << m.seconds << ", \"mips\": " << m.mips()
            << ", \"micro_mips\": " << m.microMips() << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"timing_runs\": [\n";
+    for (size_t i = 0; i < timingResults.size(); ++i) {
+        const TimingMeasurement &m = timingResults[i];
+        os << "    {\"workload\": \"" << m.workload << "\", \"config\": \""
+           << configName(m.config) << "\", \"rob_scan\": \""
+           << (m.cursors ? "cursors" : "linear")
+           << "\", \"app_insts\": " << m.appInsts
+           << ", \"cycles\": " << m.cycles << ", \"seconds\": " << m.seconds
+           << ", \"mips\": " << m.mips() << "}"
+           << (i + 1 < timingResults.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     std::printf("wrote %s\n", opts.out.c_str());

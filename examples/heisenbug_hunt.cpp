@@ -1,6 +1,7 @@
 /**
  * @file
- * Hunting a memory-corruption heisenbug with a RANGE watchpoint.
+ * Hunting a memory-corruption heisenbug with a RANGE watchpoint —
+ * forward with DISE, then backward with the time-travel debugger.
  *
  * The program keeps a "directory" structure that an unrelated,
  * out-of-bounds array write occasionally tramples. Trap-based
@@ -10,7 +11,13 @@
  * simultaneously shields the debugger's own structures from the same
  * bug.
  *
- * Build & run:  ./build/examples/heisenbug_hunt
+ * Act two runs the same scenario the way a user who only noticed the
+ * corruption *after the fact* would: run to the end, then
+ * reverseContinue() back through the checkpointed timeline until the
+ * debugger is parked on the exact corrupting store, and inspect the
+ * machine state as it was at that instant.
+ *
+ * Build & run:  ./build/example_heisenbug_hunt
  */
 
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include "asm/assembler.hh"
 #include "cpu/loader.hh"
 #include "debug/debugger.hh"
+#include "replay/time_travel.hh"
 
 using namespace dise;
 
@@ -107,5 +115,45 @@ main()
                     prog.symbol("the_store")));
     std::printf("debugger dseg protection violations: %zu\n",
                 dbg.protectionEvents().size());
+
+    // ------------------------------------------------------ act two
+    // The same hunt, backward: a fresh session runs to completion
+    // first (as if the corruption were only noticed post-mortem), then
+    // travels back to the moment of the crime.
+    std::printf("\n-- time travel: how did we get here? --\n");
+    DebugTarget ttTarget(buggyProgram());
+    Debugger ttDbg(ttTarget, opts);
+    ttDbg.watch(WatchSpec::range("directory",
+                                 ttTarget.symbol("directory"), 64));
+    if (!ttDbg.attach()) {
+        std::fprintf(stderr, "attach failed\n");
+        return 1;
+    }
+    TimeTravelConfig ttCfg;
+    ttCfg.checkpointInterval = 1024;
+    TimeTravel &tt = ttDbg.timeTravel(ttCfg);
+    StopInfo end = tt.runToEnd();
+    std::printf("program exited at t=%llu (%llu checkpoints, %llu "
+                "pages copied)\n",
+                static_cast<unsigned long long>(end.time),
+                static_cast<unsigned long long>(
+                    tt.stats().checkpointsTaken),
+                static_cast<unsigned long long>(tt.stats().pagesCopied));
+
+    for (StopInfo hit = tt.reverseContinue();
+         hit.reason == StopReason::Event; hit = tt.reverseContinue()) {
+        std::printf("reverse-continue: event #%d at t=%llu, iteration "
+                    "t9=%llu, store pc 0x%llx%s\n",
+                    hit.eventIndex,
+                    static_cast<unsigned long long>(hit.time),
+                    static_cast<unsigned long long>(
+                        ttTarget.arch.read(reg::t9)),
+                    static_cast<unsigned long long>(hit.mark.pc),
+                    hit.mark.pc == ttTarget.symbol("the_store")
+                        ? "  <- the_store"
+                        : "");
+    }
+    std::printf("reached the beginning of time; the first corruption "
+                "is pinned.\n");
     return 0;
 }

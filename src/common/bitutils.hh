@@ -86,6 +86,20 @@ alignUp(uint64_t v, uint64_t align)
     return (v + align - 1) & ~(align - 1);
 }
 
+/** @name FNV-1a hashing (replay/state digests — one definition so all
+ *  digest producers stay in agreement). */
+///@{
+constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ull;
+
+constexpr uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001b3ull;
+    return h;
+}
+///@}
+
 } // namespace dise
 
 #endif // DISE_COMMON_BITUTILS_HH

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/bitutils.hh"
 #include "isa/inst.hh"
 
 namespace dise {
@@ -49,6 +50,16 @@ class ArchState
     {
         regs_.fill(0);
         pc = 0;
+    }
+
+    /** Fold the full register file and PC into an FNV-1a hash
+     *  (state digests for deterministic-replay verification). */
+    uint64_t
+    hashInto(uint64_t h) const
+    {
+        for (uint64_t v : regs_)
+            h = fnvMix(h, v);
+        return fnvMix(h, pc);
     }
 
   private:

@@ -82,6 +82,19 @@ TimingCpu::sourcesReady(const RobEntry &e, uint64_t now) const
 bool
 TimingCpu::olderStoresAddrKnown(int slot, uint64_t now) const
 {
+    if (cfg_.robCursors) {
+        // Only in-flight stores matter; walk them oldest-first and
+        // stop at the first one younger than the load.
+        int age = robAge(slot);
+        for (int s : storeSlots_) {
+            if (robAge(s) >= age)
+                return true;
+            const RobEntry &e = rob_[s];
+            if (e.state != SlotState::Done || e.doneCycle > now)
+                return false;
+        }
+        return true;
+    }
     for (int i = 0; i < robCount_; ++i) {
         int s = (robHead_ + i) % static_cast<int>(cfg_.robSize);
         if (s == slot)
@@ -100,6 +113,22 @@ TimingCpu::forwardingStore(int slot) const
     const MicroOp &load = rob_[slot].op;
     Addr lo = load.effAddr;
     Addr hi = lo + load.memBytes;
+    if (cfg_.robCursors) {
+        // Youngest older store first: walk the store ring backward,
+        // skipping stores at or past the load's position.
+        int age = robAge(slot);
+        for (auto it = storeSlots_.rbegin(); it != storeSlots_.rend();
+             ++it) {
+            if (robAge(*it) >= age)
+                continue;
+            const RobEntry &e = rob_[*it];
+            Addr slo = e.op.effAddr;
+            Addr shi = slo + e.op.memBytes;
+            if (slo < hi && lo < shi)
+                return *it;
+        }
+        return -1;
+    }
     // Scan older entries youngest-first.
     int offset = -1;
     for (int i = 0; i < robCount_; ++i) {
@@ -217,6 +246,11 @@ TimingCpu::run(const RunLimits &lim)
             bool wasHalt = e.op.isHalt;
             HaltReason hr = e.op.haltReason;
             retireRenameRefs(robHead_);
+            if (e.op.isStoreOp() && !storeSlots_.empty() &&
+                storeSlots_.front() == robHead_)
+                storeSlots_.pop_front();
+            if (issueSkip_ > 0)
+                --issueSkip_; // offsets shift as the head advances
             e.state = SlotState::Free;
             robHead_ = (robHead_ + 1) % static_cast<int>(cfg_.robSize);
             --robCount_;
@@ -232,11 +266,25 @@ TimingCpu::run(const RunLimits &lim)
         }
 
         // ------------------------------------------------- issue stage
-        for (int i = 0; i < robCount_ && issuedThisCycle_ < cfg_.width;
+        // With cursors: start past the head-side prefix of entries
+        // that already issued, and stop once every waiting entry has
+        // been seen — the common full-window case (a long-latency op
+        // at the head, everything behind it done) costs O(waiting)
+        // instead of O(robSize).
+        unsigned waiting = rsCount_;
+        for (int i = cfg_.robCursors ? issueSkip_ : 0;
+             i < robCount_ && issuedThisCycle_ < cfg_.width &&
+             (!cfg_.robCursors || waiting > 0);
              ++i) {
             int slot = (robHead_ + i) % static_cast<int>(cfg_.robSize);
             RobEntry &e = rob_[slot];
-            if (e.state != SlotState::Dispatched || e.dispatchCycle >= now)
+            if (e.state != SlotState::Dispatched) {
+                if (cfg_.robCursors && i == issueSkip_)
+                    ++issueSkip_;
+                continue;
+            }
+            --waiting;
+            if (e.dispatchCycle >= now)
                 continue;
             if (!sourcesReady(e, now))
                 continue;
@@ -363,6 +411,8 @@ TimingCpu::run(const RunLimits &lim)
                 if (dst.valid() && !dst.isZero())
                     renameMap_[dst.flat()] = slot;
 
+                if (op.isStoreOp())
+                    storeSlots_.push_back(slot);
                 ++robCount_;
                 ++rsCount_;
                 ++delivered;

@@ -20,6 +20,7 @@
 #ifndef DISE_CPU_TIMING_CPU_HH
 #define DISE_CPU_TIMING_CPU_HH
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,14 @@ struct TimingConfig
     unsigned mulLatency = 3;
     uint64_t transitionCost = 100000; ///< spurious debugger transition
     bool mtHandlers = false;   ///< run DISE-called functions flush-free
+    /**
+     * Host-side perf switch (simulated behavior is identical): issue
+     * and memory-disambiguation scans use a head cursor plus an
+     * age-ordered store ring instead of walking the whole ROB every
+     * cycle. Off reproduces the legacy linear scans for A/B
+     * measurement (bench/throughput.cc --timing).
+     */
+    bool robCursors = true;
     MemSystemConfig mem{};
     BranchPredictorConfig bpred{};
 };
@@ -129,6 +138,21 @@ class TimingCpu
     int robHead_ = 0;
     int robCount_ = 0;
     unsigned rsCount_ = 0;
+
+    /** Age of @p slot relative to the ROB head (0 = oldest). */
+    int
+    robAge(int slot) const
+    {
+        return (slot - robHead_ + static_cast<int>(cfg_.robSize)) %
+               static_cast<int>(cfg_.robSize);
+    }
+
+    // Scan accelerators (cfg_.robCursors). The issue stage skips the
+    // head-side prefix of already-issued entries and stops once every
+    // waiting entry has been seen; the memory stages walk only the
+    // in-flight stores, oldest first, instead of the whole window.
+    int issueSkip_ = 0;           ///< head-relative all-issued prefix
+    std::deque<int> storeSlots_;  ///< in-flight store slots, age order
 
     // Rename map: logical register -> producing ROB slot.
     int renameMap_[NumLogicalRegs];

@@ -7,8 +7,10 @@
  * A backend (1) installs its machinery into the target before it is
  * loaded, and (2) acts as the DebugMonitor observing the run in
  * functional order to classify debugger transitions and record
- * user-visible events. The common host-side state (shadow values and
- * event lists) lives here.
+ * user-visible events. The common host-side state (shadow values,
+ * event lists, and the event sequence counter) lives here, which also
+ * lets the checkpoint subsystem snapshot and restore any backend's
+ * dynamic state uniformly (BackendSnapshot).
  */
 
 #ifndef DISE_DEBUG_BACKEND_HH
@@ -34,6 +36,22 @@ struct BreakSpec
     Addr condAddr = 0;
     unsigned condSize = 8;
     uint64_t condConst = 0;
+};
+
+/**
+ * Everything host-side a backend mutates while the target runs:
+ * watchpoint shadow state, the recorded event lists, and the event
+ * sequence counter. A checkpoint captures this alongside the target's
+ * architectural state so that deterministic re-execution from the
+ * checkpoint re-derives the exact same event stream.
+ */
+struct BackendSnapshot
+{
+    size_t watchEvents = 0;
+    size_t breakEvents = 0;
+    size_t protectionEvents = 0;
+    uint64_t seq = 0;
+    std::vector<WatchStateSnap> watches;
 };
 
 class DebugBackend : public DebugMonitor
@@ -80,6 +98,42 @@ class DebugBackend : public DebugMonitor
         return protectionEvents_;
     }
 
+    size_t
+    totalEvents() const
+    {
+        return watchEvents_.size() + breakEvents_.size() +
+               protectionEvents_.size();
+    }
+
+    /** @name Checkpoint support (time-travel debugging) */
+    ///@{
+    BackendSnapshot
+    snapshotHost() const
+    {
+        BackendSnapshot s;
+        s.watchEvents = watchEvents_.size();
+        s.breakEvents = breakEvents_.size();
+        s.protectionEvents = protectionEvents_.size();
+        s.seq = seq_;
+        s.watches.reserve(watches_.size());
+        for (const auto &w : watches_)
+            s.watches.push_back(w.save());
+        return s;
+    }
+
+    void
+    restoreHost(const BackendSnapshot &s)
+    {
+        watchEvents_.resize(s.watchEvents);
+        breakEvents_.resize(s.breakEvents);
+        protectionEvents_.resize(s.protectionEvents);
+        seq_ = s.seq;
+        for (size_t i = 0; i < watches_.size() && i < s.watches.size();
+             ++i)
+            watches_[i].restore(s.watches[i]);
+    }
+    ///@}
+
   protected:
     void
     recordWatch(int idx, const WatchChange &ch, uint64_t seq,
@@ -92,6 +146,12 @@ class DebugBackend : public DebugMonitor
     std::vector<WatchEvent> watchEvents_;
     std::vector<BreakEvent> breakEvents_;
     std::vector<ProtectionEvent> protectionEvents_;
+
+    // Host-side per-watchpoint shadow state and the event sequence
+    // counter, shared by every backend implementation.
+    std::vector<WatchState> watches_;
+    std::vector<BreakSpec> breaks_;
+    uint64_t seq_ = 0;
 };
 
 } // namespace dise

@@ -8,6 +8,11 @@
  * paper compares against. This mirrors the paper's framing — the
  * debugger auto-generates productions/machinery from user requests;
  * users never write productions themselves.
+ *
+ * Beyond forward execution, the debugger exposes the time-travel
+ * session (src/replay/): checkpointed, deterministically replayable
+ * functional execution with reverseContinue() / reverseStep() /
+ * runToEvent(), available over every backend.
  */
 
 #ifndef DISE_DEBUG_DEBUGGER_HH
@@ -19,6 +24,8 @@
 #include "cpu/timing_cpu.hh"
 #include "debug/backend.hh"
 #include "debug/dise_backend.hh"
+#include "replay/replay_log.hh"
+#include "replay/time_travel.hh"
 
 namespace dise {
 
@@ -73,6 +80,29 @@ class Debugger
     /** Timing-free functional run (tests, calibration). */
     FuncResult runFunctional(uint64_t maxAppInsts = 0);
 
+    /** @name Time-travel session (checkpointed functional execution) */
+    ///@{
+    /**
+     * Start (or return the existing) time-travel session. Created on
+     * first use after attach(); the session owns the checkpoint
+     * timeline and the replay log for this debugger.
+     */
+    TimeTravel &timeTravel(TimeTravelConfig cfg = {});
+    bool timeTraveling() const { return tt_ != nullptr; }
+
+    /** Convenience forwards into the session. */
+    StopInfo cont() { return timeTravel().cont(); }
+    StopInfo reverseContinue() { return timeTravel().reverseContinue(); }
+    StopInfo
+    reverseStep(uint64_t n = 1)
+    {
+        return timeTravel().reverseStep(n);
+    }
+    StopInfo runToEvent(size_t n) { return timeTravel().runToEvent(n); }
+
+    ReplayLog &replayLog() { return log_; }
+    ///@}
+
     const std::vector<WatchEvent> &watchEvents() const;
     const std::vector<BreakEvent> &breakEvents() const;
     const std::vector<ProtectionEvent> &protectionEvents() const;
@@ -87,6 +117,10 @@ class Debugger
     std::vector<WatchSpec> watches_;
     std::vector<BreakSpec> breaks_;
     bool attached_ = false;
+
+    ReplayLog log_;
+    std::unique_ptr<TimeTravel> tt_;
+    TimeTravelConfig ttCfg_{};
 };
 
 } // namespace dise

@@ -114,8 +114,6 @@ class DiseBackend : public DebugBackend
     DiseOptions opts_;
     MultiMatch strategy_ = MultiMatch::Serial;
     DebugTarget *target_ = nullptr;
-    std::vector<WatchState> watches_;
-    std::vector<BreakSpec> breaks_;
 
     Addr dsegBase_ = 0;
     uint64_t dsegSize_ = 0;
@@ -125,7 +123,6 @@ class DiseBackend : public DebugBackend
     Addr shadowBase_ = 0; ///< range shadow copy in dseg
     size_t replacementLen_ = 0;
     size_t handlerInsts_ = 0;
-    uint64_t seq_ = 0;
 };
 
 } // namespace dise

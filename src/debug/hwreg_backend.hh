@@ -44,10 +44,8 @@ class HwRegBackend : public DebugBackend
     DebugTarget *target_ = nullptr;
     unsigned numRegs_;
     unsigned hwCount_ = 0; ///< first hwCount_ watchpoints use registers
-    std::vector<WatchState> watches_;
     std::vector<Addr> hwQuads_; ///< quad-aligned register contents
     std::vector<Addr> pages_;   ///< VM-fallback protected pages
-    uint64_t seq_ = 0;
 };
 
 } // namespace dise

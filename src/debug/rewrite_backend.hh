@@ -43,12 +43,9 @@ class RewriteBackend : public DebugBackend
     void emitHandler(std::vector<AsmItem> &items);
 
     DebugTarget *target_ = nullptr;
-    std::vector<WatchState> watches_;
-    std::vector<BreakSpec> breaks_;
     Addr rwsegBase_ = 0;
     Addr shadowBase_ = 0;
     double bloatFactor_ = 1.0;
-    uint64_t seq_ = 0;
 };
 
 } // namespace dise

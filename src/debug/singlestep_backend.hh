@@ -32,10 +32,7 @@ class SingleStepBackend : public DebugBackend
 
   private:
     DebugTarget *target_ = nullptr;
-    std::vector<WatchState> watches_;
-    std::vector<BreakSpec> breaks_;
     std::unordered_set<Addr> stmtSet_;
-    uint64_t seq_ = 0;
 };
 
 } // namespace dise

@@ -35,9 +35,7 @@ class VmBackend : public DebugBackend
 
   private:
     DebugTarget *target_ = nullptr;
-    std::vector<WatchState> watches_;
     std::vector<Addr> pages_; ///< page base addresses we protected
-    uint64_t seq_ = 0;
 };
 
 } // namespace dise

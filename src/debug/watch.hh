@@ -124,6 +124,18 @@ struct WatchChange
 };
 
 /**
+ * The mutable part of a WatchState, captured by checkpoints: what the
+ * debugger process remembers between transitions and must roll back
+ * when execution travels backward in time.
+ */
+struct WatchStateSnap
+{
+    uint64_t prevValue = 0;
+    Addr curTarget = 0;
+    std::vector<uint8_t> shadow;
+};
+
+/**
  * Host-side shadow state for one watchpoint: what the debugger process
  * would remember between transitions. Used directly by the
  * single-stepping / virtual-memory / hardware-register backends, and by
@@ -161,6 +173,18 @@ class WatchState
     /** Current pointer target (indirect watchpoints). */
     Addr currentTarget() const { return curTarget_; }
     uint64_t shadowValue() const { return prevValue_; }
+
+    /** @name Checkpoint support */
+    ///@{
+    WatchStateSnap save() const { return {prevValue_, curTarget_, shadow_}; }
+    void
+    restore(const WatchStateSnap &snap)
+    {
+        prevValue_ = snap.prevValue;
+        curTarget_ = snap.curTarget;
+        shadow_ = snap.shadow;
+    }
+    ///@}
 
   private:
     WatchSpec spec_;

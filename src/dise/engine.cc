@@ -95,6 +95,29 @@ DiseEngine::addProduction(Production p)
           " entries)");
 }
 
+int
+DiseEngine::slotOf(ProductionId id) const
+{
+    for (size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].valid && slots_[i].id == id)
+            return static_cast<int>(i);
+    return -1;
+}
+
+ProductionId
+DiseEngine::addProductionAt(Production p, int slot)
+{
+    DISE_ASSERT(slot >= 0 && slot < static_cast<int>(slots_.size()),
+                "addProductionAt: bad slot ", slot);
+    Slot &s = slots_[static_cast<size_t>(slot)];
+    DISE_ASSERT(!s.valid, "addProductionAt: slot ", slot, " occupied");
+    s.valid = true;
+    s.id = nextId_++;
+    s.prod = std::move(p);
+    touchTable();
+    return s.id;
+}
+
 void
 DiseEngine::removeProduction(ProductionId id)
 {

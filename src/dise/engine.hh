@@ -94,6 +94,16 @@ class DiseEngine
     ///@{
     ProductionId addProduction(Production p);
     void removeProduction(ProductionId id);
+    /** Pattern-table slot currently holding @p id, or -1. */
+    int slotOf(ProductionId id) const;
+    /**
+     * Re-install @p p into a specific empty @p slot. Slot order breaks
+     * equal-specificity match ties, so undoing a removal during
+     * checkpoint restore must put the production back where it was —
+     * first-free insertion would reorder the table and make replay
+     * diverge from the original timeline.
+     */
+    ProductionId addProductionAt(Production p, int slot);
     void clear();
     void setEnabled(bool on) { enabled_ = on; }
     bool enabled() const { return enabled_; }
@@ -127,6 +137,14 @@ class DiseEngine
      * matches.
      */
     uint64_t generation() const { return generation_; }
+
+    /**
+     * Advance the generation without mutating the table, forcing every
+     * externally cached match outcome to revalidate. Called on
+     * checkpoint restore: memory (and thus any predecoded fetch state)
+     * may have been rolled back under the caches.
+     */
+    void invalidateMatchCaches() { ++generation_; }
 
     /** Instantiate production @p prod for @p trigger (uncached). */
     std::vector<Inst> expand(const Production &prod,

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,6 +125,70 @@ ExperimentRunner::debugged(const std::string &name,
     outcome.breakEvents = dbg.breakEvents().size();
     outcome.slowdown = static_cast<double>(outcome.stats.cycles) /
                        static_cast<double>(base.cycles);
+    return outcome;
+}
+
+ExperimentRunner::CheckpointedOutcome
+ExperimentRunner::checkpointedRun(const std::string &name,
+                                  const std::vector<WatchSpec> &watches,
+                                  DebuggerOptions dopts,
+                                  uint64_t checkpointInterval,
+                                  uint64_t maxAppInsts)
+{
+    const Workload &w = workload(name);
+    DebugTarget target(w.program);
+    Debugger dbg(target, dopts);
+    for (const auto &spec : watches)
+        dbg.watch(spec);
+
+    CheckpointedOutcome outcome;
+    if (!dbg.attach()) {
+        outcome.supported = false;
+        return outcome;
+    }
+    dbg.replayLog().seed = opts_.seed;
+    dbg.replayLog().programName = name;
+
+    TimeTravelConfig cfg;
+    cfg.checkpointInterval = checkpointInterval;
+    cfg.maxAppInsts = maxAppInsts;
+    TimeTravel &tt = dbg.timeTravel(cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    StopInfo end = tt.runToEnd();
+    outcome.forwardSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (end.reason != StopReason::Halted &&
+        end.reason != StopReason::InstLimit)
+        fatal("checkpointed run of '", name, "' did not complete");
+    uint64_t endDigest = tt.digest();
+    uint64_t endTime = end.time;
+
+    if (tt.eventCount() > 0) {
+        auto t1 = std::chrono::steady_clock::now();
+        StopInfo hit = tt.reverseContinue();
+        outcome.reverseContinueSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t1)
+                .count();
+        outcome.reverseLanded =
+            hit.reason == StopReason::Event &&
+            hit.eventIndex == static_cast<int>(tt.eventCount()) - 1;
+        StopInfo end2 = tt.runToEnd();
+        outcome.replayExact =
+            end2.time == endTime && tt.digest() == endDigest;
+    }
+
+    outcome.appInsts = end.appInsts;
+    outcome.events = tt.eventCount();
+    outcome.checkpoints = tt.checkpointCount();
+    outcome.pagesCopied =
+        tt.stats().pagesCopied + target.mem.undoPagesPending();
+    outcome.pagesRestored = tt.stats().pagesRestored;
+    outcome.replayedUops = tt.stats().replayedUops;
+    outcome.digest = endDigest;
     return outcome;
 }
 

@@ -61,6 +61,37 @@ class ExperimentRunner
                         bool mtHandlers = false,
                         const std::vector<BreakSpec> &breaks = {});
 
+    /**
+     * One checkpointed (time-travel) functional run: execute to
+     * completion under the TimeTravel controller, then reverse-continue
+     * to the last event and replay back to the end, verifying the
+     * replayed final state digests identically. Returns the cost
+     * counters the checkpoint bench reports.
+     */
+    struct CheckpointedOutcome
+    {
+        bool supported = true;
+        uint64_t appInsts = 0;
+        size_t events = 0;
+        size_t checkpoints = 0;
+        uint64_t pagesCopied = 0;
+        uint64_t pagesRestored = 0;
+        uint64_t replayedUops = 0;
+        uint64_t digest = 0;
+        /** Wall time of the forward (record-mode) run. */
+        double forwardSeconds = 0.0;
+        /** Wall time of the reverse-continue restore + replay. */
+        double reverseContinueSeconds = 0.0;
+        /** reverse-continue landed on the final event's exact mark. */
+        bool reverseLanded = false;
+        /** replayed end state digested identically. */
+        bool replayExact = false;
+    };
+    CheckpointedOutcome checkpointedRun(
+        const std::string &name, const std::vector<WatchSpec> &watches,
+        DebuggerOptions dopts, uint64_t checkpointInterval = 4096,
+        uint64_t maxAppInsts = 0);
+
     /** The paper's standard per-benchmark watchpoint. */
     WatchSpec standardWatch(const std::string &name, WatchSel sel,
                             bool conditional);

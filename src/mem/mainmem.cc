@@ -78,6 +78,85 @@ MainMemory::markCodePage(Addr addr)
 }
 
 void
+MainMemory::beginUndoLog()
+{
+    undoActive_ = true;
+    ++undoEpoch_;
+    undoLog_.clear();
+}
+
+void
+MainMemory::endUndoLog()
+{
+    undoActive_ = false;
+    undoLog_.clear();
+}
+
+UndoLog
+MainMemory::sealUndoInterval()
+{
+    DISE_ASSERT(undoActive_, "sealUndoInterval without beginUndoLog");
+    UndoLog out = std::move(undoLog_);
+    undoLog_.clear();
+    ++undoEpoch_;
+    return out;
+}
+
+void
+MainMemory::captureUndo(Page &page, uint64_t frame)
+{
+    page.undoEpoch = undoEpoch_;
+    undoLog_.emplace_back();
+    UndoPage &u = undoLog_.back();
+    u.frame = frame;
+    std::memcpy(u.bytes.data(), page.bytes, PageBytes);
+}
+
+void
+MainMemory::applyUndo(const UndoLog &log)
+{
+    for (const UndoPage &u : log) {
+        Page &p = pageFor(u.frame * PageBytes);
+        std::memcpy(p.bytes, u.bytes.data(), PageBytes);
+        // Restoring bytes is a modification like any other: cached
+        // decodes for the page are now stale.
+        if (p.codeCached)
+            notifyCodeWrite(p, u.frame);
+        // The restored image is the open interval's new baseline.
+        p.undoEpoch = 0;
+    }
+    invalidatePagePointerCaches();
+}
+
+void
+MainMemory::invalidatePagePointerCaches()
+{
+    transCache_.fill(TransEnt{});
+    fetchFrame_ = ~uint64_t{0};
+    fetchPage_ = nullptr;
+}
+
+uint64_t
+MainMemory::contentHash(uint64_t seed) const
+{
+    // Order-independent: combine per-page hashes with addition so the
+    // unordered map's iteration order cannot leak into the digest.
+    uint64_t acc = seed;
+    for (const auto &[frame, page] : pages_) {
+        bool zero = true;
+        for (uint64_t i = 0; i < PageBytes && zero; ++i)
+            zero = page->bytes[i] == 0;
+        if (zero)
+            continue;
+        uint64_t h = FnvOffsetBasis ^ frame;
+        for (uint64_t i = 0; i < PageBytes; ++i)
+            h = fnvMix(h, page->bytes[i]);
+        acc += h;
+    }
+    return acc;
+}
+
+void
 MainMemory::notifyCodeWrite(Page &page, uint64_t frame)
 {
     // Unmark first: watchers drop their cached decodes and re-mark the
@@ -145,6 +224,7 @@ MainMemory::write(Addr addr, unsigned bytes, uint64_t value)
     uint64_t off = addr % PageBytes;
     if (off + bytes <= PageBytes) {
         Page &p = pageFor(addr);
+        undoHook(p, addr / PageBytes);
         for (unsigned i = 0; i < bytes; ++i)
             p.bytes[off + i] = (value >> (8 * i)) & 0xff;
         if (p.codeCached)
@@ -153,6 +233,7 @@ MainMemory::write(Addr addr, unsigned bytes, uint64_t value)
     }
     for (unsigned i = 0; i < bytes; ++i) {
         Page &p = pageFor(addr + i);
+        undoHook(p, (addr + i) / PageBytes);
         p.bytes[(addr + i) % PageBytes] = (value >> (8 * i)) & 0xff;
         if (p.codeCached)
             notifyCodeWrite(p, (addr + i) / PageBytes);
@@ -164,6 +245,7 @@ MainMemory::writeBlock(Addr addr, const uint8_t *src, size_t len)
 {
     while (len) {
         Page &p = pageFor(addr);
+        undoHook(p, addr / PageBytes);
         uint64_t off = addr % PageBytes;
         size_t chunk = std::min<size_t>(len, PageBytes - off);
         std::memcpy(&p.bytes[off], src, chunk);

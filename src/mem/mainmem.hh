@@ -13,6 +13,12 @@
  * so that any write to them notifies registered CodeWatchers — the
  * invalidation discipline a predecoded-instruction cache needs to stay
  * correct under self-modifying or debugger-rewritten code.
+ *
+ * The checkpoint subsystem reuses the same write-hook structure as a
+ * copy-on-write undo log: while the log is active, the first store to
+ * any page since the last checkpoint captures that page's pre-image, so
+ * snapshot cost is proportional to the pages dirtied between
+ * checkpoints, never to total memory size (see src/replay/).
  */
 
 #ifndef DISE_MEM_MAINMEM_HH
@@ -25,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/bitutils.hh"
 #include "isa/inst.hh"
 
 namespace dise {
@@ -43,6 +50,21 @@ class CodeWatcher
     /** A byte in marked page @p frame was written. */
     virtual void onCodeWrite(uint64_t frame) = 0;
 };
+
+/**
+ * Pre-image of one page captured by the copy-on-write undo log: the
+ * page's full contents as they were when the current undo interval
+ * began. Applying an interval's pre-images rolls memory back to the
+ * state at the start of that interval.
+ */
+struct UndoPage
+{
+    uint64_t frame = 0;
+    std::array<uint8_t, PageBytes> bytes{};
+};
+
+/** All pre-images captured during one undo interval. */
+using UndoLog = std::vector<UndoPage>;
 
 /** Sparse functional memory. */
 class MainMemory
@@ -88,6 +110,43 @@ class MainMemory
     void markCodePage(Addr addr);
     ///@}
 
+    /** @name Copy-on-write undo log (checkpoint support) */
+    ///@{
+    /** Start capturing pre-images; begins the first undo interval. */
+    void beginUndoLog();
+    /** Stop capturing and drop any pending pre-images. */
+    void endUndoLog();
+    bool undoLogActive() const { return undoActive_; }
+    /**
+     * Seal the current interval: return the pre-images of every page
+     * dirtied since the interval began and start a new, empty interval.
+     */
+    UndoLog sealUndoInterval();
+    /** Pages dirtied so far in the open interval. */
+    size_t undoPagesPending() const { return undoLog_.size(); }
+    /**
+     * Write an interval's pre-images back, newest interval first when
+     * chaining across checkpoints. Restored pages are treated as clean
+     * for the open interval, code-watcher invalidation fires for pages
+     * holding cached decodes, and the page-pointer caches are dropped.
+     */
+    void applyUndo(const UndoLog &log);
+    ///@}
+
+    /**
+     * Drop the fetch/data page-pointer caches. Called by applyUndo;
+     * also part of the checkpoint-restore contract so callers can
+     * guarantee no stale translation survives a restore.
+     */
+    void invalidatePagePointerCaches();
+
+    /**
+     * Order-independent hash of all nonzero page contents (pages that
+     * are entirely zero hash identically to absent ones, so a restored
+     * image digests equal to a never-touched one).
+     */
+    uint64_t contentHash(uint64_t seed = FnvOffsetBasis) const;
+
     /** @name mprotect()-style page protection */
     ///@{
     void protectPage(Addr addr);
@@ -106,16 +165,34 @@ class MainMemory
         uint8_t bytes[PageBytes] = {};
         /** Writes to this page notify the registered CodeWatchers. */
         bool codeCached = false;
+        /** Undo interval this page's pre-image was last captured in. */
+        uint64_t undoEpoch = 0;
     };
 
     Page &pageFor(Addr addr);
     const Page *pageForConst(Addr addr) const;
     void notifyCodeWrite(Page &page, uint64_t frame);
+    void captureUndo(Page &page, uint64_t frame);
+
+    /** First write to @p page this interval: capture its pre-image. */
+    void
+    undoHook(Page &page, uint64_t frame)
+    {
+        if (undoActive_ && page.undoEpoch != undoEpoch_)
+            captureUndo(page, frame);
+    }
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
     std::unordered_set<uint64_t> protectedPages_;
     std::vector<CodeWatcher *> codeWatchers_;
     bool pageCacheEnabled_ = true;
+
+    // Copy-on-write undo log. The epoch is monotonic across intervals;
+    // a page's pre-image is captured when its undoEpoch lags the
+    // current interval's.
+    bool undoActive_ = false;
+    uint64_t undoEpoch_ = 0;
+    UndoLog undoLog_;
 
     // One-entry fetch page cache (fetchWord).
     mutable uint64_t fetchFrame_ = ~uint64_t{0};

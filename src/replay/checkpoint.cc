@@ -1,0 +1,43 @@
+#include "replay/checkpoint.hh"
+
+#include "common/bitutils.hh"
+#include "debug/target.hh"
+
+namespace dise {
+
+uint64_t
+stateDigest(const DebugTarget &target, const DebugBackend &backend)
+{
+    uint64_t h = FnvOffsetBasis;
+    auto mix = [&h](uint64_t v) { h = fnvMix(h, v); };
+
+    h = target.arch.hashInto(h);
+    mix(target.mem.contentHash());
+
+    for (const auto &e : backend.watchEvents()) {
+        mix(static_cast<uint64_t>(e.wpIndex));
+        mix(e.addr);
+        mix(e.oldValue);
+        mix(e.newValue);
+        mix(e.pc);
+        mix(e.seq);
+    }
+    for (const auto &e : backend.breakEvents()) {
+        mix(static_cast<uint64_t>(e.bpIndex));
+        mix(e.pc);
+        mix(e.seq);
+    }
+    for (const auto &e : backend.protectionEvents()) {
+        mix(e.pc);
+        mix(e.addr);
+    }
+
+    for (char c : target.sink.text)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    for (uint64_t m : target.sink.marks)
+        mix(m);
+
+    return h;
+}
+
+} // namespace dise

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The record of everything that makes a debugged run what it is beyond
+ * the program image: the workload seed, the time-stamped debugger
+ * interventions (memory/register pokes, DISE pattern-table mutations),
+ * and the discovered event timeline (which user-visible event fired at
+ * which stream position). Re-executing from any checkpoint while
+ * re-applying logged interventions at their recorded times reproduces
+ * the run bit-identically, which is what lets the TimeTravel
+ * controller move the debugger backward as cheaply as forward.
+ */
+
+#ifndef DISE_REPLAY_REPLAY_LOG_HH
+#define DISE_REPLAY_REPLAY_LOG_HH
+
+#include <string>
+#include <vector>
+
+#include "dise/engine.hh"
+#include "isa/inst.hh"
+
+namespace dise {
+
+/** Kinds of nondeterministic inputs the log captures. */
+enum class InterventionKind : uint8_t {
+    PokeMemory,       ///< debugger wrote target memory
+    PokeRegister,     ///< debugger wrote a target register
+    AddProduction,    ///< debugger installed a DISE production
+    RemoveProduction, ///< debugger removed a DISE production
+};
+
+/**
+ * One debugger intervention, stamped with the stream position (µops
+ * executed) it was applied at. Each record carries enough to re-apply
+ * the intervention during forward replay AND to unwind it when the
+ * session travels backward across it.
+ */
+struct Intervention
+{
+    InterventionKind kind = InterventionKind::PokeMemory;
+    uint64_t time = 0;
+
+    // PokeMemory / PokeRegister payload.
+    Addr addr = 0;
+    unsigned size = 8;
+    uint64_t value = 0;
+    RegId reg{};
+
+    // AddProduction payload; also the unwind payload for
+    // RemoveProduction (the production that was removed).
+    Production production;
+    /** Engine id currently backing this intervention (updated on each
+     *  replay: the engine assigns fresh ids). */
+    ProductionId engineId = 0;
+    /** RemoveProduction: index of the AddProduction record it undoes,
+     *  or -1 when it removed a production installed before the session
+     *  started. */
+    int addIndex = -1;
+    /** RemoveProduction: pattern-table slot the production occupied.
+     *  Unwinding the removal re-installs into this exact slot, since
+     *  slot order breaks equal-specificity match ties. */
+    int slot = -1;
+};
+
+/** Which backend list a user-visible event was recorded in. */
+enum class EventKind : uint8_t { Watch, Break, Protection };
+
+/**
+ * One entry of the event timeline: the n-th user-visible event of the
+ * run, pinned to the exact stream position where it fired. Marks are
+ * discovered during first execution and stay valid across reverse
+ * travel — determinism guarantees the same event fires at the same
+ * position on every replay (verified by the controller).
+ */
+struct EventMark
+{
+    EventKind kind = EventKind::Watch;
+    /** Index within the backend's per-kind event list. */
+    int index = 0;
+    /** Stream position (µops executed) just after the event fired. */
+    uint64_t time = 0;
+    /** Application instructions retired at that position. */
+    uint64_t appInsts = 0;
+    /** Event PC (the detecting instruction, backend-dependent). */
+    Addr pc = 0;
+};
+
+class ReplayLog
+{
+  public:
+    /** @name Run identity (recorded nondeterministic inputs) */
+    ///@{
+    uint64_t seed = 0;
+    std::string programName;
+    ///@}
+
+    std::vector<Intervention> interventions;
+    std::vector<EventMark> marks;
+
+    /**
+     * A new intervention at @p time invalidates the already-explored
+     * future: marks and interventions beyond it describe a timeline
+     * that can no longer happen.
+     */
+    void
+    truncateAfter(uint64_t time)
+    {
+        while (!marks.empty() && marks.back().time > time)
+            marks.pop_back();
+        while (!interventions.empty() &&
+               interventions.back().time > time)
+            interventions.pop_back();
+    }
+};
+
+} // namespace dise
+
+#endif // DISE_REPLAY_REPLAY_LOG_HH

@@ -1,0 +1,472 @@
+#include "replay/time_travel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "debug/target.hh"
+
+namespace dise {
+
+TimeTravel::TimeTravel(DebugTarget &target, DebugBackend &backend,
+                       ReplayLog &log, TimeTravelConfig cfg)
+    : target_(target), backend_(backend), log_(log), cfg_(cfg)
+{
+    DISE_ASSERT(target_.loaded(),
+                "TimeTravel requires a loaded target (attach first)");
+    DISE_ASSERT(cfg_.checkpointInterval > 0, "zero checkpoint interval");
+    target_.mem.beginUndoLog();
+    takeCheckpoint(); // time-zero checkpoint anchors the timeline
+}
+
+TimeTravel::~TimeTravel()
+{
+    target_.mem.endUndoLog();
+}
+
+bool
+TimeTravel::atBoundary() const
+{
+    // A fresh (or just-restored) stream is between instructions by
+    // construction; otherwise we must not be mid-expansion or inside a
+    // DISE-called function, so a checkpoint can re-enter cleanly.
+    return !stream_ || (!stream_->inExpansion() && !stream_->inHandler());
+}
+
+void
+TimeTravel::ensureStream()
+{
+    if (!stream_)
+        stream_ = std::make_unique<InstStream>(
+            target_.arch, target_.mem, &target_.engine,
+            backend_.streamEnv(target_));
+}
+
+/**
+ * Execute one micro-op and pin any events it fired to the timeline.
+ * Newly discovered events extend the mark list; during replay the
+ * re-fired events are verified against the recorded marks — any
+ * divergence means determinism was broken.
+ */
+bool
+TimeTravel::stepUop(bool &firedEvent)
+{
+    firedEvent = false;
+    if (halted_)
+        return false;
+    ensureStream();
+
+    MicroOp op;
+    if (!stream_->next(op)) {
+        halted_ = true;
+        haltReason_ = stream_->haltReason();
+        return false;
+    }
+    ++time_;
+    ++stats_.uops;
+    if (op.isAppInst())
+        ++appInsts_;
+    if (op.isHalt) {
+        halted_ = true;
+        haltReason_ = op.haltReason;
+    }
+
+    auto noteEvents = [&](EventKind kind, size_t &seen, size_t now,
+                          auto pcOf) {
+        for (; seen < now; ++seen) {
+            EventMark mark{kind, static_cast<int>(seen), time_,
+                           appInsts_, pcOf(seen)};
+            if (curEvents_ == log_.marks.size()) {
+                log_.marks.push_back(mark);
+            } else {
+                const EventMark &rec = log_.marks[curEvents_];
+                DISE_ASSERT(rec.kind == mark.kind &&
+                                rec.index == mark.index &&
+                                rec.time == mark.time &&
+                                rec.pc == mark.pc,
+                            "deterministic replay diverged from the "
+                            "recorded event timeline at t=", time_);
+            }
+            ++curEvents_;
+            firedEvent = true;
+        }
+    };
+    noteEvents(EventKind::Watch, seenWatch_,
+               backend_.watchEvents().size(),
+               [&](size_t i) { return backend_.watchEvents()[i].pc; });
+    noteEvents(EventKind::Break, seenBreak_,
+               backend_.breakEvents().size(),
+               [&](size_t i) { return backend_.breakEvents()[i].pc; });
+    noteEvents(EventKind::Protection, seenProt_,
+               backend_.protectionEvents().size(), [&](size_t i) {
+                   return backend_.protectionEvents()[i].pc;
+               });
+    return true;
+}
+
+void
+TimeTravel::takeCheckpoint()
+{
+    Checkpoint cp;
+    cp.time = time_;
+    cp.appInsts = appInsts_;
+    cp.arch = target_.arch;
+    cp.host = backend_.snapshotHost();
+    cp.sinkText = target_.sink.text.size();
+    cp.sinkMarks = target_.sink.marks.size();
+    if (!cps_.empty()) {
+        // Seal the interval since the previous checkpoint: those
+        // pre-images are what roll the memory image back to it.
+        UndoLog sealed = target_.mem.sealUndoInterval();
+        stats_.pagesCopied += sealed.size();
+        cps_.back().undo = std::move(sealed);
+    }
+    cps_.push_back(std::move(cp));
+    ++stats_.checkpointsTaken;
+}
+
+void
+TimeTravel::maybeCheckpoint()
+{
+    if (!halted_ && atBoundary() &&
+        appInsts_ >= cps_.back().appInsts + cfg_.checkpointInterval)
+        takeCheckpoint();
+}
+
+size_t
+TimeTravel::checkpointAtOrBefore(uint64_t time) const
+{
+    size_t idx = cps_.size() - 1;
+    while (idx > 0 && cps_[idx].time > time)
+        --idx;
+    return idx;
+}
+
+void
+TimeTravel::restoreTo(size_t cpIdx)
+{
+    MainMemory &mem = target_.mem;
+    ++stats_.restores;
+
+    // Roll memory back interval by interval, newest first: the open
+    // interval takes us to the newest checkpoint, then each stored
+    // interval takes us one checkpoint further into the past.
+    UndoLog open = mem.sealUndoInterval();
+    stats_.pagesRestored += open.size();
+    mem.applyUndo(open);
+    for (size_t i = cps_.size() - 1; i > cpIdx; --i) {
+        const UndoLog &u = cps_[i - 1].undo;
+        stats_.pagesRestored += u.size();
+        mem.applyUndo(u);
+    }
+
+    // Unwind debugger interventions the rollback crossed, newest
+    // first. (Memory and register effects were covered by the undo log
+    // and the register snapshot; this reverts engine-table mutations.)
+    const Checkpoint &cp = cps_[cpIdx];
+    while (nextIntervention_ > 0 &&
+           log_.interventions[nextIntervention_ - 1].time >= cp.time)
+        unwindIntervention(log_.interventions[--nextIntervention_]);
+
+    target_.arch = cp.arch;
+    backend_.restoreHost(cp.host);
+    target_.sink.text.resize(cp.sinkText);
+    target_.sink.marks.resize(cp.sinkMarks);
+
+    // No stale fetch/decode/match state may survive the restore: drop
+    // the stream (and with it the predecoded µop cache), advance the
+    // engine generation, and flush the memory page-pointer caches.
+    stream_.reset();
+    target_.engine.invalidateMatchCaches();
+    mem.invalidatePagePointerCaches();
+
+    time_ = cp.time;
+    appInsts_ = cp.appInsts;
+    halted_ = false;
+    haltReason_ = HaltReason::None;
+    seenWatch_ = cp.host.watchEvents;
+    seenBreak_ = cp.host.breakEvents;
+    seenProt_ = cp.host.protectionEvents;
+    curEvents_ = seenWatch_ + seenBreak_ + seenProt_;
+
+    // This checkpoint's interval was consumed; it is the open interval
+    // now. Checkpoints past it describe a future we just left.
+    cps_.resize(cpIdx + 1);
+    cps_.back().undo.clear();
+}
+
+StopInfo
+TimeTravel::stopHere(StopReason reason, int eventIndex)
+{
+    StopInfo s;
+    s.reason = reason;
+    s.eventIndex = eventIndex;
+    if (eventIndex >= 0 &&
+        static_cast<size_t>(eventIndex) < log_.marks.size())
+        s.mark = log_.marks[eventIndex];
+    s.time = time_;
+    s.appInsts = appInsts_;
+    s.pc = target_.arch.pc;
+    return s;
+}
+
+void
+TimeTravel::replayPendingInterventions()
+{
+    while (nextIntervention_ < log_.interventions.size() &&
+           log_.interventions[nextIntervention_].time == time_)
+        applyIntervention(log_.interventions[nextIntervention_++]);
+}
+
+StopInfo
+TimeTravel::travelToTime(uint64_t targetTime, int eventIndex)
+{
+    if (targetTime < time_)
+        restoreTo(checkpointAtOrBefore(targetTime));
+    while (time_ < targetTime) {
+        replayPendingInterventions();
+        bool fired = false;
+        if (!stepUop(fired))
+            break;
+        ++stats_.replayedUops;
+        maybeCheckpoint();
+    }
+    replayPendingInterventions();
+    DISE_ASSERT(time_ == targetTime,
+                "replay fell short of its target position (halted at t=",
+                time_, ", wanted t=", targetTime, ")");
+    return stopHere(eventIndex >= 0 ? StopReason::Event : StopReason::Step,
+                    eventIndex);
+}
+
+StopInfo
+TimeTravel::travelToAppInst(uint64_t target)
+{
+    if (target < appInsts_) {
+        size_t idx = cps_.size() - 1;
+        while (idx > 0 && cps_[idx].appInsts > target)
+            --idx;
+        restoreTo(idx);
+    }
+    while (appInsts_ < target || !atBoundary()) {
+        replayPendingInterventions();
+        bool fired = false;
+        if (!stepUop(fired))
+            break;
+        ++stats_.replayedUops;
+        maybeCheckpoint();
+    }
+    replayPendingInterventions();
+    return stopHere(StopReason::Step);
+}
+
+StopInfo
+TimeTravel::runForward(uint64_t stopAppInsts, bool stopOnEvent)
+{
+    for (;;) {
+        if (halted_)
+            return stopHere(haltReason_ == HaltReason::Fault
+                                ? StopReason::Fault
+                                : StopReason::Halted);
+        if (cfg_.maxAppInsts && appInsts_ >= cfg_.maxAppInsts)
+            return stopHere(StopReason::InstLimit);
+        if (stopAppInsts && appInsts_ >= stopAppInsts && atBoundary())
+            return stopHere(StopReason::Step);
+        replayPendingInterventions();
+        bool fired = false;
+        stepUop(fired);
+        maybeCheckpoint();
+        if (fired && stopOnEvent)
+            return stopHere(StopReason::Event,
+                            static_cast<int>(curEvents_) - 1);
+    }
+}
+
+StopInfo
+TimeTravel::cont()
+{
+    // A future already explored is replayed to its next known event;
+    // fresh territory is discovered live.
+    if (curEvents_ < log_.marks.size())
+        return travelToTime(log_.marks[curEvents_].time,
+                            static_cast<int>(curEvents_));
+    return runForward(0, true);
+}
+
+StopInfo
+TimeTravel::runToEnd()
+{
+    return runForward(0, false);
+}
+
+StopInfo
+TimeTravel::stepi(uint64_t n)
+{
+    return runForward(appInsts_ + n, false);
+}
+
+StopInfo
+TimeTravel::reverseContinue()
+{
+    int target = static_cast<int>(curEvents_) - 1;
+    // Stopped exactly on an event: travel to the one before it — past
+    // ALL marks at the current position, since one micro-op can fire
+    // several events at once (e.g. overlapping watchpoints) and
+    // re-landing on the same position would make no progress.
+    while (target >= 0 && log_.marks[target].time == time_)
+        --target;
+    if (target < 0) {
+        StopInfo s = travelToTime(0, -1);
+        s.reason = StopReason::Start;
+        return s;
+    }
+    return travelToTime(log_.marks[target].time, target);
+}
+
+StopInfo
+TimeTravel::reverseStep(uint64_t n)
+{
+    uint64_t target = n >= appInsts_ ? 0 : appInsts_ - n;
+    return travelToAppInst(target);
+}
+
+StopInfo
+TimeTravel::runToEvent(size_t n)
+{
+    if (n < log_.marks.size())
+        return travelToTime(log_.marks[n].time, static_cast<int>(n));
+    for (;;) {
+        StopInfo s = cont();
+        if (s.reason != StopReason::Event)
+            return s;
+        if (static_cast<size_t>(s.eventIndex) == n)
+            return s;
+    }
+}
+
+uint64_t
+TimeTravel::digest() const
+{
+    return stateDigest(target_, backend_);
+}
+
+void
+TimeTravel::applyIntervention(Intervention &iv)
+{
+    switch (iv.kind) {
+      case InterventionKind::PokeMemory:
+        // Goes through the normal write path, so the undo log captures
+        // the pre-image like any target store.
+        target_.mem.write(iv.addr, iv.size, iv.value);
+        break;
+      case InterventionKind::PokeRegister:
+        target_.arch.write(iv.reg, iv.value);
+        break;
+      case InterventionKind::AddProduction:
+        // The engine assigns a fresh id on every (re)application; keep
+        // the record pointing at the live one.
+        iv.engineId = target_.engine.addProduction(iv.production);
+        break;
+      case InterventionKind::RemoveProduction: {
+        ProductionId id = iv.addIndex >= 0
+                              ? log_.interventions[iv.addIndex].engineId
+                              : iv.engineId;
+        iv.engineId = id;
+        iv.slot = target_.engine.slotOf(id);
+        target_.engine.removeProduction(id);
+        break;
+      }
+    }
+}
+
+void
+TimeTravel::unwindIntervention(Intervention &iv)
+{
+    switch (iv.kind) {
+      case InterventionKind::PokeMemory:
+      case InterventionKind::PokeRegister:
+        // Covered by the memory undo log / register snapshot.
+        break;
+      case InterventionKind::AddProduction:
+        target_.engine.removeProduction(iv.engineId);
+        break;
+      case InterventionKind::RemoveProduction: {
+        // Back into its original slot: first-free insertion would
+        // reorder the table and flip equal-specificity match ties.
+        ProductionId id =
+            target_.engine.addProductionAt(iv.production, iv.slot);
+        iv.engineId = id;
+        if (iv.addIndex >= 0)
+            log_.interventions[iv.addIndex].engineId = id;
+        break;
+      }
+    }
+}
+
+void
+TimeTravel::recordIntervention(Intervention iv)
+{
+    DISE_ASSERT(atBoundary(),
+                "interventions are only valid between instructions");
+    // Intervening forks the timeline: the already-explored future can
+    // no longer happen.
+    log_.truncateAfter(time_);
+    DISE_ASSERT(nextIntervention_ == log_.interventions.size(),
+                "stale pending interventions survived a timeline fork");
+    iv.time = time_;
+    applyIntervention(iv);
+    log_.interventions.push_back(std::move(iv));
+    nextIntervention_ = log_.interventions.size();
+}
+
+void
+TimeTravel::pokeMemory(Addr addr, unsigned size, uint64_t value)
+{
+    Intervention iv;
+    iv.kind = InterventionKind::PokeMemory;
+    iv.addr = addr;
+    iv.size = size;
+    iv.value = value;
+    recordIntervention(std::move(iv));
+}
+
+void
+TimeTravel::pokeRegister(RegId r, uint64_t value)
+{
+    Intervention iv;
+    iv.kind = InterventionKind::PokeRegister;
+    iv.reg = r;
+    iv.value = value;
+    recordIntervention(std::move(iv));
+}
+
+ProductionId
+TimeTravel::addProduction(const Production &p)
+{
+    Intervention iv;
+    iv.kind = InterventionKind::AddProduction;
+    iv.production = p;
+    recordIntervention(std::move(iv));
+    return log_.interventions.back().engineId;
+}
+
+void
+TimeTravel::removeProduction(ProductionId id)
+{
+    Intervention iv;
+    iv.kind = InterventionKind::RemoveProduction;
+    iv.engineId = id;
+    const Production *p = target_.engine.production(id);
+    DISE_ASSERT(p, "removeProduction: unknown production id ", id);
+    iv.production = *p;
+    for (size_t i = 0; i < log_.interventions.size(); ++i) {
+        const Intervention &other = log_.interventions[i];
+        if (other.kind == InterventionKind::AddProduction &&
+            other.engineId == id) {
+            iv.addIndex = static_cast<int>(i);
+            break;
+        }
+    }
+    recordIntervention(std::move(iv));
+}
+
+} // namespace dise

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The time-travel controller: checkpointed, deterministically
+ * replayable functional execution of a debugged target.
+ *
+ * Forward execution steps the InstStream one micro-op at a time,
+ * polling the backend's event lists so every user-visible event
+ * (watchpoint, breakpoint, protection violation) is pinned to an exact
+ * stream position in the ReplayLog's event timeline. Periodic
+ * checkpoints capture registers, the backend's host-side state, and —
+ * via MainMemory's copy-on-write undo log — only the pages dirtied
+ * since the previous checkpoint.
+ *
+ * Reverse operations (reverseContinue / reverseStep / runToEvent) are
+ * restore-and-replay: roll memory back through the undo intervals to
+ * the nearest earlier checkpoint, then re-execute forward to the exact
+ * target position. Because the simulator is deterministic and the
+ * checkpoint restores every input the stream consumes (registers,
+ * memory, backend shadow state, engine match caches invalidated),
+ * replay reproduces the identical micro-op and event sequence — which
+ * the controller asserts against the recorded timeline as it goes.
+ *
+ * Debugger interventions (memory/register pokes, DISE pattern-table
+ * mutations) are the nondeterministic inputs: each is stamped into the
+ * ReplayLog at its stream position, re-applied when replay crosses that
+ * position forward, unwound when a restore crosses it backward, and —
+ * when performed after reverse travel — truncates the stale future
+ * timeline.
+ *
+ * The controller works identically over all five debugger backends:
+ * it only observes the DebugBackend interface.
+ */
+
+#ifndef DISE_REPLAY_TIME_TRAVEL_HH
+#define DISE_REPLAY_TIME_TRAVEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/inst_stream.hh"
+#include "replay/checkpoint.hh"
+#include "replay/replay_log.hh"
+
+namespace dise {
+
+class DebugTarget;
+class DebugBackend;
+
+struct TimeTravelConfig
+{
+    /** Application instructions between automatic checkpoints. */
+    uint64_t checkpointInterval = 4096;
+    /** Safety cap for cont()/runToEnd() (0 = none). */
+    uint64_t maxAppInsts = 0;
+};
+
+/** Why the controller handed control back. */
+enum class StopReason : uint8_t {
+    Start,     ///< reached the beginning of time
+    Event,     ///< a user-visible event (see eventIndex / mark)
+    Step,      ///< requested step count reached
+    Halted,    ///< target exited or halted
+    Fault,     ///< target faulted
+    InstLimit, ///< maxAppInsts safety cap
+};
+
+struct StopInfo
+{
+    StopReason reason = StopReason::Start;
+    /** Global event index (position in the timeline), or -1. */
+    int eventIndex = -1;
+    EventMark mark{};
+    /** Stream position at the stop. */
+    uint64_t time = 0;
+    uint64_t appInsts = 0;
+    /** Architectural PC at the stop. */
+    Addr pc = 0;
+};
+
+class TimeTravel
+{
+  public:
+    /**
+     * Attach to an already-loaded, backend-primed target (i.e. after
+     * Debugger::attach()). Takes the time-zero checkpoint and starts
+     * the copy-on-write undo log.
+     */
+    TimeTravel(DebugTarget &target, DebugBackend &backend, ReplayLog &log,
+               TimeTravelConfig cfg = {});
+    ~TimeTravel();
+
+    TimeTravel(const TimeTravel &) = delete;
+    TimeTravel &operator=(const TimeTravel &) = delete;
+
+    /** @name Forward execution */
+    ///@{
+    /** Run to the next user-visible event (or halt/fault/limit). */
+    StopInfo cont();
+    /** Run to program end (reporting the halt, not each event). */
+    StopInfo runToEnd();
+    /** Execute @p n application instructions. */
+    StopInfo stepi(uint64_t n = 1);
+    ///@}
+
+    /** @name Reverse execution */
+    ///@{
+    /** Travel back to the previous user-visible event. */
+    StopInfo reverseContinue();
+    /** Travel back @p n application instructions. */
+    StopInfo reverseStep(uint64_t n = 1);
+    ///@}
+
+    /**
+     * Position the session just after event @p n fired — traveling
+     * backward to a known mark, or forward (discovering new events) if
+     * the timeline has not reached it yet.
+     */
+    StopInfo runToEvent(size_t n);
+
+    /** @name Logged debugger interventions */
+    ///@{
+    void pokeMemory(Addr addr, unsigned size, uint64_t value);
+    void pokeRegister(RegId r, uint64_t value);
+    ProductionId addProduction(const Production &p);
+    void removeProduction(ProductionId id);
+    ///@}
+
+    /** @name Position and introspection */
+    ///@{
+    uint64_t time() const { return time_; }
+    uint64_t appInsts() const { return appInsts_; }
+    bool halted() const { return halted_; }
+    /** Events fired at or before the current position. */
+    size_t eventsSoFar() const { return curEvents_; }
+    /** Events discovered on the whole known timeline. */
+    size_t eventCount() const { return log_.marks.size(); }
+    size_t checkpointCount() const { return cps_.size(); }
+    const std::vector<Checkpoint> &checkpoints() const { return cps_; }
+    /** Digest of the current user-visible state (replay validation). */
+    uint64_t digest() const;
+    ///@}
+
+    /** Cumulative cost counters (bench/checkpoint.cc). */
+    struct Stats
+    {
+        uint64_t checkpointsTaken = 0;
+        uint64_t pagesCopied = 0; ///< undo pre-images captured
+        uint64_t restores = 0;
+        uint64_t pagesRestored = 0;
+        uint64_t replayedUops = 0; ///< µops re-executed by travel
+        uint64_t uops = 0;         ///< total µops executed (incl. replay)
+    };
+    const Stats &stats() const { return stats_; }
+
+  private:
+    bool atBoundary() const;
+    void ensureStream();
+    bool stepUop(bool &firedEvent);
+    void takeCheckpoint();
+    void maybeCheckpoint();
+    size_t checkpointAtOrBefore(uint64_t time) const;
+    void restoreTo(size_t cpIdx);
+    StopInfo travelToTime(uint64_t targetTime, int eventIndex);
+    StopInfo travelToAppInst(uint64_t targetAppInsts);
+    StopInfo runForward(uint64_t stopAppInsts, bool stopOnEvent);
+    StopInfo stopHere(StopReason reason, int eventIndex = -1);
+    void applyIntervention(Intervention &iv);
+    void unwindIntervention(Intervention &iv);
+    void recordIntervention(Intervention iv);
+    void replayPendingInterventions();
+
+    DebugTarget &target_;
+    DebugBackend &backend_;
+    ReplayLog &log_;
+    TimeTravelConfig cfg_;
+
+    std::unique_ptr<InstStream> stream_;
+    std::vector<Checkpoint> cps_;
+
+    uint64_t time_ = 0;     ///< µops executed at the current position
+    uint64_t appInsts_ = 0; ///< app instructions retired
+    bool halted_ = false;
+    HaltReason haltReason_ = HaltReason::None;
+
+    /** Events (watch+break+protection) at the current position. */
+    size_t curEvents_ = 0;
+    /** Per-kind backend event-list sizes already accounted for. */
+    size_t seenWatch_ = 0;
+    size_t seenBreak_ = 0;
+    size_t seenProt_ = 0;
+    /** Next intervention to re-apply while replaying forward. */
+    size_t nextIntervention_ = 0;
+
+    Stats stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_REPLAY_TIME_TRAVEL_HH

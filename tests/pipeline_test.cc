@@ -41,6 +41,27 @@ TEST(ConfigSweep, WiderIsNotSlower)
     EXPECT_EQ(n.appInsts, w.appInsts); // same work
 }
 
+TEST(ConfigSweep, RobCursorsAreCycleExact)
+{
+    // The cursor-accelerated issue/disambiguation scans are a pure
+    // host-side optimization: cycle counts and every flush/transition
+    // statistic must match the legacy linear scans bit for bit.
+    TimingConfig linear;
+    linear.robCursors = false;
+    TimingConfig cursors;
+    cursors.robCursors = true;
+    RunStats a = runCrafty(linear);
+    RunStats b = runCrafty(cursors);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.appInsts, b.appInsts);
+    EXPECT_EQ(a.microOps, b.microOps);
+    EXPECT_EQ(a.mispredictFlushes, b.mispredictFlushes);
+    EXPECT_EQ(a.diseFlushes, b.diseFlushes);
+    EXPECT_EQ(a.serializeFlushes, b.serializeFlushes);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+}
+
 TEST(ConfigSweep, DeeperFrontEndCostsMore)
 {
     TimingConfig shallow;

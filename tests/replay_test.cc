@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Time-travel subsystem tests: copy-on-write undo-log mechanics and
+ * cost proportionality, restore-side cache invalidation, same-seed
+ * determinism (digest equality), checkpoint/restore/re-run
+ * equivalence, reverse-continue landing on the exact watchpoint-hit
+ * event under every backend, reverse-step exactness, and logged
+ * debugger interventions (timeline forks, DISE-table unwinding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/loader.hh"
+#include "debug/debugger.hh"
+#include "isa/encoding.hh"
+#include "replay/time_travel.hh"
+
+namespace dise {
+namespace {
+
+using namespace reg;
+
+// ---------------------------------------------------- undo-log basics
+
+TEST(UndoLog, CostProportionalToDirtyPagesNotFootprint)
+{
+    MainMemory mem;
+    // Big footprint: touch 512 distinct pages.
+    for (uint64_t p = 0; p < 512; ++p)
+        mem.write(0x10000 + p * PageBytes, 8, p + 1);
+    ASSERT_GE(mem.pageCount(), 512u);
+
+    mem.beginUndoLog();
+    // Dirty only 3 pages, repeatedly: pre-images are captured once per
+    // page per interval, so the interval size tracks pages dirtied.
+    for (int rep = 0; rep < 100; ++rep)
+        for (uint64_t p = 0; p < 3; ++p)
+            mem.write(0x10000 + p * PageBytes, 8, rep);
+    EXPECT_EQ(mem.undoPagesPending(), 3u);
+    UndoLog log = mem.sealUndoInterval();
+    EXPECT_EQ(log.size(), 3u);
+
+    // The next interval captures them afresh.
+    mem.write(0x10000, 8, 7);
+    EXPECT_EQ(mem.undoPagesPending(), 1u);
+    mem.endUndoLog();
+}
+
+TEST(UndoLog, ApplyRestoresPreImages)
+{
+    MainMemory mem;
+    mem.write(0x4000, 8, 0x1111);
+    mem.write(0x8000, 8, 0x2222);
+    mem.beginUndoLog();
+    mem.sealUndoInterval(); // fresh interval
+
+    mem.write(0x4000, 8, 0xaaaa);
+    mem.write(0x8000, 8, 0xbbbb);
+    mem.write(0xc000, 8, 0xcccc); // page that did not exist before
+    UndoLog log = mem.sealUndoInterval();
+    EXPECT_EQ(log.size(), 3u);
+
+    mem.applyUndo(log);
+    EXPECT_EQ(mem.read(0x4000, 8), 0x1111u);
+    EXPECT_EQ(mem.read(0x8000, 8), 0x2222u);
+    EXPECT_EQ(mem.read(0xc000, 8), 0u);
+    mem.endUndoLog();
+}
+
+TEST(UndoLog, RestoreNotifiesCodeWatchers)
+{
+    struct Recorder : CodeWatcher
+    {
+        std::vector<uint64_t> frames;
+        void onCodeWrite(uint64_t frame) override
+        {
+            frames.push_back(frame);
+        }
+    } rec;
+
+    MainMemory mem;
+    mem.write(0x4000, 4, 0x1234);
+    mem.addCodeWatcher(&rec);
+    mem.beginUndoLog();
+    mem.sealUndoInterval();
+
+    mem.markCodePage(0x4000); // as a µop cache would after decoding
+    mem.write(0x4000, 4, 0x5678);
+    ASSERT_EQ(rec.frames.size(), 1u); // the write itself invalidates
+
+    UndoLog log = mem.sealUndoInterval();
+    mem.markCodePage(0x4000); // decodes re-cached after the write
+    mem.applyUndo(log);
+    // Restoring the pre-image is a modification: stale decodes for the
+    // restored page must be dropped again.
+    ASSERT_EQ(rec.frames.size(), 2u);
+    EXPECT_EQ(rec.frames[1], 0x4000u / PageBytes);
+    EXPECT_EQ(mem.read(0x4000, 4), 0x1234u);
+    mem.removeCodeWatcher(&rec);
+    mem.endUndoLog();
+}
+
+// ----------------------------------------- a heisenbug-style program
+
+/**
+ * The heisenbug-hunt scenario with statement markers: a 400-iteration
+ * loop whose modulo is off by one, so the store occasionally tramples
+ * directory[0] just past the table.
+ */
+Program
+heisenbugProgram()
+{
+    Assembler a;
+    a.data(layout::DataBase);
+    a.label("table");
+    a.space(32 * 8);
+    a.label("directory");
+    a.quad(0xd1);
+    a.quad(0xd2);
+    a.quad(0xd3);
+    a.quad(0xd4);
+    a.space(32);
+
+    a.text(layout::TextBase);
+    a.label("main");
+    a.la(s0, "table");
+    a.lda(t9, 0, zero);
+    a.li(t11, 77);
+    a.label("loop");
+    a.stmt(1);
+    // idx = lcg() % 33  -- the bug: 33, not 32.
+    a.li(t2, 1103515245);
+    a.mulq(t11, t2, t11);
+    a.addq(t11, 57, t11);
+    a.srl(t11, 16, t0);
+    a.and_(t0, 255, t0);
+    a.li(t1, 33);
+    a.label("mod");
+    a.cmplt(t0, t1, t2);
+    a.bne(t2, "modok");
+    a.subq(t0, t1, t0);
+    a.br("mod");
+    a.label("modok");
+    a.sll(t0, 3, t0);
+    a.addq(s0, t0, t0);
+    a.label("the_store");
+    a.stq(t11, 0, t0); // idx == 32 writes directory[0]!
+    a.stmt(2);
+    a.addq(t9, 1, t9);
+    a.li(t1, 400);
+    a.cmplt(t9, t1, t2);
+    a.bne(t2, "loop");
+    a.syscall(SysExit);
+    return a.finish("main");
+}
+
+struct Session
+{
+    DebugTarget target;
+    Debugger dbg;
+
+    explicit Session(BackendKind kind, uint64_t cpInterval = 500)
+        : target(heisenbugProgram()), dbg(target, options(kind))
+    {
+        dbg.watch(WatchSpec::scalar("directory[0]",
+                                    target.symbol("directory"), 8));
+        EXPECT_TRUE(dbg.attach());
+        TimeTravelConfig cfg;
+        cfg.checkpointInterval = cpInterval;
+        dbg.timeTravel(cfg);
+    }
+
+    static DebuggerOptions
+    options(BackendKind kind)
+    {
+        DebuggerOptions o;
+        o.backend = kind;
+        return o;
+    }
+
+    TimeTravel &tt() { return dbg.timeTravel(); }
+};
+
+// -------------------------------------------------------- determinism
+
+TEST(Replay, SameSeedDoubleRunDigestEquality)
+{
+    Session a(BackendKind::Dise);
+    Session b(BackendKind::Dise);
+    StopInfo ea = a.tt().runToEnd();
+    StopInfo eb = b.tt().runToEnd();
+    ASSERT_EQ(ea.reason, StopReason::Halted);
+    ASSERT_EQ(eb.reason, StopReason::Halted);
+    EXPECT_EQ(ea.time, eb.time);
+    EXPECT_EQ(a.tt().eventCount(), b.tt().eventCount());
+    EXPECT_EQ(a.tt().digest(), b.tt().digest());
+}
+
+TEST(Replay, CheckpointRestoreRerunEquivalence)
+{
+    Session s(BackendKind::Dise, 300);
+    StopInfo end = s.tt().runToEnd();
+    ASSERT_EQ(end.reason, StopReason::Halted);
+    ASSERT_GT(s.tt().checkpointCount(), 3u);
+    uint64_t endDigest = s.tt().digest();
+    size_t events = s.tt().eventCount();
+
+    // Travel most of the way back, then re-run to the end: the replay
+    // must land on the identical final state and event timeline.
+    StopInfo back = s.tt().reverseStep(end.appInsts - 5);
+    EXPECT_EQ(back.appInsts, 5u);
+    ASSERT_GE(s.tt().stats().restores, 1u);
+    StopInfo end2 = s.tt().runToEnd();
+    EXPECT_EQ(end2.time, end.time);
+    EXPECT_EQ(s.tt().eventCount(), events);
+    EXPECT_EQ(s.tt().digest(), endDigest);
+}
+
+TEST(Replay, ReverseStepIsExact)
+{
+    Session s(BackendKind::Dise);
+    StopInfo p10 = s.tt().stepi(10);
+    uint64_t d10 = s.tt().digest();
+    StopInfo p15 = s.tt().stepi(5);
+    ASSERT_EQ(p15.appInsts, 10u + 5u);
+    StopInfo backAt10 = s.tt().reverseStep(5);
+    EXPECT_EQ(backAt10.appInsts, p10.appInsts);
+    EXPECT_EQ(backAt10.time, p10.time);
+    EXPECT_EQ(backAt10.pc, p10.pc);
+    EXPECT_EQ(s.tt().digest(), d10);
+}
+
+// --------------------------------------- reverse-continue, 5 backends
+
+class AllBackendsReverse : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(AllBackendsReverse, ReverseContinueLandsOnCorruptingStore)
+{
+    Session s(GetParam());
+    StopInfo end = s.tt().runToEnd();
+    ASSERT_EQ(end.reason, StopReason::Halted);
+    ASSERT_GE(s.dbg.watchEvents().size(), 2u)
+        << "scenario should corrupt the directory at least twice";
+    size_t events = s.tt().eventCount();
+    uint64_t endDigest = s.tt().digest();
+    Addr lastHitPc = s.dbg.watchEvents().back().pc;
+
+    // Reverse-continue from the end lands on the last watchpoint hit.
+    StopInfo hit = s.tt().reverseContinue();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+    EXPECT_EQ(hit.eventIndex, static_cast<int>(events) - 1);
+    EXPECT_EQ(hit.mark.kind, EventKind::Watch);
+    EXPECT_EQ(hit.mark.pc, lastHitPc);
+    EXPECT_LT(hit.time, end.time);
+    // The event list is rolled back to exactly this hit.
+    EXPECT_EQ(s.dbg.watchEvents().size(),
+              static_cast<size_t>(hit.mark.index) + 1);
+    // Backends that detect at the store itself pinpoint the culprit.
+    if (GetParam() == BackendKind::Dise ||
+        GetParam() == BackendKind::VirtualMemory ||
+        GetParam() == BackendKind::HardwareReg)
+        EXPECT_EQ(hit.mark.pc, s.target.symbol("the_store"));
+
+    // Again: the previous hit, strictly earlier.
+    StopInfo prev = s.tt().reverseContinue();
+    ASSERT_EQ(prev.reason, StopReason::Event);
+    EXPECT_EQ(prev.eventIndex, hit.eventIndex - 1);
+    EXPECT_LT(prev.time, hit.time);
+
+    // Forward to the end again: bit-identical final state.
+    StopInfo end2 = s.tt().runToEnd();
+    EXPECT_EQ(end2.time, end.time);
+    EXPECT_EQ(s.tt().digest(), endDigest);
+}
+
+TEST_P(AllBackendsReverse, RunToEventTravelsBothWays)
+{
+    Session s(GetParam());
+    s.tt().runToEnd();
+    size_t events = s.tt().eventCount();
+    ASSERT_GE(events, 2u);
+
+    StopInfo first = s.tt().runToEvent(0);
+    ASSERT_EQ(first.reason, StopReason::Event);
+    EXPECT_EQ(first.eventIndex, 0);
+    EXPECT_EQ(s.tt().eventsSoFar(), 1u);
+
+    StopInfo last = s.tt().runToEvent(events - 1);
+    ASSERT_EQ(last.reason, StopReason::Event);
+    EXPECT_EQ(last.eventIndex, static_cast<int>(events) - 1);
+    EXPECT_EQ(s.tt().eventsSoFar(), events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllBackendsReverse,
+                         ::testing::Values(BackendKind::Dise,
+                                           BackendKind::SingleStep,
+                                           BackendKind::VirtualMemory,
+                                           BackendKind::HardwareReg,
+                                           BackendKind::Rewrite));
+
+TEST(Replay, ReverseContinueTerminatesOnCoincidentEvents)
+{
+    // Two watchpoints on the same cell fire at the same micro-op,
+    // producing marks with identical stream positions. Reverse-
+    // continue must step past the whole coincident group or it would
+    // re-land on the same position forever.
+    DebugTarget target(heisenbugProgram());
+    DebuggerOptions o;
+    o.backend = BackendKind::SingleStep;
+    Debugger dbg(target, o);
+    dbg.watch(WatchSpec::scalar("d0", target.symbol("directory"), 8));
+    dbg.watch(WatchSpec::scalar("d0b", target.symbol("directory"), 8));
+    ASSERT_TRUE(dbg.attach());
+    TimeTravelConfig cfg;
+    cfg.checkpointInterval = 500;
+    TimeTravel &tt = dbg.timeTravel(cfg);
+    tt.runToEnd();
+    ASSERT_GE(tt.eventCount(), 4u);
+
+    uint64_t prevTime = ~uint64_t{0};
+    size_t stops = 0;
+    for (StopInfo hit = tt.reverseContinue();
+         hit.reason == StopReason::Event; hit = tt.reverseContinue()) {
+        ASSERT_LT(hit.time, prevTime) << "no backward progress";
+        prevTime = hit.time;
+        ASSERT_LE(++stops, tt.eventCount());
+    }
+    EXPECT_GE(stops, 2u);
+}
+
+// ------------------------------------------------------ interventions
+
+TEST(Replay, PokeForksTimelineAndReplaysDeterministically)
+{
+    Session s(BackendKind::Dise);
+    StopInfo end = s.tt().runToEnd();
+    size_t originalEvents = s.tt().eventCount();
+
+    // Travel back to before the first corruption and scribble on the
+    // watched cell: the future timeline is materially different now.
+    s.tt().runToEvent(0);
+    StopInfo before = s.tt().reverseStep(4);
+    s.tt().pokeMemory(s.target.symbol("directory"), 8, 0x9999);
+    // The explored future is stale now.
+    EXPECT_EQ(s.tt().eventCount(), s.tt().eventsSoFar());
+    EXPECT_LT(s.tt().eventCount(), originalEvents);
+
+    StopInfo endA = s.tt().runToEnd();
+    uint64_t digestA = s.tt().digest();
+    size_t eventsA = s.tt().eventCount();
+
+    // Replay across the poke: it is re-applied at its recorded time.
+    s.tt().reverseStep(endA.appInsts - before.appInsts);
+    StopInfo endB = s.tt().runToEnd();
+    EXPECT_EQ(endB.time, endA.time);
+    EXPECT_EQ(s.tt().eventCount(), eventsA);
+    EXPECT_EQ(s.tt().digest(), digestA);
+    (void)end;
+}
+
+TEST(Replay, RemovalUnwindPreservesPatternTableOrder)
+{
+    // Slot order breaks equal-specificity match ties. Remove two
+    // same-anchor productions via interventions, reverse across both
+    // removals, and verify the original winner still wins — a
+    // first-free re-insert would have swapped their slots.
+    Session s(BackendKind::Dise);
+    const Addr anchor = 0x7fff0000; // never executed
+    Production pa;
+    pa.name = "first";
+    pa.pattern = Pattern::forPc(anchor);
+    pa.replacement.push_back(TemplateInst::trigInst());
+    Production pb = pa;
+    pb.name = "second";
+    ProductionId idA = s.target.engine.addProduction(pa);
+    ProductionId idB = s.target.engine.addProduction(pb);
+
+    Inst nop;
+    nop.op = Opcode::NOP;
+    ASSERT_EQ(s.target.engine.matchFunctional(nop, anchor)->name,
+              "first");
+
+    s.tt().stepi(10);
+    s.tt().removeProduction(idA);
+    s.tt().stepi(10);
+    s.tt().removeProduction(idB);
+    s.tt().stepi(10);
+    EXPECT_EQ(s.target.engine.matchFunctional(nop, anchor), nullptr);
+
+    s.tt().reverseStep(25); // back across both removals
+    const Production *winner =
+        s.target.engine.matchFunctional(nop, anchor);
+    ASSERT_NE(winner, nullptr);
+    EXPECT_EQ(winner->name, "first");
+}
+
+TEST(Replay, ProductionInterventionUnwindsAcrossReverse)
+{
+    Session s(BackendKind::Dise);
+    size_t baseProds = s.target.engine.productionCount();
+    s.tt().stepi(50);
+
+    // Debugger installs an extra (inert) production mid-session.
+    Production p;
+    p.name = "inert";
+    p.pattern = Pattern::forPc(0x7fff0000); // never matches
+    p.replacement.push_back(TemplateInst::trigInst());
+    s.tt().addProduction(p);
+    EXPECT_EQ(s.target.engine.productionCount(), baseProds + 1);
+
+    s.tt().stepi(50);
+    // Reverse across the intervention: the table mutation unwinds.
+    s.tt().reverseStep(75);
+    EXPECT_EQ(s.target.engine.productionCount(), baseProds);
+    // Forward across it again: re-applied.
+    s.tt().stepi(50);
+    EXPECT_EQ(s.target.engine.productionCount(), baseProds + 1);
+}
+
+// ------------------------------------------- restore cache invalidation
+
+TEST(Replay, RestoreInvalidatesStaleDecodes)
+{
+    // Self-modifying scenario: run to the end (fully populating the
+    // predecoded µop cache for the text page), travel back to before
+    // the first corruption, and patch the culprit store into a NOP via
+    // a poke. If any stale decode survived the restore, the old store
+    // would still execute; with correct invalidation the new timeline
+    // never fires the watchpoint again.
+    Session s(BackendKind::Dise);
+    StopInfo end = s.tt().runToEnd();
+    ASSERT_GE(s.tt().eventCount(), 1u);
+
+    s.tt().runToEvent(0);
+    s.tt().reverseStep(30); // safely before the first corrupting store
+    Inst nop;
+    nop.op = Opcode::NOP;
+    s.tt().pokeMemory(s.target.symbol("the_store"), 4, encode(nop));
+    EXPECT_EQ(s.tt().eventCount(), 0u); // explored future discarded
+
+    StopInfo end2 = s.tt().runToEnd();
+    EXPECT_EQ(end2.reason, StopReason::Halted);
+    // No store ever executes again: the directory is never corrupted.
+    EXPECT_EQ(s.tt().eventCount(), 0u);
+    EXPECT_EQ(s.dbg.watchEvents().size(), 0u);
+    EXPECT_NE(s.tt().digest(), 0u);
+    (void)end;
+
+    // The patched timeline replays deterministically too.
+    uint64_t d1 = s.tt().digest();
+    s.tt().reverseStep(end2.appInsts);
+    s.tt().runToEnd();
+    EXPECT_EQ(s.tt().digest(), d1);
+}
+
+} // namespace
+} // namespace dise
