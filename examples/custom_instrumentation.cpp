@@ -12,9 +12,8 @@
 #include <cstdio>
 
 #include "asm/assembler.hh"
-#include "cpu/func_cpu.hh"
 #include "cpu/loader.hh"
-#include "debug/target.hh"
+#include "session/debug_session.hh"
 
 using namespace dise;
 
@@ -38,16 +37,18 @@ main()
     for (int i = 0; i < 25; ++i)
         a.stb(t0, static_cast<int64_t>(i), s0);
     a.syscall(SysExit);
-    DebugTarget target(a.finish("main"));
+    Program prog = a.finish("main");
 
-    // Production 1: every store bumps the active phase counter, whose
-    // slot index lives in dr1 (0 -> dr2, 1 -> dr3 selected by masking).
-    //   T.INST ; addq dr2, dr1, dr2
-    // Simpler: one counter per phase, the phase production swaps which
-    // DISE register the counting production increments... DISE can't
-    // indirect registers, so we keep one counter and snapshot it at
-    // phase boundaries instead — all still invisible to the app.
-    {
+    // DISE sessions are not debugging-specific: the prepare hook
+    // installs raw productions on the fresh target before the backend
+    // installs and the program loads.
+    //
+    // Production 1: every store bumps the running counter in dr0.
+    // DISE can't indirect registers, so we keep one counter and
+    // snapshot it at phase boundaries instead — all still invisible to
+    // the application's registers, code, and data.
+    SessionOptions opts;
+    opts.prepare = [](DebugTarget &target) {
         Production count;
         count.name = "count-stores";
         count.pattern = Pattern::forClass(OpClass::Store);
@@ -57,34 +58,37 @@ main()
                                 1, TRegField::reg(dr(0))),
         };
         target.engine.addProduction(count);
-    }
-    // Production 2/3: codewords snapshot the running count.
-    for (int phase = 1; phase <= 2; ++phase) {
-        Production snap;
-        snap.name = "phase-mark";
-        snap.pattern = Pattern::forCodeword(phase);
-        snap.replacement = {
-            // drN = dr0 (copy of the running count at phase entry)
-            TemplateInst::op3(Opcode::BIS, TRegField::reg(dr(0)),
-                              TRegField::reg(dr(0)),
-                              TRegField::reg(dr(phase + 1))),
-        };
-        target.engine.addProduction(snap);
-    }
 
-    target.load();
-    StreamEnv env;
-    env.sink = &target.sink;
-    FuncCpu cpu(target.arch, target.mem, &target.engine, env);
-    FuncResult r = cpu.run();
+        // Production 2/3: codewords snapshot the running count.
+        for (int phase = 1; phase <= 2; ++phase) {
+            Production snap;
+            snap.name = "phase-mark";
+            snap.pattern = Pattern::forCodeword(phase);
+            snap.replacement = {
+                // drN = dr0 (copy of the count at phase entry)
+                TemplateInst::op3(Opcode::BIS, TRegField::reg(dr(0)),
+                                  TRegField::reg(dr(0)),
+                                  TRegField::reg(dr(phase + 1))),
+            };
+            target.engine.addProduction(snap);
+        }
+    };
+
+    DebugSession session(prog, opts);
+    if (!session.attach()) {
+        std::fprintf(stderr, "attach failed\n");
+        return 1;
+    }
+    FuncResult r = session.runFunctional();
     if (r.halt != HaltReason::Exited) {
         std::fprintf(stderr, "run failed\n");
         return 1;
     }
 
-    uint64_t total = target.arch.readDise(0);
-    uint64_t atPhase1 = target.arch.readDise(2);
-    uint64_t atPhase2 = target.arch.readDise(3);
+    const ArchState &arch = session.target().arch;
+    uint64_t total = arch.readDise(0);
+    uint64_t atPhase1 = arch.readDise(2);
+    uint64_t atPhase2 = arch.readDise(3);
     std::printf("application instructions: %llu (plus %llu injected)\n",
                 static_cast<unsigned long long>(r.appInsts),
                 static_cast<unsigned long long>(r.expansionOps));

@@ -22,123 +22,71 @@
 
 #include <cstdio>
 
-#include "asm/assembler.hh"
-#include "cpu/loader.hh"
-#include "debug/debugger.hh"
-#include "replay/time_travel.hh"
+#include "session/debug_session.hh"
+#include "workloads/workload.hh"
 
 using namespace dise;
-
-namespace {
-
-Program
-buggyProgram()
-{
-    using namespace reg;
-    Assembler a;
-    a.data(layout::DataBase);
-    a.label("table"); // 32 quads, legitimately written
-    a.space(32 * 8);
-    a.label("directory"); // 8 quads of precious metadata right after
-    a.quad(0xd1);
-    a.quad(0xd2);
-    a.quad(0xd3);
-    a.quad(0xd4);
-    a.space(32);
-
-    a.text(layout::TextBase);
-    a.label("main");
-    a.la(s0, "table");
-    a.lda(t9, 0, zero);
-    a.li(t11, 77);
-    a.label("loop");
-    // idx = lcg() % 33  -- the bug: 33, not 32.
-    a.li(t2, 1103515245);
-    a.mulq(t11, t2, t11);
-    a.addq(t11, 57, t11);
-    a.srl(t11, 16, t0);
-    a.and_(t0, 255, t0);
-    a.li(t1, 33);
-    a.label("mod");
-    a.cmplt(t0, t1, t2);
-    a.bne(t2, "modok");
-    a.subq(t0, t1, t0);
-    a.br("mod");
-    a.label("modok");
-    a.sll(t0, 3, t0);
-    a.addq(s0, t0, t0);
-    a.label("the_store");
-    a.stq(t11, 0, t0); // idx == 32 writes directory[0]!
-    a.addq(t9, 1, t9);
-    a.li(t1, 400);
-    a.cmplt(t9, t1, t2);
-    a.bne(t2, "loop");
-    a.syscall(SysExit);
-    return a.finish("main");
-}
-
-} // namespace
 
 int
 main()
 {
-    Program prog = buggyProgram();
-    DebugTarget target(prog);
+    Program prog = buildHeisenbugDemo();
 
-    DebuggerOptions opts;
-    opts.backend = BackendKind::Dise;
-    opts.dise.protectDebuggerData = true; // Figure 2f shielding
-    Debugger dbg(target, opts);
-    dbg.watch(
+    SessionOptions opts;
+    opts.debugger.backend = BackendKind::Dise;
+    opts.debugger.dise.protectDebuggerData = true; // Fig. 2f shielding
+    DebugSession session(prog, opts);
+    session.setWatch(
         WatchSpec::range("directory", prog.symbol("directory"), 64));
-    if (!dbg.attach()) {
+    if (!session.attach()) {
         std::fprintf(stderr, "attach failed\n");
         return 1;
     }
 
-    RunStats stats = dbg.run();
+    RunStats stats = session.runCycles();
+    size_t corruptions = 0, protections = 0;
+    std::vector<SessionEvent> events = session.events().drain();
+    for (const SessionEvent &ev : events) {
+        corruptions += ev.kind == SessionEventKind::Watch;
+        protections += ev.kind == SessionEventKind::Protection;
+    }
     std::printf("ran %llu instructions; directory was corrupted %zu "
                 "time(s)\n",
                 static_cast<unsigned long long>(stats.appInsts),
-                dbg.watchEvents().size());
-    for (const auto &e : dbg.watchEvents())
-        std::printf("  corruption at directory+%llu: 0x%llx -> 0x%llx "
-                    "(culprit store pc 0x%llx)\n",
-                    static_cast<unsigned long long>(
-                        e.addr - prog.symbol("directory")),
-                    static_cast<unsigned long long>(e.oldValue),
-                    static_cast<unsigned long long>(e.newValue),
-                    static_cast<unsigned long long>(e.pc));
+                corruptions);
+    for (const SessionEvent &ev : events)
+        if (ev.kind == SessionEventKind::Watch)
+            std::printf("  corruption at directory+%llu: 0x%llx -> "
+                        "0x%llx (culprit store pc 0x%llx)\n",
+                        static_cast<unsigned long long>(
+                            ev.addr - prog.symbol("directory")),
+                        static_cast<unsigned long long>(ev.oldValue),
+                        static_cast<unsigned long long>(ev.newValue),
+                        static_cast<unsigned long long>(ev.pc));
     std::printf("the culprit is the store at label 'the_store' "
                 "(0x%llx)\n",
                 static_cast<unsigned long long>(
                     prog.symbol("the_store")));
     std::printf("debugger dseg protection violations: %zu\n",
-                dbg.protectionEvents().size());
+                protections);
 
     // ------------------------------------------------------ act two
     // The same hunt, backward: a fresh session runs to completion
     // first (as if the corruption were only noticed post-mortem), then
     // travels back to the moment of the crime.
     std::printf("\n-- time travel: how did we get here? --\n");
-    DebugTarget ttTarget(buggyProgram());
-    Debugger ttDbg(ttTarget, opts);
-    ttDbg.watch(WatchSpec::range("directory",
-                                 ttTarget.symbol("directory"), 64));
-    if (!ttDbg.attach()) {
-        std::fprintf(stderr, "attach failed\n");
-        return 1;
-    }
-    TimeTravelConfig ttCfg;
-    ttCfg.checkpointInterval = 1024;
-    TimeTravel &tt = ttDbg.timeTravel(ttCfg);
-    StopInfo end = tt.runToEnd();
-    std::printf("program exited at t=%llu (%llu checkpoints, %llu "
+    SessionOptions ttOpts = opts;
+    ttOpts.timeTravel.checkpointInterval = 1024;
+    DebugSession tt(buildHeisenbugDemo(), ttOpts);
+    tt.setWatch(WatchSpec::range("directory",
+                                 tt.program().symbol("directory"), 64));
+    StopInfo end = tt.runToEnd(); // lazy attach: first resume installs
+    SessionStats ss = tt.stats();
+    std::printf("program exited at t=%llu (%zu checkpoints, %llu "
                 "pages copied)\n",
                 static_cast<unsigned long long>(end.time),
-                static_cast<unsigned long long>(
-                    tt.stats().checkpointsTaken),
-                static_cast<unsigned long long>(tt.stats().pagesCopied));
+                ss.checkpoints,
+                static_cast<unsigned long long>(ss.pagesCopied));
 
     for (StopInfo hit = tt.reverseContinue();
          hit.reason == StopReason::Event; hit = tt.reverseContinue()) {
@@ -147,9 +95,9 @@ main()
                     hit.eventIndex,
                     static_cast<unsigned long long>(hit.time),
                     static_cast<unsigned long long>(
-                        ttTarget.arch.read(reg::t9)),
+                        tt.target().arch.read(reg::t9)),
                     static_cast<unsigned long long>(hit.mark.pc),
-                    hit.mark.pc == ttTarget.symbol("the_store")
+                    hit.mark.pc == tt.program().symbol("the_store")
                         ? "  <- the_store"
                         : "");
     }

@@ -2,14 +2,21 @@
  * @file
  * A scripted interactive-debugging session in the style the paper's
  * introduction motivates: a user chasing a value bug in twolf's
- * annealing loop sets a breakpoint, then a conditional watchpoint, and
- * compares what the session costs under DISE versus the incumbent
- * implementations.
+ * annealing loop sets a watchpoint, continues to hits, travels
+ * backward, and compares what the session costs under DISE versus the
+ * incumbent implementations.
  *
- * Build & run:  ./build/examples/interactive_session
+ * This version drives the session entirely through the wire protocol —
+ * every command below is the literal encoded request line a remote
+ * client would send, and every reply is printed via its describe()
+ * renderer — demonstrating that a remote front end gets byte-identical
+ * semantics to linked-in C++.
+ *
+ * Build & run:  ./build/example_interactive_session
  */
 
 #include <cstdio>
+#include <string>
 
 #include "harness/experiment.hh"
 
@@ -17,10 +24,31 @@ using namespace dise;
 
 namespace {
 
+/** Send one encoded request line, print the transcript. */
+Response
+send(DebugSession &session, const std::string &line)
+{
+    std::printf("  -> %s\n", line.c_str());
+    std::string reply = session.handleEncoded(line);
+    Response resp;
+    decodeResponse(reply, resp);
+    std::printf("  <- %s\n", resp.describe().c_str());
+    return resp;
+}
+
 void
 banner(const char *text)
 {
     std::printf("\n(gdb-alike) %s\n", text);
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // namespace
@@ -30,45 +58,47 @@ main()
 {
     ExperimentRunner runner;
     const Workload &w = runner.workload("twolf");
+    WatchSpec hot = w.watch(WatchSel::HOT);
 
-    // ---- session 1: where does the cost counter first change? -------
-    banner("watch total_cost");
+    // ---- session 1: where does the cost counter change? -------------
+    // A wire client: select a backend, set the watch, continue twice,
+    // inspect, and travel back — one encoded line per command.
+    banner("watch total_cost  (wire protocol, DISE backend)");
     {
-        DebugTarget target(w.program);
-        DebuggerOptions opts;
-        opts.backend = BackendKind::Dise;
-        Debugger dbg(target, opts);
-        dbg.watch(w.watch(WatchSel::HOT));
-        if (!dbg.attach())
-            return 1;
-        RunStats stats = dbg.run();
-        const auto &events = dbg.watchEvents();
-        std::printf("Hardware watchpoint 1: total_cost\n");
-        for (size_t i = 0; i < std::min<size_t>(events.size(), 3); ++i)
-            std::printf("  Old value = %lld\n  New value = %lld\n",
-                        static_cast<long long>(events[i].oldValue),
-                        static_cast<long long>(events[i].newValue));
-        std::printf("  ... %zu changes in total, overhead %.1f%%\n",
-                    events.size(),
-                    100.0 * (static_cast<double>(stats.cycles) /
-                                 runner.baseline("twolf").cycles -
-                             1.0));
+        SessionOptions opts;
+        opts.timeTravel.checkpointInterval = 4096;
+        DebugSession session(w.program, opts);
+        send(session, "select-backend seq=1 backend=dise");
+        Request setw;
+        setw.kind = RequestKind::SetWatch;
+        setw.seq = 2;
+        setw.watch = hot;
+        send(session, encodeRequest(setw));
+        send(session, "cont seq=3");
+        send(session, "cont seq=4");
+        send(session, "read-memory seq=5 addr=" + hex(hot.addr) +
+                          " size=8");
+        send(session, "reverse-continue seq=6");
+        send(session, "stats seq=7");
+        std::printf("  async events delivered on the queue:\n");
+        for (const SessionEvent &ev : session.events().drain())
+            std::printf("    %s\n", ev.describe().c_str());
     }
 
     // ---- session 2: only stop when the value hits a target ----------
     banner("watch total_cost if total_cost == 12");
     {
-        DebugTarget target(w.program);
-        DebuggerOptions opts;
-        opts.backend = BackendKind::Dise;
-        Debugger dbg(target, opts);
-        dbg.watch(w.watch(WatchSel::HOT).withCondition(12));
-        if (!dbg.attach())
-            return 1;
-        dbg.run();
+        SessionOptions opts;
+        opts.debugger.backend = BackendKind::Dise;
+        DebugSession session(w.program, opts);
+        session.setWatch(hot.withCondition(12));
+        StopInfo end = session.runToEnd();
+        size_t stops = 0;
+        for (const SessionEvent &ev : session.events().drain())
+            stops += ev.kind == SessionEventKind::Watch;
         std::printf("stopped %zu time(s); every other change was "
-                    "filtered inside the application\n",
-                    dbg.watchEvents().size());
+                    "filtered inside the application (%s)\n",
+                    stops, end.describe().c_str());
     }
 
     // ---- session 3: the same request under the incumbents -----------
@@ -87,22 +117,31 @@ main()
     }
 
     // ---- session 4: a breakpoint at the accept path ------------------
-    banner("break uloop_accept");
+    banner("break reject  (wire protocol)");
     {
-        DebugTarget target(w.program);
-        DebuggerOptions opts;
-        opts.backend = BackendKind::Dise;
-        Debugger dbg(target, opts);
-        // The accepted-move counter increment is a stable anchor.
-        BreakSpec bp;
-        bp.pc = w.program.symbol("reject");
-        dbg.breakAt(bp);
-        if (!dbg.attach())
-            return 1;
-        dbg.runFunctional(40000);
+        SessionOptions opts;
+        opts.debugger.backend = BackendKind::Dise;
+        opts.timeTravel.maxAppInsts = 40000;
+        DebugSession session(w.program, opts);
+        send(session,
+             "set-break seq=1 pc=" + hex(w.program.symbol("reject")) +
+                 " name=reject");
+        Response r = send(session, "cont seq=2");
+        size_t hits = 0;
+        while (r.ok() && r.hasStop &&
+               r.stop.reason == StopReason::Event) {
+            ++hits;
+            r = session.handle([] {
+                Request req;
+                req.kind = RequestKind::Cont;
+                return req;
+            }());
+        }
+        send(session, "detach seq=3");
         std::printf("breakpoint hit %zu times in the first 40K "
                     "instructions\n",
-                    dbg.breakEvents().size());
+                    hits);
+        session.events().clear();
     }
 
     return 0;

@@ -1,17 +1,18 @@
 /**
  * @file
- * Quickstart: assemble a tiny program, set a DISE watchpoint on one of
- * its variables, run under the cycle-level simulator, and print every
- * user-visible watchpoint event plus the measured overhead.
+ * Quickstart: assemble a tiny program, open a DebugSession with a DISE
+ * watchpoint on one of its variables, run under the cycle-level
+ * simulator, and print every user-visible event from the session's
+ * ordered queue plus the measured overhead.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/example_quickstart
  */
 
 #include <cstdio>
 
 #include "asm/assembler.hh"
 #include "cpu/loader.hh"
-#include "debug/debugger.hh"
+#include "session/debug_session.hh"
 
 using namespace dise;
 
@@ -39,30 +40,26 @@ main()
     a.syscall(SysExit);
     Program prog = a.finish("main");
 
-    // 2. Attach a DISE-backed debugger and watch x.
-    DebugTarget target(prog);
-    DebuggerOptions opts;
-    opts.backend = BackendKind::Dise;
-    Debugger dbg(target, opts);
-    dbg.watch(WatchSpec::scalar("x", prog.symbol("x"), 8));
-    if (!dbg.attach()) {
+    // 2. Open a DISE-backed debug session and watch x.
+    SessionOptions opts;
+    opts.debugger.backend = BackendKind::Dise;
+    DebugSession session(prog, opts);
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    if (!session.attach()) {
         std::fprintf(stderr, "attach failed\n");
         return 1;
     }
 
-    // 3. Run under the timing model and report.
-    RunStats stats = dbg.run();
+    // 3. Run under the timing model and report from the event queue.
+    RunStats stats = session.runCycles();
     std::printf("program ran %llu instructions in %llu cycles "
                 "(IPC %.2f)\n",
                 static_cast<unsigned long long>(stats.appInsts),
                 static_cast<unsigned long long>(stats.cycles),
                 stats.ipc());
-    std::printf("watchpoint events:\n");
-    for (const auto &e : dbg.watchEvents())
-        std::printf("  x: %llu -> %llu  (store at 0x%llx)\n",
-                    static_cast<unsigned long long>(e.oldValue),
-                    static_cast<unsigned long long>(e.newValue),
-                    static_cast<unsigned long long>(e.addr));
+    std::printf("session events:\n");
+    for (const SessionEvent &ev : session.events().drain())
+        std::printf("  %s\n", ev.describe().c_str());
     std::printf("spurious debugger transitions: %llu (DISE prunes them "
                 "inside the application)\n",
                 static_cast<unsigned long long>(

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hex parsing/formatting helpers shared by the wire layers (the
+ * session protocol's %XX escaping and byte strings, the RSP packet
+ * codec's hex-heavy payloads).
+ */
+
+#ifndef DISE_COMMON_HEX_HH
+#define DISE_COMMON_HEX_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dise {
+
+/** Value of one hex digit, or -1 for a non-digit. */
+inline int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Two lowercase hex digits. */
+inline std::string
+hexByte(uint8_t b)
+{
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    return buf;
+}
+
+/** Bytes → lowercase hex string. */
+inline std::string
+bytesToHex(const std::vector<uint8_t> &bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes)
+        out += hexByte(b);
+    return out;
+}
+
+/** Hex string → bytes; false on odd length or a non-digit. */
+inline bool
+hexToBytes(const std::string &hex, std::vector<uint8_t> &bytes)
+{
+    bytes.clear();
+    if (hex.size() % 2)
+        return false;
+    bytes.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]), lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        bytes.push_back(static_cast<uint8_t>(hi * 16 + lo));
+    }
+    return true;
+}
+
+} // namespace dise
+
+#endif // DISE_COMMON_HEX_HH

@@ -105,6 +105,15 @@ class DebugBackend : public DebugMonitor
                protectionEvents_.size();
     }
 
+    /**
+     * Monotonic count of events ever recorded (never decremented, not
+     * even when restoreHost() rolls the event lists back). Record-mode
+     * pollers compare it against their last-seen value and skip the
+     * per-µop event-list scans entirely while it is unchanged —
+     * batching detection behind one integer compare.
+     */
+    uint64_t eventsRecorded() const { return eventsRecorded_; }
+
     /** @name Checkpoint support (time-travel debugging) */
     ///@{
     BackendSnapshot
@@ -141,6 +150,21 @@ class DebugBackend : public DebugMonitor
     {
         watchEvents_.push_back({idx, ch.addr, ch.oldValue, ch.newValue,
                                 pc, seq});
+        ++eventsRecorded_;
+    }
+
+    void
+    recordBreak(int idx, Addr pc, uint64_t seq)
+    {
+        breakEvents_.push_back({idx, pc, seq});
+        ++eventsRecorded_;
+    }
+
+    void
+    recordProtection(Addr pc, Addr addr)
+    {
+        protectionEvents_.push_back({pc, addr});
+        ++eventsRecorded_;
     }
 
     std::vector<WatchEvent> watchEvents_;
@@ -152,6 +176,7 @@ class DebugBackend : public DebugMonitor
     std::vector<WatchState> watches_;
     std::vector<BreakSpec> breaks_;
     uint64_t seq_ = 0;
+    uint64_t eventsRecorded_ = 0;
 };
 
 } // namespace dise

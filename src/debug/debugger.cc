@@ -62,12 +62,14 @@ Debugger::breakAt(const BreakSpec &spec)
 }
 
 bool
-Debugger::attach()
+Debugger::attach(const std::function<void(DebugTarget &)> &postLoad)
 {
     DISE_ASSERT(!attached_, "already attached");
     if (!backend_->install(target_, watches_, breaks_))
         return false;
     target_.load();
+    if (postLoad)
+        postLoad(target_);
     backend_->prime(target_);
     attached_ = true;
     return true;

@@ -1,23 +1,28 @@
 /**
  * @file
- * The interactive-debugger front end.
+ * The debugger engine room: one backend (watchpoint technique) bound
+ * to one target, plus the time-travel session (src/replay/).
  *
- * Presents the classic breakpoint/watchpoint interface and hides the
- * implementation technique behind it: the same session code runs over
- * the DISE backend or any of the four incumbent implementations the
- * paper compares against. This mirrors the paper's framing — the
- * debugger auto-generates productions/machinery from user requests;
- * users never write productions themselves.
+ * This is no longer the public front end. New code should drive a
+ * DebugSession (src/session/), which owns a Debugger and exposes every
+ * capability — watch/break, forward and reverse execution,
+ * register/memory peek-poke, backend selection, statistics — as typed
+ * Request/Response messages with a stable wire encoding and an ordered
+ * event queue, locally or over the GDB-RSP bridge (src/rsp/). The
+ * convenience forwards below (cont()/reverseContinue()/watchEvents()
+ * and friends) remain as thin deprecated shims for in-process callers
+ * and the existing tests.
  *
- * Beyond forward execution, the debugger exposes the time-travel
- * session (src/replay/): checkpointed, deterministically replayable
- * functional execution with reverseContinue() / reverseStep() /
- * runToEvent(), available over every backend.
+ * The same session code runs over the DISE backend or any of the four
+ * incumbent implementations the paper compares against — the debugger
+ * auto-generates productions/machinery from user requests; users never
+ * write productions themselves.
  */
 
 #ifndef DISE_DEBUG_DEBUGGER_HH
 #define DISE_DEBUG_DEBUGGER_HH
 
+#include <functional>
 #include <memory>
 
 #include "cpu/func_cpu.hh"
@@ -70,8 +75,11 @@ class Debugger
      * Install the backend machinery, load the program, and prime
      * shadow state. Returns false when the chosen technique cannot
      * implement the request (the paper's "no experiment" cells).
+     * @p postLoad, when given, runs between load() and prime() — the
+     * session front end uses it to fold configuration-phase pokes into
+     * the initial state before watchpoint shadows snapshot it.
      */
-    bool attach();
+    bool attach(const std::function<void(DebugTarget &)> &postLoad = {});
     bool attached() const { return attached_; }
 
     /** Cycle-level run under the timing model. */
@@ -90,7 +98,9 @@ class Debugger
     TimeTravel &timeTravel(TimeTravelConfig cfg = {});
     bool timeTraveling() const { return tt_ != nullptr; }
 
-    /** Convenience forwards into the session. */
+    /** Convenience forwards into the session.
+     *  @deprecated Thin shims; prefer DebugSession's verbs, which also
+     *  deliver events on the ordered queue. */
     StopInfo cont() { return timeTravel().cont(); }
     StopInfo reverseContinue() { return timeTravel().reverseContinue(); }
     StopInfo
@@ -103,6 +113,8 @@ class Debugger
     ReplayLog &replayLog() { return log_; }
     ///@}
 
+    /** @deprecated Pull-style event lists; prefer DebugSession's
+     *  ordered EventQueue. */
     const std::vector<WatchEvent> &watchEvents() const;
     const std::vector<BreakEvent> &breakEvents() const;
     const std::vector<ProtectionEvent> &protectionEvents() const;

@@ -857,12 +857,12 @@ DiseBackend::onTrap(const MicroOp &op)
 
     if (code >= TrapBreakBase) {
         int idx = static_cast<int>(code - TrapBreakBase);
-        breakEvents_.push_back({idx, pc, seq_});
+        recordBreak(idx, pc, seq_);
         return {TransitionKind::User};
     }
     if (code == TrapProtection) {
         // dr1 still holds the offending store address.
-        protectionEvents_.push_back({pc, target_->arch.readDise(1)});
+        recordProtection(pc, target_->arch.readDise(1));
         return {TransitionKind::User};
     }
 

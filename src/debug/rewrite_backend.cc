@@ -377,8 +377,8 @@ RewriteBackend::onTrap(const MicroOp &op)
     ++seq_;
     int64_t code = op.inst.imm;
     if (code >= TrapBreakBase) {
-        breakEvents_.push_back(
-            {static_cast<int>(code - TrapBreakBase), op.pc, seq_});
+        recordBreak(static_cast<int>(code - TrapBreakBase), op.pc,
+                    seq_);
         return {TransitionKind::User};
     }
     for (size_t i = 0; i < watches_.size(); ++i) {

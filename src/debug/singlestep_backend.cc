@@ -46,8 +46,8 @@ SingleStepBackend::onStatement(Addr pc)
                     target_->mem.read(bp.condAddr, bp.condSize) ==
                         bp.condConst;
         if (pass) {
-            breakEvents_.push_back(
-                {static_cast<int>(&bp - breaks_.data()), pc, seq_});
+            recordBreak(static_cast<int>(&bp - breaks_.data()), pc,
+                        seq_);
             anyUser = true;
         } else {
             anyPredicateFail = true;

@@ -103,26 +103,30 @@ ExperimentRunner::debugged(const std::string &name,
     const Workload &w = workload(name);
     const RunStats &base = baseline(name);
 
-    DebugTarget target(w.program);
-    Debugger dbg(target, dopts);
+    SessionOptions sopts;
+    sopts.debugger = dopts;
+    DebugSession session(w.program, sopts);
     for (const auto &spec : watches)
-        dbg.watch(spec);
+        session.setWatch(spec);
     for (const auto &bp : breaks)
-        dbg.breakAt(bp);
+        session.setBreak(bp);
 
     RunOutcome outcome;
-    if (!dbg.attach()) {
+    if (!session.attach()) {
         outcome.supported = false;
         return outcome;
     }
-    outcome.stats = dbg.run(timingConfig(mtHandlers), {});
+    outcome.stats = session.runCycles(timingConfig(mtHandlers), {});
     if (outcome.stats.halt != HaltReason::Exited &&
         outcome.stats.halt != HaltReason::Halted)
         fatal("debugged run of '", name, "' under ",
               backendName(dopts.backend), " did not complete: ",
               outcome.stats.faultMessage);
-    outcome.watchEvents = dbg.watchEvents().size();
-    outcome.breakEvents = dbg.breakEvents().size();
+    // User-visible events arrive on the session's ordered queue.
+    for (const SessionEvent &ev : session.events().drain()) {
+        outcome.watchEvents += ev.kind == SessionEventKind::Watch;
+        outcome.breakEvents += ev.kind == SessionEventKind::Break;
+    }
     outcome.slowdown = static_cast<double>(outcome.stats.cycles) /
                        static_cast<double>(base.cycles);
     return outcome;
@@ -136,58 +140,59 @@ ExperimentRunner::checkpointedRun(const std::string &name,
                                   uint64_t maxAppInsts)
 {
     const Workload &w = workload(name);
-    DebugTarget target(w.program);
-    Debugger dbg(target, dopts);
+    SessionOptions sopts;
+    sopts.debugger = dopts;
+    sopts.timeTravel.checkpointInterval = checkpointInterval;
+    sopts.timeTravel.maxAppInsts = maxAppInsts;
+    DebugSession session(w.program, sopts);
     for (const auto &spec : watches)
-        dbg.watch(spec);
+        session.setWatch(spec);
 
     CheckpointedOutcome outcome;
-    if (!dbg.attach()) {
+    if (!session.attach()) {
         outcome.supported = false;
         return outcome;
     }
-    dbg.replayLog().seed = opts_.seed;
-    dbg.replayLog().programName = name;
-
-    TimeTravelConfig cfg;
-    cfg.checkpointInterval = checkpointInterval;
-    cfg.maxAppInsts = maxAppInsts;
-    TimeTravel &tt = dbg.timeTravel(cfg);
+    session.debugger().replayLog().seed = opts_.seed;
+    session.debugger().replayLog().programName = name;
 
     auto t0 = std::chrono::steady_clock::now();
-    StopInfo end = tt.runToEnd();
+    StopInfo end = session.runToEnd();
     outcome.forwardSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
     if (end.reason != StopReason::Halted &&
         end.reason != StopReason::InstLimit)
-        fatal("checkpointed run of '", name, "' did not complete");
-    uint64_t endDigest = tt.digest();
+        fatal("checkpointed run of '", name, "' did not complete: ",
+              end.describe());
+    uint64_t endDigest = session.digest();
     uint64_t endTime = end.time;
 
-    if (tt.eventCount() > 0) {
+    if (session.eventCount() > 0) {
         auto t1 = std::chrono::steady_clock::now();
-        StopInfo hit = tt.reverseContinue();
+        StopInfo hit = session.reverseContinue();
         outcome.reverseContinueSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t1)
                 .count();
         outcome.reverseLanded =
             hit.reason == StopReason::Event &&
-            hit.eventIndex == static_cast<int>(tt.eventCount()) - 1;
-        StopInfo end2 = tt.runToEnd();
+            hit.eventIndex ==
+                static_cast<int>(session.eventCount()) - 1;
+        StopInfo end2 = session.runToEnd();
         outcome.replayExact =
-            end2.time == endTime && tt.digest() == endDigest;
+            end2.time == endTime && session.digest() == endDigest;
     }
 
+    const TimeTravel::Stats *ts = session.travelStats();
     outcome.appInsts = end.appInsts;
-    outcome.events = tt.eventCount();
-    outcome.checkpoints = tt.checkpointCount();
+    outcome.events = session.eventCount();
+    outcome.checkpoints = session.stats().checkpoints;
     outcome.pagesCopied =
-        tt.stats().pagesCopied + target.mem.undoPagesPending();
-    outcome.pagesRestored = tt.stats().pagesRestored;
-    outcome.replayedUops = tt.stats().replayedUops;
+        ts->pagesCopied + session.target().mem.undoPagesPending();
+    outcome.pagesRestored = ts->pagesRestored;
+    outcome.replayedUops = ts->replayedUops;
     outcome.digest = endDigest;
     return outcome;
 }

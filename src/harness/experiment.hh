@@ -15,7 +15,7 @@
 
 #include "common/table.hh"
 #include "cpu/timing_cpu.hh"
-#include "debug/debugger.hh"
+#include "session/debug_session.hh"
 #include "workloads/workload.hh"
 
 namespace dise {

@@ -1,11 +1,63 @@
 #include "replay/time_travel.hh"
 
 #include <algorithm>
+#include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "debug/target.hh"
 
 namespace dise {
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Start: return "start-of-history";
+      case StopReason::Event: return "event";
+      case StopReason::Step: return "step";
+      case StopReason::Halted: return "halted";
+      case StopReason::Fault: return "fault";
+      case StopReason::InstLimit: return "inst-limit";
+    }
+    return "?";
+}
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Watch: return "watch";
+      case EventKind::Break: return "break";
+      case EventKind::Protection: return "protection";
+    }
+    return "?";
+}
+
+std::string
+StopInfo::describe() const
+{
+    std::ostringstream os;
+    os << "stopped: " << stopReasonName(reason);
+    if (reason == StopReason::Event && eventIndex >= 0)
+        os << " #" << eventIndex << " (" << eventKindName(mark.kind)
+           << " " << mark.index << ")";
+    os << " at pc=0x" << std::hex << pc << std::dec << ", t=" << time
+       << ", " << appInsts << " insts";
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, StopReason reason)
+{
+    return os << stopReasonName(reason);
+}
+
+std::ostream &
+operator<<(std::ostream &os, const StopInfo &stop)
+{
+    return os << stop.describe();
+}
 
 TimeTravel::TimeTravel(DebugTarget &target, DebugBackend &backend,
                        ReplayLog &log, TimeTravelConfig cfg)
@@ -55,7 +107,11 @@ TimeTravel::stepUop(bool &firedEvent)
         return false;
     ensureStream();
 
-    MicroOp op;
+    // Reused scratch op: a local `MicroOp op` would zero-initialize
+    // ~sizeof(MicroOp) bytes on every call *in addition to* the value
+    // re-initialization next() performs internally; measured at
+    // roughly the whole remaining record-mode overhead.
+    MicroOp &op = scratchOp_;
     if (!stream_->next(op)) {
         halted_ = true;
         haltReason_ = stream_->haltReason();
@@ -69,6 +125,13 @@ TimeTravel::stepUop(bool &firedEvent)
         halted_ = true;
         haltReason_ = op.haltReason;
     }
+
+    // Record-mode fast path: detection is batched behind the backend's
+    // monotonic event counter, so the common no-event µop pays one
+    // integer compare instead of three list polls.
+    if (backend_.eventsRecorded() == seenRecorded_)
+        return true;
+    seenRecorded_ = backend_.eventsRecorded();
 
     auto noteEvents = [&](EventKind kind, size_t &seen, size_t now,
                           auto pcOf) {
@@ -122,13 +185,15 @@ TimeTravel::takeCheckpoint()
     }
     cps_.push_back(std::move(cp));
     ++stats_.checkpointsTaken;
+    nextCheckpointAt_ = appInsts_ + cfg_.checkpointInterval;
 }
 
 void
 TimeTravel::maybeCheckpoint()
 {
-    if (!halted_ && atBoundary() &&
-        appInsts_ >= cps_.back().appInsts + cfg_.checkpointInterval)
+    if (appInsts_ < nextCheckpointAt_) // the per-µop fast path
+        return;
+    if (!halted_ && atBoundary())
         takeCheckpoint();
 }
 
@@ -192,6 +257,8 @@ TimeTravel::restoreTo(size_t cpIdx)
     // now. Checkpoints past it describe a future we just left.
     cps_.resize(cpIdx + 1);
     cps_.back().undo.clear();
+    nextCheckpointAt_ = cps_.back().appInsts + cfg_.checkpointInterval;
+    seenRecorded_ = backend_.eventsRecorded();
 }
 
 StopInfo

@@ -34,7 +34,9 @@
 #ifndef DISE_REPLAY_TIME_TRAVEL_HH
 #define DISE_REPLAY_TIME_TRAVEL_HH
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/inst_stream.hh"
@@ -64,6 +66,9 @@ enum class StopReason : uint8_t {
     InstLimit, ///< maxAppInsts safety cap
 };
 
+const char *stopReasonName(StopReason reason);
+const char *eventKindName(EventKind kind);
+
 struct StopInfo
 {
     StopReason reason = StopReason::Start;
@@ -75,7 +80,15 @@ struct StopInfo
     uint64_t appInsts = 0;
     /** Architectural PC at the stop. */
     Addr pc = 0;
+
+    /** One-line human rendering ("stopped: watch event #3 at
+     *  pc=0x100005c, t=1234, 567 insts") for transcripts and test
+     *  failure messages. */
+    std::string describe() const;
 };
+
+std::ostream &operator<<(std::ostream &os, StopReason reason);
+std::ostream &operator<<(std::ostream &os, const StopInfo &stop);
 
 class TimeTravel
 {
@@ -188,8 +201,21 @@ class TimeTravel
     size_t seenWatch_ = 0;
     size_t seenBreak_ = 0;
     size_t seenProt_ = 0;
+    /** Backend eventsRecorded() value already accounted for: while it
+     *  is unchanged the per-µop event-list polling is skipped. */
+    uint64_t seenRecorded_ = 0;
     /** Next intervention to re-apply while replaying forward. */
     size_t nextIntervention_ = 0;
+
+    /** App-inst position of the next automatic checkpoint — the
+     *  record-mode loop pays one compare instead of re-deriving it
+     *  from cps_.back() (and probing the stream for a boundary) every
+     *  µop. */
+    uint64_t nextCheckpointAt_ = 0;
+    /** Scratch µop reused across stepUop() calls (avoids the
+     *  caller-side zero-initialization of a fresh local per µop;
+     *  InstStream::next() fully re-initializes it anyway). */
+    MicroOp scratchOp_{};
 
     Stats stats_;
 };

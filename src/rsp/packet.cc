@@ -1,0 +1,256 @@
+#include "rsp/packet.hh"
+
+#include <cstdio>
+
+#include "common/hex.hh"
+
+namespace dise::rsp {
+
+namespace {
+
+constexpr char Esc = '}';
+constexpr uint8_t EscXor = 0x20;
+
+bool
+needsEscape(char c)
+{
+    return c == '$' || c == '#' || c == Esc || c == '*';
+}
+
+/** Repeat-count characters the sender must not produce ('$', '#',
+ *  '+', '-' would confuse framing and acks). */
+bool
+forbiddenCount(char n)
+{
+    return n == '$' || n == '#' || n == '+' || n == '-';
+}
+
+} // namespace
+
+uint8_t
+checksum(const std::string &data)
+{
+    unsigned sum = 0;
+    for (char c : data)
+        sum += static_cast<unsigned char>(c);
+    return static_cast<uint8_t>(sum & 0xff);
+}
+
+std::string
+escapePayload(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (needsEscape(c)) {
+            out += Esc;
+            out += static_cast<char>(static_cast<uint8_t>(c) ^ EscXor);
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+runLengthEncode(const std::string &payload)
+{
+    std::string out;
+    out.reserve(payload.size());
+    size_t i = 0;
+    while (i < payload.size()) {
+        char c = payload[i];
+        // An escape pair is a unit; never fold it into a run.
+        if (c == Esc) {
+            out += c;
+            if (i + 1 < payload.size())
+                out += payload[i + 1];
+            i += 2;
+            continue;
+        }
+        size_t run = 1;
+        while (i + run < payload.size() && payload[i + run] == c)
+            ++run;
+        i += run;
+        while (run > 0) {
+            // `c '*' n` covers k characters: one literal plus (n - 29)
+            // repeats, so n = k + 28; k caps at 98 (n = 126 = '~').
+            size_t k = std::min<size_t>(run, 98);
+            char n = static_cast<char>(k + 28);
+            while (k >= 4 && forbiddenCount(n)) {
+                --k;
+                --n;
+            }
+            if (k < 4) {
+                out.append(run, c); // too short to pay for the *n
+                break;
+            }
+            out += c;
+            out += '*';
+            out += n;
+            run -= k;
+        }
+    }
+    return out;
+}
+
+std::string
+frame(const std::string &raw, bool rle)
+{
+    std::string payload = escapePayload(raw);
+    if (rle)
+        payload = runLengthEncode(payload);
+    char tail[8];
+    std::snprintf(tail, sizeof tail, "#%02x", checksum(payload));
+    return "$" + payload + tail;
+}
+
+bool
+decodeFrame(const std::string &wire, std::string &payload)
+{
+    payload.clear();
+    if (wire.size() < 4 || wire.front() != '$')
+        return false;
+    if (wire[wire.size() - 3] != '#')
+        return false;
+    int hi = hexNibble(wire[wire.size() - 2]);
+    int lo = hexNibble(wire[wire.size() - 1]);
+    if (hi < 0 || lo < 0)
+        return false;
+    std::string body = wire.substr(1, wire.size() - 4);
+    if (body.find('#') != std::string::npos ||
+        body.find('$') != std::string::npos)
+        return false;
+    if (checksum(body) != static_cast<uint8_t>(hi * 16 + lo))
+        return false;
+
+    for (size_t i = 0; i < body.size(); ++i) {
+        char c = body[i];
+        if (c == Esc) {
+            if (i + 1 >= body.size())
+                return false; // truncated escape
+            payload += static_cast<char>(
+                static_cast<uint8_t>(body[++i]) ^ EscXor);
+        } else if (c == '*') {
+            if (payload.empty())
+                return false; // nothing to repeat
+            char n = body.size() > i + 1 ? body[++i] : '\0';
+            if (static_cast<unsigned char>(n) < 29 + 3)
+                return false; // repeat below the legal minimum
+            size_t count = static_cast<unsigned char>(n) - 29;
+            if (payload.size() + count > PacketDecoder::MaxFrame)
+                return false; // decompression bomb
+            payload.append(count, payload.back());
+        } else {
+            payload += c;
+        }
+    }
+    return true;
+}
+
+void
+PacketDecoder::feed(const char *data, size_t len)
+{
+    buf_.append(data, len);
+}
+
+bool
+PacketDecoder::next(ItemKind &kind, std::string &payload)
+{
+    for (;;) {
+        // Skip stray bytes to the next item start.
+        size_t start = 0;
+        while (start < buf_.size() && buf_[start] != '$' &&
+               buf_[start] != '+' && buf_[start] != '-' &&
+               buf_[start] != '\x03')
+            ++start;
+        strayBytes_ += start;
+        buf_.erase(0, start);
+        if (buf_.empty())
+            return false;
+
+        char c = buf_[0];
+        if (c == '+' || c == '-' || c == '\x03') {
+            buf_.erase(0, 1);
+            kind = c == '+' ? ItemKind::Ack
+                   : c == '-' ? ItemKind::Nak
+                              : ItemKind::Break;
+            payload.clear();
+            return true;
+        }
+
+        // A '$' frame: wait for "#xx".
+        size_t hash = buf_.find('#');
+        if (hash == std::string::npos) {
+            if (buf_.size() > MaxFrame) {
+                ++badFrames_;
+                buf_.erase(0, 1); // resync past the bogus '$'
+                continue;
+            }
+            return false; // incomplete
+        }
+        if (hash + 2 >= buf_.size())
+            return false; // checksum digits still in flight
+        std::string wire = buf_.substr(0, hash + 3);
+        buf_.erase(0, hash + 3);
+        if (decodeFrame(wire, payload)) {
+            kind = ItemKind::Packet;
+            return true;
+        }
+        ++badFrames_;
+        // Malformed frame dropped; scan on for the next item.
+    }
+}
+
+std::string
+hexLe(uint64_t v, unsigned bytes)
+{
+    std::string out;
+    for (unsigned i = 0; i < bytes; ++i)
+        out += hexByte(static_cast<uint8_t>(v >> (8 * i)));
+    return out;
+}
+
+bool
+parseHexLe(const std::string &hex, uint64_t &v)
+{
+    if (hex.empty() || hex.size() % 2 || hex.size() > 16)
+        return false;
+    v = 0;
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]), lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        v |= static_cast<uint64_t>(hi * 16 + lo) << (4 * i);
+    }
+    return true;
+}
+
+bool
+parseHexNum(const std::string &hex, uint64_t &v)
+{
+    if (hex.empty() || hex.size() > 16)
+        return false;
+    v = 0;
+    for (char c : hex) {
+        int n = hexNibble(c);
+        if (n < 0)
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(n);
+    }
+    return true;
+}
+
+std::string
+toHex(const std::vector<uint8_t> &bytes)
+{
+    return bytesToHex(bytes);
+}
+
+bool
+fromHex(const std::string &hex, std::vector<uint8_t> &bytes)
+{
+    return hexToBytes(hex, bytes);
+}
+
+} // namespace dise::rsp

@@ -1,0 +1,431 @@
+#include "rsp/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dise::rsp {
+
+namespace {
+
+/** Largest m/M transfer accepted; qSupported's PacketSize=4000 (hex,
+ *  16384 bytes) promises at least this much. */
+constexpr uint64_t MaxTransfer = 16384;
+
+/** Natural (big-endian) hex rendering of an address, no leading
+ *  zeros — the form gdb uses inside stop replies. */
+std::string
+hexAddr(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+splitOnce(const std::string &s, char sep, std::string &a, std::string &b)
+{
+    size_t pos = s.find(sep);
+    if (pos == std::string::npos)
+        return false;
+    a = s.substr(0, pos);
+    b = s.substr(pos + 1);
+    return true;
+}
+
+} // namespace
+
+RspServer::RspServer(DebugSession &session, RspServerOptions opts)
+    : session_(session), opts_(opts)
+{
+}
+
+RspServer::~RspServer()
+{
+    stop();
+}
+
+// ------------------------------------------------------------ protocol
+
+std::string
+RspServer::stopReply(const StopInfo &stop)
+{
+    haveStop_ = true;
+    lastStop_ = stop;
+    std::string pcInfo =
+        "20:" + hexLe(stop.pc, 8) + ";"; // register 0x20 is the PC
+
+    switch (stop.reason) {
+      case StopReason::Event:
+        switch (stop.mark.kind) {
+          case EventKind::Watch: {
+            // Report the trapped data address, as gdb expects.
+            Addr dataAddr = stop.mark.pc;
+            const auto &ws = session_.debugger().backend().watchEvents();
+            if (stop.mark.index >= 0 &&
+                static_cast<size_t>(stop.mark.index) < ws.size())
+                dataAddr = ws[stop.mark.index].addr;
+            return "T05" + pcInfo + "watch:" + hexAddr(dataAddr) + ";";
+          }
+          case EventKind::Break:
+            return "T05" + pcInfo + "hwbreak:;";
+          case EventKind::Protection:
+            return "T0b" + pcInfo;
+        }
+        return "T05" + pcInfo;
+      case StopReason::Start:
+        return "T05" + pcInfo + "replaylog:begin;";
+      case StopReason::Step:
+      case StopReason::InstLimit:
+        return "T05" + pcInfo;
+      case StopReason::Halted:
+        return "W00";
+      case StopReason::Fault:
+        return "X0b";
+    }
+    return "S05";
+}
+
+std::string
+RspServer::handleQuery(const std::string &p)
+{
+    if (p.rfind("qSupported", 0) == 0)
+        return "PacketSize=4000;ReverseContinue+;ReverseStep+;"
+               "hwbreak+;swbreak+;QNonStop-";
+    if (p == "qC")
+        return "QC0";
+    if (p == "qAttached")
+        return "1";
+    if (p == "qfThreadInfo")
+        return "m0";
+    if (p == "qsThreadInfo")
+        return "l";
+    if (p.rfind("qSymbol", 0) == 0)
+        return "OK";
+    if (p == "qTStatus")
+        return "";
+    return ""; // unsupported query
+}
+
+std::string
+RspServer::handleInsert(const std::string &p, bool insert)
+{
+    // Ztype,addr,kind — type 0/1: breakpoints, 2/4: write/access
+    // watchpoints, 3: read watchpoints (not implementable here).
+    std::string head, rest, addrStr, kindStr;
+    if (!splitOnce(p.substr(1), ',', head, rest))
+        return "E01";
+    if (!splitOnce(rest, ',', addrStr, kindStr)) {
+        addrStr = rest; // kind omitted: default to a quadword
+        kindStr = "8";
+    }
+    // Strip a conditional suffix (";...") some clients append.
+    size_t semi = kindStr.find(';');
+    if (semi != std::string::npos)
+        kindStr = kindStr.substr(0, semi);
+
+    uint64_t type = 0, addr = 0, kind = 0;
+    if (!parseHexNum(head, type) || !parseHexNum(addrStr, addr) ||
+        !parseHexNum(kindStr, kind))
+        return "E01";
+    if (type == 3)
+        return ""; // read watchpoints unsupported: gdb falls back
+
+    std::string key = std::to_string(type > 1) + ":" + addrStr + ":" +
+                      kindStr;
+    if (type == 2 || type == 4) {
+        if (insert) {
+            WatchSpec w = WatchSpec::scalar(
+                "rsp@" + addrStr, addr,
+                static_cast<unsigned>(kind ? kind : 8));
+            int idx = session_.setWatch(w);
+            if (idx < 0)
+                return "E02";
+            zWatches_[key] = idx;
+            return "OK";
+        }
+        auto it = zWatches_.find(key);
+        if (it == zWatches_.end())
+            return "E03";
+        return session_.removeWatch(it->second) ? "OK" : "E03";
+    }
+    if (type == 0 || type == 1) {
+        if (insert) {
+            BreakSpec b;
+            b.pc = addr;
+            b.name = "rsp@" + addrStr;
+            int idx = session_.setBreak(b);
+            if (idx < 0)
+                return "E02";
+            zBreaks_[key] = idx;
+            return "OK";
+        }
+        auto it = zBreaks_.find(key);
+        if (it == zBreaks_.end())
+            return "E03";
+        return session_.removeBreak(it->second) ? "OK" : "E03";
+    }
+    return "";
+}
+
+std::string
+RspServer::handleReadMem(const std::string &p)
+{
+    std::string addrStr, lenStr;
+    if (!splitOnce(p.substr(1), ',', addrStr, lenStr))
+        return "E01";
+    uint64_t addr = 0, len = 0;
+    if (!parseHexNum(addrStr, addr) || !parseHexNum(lenStr, len) ||
+        len > MaxTransfer)
+        return "E01";
+    return toHex(session_.readMemory(addr, len));
+}
+
+std::string
+RspServer::handleWriteMem(const std::string &p)
+{
+    std::string head, hex, addrStr, lenStr;
+    if (!splitOnce(p.substr(1), ':', head, hex) ||
+        !splitOnce(head, ',', addrStr, lenStr))
+        return "E01";
+    uint64_t addr = 0, len = 0;
+    std::vector<uint8_t> bytes;
+    if (!parseHexNum(addrStr, addr) || !parseHexNum(lenStr, len) ||
+        !fromHex(hex, bytes) || bytes.size() != len || len > MaxTransfer)
+        return "E01";
+    // The session pokes in ≤8-byte units (each a loggable intervention).
+    size_t off = 0;
+    while (off < bytes.size()) {
+        unsigned n = static_cast<unsigned>(
+            std::min<size_t>(8, bytes.size() - off));
+        uint64_t v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+        if (!session_.writeMemory(addr + off, n, v))
+            return "E02";
+        off += n;
+    }
+    return "OK";
+}
+
+std::string
+RspServer::handleReadRegs()
+{
+    std::string out;
+    for (uint64_t v : session_.readRegisters())
+        out += hexLe(v, 8);
+    return out;
+}
+
+std::string
+RspServer::handleWriteRegs(const std::string &p)
+{
+    std::string hex = p.substr(1);
+    if (hex.size() != DebugSession::NumSessionRegs * 16)
+        return "E01";
+    // gdb writes back the whole file it just read, so only changed
+    // values become pokes — the common unmodified writeback neither
+    // floods the intervention log nor trips the unpokable cases (the
+    // zero register, the PC mid-travel). A changed value the session
+    // rejects is a real failure and must not be reported as OK.
+    std::vector<uint64_t> current = session_.readRegisters();
+    for (unsigned i = 0; i < DebugSession::NumSessionRegs; ++i) {
+        uint64_t v = 0;
+        if (!parseHexLe(hex.substr(i * 16, 16), v))
+            return "E01";
+        if (v == current[i])
+            continue;
+        if (!session_.writeRegister(i, v))
+            return "E02";
+    }
+    return "OK";
+}
+
+std::string
+RspServer::handlePacket(const std::string &p)
+{
+    ++packetsHandled_;
+    if (p.empty())
+        return "";
+
+    try {
+        switch (p[0]) {
+          case 'q':
+            return handleQuery(p);
+          case 'Q':
+            return "";
+          case 'v':
+            if (p.rfind("vMustReplyEmpty", 0) == 0)
+                return "";
+            return ""; // no vCont: gdb falls back to c/s
+          case 'H':
+            return "OK";
+          case '?':
+            return haveStop_ ? stopReply(lastStop_) : "S05";
+          case 'g':
+            return handleReadRegs();
+          case 'G':
+            return handleWriteRegs(p);
+          case 'p': {
+            uint64_t reg = 0;
+            if (!parseHexNum(p.substr(1), reg) ||
+                reg >= DebugSession::NumSessionRegs)
+                return "E01";
+            return hexLe(
+                session_.readRegister(static_cast<unsigned>(reg)), 8);
+          }
+          case 'P': {
+            std::string regStr, valStr;
+            if (!splitOnce(p.substr(1), '=', regStr, valStr))
+                return "E01";
+            uint64_t reg = 0, val = 0;
+            if (!parseHexNum(regStr, reg) || !parseHexLe(valStr, val))
+                return "E01";
+            return session_.writeRegister(static_cast<unsigned>(reg),
+                                          val)
+                       ? "OK"
+                       : "E02";
+          }
+          case 'm':
+            return handleReadMem(p);
+          case 'M':
+            return handleWriteMem(p);
+          case 'Z':
+            return handleInsert(p, true);
+          case 'z':
+            return handleInsert(p, false);
+          case 'c':
+            return stopReply(session_.cont());
+          case 's':
+            return stopReply(session_.stepi(1));
+          case 'b':
+            if (p == "bc")
+                return stopReply(session_.reverseContinue());
+            if (p == "bs")
+                return stopReply(session_.reverseStep(1));
+            return "";
+          case 'D':
+            wantClose_ = true;
+            return "OK";
+          case 'k':
+            wantClose_ = true;
+            return "";
+          default:
+            return ""; // unknown packets get the empty reply
+        }
+    } catch (const std::exception &e) {
+        // Wire input must never take the server down.
+        if (opts_.verbose)
+            std::fprintf(stderr, "rsp: '%s' failed: %s\n", p.c_str(),
+                         e.what());
+        return "E00";
+    }
+}
+
+// ----------------------------------------------------------- transport
+
+bool
+RspServer::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listenFd_, 1) < 0) {
+        stop();
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+void
+RspServer::stop()
+{
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+RspServer::serveOne()
+{
+    DISE_ASSERT(listenFd_ >= 0, "start() the server before serving");
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0)
+        return; // stop() closed the listener
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto sendAll = [&](const std::string &data) {
+        size_t off = 0;
+        while (off < data.size()) {
+            ssize_t n = ::write(fd, data.data() + off,
+                                data.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    };
+
+    PacketDecoder dec;
+    std::string lastFrame;
+    wantClose_ = false;
+    char buf[4096];
+    while (!wantClose_) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n <= 0)
+            break;
+        dec.feed(buf, static_cast<size_t>(n));
+
+        ItemKind kind;
+        std::string payload;
+        while (dec.next(kind, payload)) {
+            if (kind == ItemKind::Ack)
+                continue;
+            if (kind == ItemKind::Nak) {
+                if (!lastFrame.empty())
+                    sendAll(lastFrame);
+                continue;
+            }
+            if (kind == ItemKind::Break)
+                continue; // execution is synchronous; nothing to stop
+            if (opts_.verbose)
+                std::fprintf(stderr, "rsp <- %s\n", payload.c_str());
+            std::string reply = handlePacket(payload);
+            if (opts_.verbose)
+                std::fprintf(stderr, "rsp -> %s\n", reply.c_str());
+            bool wasKill = !payload.empty() && payload[0] == 'k';
+            lastFrame = frame(reply);
+            if (!sendAll("+") || (!wasKill && !sendAll(lastFrame)))
+                wantClose_ = true;
+            if (wantClose_)
+                break;
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace dise::rsp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A GDB Remote Serial Protocol stub over a DebugSession.
+ *
+ * Implements the core packet set a stock gdb needs to drive any of the
+ * five watchpoint backends over TCP — `qSupported`, `?`, `g`/`G`,
+ * `p`/`P`, `m`/`M`, `Z`/`z`, `c`/`s` — plus the reverse-execution
+ * packets `bc`/`bs`, which map straight onto the time-travel session's
+ * reverseContinue()/reverseStep(). The protocol work is transport-free
+ * (handlePacket() maps one decoded payload to one reply payload), so
+ * tests drive the full command set in-process; serve() adds the
+ * loopback TCP framing, ack handling, and retransmit on NAK.
+ *
+ * Session mapping notes:
+ *  - `Z2`/`Z4` (write/access watchpoint) and `Z0`/`Z1` (breakpoints)
+ *    register specs on the session; the machinery installs at the
+ *    first resume. Re-inserting an identical spec re-arms it and `z`
+ *    mutes it, which matches gdb's remove/insert cycle around every
+ *    continue.
+ *  - A watchpoint stop replies `T05watch:<addr>;` with the trapped
+ *    data address and the PC as register 0x20, so the client sees the
+ *    identical stop location the in-process session reports.
+ *  - `bc` from the beginning of history replies
+ *    `T05replaylog:begin;`, gdb's "end of replay log" notation.
+ */
+
+#ifndef DISE_RSP_SERVER_HH
+#define DISE_RSP_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "rsp/packet.hh"
+#include "session/debug_session.hh"
+
+namespace dise::rsp {
+
+struct RspServerOptions
+{
+    /** TCP port to bind on 127.0.0.1; 0 picks an ephemeral port. */
+    uint16_t port = 0;
+    /** Log every packet exchange to stderr. */
+    bool verbose = false;
+};
+
+class RspServer
+{
+  public:
+    RspServer(DebugSession &session, RspServerOptions opts = {});
+    ~RspServer();
+
+    RspServer(const RspServer &) = delete;
+    RspServer &operator=(const RspServer &) = delete;
+
+    /** @name TCP transport */
+    ///@{
+    /** Bind + listen on 127.0.0.1. Returns false on socket errors. */
+    bool start();
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+    /**
+     * Accept one client and serve it until detach/kill/EOF. Blocking;
+     * call from a dedicated thread when the client lives in-process.
+     */
+    void serveOne();
+    /** Close the listening socket (unblocks a pending accept). */
+    void stop();
+    ///@}
+
+    /**
+     * The transport-free core: map one decoded packet payload to the
+     * reply payload. Sets wantClose() on `D`/`k`.
+     */
+    std::string handlePacket(const std::string &payload);
+    bool wantClose() const { return wantClose_; }
+
+    /** Packets served (tests/diagnostics). */
+    uint64_t packetsHandled() const { return packetsHandled_; }
+
+  private:
+    std::string stopReply(const StopInfo &stop);
+    std::string handleQuery(const std::string &payload);
+    std::string handleInsert(const std::string &payload, bool insert);
+    std::string handleReadMem(const std::string &payload);
+    std::string handleWriteMem(const std::string &payload);
+    std::string handleReadRegs();
+    std::string handleWriteRegs(const std::string &payload);
+
+    DebugSession &session_;
+    RspServerOptions opts_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    bool wantClose_ = false;
+    uint64_t packetsHandled_ = 0;
+
+    /** Z-packet spec → session watch/break index (for z lookups). */
+    std::map<std::string, int> zWatches_;
+    std::map<std::string, int> zBreaks_;
+
+    /** Last stop, replayed by `?`. */
+    bool haveStop_ = false;
+    StopInfo lastStop_{};
+};
+
+} // namespace dise::rsp
+
+#endif // DISE_RSP_SERVER_HH

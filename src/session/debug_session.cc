@@ -1,0 +1,786 @@
+#include "session/debug_session.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "replay/checkpoint.hh"
+
+namespace dise {
+
+namespace {
+
+bool
+sameWatch(const WatchSpec &a, const WatchSpec &b)
+{
+    return a.kind == b.kind && a.addr == b.addr && a.size == b.size &&
+           a.length == b.length && a.conditional == b.conditional &&
+           a.predConst == b.predConst;
+}
+
+bool
+sameBreak(const BreakSpec &a, const BreakSpec &b)
+{
+    return a.pc == b.pc && a.conditional == b.conditional &&
+           a.condAddr == b.condAddr && a.condSize == b.condSize &&
+           a.condConst == b.condConst;
+}
+
+} // namespace
+
+DebugSession::DebugSession(Program program, SessionOptions opts)
+    : program_(std::move(program)), opts_(std::move(opts))
+{
+}
+
+DebugSession::~DebugSession() = default;
+
+// ------------------------------------------------------- configuration
+
+bool
+DebugSession::selectBackend(BackendKind kind)
+{
+    if (attached())
+        return false;
+    opts_.debugger.backend = kind;
+    attachFailed_ = false; // a different technique may succeed
+    return true;
+}
+
+int
+DebugSession::setWatch(const WatchSpec &spec)
+{
+    for (size_t i = 0; i < pendingWatches_.size(); ++i) {
+        if (sameWatch(pendingWatches_[i], spec)) {
+            int idx = static_cast<int>(i);
+            // A spec muted before attach was never installed, so it
+            // cannot be re-armed once machinery exists.
+            if (attached() && watchInstalled_[i] < 0)
+                return -1;
+            mutedWatches_.erase(idx);
+            return idx;
+        }
+    }
+    if (attached())
+        return -1; // machinery is installed; only re-arming is possible
+    pendingWatches_.push_back(spec);
+    return static_cast<int>(pendingWatches_.size()) - 1;
+}
+
+int
+DebugSession::setBreak(const BreakSpec &spec)
+{
+    for (size_t i = 0; i < pendingBreaks_.size(); ++i) {
+        if (sameBreak(pendingBreaks_[i], spec)) {
+            int idx = static_cast<int>(i);
+            if (attached() && breakInstalled_[i] < 0)
+                return -1;
+            mutedBreaks_.erase(idx);
+            return idx;
+        }
+    }
+    if (attached())
+        return -1;
+    pendingBreaks_.push_back(spec);
+    return static_cast<int>(pendingBreaks_.size()) - 1;
+}
+
+bool
+DebugSession::removeWatch(int index)
+{
+    if (index < 0 || static_cast<size_t>(index) >= pendingWatches_.size())
+        return false;
+    // Removal mutes in every phase (never erases): indices previously
+    // handed to clients stay stable, and re-adding the identical spec
+    // re-arms the same slot.
+    mutedWatches_.insert(index);
+    return true;
+}
+
+bool
+DebugSession::removeBreak(int index)
+{
+    if (index < 0 || static_cast<size_t>(index) >= pendingBreaks_.size())
+        return false;
+    mutedBreaks_.insert(index);
+    return true;
+}
+
+bool
+DebugSession::watchMuted(int index) const
+{
+    return mutedWatches_.count(index) > 0;
+}
+
+// ---------------------------------------------------------- attachment
+
+DebugTarget &
+DebugSession::ensurePeekTarget()
+{
+    if (attached())
+        return *target_;
+    if (!preview_) {
+        preview_ = std::make_unique<DebugTarget>(program_);
+        preview_->load();
+        for (const PendingPoke &p : pendingPokes_) {
+            if (p.isReg) {
+                if (p.reg == PcRegIndex)
+                    preview_->arch.pc = p.value;
+                else
+                    preview_->arch.write(ir(p.reg), p.value);
+            } else {
+                preview_->mem.write(p.addr, p.size, p.value);
+            }
+        }
+    }
+    return *preview_;
+}
+
+bool
+DebugSession::attach()
+{
+    if (attached())
+        return true;
+    DISE_ASSERT(!detached_, "session already detached");
+
+    target_ = std::make_unique<DebugTarget>(program_);
+    if (opts_.prepare)
+        opts_.prepare(*target_);
+    debugger_ = std::make_unique<Debugger>(*target_, opts_.debugger);
+    // Specs removed before attach are never installed — a deleted
+    // breakpoint must not make a capability-limited backend (hwreg,
+    // vm) refuse the whole session. The maps keep session indices
+    // stable against the compacted installed list.
+    watchInstalled_.assign(pendingWatches_.size(), -1);
+    breakInstalled_.assign(pendingBreaks_.size(), -1);
+    installedWatchOwner_.clear();
+    installedBreakOwner_.clear();
+    for (size_t i = 0; i < pendingWatches_.size(); ++i) {
+        if (mutedWatches_.count(static_cast<int>(i)))
+            continue;
+        watchInstalled_[i] = debugger_->watch(pendingWatches_[i]);
+        installedWatchOwner_.push_back(static_cast<int>(i));
+    }
+    for (size_t i = 0; i < pendingBreaks_.size(); ++i) {
+        if (mutedBreaks_.count(static_cast<int>(i)))
+            continue;
+        breakInstalled_[i] = debugger_->breakAt(pendingBreaks_[i]);
+        installedBreakOwner_.push_back(static_cast<int>(i));
+    }
+    // Configuration-phase pokes fold into the initial state between
+    // load and prime, so watchpoint shadows snapshot the poked image
+    // (and they precede the time-travel session's time-zero
+    // checkpoint).
+    auto applyPokes = [this](DebugTarget &t) {
+        for (const PendingPoke &p : pendingPokes_) {
+            if (p.isReg) {
+                if (p.reg == PcRegIndex)
+                    t.arch.pc = p.value;
+                else
+                    t.arch.write(ir(p.reg), p.value);
+            } else {
+                t.mem.write(p.addr, p.size, p.value);
+            }
+        }
+    };
+    if (!debugger_->attach(applyPokes)) {
+        debugger_.reset();
+        target_.reset();
+        attachFailed_ = true;
+        return false;
+    }
+    attachFailed_ = false;
+    pendingPokes_.clear();
+    preview_.reset();
+
+    SessionEvent ev;
+    ev.kind = SessionEventKind::Attached;
+    ev.pc = target_->arch.pc;
+    events_.push(ev);
+    return true;
+}
+
+bool
+DebugSession::ensureAttached()
+{
+    return attach();
+}
+
+TimeTravel &
+DebugSession::ensureTravel()
+{
+    DISE_ASSERT(ensureAttached(), "the ", backendName(backendKind()),
+                " backend cannot implement this session's requests");
+    return debugger_->timeTravel(opts_.timeTravel);
+}
+
+// ------------------------------------------------------ event delivery
+
+const TimeTravel::Stats *
+DebugSession::travelStats() const
+{
+    if (!debugger_ || !debugger_->timeTraveling())
+        return nullptr;
+    return &const_cast<Debugger &>(*debugger_).timeTravel().stats();
+}
+
+/**
+ * Reconcile the queue with everything that happened during the last
+ * operation: announce a restore if the timeline was rolled back, then
+ * any newly discovered (or re-crossed) watch/break/protection events,
+ * then checkpoint notices and halts.
+ */
+void
+DebugSession::pumpEvents()
+{
+    if (!debugger_)
+        return;
+    DebugBackend &backend = debugger_->backend();
+    const TimeTravel::Stats *ts = travelStats();
+    uint64_t now = 0, insts = 0;
+    bool halted = false;
+    if (debugger_->timeTraveling()) {
+        TimeTravel &tt = debugger_->timeTravel();
+        now = tt.time();
+        insts = tt.appInsts();
+        halted = tt.halted();
+    }
+
+    if (ts && ts->restores > announcedRestores_) {
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Restore;
+        ev.time = now;
+        ev.appInsts = insts;
+        ev.value = ts->pagesRestored - announcedPagesRestored_;
+        events_.push(ev);
+        announcedRestores_ = ts->restores;
+        announcedPagesRestored_ = ts->pagesRestored;
+    }
+
+    const auto &ws = backend.watchEvents();
+    const auto &bs = backend.breakEvents();
+    const auto &ps = backend.protectionEvents();
+    // A restore rolled the lists back: later positions will be
+    // re-announced if execution re-crosses them.
+    announcedWatch_ = std::min(announcedWatch_, ws.size());
+    announcedBreak_ = std::min(announcedBreak_, bs.size());
+    announcedProt_ = std::min(announcedProt_, ps.size());
+
+    // Without a time-travel session there is no stream position; the
+    // backend's detection sequence is the best per-event stamp.
+    bool hasTravel = debugger_->timeTraveling();
+    auto sessionWatchIdx = [&](int installed) {
+        return installed >= 0 &&
+                       static_cast<size_t>(installed) <
+                           installedWatchOwner_.size()
+                   ? installedWatchOwner_[installed]
+                   : installed;
+    };
+    auto sessionBreakIdx = [&](int installed) {
+        return installed >= 0 &&
+                       static_cast<size_t>(installed) <
+                           installedBreakOwner_.size()
+                   ? installedBreakOwner_[installed]
+                   : installed;
+    };
+    for (; announcedWatch_ < ws.size(); ++announcedWatch_) {
+        const WatchEvent &we = ws[announcedWatch_];
+        int idx = sessionWatchIdx(we.wpIndex);
+        if (mutedWatches_.count(idx))
+            continue; // muted: consume the position, deliver nothing
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Watch;
+        ev.time = hasTravel ? now : we.seq;
+        ev.appInsts = insts;
+        ev.pc = we.pc;
+        ev.index = idx;
+        ev.addr = we.addr;
+        ev.oldValue = we.oldValue;
+        ev.newValue = we.newValue;
+        events_.push(ev);
+    }
+    for (; announcedBreak_ < bs.size(); ++announcedBreak_) {
+        const BreakEvent &be = bs[announcedBreak_];
+        int idx = sessionBreakIdx(be.bpIndex);
+        if (mutedBreaks_.count(idx))
+            continue;
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Break;
+        ev.time = hasTravel ? now : be.seq;
+        ev.appInsts = insts;
+        ev.pc = be.pc;
+        ev.index = idx;
+        events_.push(ev);
+    }
+    for (; announcedProt_ < ps.size(); ++announcedProt_) {
+        const ProtectionEvent &pe = ps[announcedProt_];
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Protection;
+        ev.time = now;
+        ev.appInsts = insts;
+        ev.pc = pe.pc;
+        ev.addr = pe.addr;
+        events_.push(ev);
+    }
+
+    if (ts && ts->checkpointsTaken > announcedCheckpoints_) {
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Checkpoint;
+        ev.time = now;
+        ev.appInsts = insts;
+        ev.value = ts->checkpointsTaken - announcedCheckpoints_;
+        events_.push(ev);
+        announcedCheckpoints_ = ts->checkpointsTaken;
+    }
+
+    if (halted && !announcedHalt_) {
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Halted;
+        ev.time = now;
+        ev.appInsts = insts;
+        events_.push(ev);
+        announcedHalt_ = true;
+    } else if (!halted) {
+        announcedHalt_ = false; // reverse travel un-halted the target
+    }
+}
+
+bool
+DebugSession::stopIsMuted(const StopInfo &stop) const
+{
+    if (stop.reason != StopReason::Event || !debugger_)
+        return false;
+    const DebugBackend &backend =
+        const_cast<Debugger &>(*debugger_).backend();
+    // Backend event records carry installed indices; translate to the
+    // stable session index before consulting the mute set.
+    size_t i = static_cast<size_t>(stop.mark.index);
+    switch (stop.mark.kind) {
+      case EventKind::Watch:
+        if (i < backend.watchEvents().size()) {
+            int installed = backend.watchEvents()[i].wpIndex;
+            int idx = installed >= 0 &&
+                              static_cast<size_t>(installed) <
+                                  installedWatchOwner_.size()
+                          ? installedWatchOwner_[installed]
+                          : installed;
+            return mutedWatches_.count(idx) > 0;
+        }
+        return false;
+      case EventKind::Break:
+        if (i < backend.breakEvents().size()) {
+            int installed = backend.breakEvents()[i].bpIndex;
+            int idx = installed >= 0 &&
+                              static_cast<size_t>(installed) <
+                                  installedBreakOwner_.size()
+                          ? installedBreakOwner_[installed]
+                          : installed;
+            return mutedBreaks_.count(idx) > 0;
+        }
+        return false;
+      case EventKind::Protection:
+        return false;
+    }
+    return false;
+}
+
+// ----------------------------------------------------------- execution
+
+StopInfo
+DebugSession::cont()
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop;
+    do {
+        stop = tt.cont();
+        pumpEvents();
+    } while (stop.reason == StopReason::Event && stopIsMuted(stop));
+    return stop;
+}
+
+StopInfo
+DebugSession::stepi(uint64_t n)
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop = tt.stepi(n);
+    pumpEvents();
+    return stop;
+}
+
+StopInfo
+DebugSession::runToEnd()
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop = tt.runToEnd();
+    pumpEvents();
+    return stop;
+}
+
+StopInfo
+DebugSession::reverseContinue()
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop;
+    do {
+        stop = tt.reverseContinue();
+        pumpEvents();
+    } while (stop.reason == StopReason::Event && stopIsMuted(stop));
+    return stop;
+}
+
+StopInfo
+DebugSession::reverseStep(uint64_t n)
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop = tt.reverseStep(n);
+    pumpEvents();
+    return stop;
+}
+
+StopInfo
+DebugSession::runToEvent(uint64_t n)
+{
+    TimeTravel &tt = ensureTravel();
+    StopInfo stop = tt.runToEvent(static_cast<size_t>(n));
+    pumpEvents();
+    return stop;
+}
+
+RunStats
+DebugSession::runCycles(TimingConfig cfg, RunLimits limits)
+{
+    DISE_ASSERT(ensureAttached(), "the ", backendName(backendKind()),
+                " backend cannot implement this session's requests");
+    RunStats stats = debugger_->run(cfg, limits);
+    pumpEvents();
+    if (stats.halt != HaltReason::None && !announcedHalt_) {
+        SessionEvent ev;
+        ev.kind = SessionEventKind::Halted;
+        ev.appInsts = stats.appInsts;
+        events_.push(ev);
+        announcedHalt_ = true;
+    }
+    return stats;
+}
+
+FuncResult
+DebugSession::runFunctional(uint64_t maxAppInsts)
+{
+    DISE_ASSERT(ensureAttached(), "the ", backendName(backendKind()),
+                " backend cannot implement this session's requests");
+    FuncResult res = debugger_->runFunctional(maxAppInsts);
+    pumpEvents();
+    return res;
+}
+
+// --------------------------------------------------------- peek / poke
+
+std::vector<uint64_t>
+DebugSession::readRegisters()
+{
+    DebugTarget &t = ensurePeekTarget();
+    std::vector<uint64_t> regs(NumSessionRegs);
+    for (unsigned i = 0; i < NumIntRegs; ++i)
+        regs[i] = t.arch.read(ir(i));
+    regs[PcRegIndex] = t.arch.pc;
+    return regs;
+}
+
+uint64_t
+DebugSession::readRegister(unsigned index)
+{
+    DebugTarget &t = ensurePeekTarget();
+    if (index == PcRegIndex)
+        return t.arch.pc;
+    if (index < NumIntRegs)
+        return t.arch.read(ir(index));
+    return 0;
+}
+
+bool
+DebugSession::writeRegister(unsigned index, uint64_t value)
+{
+    if (index >= NumSessionRegs)
+        return false;
+    if (!attached()) {
+        PendingPoke p;
+        p.isReg = true;
+        p.reg = index;
+        p.value = value;
+        pendingPokes_.push_back(p);
+        if (preview_) {
+            if (index == PcRegIndex)
+                preview_->arch.pc = value;
+            else
+                preview_->arch.write(ir(index), value);
+        }
+        return true;
+    }
+    if (debugger_->timeTraveling()) {
+        if (index == PcRegIndex)
+            return false; // the PC is not a loggable intervention
+        debugger_->timeTravel().pokeRegister(ir(index), value);
+        return true;
+    }
+    if (index == PcRegIndex)
+        target_->arch.pc = value;
+    else
+        target_->arch.write(ir(index), value);
+    return true;
+}
+
+std::vector<uint8_t>
+DebugSession::readMemory(Addr addr, size_t len)
+{
+    DebugTarget &t = ensurePeekTarget();
+    std::vector<uint8_t> bytes(len);
+    t.mem.readBlock(addr, bytes.data(), len);
+    return bytes;
+}
+
+bool
+DebugSession::writeMemory(Addr addr, unsigned size, uint64_t value)
+{
+    if (size == 0 || size > 8)
+        return false;
+    if (!attached()) {
+        PendingPoke p;
+        p.addr = addr;
+        p.size = size;
+        p.value = value;
+        pendingPokes_.push_back(p);
+        if (preview_)
+            preview_->mem.write(addr, size, value);
+        return true;
+    }
+    if (debugger_->timeTraveling()) {
+        debugger_->timeTravel().pokeMemory(addr, size, value);
+        return true;
+    }
+    target_->mem.write(addr, size, value);
+    return true;
+}
+
+// -------------------------------------------------------- introspection
+
+SessionStats
+DebugSession::stats() const
+{
+    SessionStats s;
+    if (const TimeTravel::Stats *ts = travelStats()) {
+        TimeTravel &tt = const_cast<Debugger &>(*debugger_).timeTravel();
+        s.time = tt.time();
+        s.appInsts = tt.appInsts();
+        s.events = tt.eventCount();
+        s.checkpoints = tt.checkpointCount();
+        s.pagesCopied = ts->pagesCopied;
+        s.restores = ts->restores;
+        s.replayedUops = ts->replayedUops;
+    } else if (debugger_) {
+        s.events = debugger_->backend().totalEvents();
+    }
+    return s;
+}
+
+uint64_t
+DebugSession::digest()
+{
+    DISE_ASSERT(attached(), "digest() requires an attached session");
+    if (debugger_->timeTraveling())
+        return debugger_->timeTravel().digest();
+    return stateDigest(*target_, debugger_->backend());
+}
+
+size_t
+DebugSession::eventCount() const
+{
+    if (debugger_ && debugger_->timeTraveling())
+        return const_cast<Debugger &>(*debugger_).timeTravel()
+            .eventCount();
+    return debugger_ ? debugger_->backend().totalEvents() : 0;
+}
+
+DebugTarget &
+DebugSession::target()
+{
+    return ensurePeekTarget();
+}
+
+Debugger &
+DebugSession::debugger()
+{
+    DISE_ASSERT(attached(), "no debugger before attach");
+    return *debugger_;
+}
+
+TimeTravel &
+DebugSession::timeTravel()
+{
+    return ensureTravel();
+}
+
+bool
+DebugSession::detach()
+{
+    debugger_.reset(); // tears down the time-travel session first
+    target_.reset();
+    preview_.reset();
+    detached_ = true;
+    return true;
+}
+
+// ---------------------------------------------------------- wire entry
+
+Response
+DebugSession::dispatch(const Request &req)
+{
+    Response resp;
+    resp.seq = req.seq;
+    resp.inReplyTo = req.kind;
+
+    auto errorOut = [&](const std::string &msg) {
+        resp.status = ResponseStatus::Error;
+        resp.error = msg;
+        return resp;
+    };
+    auto unsupportedOut = [&](const std::string &msg) {
+        resp.status = ResponseStatus::Unsupported;
+        resp.error = msg;
+        return resp;
+    };
+    auto stopOut = [&](StopInfo stop) {
+        resp.hasStop = true;
+        resp.stop = stop;
+        return resp;
+    };
+    auto needAttach = [&]() -> bool { return ensureAttached(); };
+    std::string cantAttach =
+        std::string("the ") + backendName(backendKind()) +
+        " backend cannot implement the requested watchpoints";
+
+    if (detached_ && req.kind != RequestKind::Ping)
+        return errorOut("session is detached");
+
+    switch (req.kind) {
+      case RequestKind::Ping:
+        return resp;
+      case RequestKind::SelectBackend:
+        if (!selectBackend(req.backend))
+            return errorOut("backend is fixed once attached");
+        return resp;
+      case RequestKind::SetWatch: {
+        int idx = setWatch(req.watch);
+        if (idx < 0)
+            return unsupportedOut(
+                "watchpoint machinery is installed at attach; only an "
+                "already-registered spec can be re-armed");
+        resp.index = idx;
+        return resp;
+      }
+      case RequestKind::SetBreak: {
+        int idx = setBreak(req.brk);
+        if (idx < 0)
+            return unsupportedOut(
+                "breakpoint machinery is installed at attach; only an "
+                "already-registered spec can be re-armed");
+        resp.index = idx;
+        return resp;
+      }
+      case RequestKind::RemoveWatch:
+        if (!removeWatch(req.index))
+            return errorOut("no such watchpoint");
+        return resp;
+      case RequestKind::RemoveBreak:
+        if (!removeBreak(req.index))
+            return errorOut("no such breakpoint");
+        return resp;
+      case RequestKind::Attach:
+        if (!attach())
+            return unsupportedOut(cantAttach);
+        return resp;
+      case RequestKind::Cont:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(cont());
+      case RequestKind::Stepi:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(stepi(req.count));
+      case RequestKind::RunToEnd:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(runToEnd());
+      case RequestKind::ReverseContinue:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(reverseContinue());
+      case RequestKind::ReverseStep:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(reverseStep(req.count));
+      case RequestKind::RunToEvent:
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        return stopOut(runToEvent(req.count));
+      case RequestKind::ReadRegisters:
+        resp.regs = readRegisters();
+        return resp;
+      case RequestKind::WriteRegister:
+        if (!writeRegister(req.reg, req.value))
+            return errorOut("cannot write that register here");
+        return resp;
+      case RequestKind::ReadMemory: {
+        if (req.size > 65536)
+            return errorOut("read too large");
+        resp.bytes = readMemory(req.addr, req.size);
+        return resp;
+      }
+      case RequestKind::WriteMemory:
+        if (!writeMemory(req.addr, req.size, req.value))
+            return errorOut("bad write size (1..8 bytes)");
+        return resp;
+      case RequestKind::Stats:
+        resp.stats = stats();
+        return resp;
+      case RequestKind::Detach:
+        detach();
+        return resp;
+    }
+    return errorOut("unhandled request kind");
+}
+
+Response
+DebugSession::handle(const Request &req)
+{
+    try {
+        return dispatch(req);
+    } catch (const std::exception &e) {
+        Response resp;
+        resp.seq = req.seq;
+        resp.inReplyTo = req.kind;
+        resp.status = ResponseStatus::Error;
+        resp.error = e.what();
+        return resp;
+    }
+}
+
+std::string
+DebugSession::handleEncoded(const std::string &line)
+{
+    Request req;
+    std::string err;
+    if (!decodeRequest(line, req, &err)) {
+        Response resp;
+        resp.status = ResponseStatus::Error;
+        resp.error = "decode: " + err;
+        // Best-effort correlation: even a malformed line usually has a
+        // parseable seq token, and the client needs it to match the
+        // error to its outstanding request.
+        size_t pos = line.find("seq=");
+        if (pos != std::string::npos)
+            resp.seq = std::strtoull(line.c_str() + pos + 4, nullptr, 0);
+        return encodeResponse(resp);
+    }
+    return encodeResponse(handle(req));
+}
+
+} // namespace dise

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The session-oriented debugger front end.
+ *
+ * A DebugSession owns one debugged target — the Program, the
+ * DebugTarget it is loaded into, the Debugger (backend machinery), and
+ * the TimeTravel controller — and exposes every capability through the
+ * typed Request/Response protocol (session/protocol.hh), so the same
+ * session can be driven by linked-in C++ (examples, harness), by a
+ * wire peer via handleEncoded(), or by a stock GDB through the RSP
+ * bridge (src/rsp/).
+ *
+ * Lifecycle: watchpoints, breakpoints, and the backend choice are
+ * collected while the session is in its configuring phase; the backend
+ * installs its machinery at the first resume request (or an explicit
+ * Attach), honoring the install-before-load contract every technique
+ * in the paper requires, while still letting a remote client connect,
+ * inspect registers/memory, and place watchpoints before anything
+ * runs. Post-attach watch/break removal mutes delivery (the machinery
+ * stays installed); re-adding an identical spec unmutes it, which is
+ * exactly the insert/remove cycle stock GDB performs around every
+ * continue.
+ *
+ * All user-visible occurrences are delivered through the ordered
+ * EventQueue (watch hits, break hits, protection faults,
+ * checkpoint/restore notices, attach/halt), replacing the pull-style
+ * event vectors of the pre-session front end. Re-traveling across a
+ * stretch of the timeline re-announces its events: the queue narrates
+ * the debugger's traversal.
+ */
+
+#ifndef DISE_SESSION_DEBUG_SESSION_HH
+#define DISE_SESSION_DEBUG_SESSION_HH
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "debug/debugger.hh"
+#include "debug/target.hh"
+#include "session/event_queue.hh"
+#include "session/protocol.hh"
+
+namespace dise {
+
+struct SessionOptions
+{
+    DebuggerOptions debugger{};
+    TimeTravelConfig timeTravel{};
+    /**
+     * Called on the fresh DebugTarget before the backend installs and
+     * the program loads — the hook point for non-debugging DISE use
+     * (custom instrumentation productions, engine configuration).
+     */
+    std::function<void(DebugTarget &)> prepare;
+};
+
+class DebugSession
+{
+  public:
+    explicit DebugSession(Program program, SessionOptions opts = {});
+    ~DebugSession();
+
+    DebugSession(const DebugSession &) = delete;
+    DebugSession &operator=(const DebugSession &) = delete;
+
+    /** @name Wire entry points */
+    ///@{
+    /** Execute one request; never throws on bad input. */
+    Response handle(const Request &req);
+    /** Decode, handle, and re-encode (one line in, one line out). */
+    std::string handleEncoded(const std::string &line);
+    ///@}
+
+    /** @name Configuration (typed) */
+    ///@{
+    bool selectBackend(BackendKind kind);
+    /** Register a new spec (pre-attach) or re-arm a muted identical
+     *  one (any phase). Returns the watch index, or -1 when machinery
+     *  is already installed and the spec is new. */
+    int setWatch(const WatchSpec &spec);
+    int setBreak(const BreakSpec &spec);
+    /** Mute delivery (stops and queue events). Indices stay stable;
+     *  re-adding the identical spec re-arms the same slot. */
+    bool removeWatch(int index);
+    bool removeBreak(int index);
+    bool watchMuted(int index) const;
+    ///@}
+
+    /** @name Attachment */
+    ///@{
+    /** Install the backend and load the target (idempotent). Returns
+     *  false when the technique cannot implement the request. */
+    bool attach();
+    bool attached() const { return target_ != nullptr; }
+    bool attachFailed() const { return attachFailed_; }
+    ///@}
+
+    /** @name Execution (checkpointed functional session) */
+    ///@{
+    StopInfo cont();
+    StopInfo stepi(uint64_t n = 1);
+    StopInfo runToEnd();
+    StopInfo reverseContinue();
+    StopInfo reverseStep(uint64_t n = 1);
+    StopInfo runToEvent(uint64_t n);
+    ///@}
+
+    /** @name One-shot batch runs (no time-travel session)
+     * The harness' cycle-level measurement path. Mutually exclusive
+     * with the checkpointed verbs above: once a TimeTravel session
+     * exists the target may only advance through it. */
+    ///@{
+    RunStats runCycles(TimingConfig cfg = {}, RunLimits limits = {});
+    FuncResult runFunctional(uint64_t maxAppInsts = 0);
+    ///@}
+
+    /** @name State access
+     * Reads work before attach (against a loaded preview of the
+     * unmodified image); writes before attach are recorded and
+     * re-applied when the real target comes up. Register index 32
+     * addresses the PC. */
+    ///@{
+    std::vector<uint64_t> readRegisters();
+    uint64_t readRegister(unsigned index);
+    bool writeRegister(unsigned index, uint64_t value);
+    std::vector<uint8_t> readMemory(Addr addr, size_t len);
+    bool writeMemory(Addr addr, unsigned size, uint64_t value);
+    ///@}
+
+    /** Number of registers a session exposes (32 integer + pc). */
+    static constexpr unsigned NumSessionRegs = NumIntRegs + 1;
+    static constexpr unsigned PcRegIndex = NumIntRegs;
+
+    /** @name Introspection */
+    ///@{
+    SessionStats stats() const;
+    EventQueue &events() { return events_; }
+    const Program &program() const { return program_; }
+    BackendKind backendKind() const { return opts_.debugger.backend; }
+    bool detached() const { return detached_; }
+    /** Digest of the user-visible state (parity tests). */
+    uint64_t digest();
+    /** Timeline events discovered so far. */
+    size_t eventCount() const;
+    const TimeTravel::Stats *travelStats() const;
+    ///@}
+
+    /** @name Escape hatches (in-process callers only) */
+    ///@{
+    DebugTarget &target();
+    Debugger &debugger();
+    TimeTravel &timeTravel();
+    ///@}
+
+    bool detach();
+
+  private:
+    struct PendingPoke
+    {
+        bool isReg = false;
+        unsigned reg = 0;
+        Addr addr = 0;
+        unsigned size = 8;
+        uint64_t value = 0;
+    };
+
+    DebugTarget &ensurePeekTarget();
+    bool ensureAttached();
+    TimeTravel &ensureTravel();
+    void pumpEvents();
+    bool stopIsMuted(const StopInfo &stop) const;
+    Response dispatch(const Request &req);
+
+    Program program_;
+    SessionOptions opts_;
+
+    // Configuring-phase state.
+    std::vector<WatchSpec> pendingWatches_;
+    std::vector<BreakSpec> pendingBreaks_;
+    std::vector<PendingPoke> pendingPokes_;
+
+    // Live-phase state.
+    std::unique_ptr<DebugTarget> target_;
+    std::unique_ptr<Debugger> debugger_;
+    /** Loaded-but-undebugged image for pre-attach peeks. */
+    std::unique_ptr<DebugTarget> preview_;
+    bool attachFailed_ = false;
+    bool detached_ = false;
+
+    std::set<int> mutedWatches_;
+    std::set<int> mutedBreaks_;
+    /** Specs muted before attach are never installed; these maps
+     *  translate between stable session indices and the backend's
+     *  installed indices (-1 = not installed). */
+    std::vector<int> watchInstalled_;
+    std::vector<int> breakInstalled_;
+    std::vector<int> installedWatchOwner_;
+    std::vector<int> installedBreakOwner_;
+
+    EventQueue events_;
+    // Backend event-list positions already announced on the queue.
+    size_t announcedWatch_ = 0;
+    size_t announcedBreak_ = 0;
+    size_t announcedProt_ = 0;
+    uint64_t announcedCheckpoints_ = 0;
+    uint64_t announcedRestores_ = 0;
+    uint64_t announcedPagesRestored_ = 0;
+    bool announcedHalt_ = false;
+};
+
+} // namespace dise
+
+#endif // DISE_SESSION_DEBUG_SESSION_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The ordered asynchronous-event channel of a debug session.
+ *
+ * Replaces the pull-style event vectors of the pre-session Debugger
+ * front end: instead of callers indexing into backend watchEvents()
+ * lists after the fact, the session pushes every user-visible
+ * occurrence (watch hit, break hit, protection fault,
+ * checkpoint/restore notice, attach/halt) into one totally-ordered
+ * queue, stamped with a monotonically increasing delivery sequence.
+ * Clients poll or drain; remote transports forward encoded events.
+ */
+
+#ifndef DISE_SESSION_EVENT_QUEUE_HH
+#define DISE_SESSION_EVENT_QUEUE_HH
+
+#include <deque>
+#include <vector>
+
+#include "session/protocol.hh"
+
+namespace dise {
+
+class EventQueue
+{
+  public:
+    /** Append @p ev, stamping its delivery sequence number. */
+    void
+    push(SessionEvent ev)
+    {
+        ev.seq = nextSeq_++;
+        q_.push_back(ev);
+    }
+
+    /** Pop the oldest pending event. Returns false when empty. */
+    bool
+    poll(SessionEvent &ev)
+    {
+        if (q_.empty())
+            return false;
+        ev = q_.front();
+        q_.pop_front();
+        return true;
+    }
+
+    /** Pop everything pending, in delivery order. */
+    std::vector<SessionEvent>
+    drain()
+    {
+        std::vector<SessionEvent> out(q_.begin(), q_.end());
+        q_.clear();
+        return out;
+    }
+
+    void clear() { q_.clear(); }
+    bool empty() const { return q_.empty(); }
+    size_t size() const { return q_.size(); }
+    /** Events ever delivered into the queue (drained or not). */
+    uint64_t totalPushed() const { return nextSeq_; }
+
+  private:
+    std::deque<SessionEvent> q_;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_SESSION_EVENT_QUEUE_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The session-oriented debug protocol: every debugger capability
+ * (watch/break registration, backend selection, forward and reverse
+ * execution, register/memory peek-poke, statistics) expressed as typed
+ * Request/Response structs with a stable, line-oriented wire encoding,
+ * plus the asynchronous SessionEvent records an ordered EventQueue
+ * delivers (watch hits, break hits, protection faults,
+ * checkpoint/restore notices).
+ *
+ * The wire format is one request or response per line:
+ *
+ *     <verb> key=value key=value ...
+ *
+ * Verbs are kebab-case request names (responses use "ok" / "error" /
+ * "unsupported"); integer values are decimal or 0x-hex; string values
+ * are %XX-escaped (space, '%', '=', newline). Unknown keys are ignored
+ * on decode, so the encoding can grow fields without breaking older
+ * peers. Both the in-process DebugSession and the GDB-RSP bridge
+ * (src/rsp/) speak this protocol; a remote client gets byte-identical
+ * semantics to a linked-in caller.
+ */
+
+#ifndef DISE_SESSION_PROTOCOL_HH
+#define DISE_SESSION_PROTOCOL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "debug/backend.hh"
+#include "debug/debugger.hh"
+#include "replay/time_travel.hh"
+
+namespace dise {
+
+/** Every operation a debug session can be asked to perform. */
+enum class RequestKind : uint8_t {
+    Ping,          ///< liveness / protocol check
+    SelectBackend, ///< choose the watchpoint technique (pre-attach)
+    SetWatch,      ///< register (or unmute) a watchpoint
+    SetBreak,      ///< register (or unmute) a breakpoint
+    RemoveWatch,   ///< mute delivery (indices stay stable)
+    RemoveBreak,   ///< mute delivery (indices stay stable)
+    Attach,        ///< install machinery + load (otherwise lazy)
+    Cont,          ///< run to the next unmuted user-visible event
+    Stepi,         ///< execute count application instructions
+    RunToEnd,      ///< run to halt/fault/limit
+    ReverseContinue, ///< travel back to the previous unmuted event
+    ReverseStep,     ///< travel back count application instructions
+    RunToEvent,      ///< position just after timeline event #count
+    ReadRegisters,   ///< all integer registers + pc
+    WriteRegister,   ///< poke one register (logged intervention)
+    ReadMemory,      ///< peek bytes
+    WriteMemory,     ///< poke bytes (logged intervention)
+    Stats,           ///< session statistics snapshot
+    Detach,          ///< end the session
+};
+
+const char *requestKindName(RequestKind kind);
+
+/** Wire token for a backend ("dise", "single-step", "vm", "hwreg",
+ *  "rewrite") and its parse — shared by the protocol decoder and the
+ *  CLI tools so the two can never drift. */
+const char *backendToken(BackendKind kind);
+bool parseBackendToken(const std::string &token, BackendKind &kind);
+
+/** One debug-session request. Which payload fields are meaningful
+ *  depends on kind (see each kind's comment). */
+struct Request
+{
+    RequestKind kind = RequestKind::Ping;
+    /** Client-chosen id echoed in the response. */
+    uint64_t seq = 0;
+
+    BackendKind backend = BackendKind::Dise; ///< SelectBackend
+    WatchSpec watch;                         ///< SetWatch
+    BreakSpec brk;                           ///< SetBreak
+    int index = -1;      ///< RemoveWatch / RemoveBreak
+    uint64_t count = 1;  ///< Stepi / ReverseStep / RunToEvent
+    Addr addr = 0;       ///< Read/WriteMemory
+    unsigned size = 8;   ///< Read/WriteMemory byte count
+    uint64_t value = 0;  ///< WriteMemory / WriteRegister
+    unsigned reg = 0;    ///< WriteRegister flat index (32 = pc)
+
+    std::string describe() const;
+};
+
+enum class ResponseStatus : uint8_t {
+    Ok,
+    Error,       ///< malformed or invalid in the current state
+    Unsupported, ///< the chosen technique cannot implement it
+};
+
+/** Session cost/position counters (Stats request). */
+struct SessionStats
+{
+    uint64_t time = 0;     ///< stream position (µops)
+    uint64_t appInsts = 0;
+    size_t events = 0;       ///< timeline events discovered
+    size_t checkpoints = 0;
+    uint64_t pagesCopied = 0;
+    uint64_t restores = 0;
+    uint64_t replayedUops = 0;
+};
+
+/** One debug-session response. */
+struct Response
+{
+    ResponseStatus status = ResponseStatus::Ok;
+    uint64_t seq = 0;                     ///< echoed request seq
+    RequestKind inReplyTo = RequestKind::Ping;
+    std::string error;                    ///< Error/Unsupported detail
+
+    int index = -1;  ///< SetWatch/SetBreak: watch/break index
+    bool hasStop = false;
+    StopInfo stop;   ///< execution verbs: where and why we stopped
+    std::vector<uint64_t> regs;  ///< ReadRegisters
+    std::vector<uint8_t> bytes;  ///< ReadMemory
+    uint64_t value = 0;          ///< scalar result (peek)
+    SessionStats stats;          ///< Stats
+
+    bool ok() const { return status == ResponseStatus::Ok; }
+    std::string describe() const;
+};
+
+std::ostream &operator<<(std::ostream &os, const Response &resp);
+
+/** Kinds of records the session event queue carries. */
+enum class SessionEventKind : uint8_t {
+    Watch,      ///< watchpoint hit
+    Break,      ///< breakpoint hit
+    Protection, ///< debugger-data protection fault
+    Checkpoint, ///< checkpoint(s) taken (value = how many this op)
+    Restore,    ///< timeline restore (value = pages rolled back)
+    Attached,   ///< backend installed and target loaded
+    Halted,     ///< target exited / halted / faulted
+};
+
+const char *sessionEventKindName(SessionEventKind kind);
+
+/**
+ * One asynchronous session event. Events are delivered in queue order
+ * (seq); re-traveling across a region of the timeline re-announces its
+ * events, so the queue reflects the debugger's traversal, not a
+ * deduplicated history.
+ */
+struct SessionEvent
+{
+    SessionEventKind kind = SessionEventKind::Watch;
+    uint64_t seq = 0;      ///< queue order, assigned by the queue
+    /** Stream position; when no time-travel session is active (batch
+     *  runCycles/runFunctional), the backend detection sequence. */
+    uint64_t time = 0;
+    uint64_t appInsts = 0;
+    Addr pc = 0;
+    int index = -1;        ///< watch/break index
+    Addr addr = 0;         ///< watch: changed location
+    uint64_t oldValue = 0;
+    uint64_t newValue = 0;
+    uint64_t value = 0;    ///< checkpoint/restore payload
+
+    std::string describe() const;
+};
+
+std::ostream &operator<<(std::ostream &os, const SessionEvent &ev);
+
+/** @name Wire encoding
+ * Stable one-line encodings with lossless round-trip. Decoders return
+ * false (and fill @p err when given) on malformed input rather than
+ * asserting: wire input is untrusted.
+ */
+///@{
+std::string encodeRequest(const Request &req);
+bool decodeRequest(const std::string &line, Request &req,
+                   std::string *err = nullptr);
+std::string encodeResponse(const Response &resp);
+bool decodeResponse(const std::string &line, Response &resp,
+                    std::string *err = nullptr);
+std::string encodeEvent(const SessionEvent &ev);
+bool decodeEvent(const std::string &line, SessionEvent &ev,
+                 std::string *err = nullptr);
+///@}
+
+} // namespace dise
+
+#endif // DISE_SESSION_PROTOCOL_HH

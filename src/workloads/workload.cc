@@ -1,6 +1,9 @@
 #include "workloads/workload.hh"
 
+#include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "cpu/inst_stream.hh"
+#include "cpu/loader.hh"
 
 namespace dise {
 
@@ -89,6 +92,54 @@ buildWorkload(const std::string &name, const WorkloadParams &params)
     if (name == "vortex")
         return buildVortex(params);
     fatal("unknown workload '", name, "'");
+}
+
+Program
+buildHeisenbugDemo()
+{
+    using namespace reg;
+    Assembler a;
+    a.data(layout::DataBase);
+    a.label("table"); // 32 quads, legitimately written
+    a.space(32 * 8);
+    a.label("directory"); // 8 quads of precious metadata right after
+    a.quad(0xd1);
+    a.quad(0xd2);
+    a.quad(0xd3);
+    a.quad(0xd4);
+    a.space(32);
+
+    a.text(layout::TextBase);
+    a.label("main");
+    a.la(s0, "table");
+    a.lda(t9, 0, zero);
+    a.li(t11, 77);
+    a.label("loop");
+    a.stmt(1);
+    // idx = lcg() % 33  -- the bug: 33, not 32.
+    a.li(t2, 1103515245);
+    a.mulq(t11, t2, t11);
+    a.addq(t11, 57, t11);
+    a.srl(t11, 16, t0);
+    a.and_(t0, 255, t0);
+    a.li(t1, 33);
+    a.label("mod");
+    a.cmplt(t0, t1, t2);
+    a.bne(t2, "modok");
+    a.subq(t0, t1, t0);
+    a.br("mod");
+    a.label("modok");
+    a.sll(t0, 3, t0);
+    a.addq(s0, t0, t0);
+    a.label("the_store");
+    a.stq(t11, 0, t0); // idx == 32 writes directory[0]!
+    a.stmt(2);
+    a.addq(t9, 1, t9);
+    a.li(t1, 400);
+    a.cmplt(t9, t1, t2);
+    a.bne(t2, "loop");
+    a.syscall(SysExit);
+    return a.finish("main");
 }
 
 } // namespace dise

@@ -87,6 +87,16 @@ Workload buildVortex(const WorkloadParams &params = {});
 const std::vector<std::string> &workloadNames();
 
 /** Build by name ("bzip2", "crafty", "gcc", "mcf", "twolf", "vortex"). */
+/**
+ * The heisenbug demo scenario shared by the example, the RSP demo
+ * server, and the RSP tests: a 400-iteration loop whose modulo is off
+ * by one, so an out-of-bounds store occasionally tramples
+ * directory[0] just past the table. Symbols: "table", "directory",
+ * "the_store"; statement markers included so the single-stepping
+ * backend can observe it.
+ */
+Program buildHeisenbugDemo();
+
 Workload buildWorkload(const std::string &name,
                        const WorkloadParams &params = {});
 

@@ -15,6 +15,7 @@
 #include "debug/debugger.hh"
 #include "isa/encoding.hh"
 #include "replay/time_travel.hh"
+#include "workloads/workload.hh"
 
 namespace dise {
 namespace {
@@ -103,65 +104,13 @@ TEST(UndoLog, RestoreNotifiesCodeWatchers)
 
 // ----------------------------------------- a heisenbug-style program
 
-/**
- * The heisenbug-hunt scenario with statement markers: a 400-iteration
- * loop whose modulo is off by one, so the store occasionally tramples
- * directory[0] just past the table.
- */
-Program
-heisenbugProgram()
-{
-    Assembler a;
-    a.data(layout::DataBase);
-    a.label("table");
-    a.space(32 * 8);
-    a.label("directory");
-    a.quad(0xd1);
-    a.quad(0xd2);
-    a.quad(0xd3);
-    a.quad(0xd4);
-    a.space(32);
-
-    a.text(layout::TextBase);
-    a.label("main");
-    a.la(s0, "table");
-    a.lda(t9, 0, zero);
-    a.li(t11, 77);
-    a.label("loop");
-    a.stmt(1);
-    // idx = lcg() % 33  -- the bug: 33, not 32.
-    a.li(t2, 1103515245);
-    a.mulq(t11, t2, t11);
-    a.addq(t11, 57, t11);
-    a.srl(t11, 16, t0);
-    a.and_(t0, 255, t0);
-    a.li(t1, 33);
-    a.label("mod");
-    a.cmplt(t0, t1, t2);
-    a.bne(t2, "modok");
-    a.subq(t0, t1, t0);
-    a.br("mod");
-    a.label("modok");
-    a.sll(t0, 3, t0);
-    a.addq(s0, t0, t0);
-    a.label("the_store");
-    a.stq(t11, 0, t0); // idx == 32 writes directory[0]!
-    a.stmt(2);
-    a.addq(t9, 1, t9);
-    a.li(t1, 400);
-    a.cmplt(t9, t1, t2);
-    a.bne(t2, "loop");
-    a.syscall(SysExit);
-    return a.finish("main");
-}
-
 struct Session
 {
     DebugTarget target;
     Debugger dbg;
 
     explicit Session(BackendKind kind, uint64_t cpInterval = 500)
-        : target(heisenbugProgram()), dbg(target, options(kind))
+        : target(buildHeisenbugDemo()), dbg(target, options(kind))
     {
         dbg.watch(WatchSpec::scalar("directory[0]",
                                     target.symbol("directory"), 8));
@@ -307,7 +256,7 @@ TEST(Replay, ReverseContinueTerminatesOnCoincidentEvents)
     // producing marks with identical stream positions. Reverse-
     // continue must step past the whole coincident group or it would
     // re-land on the same position forever.
-    DebugTarget target(heisenbugProgram());
+    DebugTarget target(buildHeisenbugDemo());
     DebuggerOptions o;
     o.backend = BackendKind::SingleStep;
     Debugger dbg(target, o);

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * GDB Remote Serial Protocol tests: the packet codec (framing,
+ * checksum round-trip, escaping, run-length encoding, and a fuzz-ish
+ * malformed-input table) and the transport-free server command set
+ * over every backend — attach, Z2 watchpoint, continue to the hit,
+ * reverse-continue back across it — checked for identical stop
+ * locations against the in-process DebugSession path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rsp/client.hh"
+#include "rsp/server.hh"
+#include "session/debug_session.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+namespace {
+
+using namespace rsp;
+using namespace reg;
+
+// ------------------------------------------------------------- framing
+
+TEST(RspPacket, ChecksumAndFrame)
+{
+    EXPECT_EQ(checksum("OK"), 0x9a);
+    EXPECT_EQ(frame("OK"), "$OK#9a");
+    EXPECT_EQ(frame(""), "$#00");
+
+    std::string payload;
+    ASSERT_TRUE(decodeFrame("$OK#9a", payload));
+    EXPECT_EQ(payload, "OK");
+}
+
+// Helper: frame a raw (pre-encoded) body without escaping.
+std::string
+frameRaw(const std::string &body)
+{
+    char tail[8];
+    std::snprintf(tail, sizeof tail, "#%02x", checksum(body));
+    return "$" + body + tail;
+}
+
+TEST(RspPacket, EscapingRoundTrip)
+{
+    // All four in-band characters survive a frame round-trip, and the
+    // escaped body carries no literal '$' or '#'.
+    std::string raw = "a$b#c}d*e";
+    std::string wire = frame(raw);
+    std::string body = wire.substr(1, wire.size() - 4);
+    EXPECT_EQ(body.find('$'), std::string::npos);
+    EXPECT_EQ(body.find('#'), std::string::npos);
+
+    std::string payload;
+    ASSERT_TRUE(decodeFrame(wire, payload));
+    EXPECT_EQ(payload, raw);
+}
+
+TEST(RspPacket, RunLengthDecode)
+{
+    // "0* " = '0' + 3 repeats (' ' is 32, count 32-29=3).
+    std::string payload;
+    ASSERT_TRUE(decodeFrame(frameRaw("0* "), payload));
+    EXPECT_EQ(payload, "0000");
+}
+
+TEST(RspPacket, RunLengthEncodeRoundTrip)
+{
+    // Runs of every interesting length: below the threshold, the
+    // forbidden-count lengths (7, 8, 15, 17 would need '#', '$',
+    // '+', '-'), and a run longer than one chunk can carry.
+    for (size_t len : {1u, 3u, 4u, 6u, 7u, 8u, 15u, 17u, 97u, 98u,
+                       99u, 200u}) {
+        std::string raw(len, 'x');
+        std::string encoded = runLengthEncode(raw);
+        // No forbidden repeat characters may appear after '*'.
+        for (size_t i = 0; i + 1 < encoded.size(); ++i)
+            if (encoded[i] == '*') {
+                char n = encoded[i + 1];
+                EXPECT_NE(n, '$');
+                EXPECT_NE(n, '#');
+                EXPECT_NE(n, '+');
+                EXPECT_NE(n, '-');
+                EXPECT_GE(static_cast<int>(n), 32);
+            }
+        std::string payload;
+        ASSERT_TRUE(decodeFrame(frameRaw(encoded), payload))
+            << "len=" << len << " encoded='" << encoded << "'";
+        EXPECT_EQ(payload, raw) << "len=" << len;
+        if (len >= 4)
+            EXPECT_LT(encoded.size(), raw.size()) << "len=" << len;
+    }
+
+    // Mixed content round-trips through the full framer with RLE on.
+    std::string mixed = "g0000000011112222222222233}x";
+    std::string payload;
+    ASSERT_TRUE(decodeFrame(frame(mixed, /*rle=*/true), payload));
+    EXPECT_EQ(payload, mixed);
+}
+
+TEST(RspPacket, MalformedFrameTable)
+{
+    const char *cases[] = {
+        "$OK#00",      // wrong checksum
+        "$OK#zz",      // non-hex checksum
+        "$OK#9",       // truncated checksum
+        "OK#9a",       // missing '$'
+        "$O#K9a",      // '#' inside body shifts the frame
+        "$}#fd",       // escape with nothing to escape
+        "$*x#xx",      // '*' with nothing to repeat
+        "$a*\x01#xx",  // repeat count below the minimum
+        "",            // empty
+        "$#",          // too short
+    };
+    for (const char *wire : cases) {
+        std::string payload;
+        EXPECT_FALSE(decodeFrame(wire, payload))
+            << "accepted malformed frame '" << wire << "'";
+    }
+}
+
+TEST(RspPacket, DecoderResyncsPastGarbage)
+{
+    PacketDecoder dec;
+    // Garbage, a bad-checksum frame, then a good frame, byte by byte.
+    std::string stream = "junk$OK#00\x01\x02+$m0,4#fd";
+    for (char c : stream)
+        dec.feed(&c, 1);
+
+    ItemKind kind;
+    std::string payload;
+    ASSERT_TRUE(dec.next(kind, payload));
+    EXPECT_EQ(kind, ItemKind::Ack);
+    ASSERT_TRUE(dec.next(kind, payload));
+    EXPECT_EQ(kind, ItemKind::Packet);
+    EXPECT_EQ(payload, "m0,4");
+    EXPECT_FALSE(dec.next(kind, payload));
+    EXPECT_EQ(dec.badFrames(), 1u);
+    EXPECT_GT(dec.strayBytes(), 0u);
+}
+
+TEST(RspPacket, HexHelpers)
+{
+    EXPECT_EQ(hexLe(0x1122334455667788ull, 8), "8877665544332211");
+    uint64_t v = 0;
+    ASSERT_TRUE(parseHexLe("8877665544332211", v));
+    EXPECT_EQ(v, 0x1122334455667788ull);
+    ASSERT_TRUE(parseHexNum("1000054", v));
+    EXPECT_EQ(v, 0x1000054u);
+    EXPECT_FALSE(parseHexLe("887", v));
+    EXPECT_FALSE(parseHexNum("10zz", v));
+}
+
+// ------------------------------------------------- the server, 5 ways
+
+SessionOptions
+optionsFor(BackendKind kind)
+{
+    SessionOptions o;
+    o.debugger.backend = kind;
+    o.timeTravel.checkpointInterval = 500;
+    return o;
+}
+
+class RspAllBackends : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(RspAllBackends, WireStopsMatchInProcessSession)
+{
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+
+    // In-process reference: same spec, typed verbs.
+    DebugSession ref(prog, optionsFor(GetParam()));
+    ref.setWatch(WatchSpec::scalar("directory", watchAddr, 8));
+    ASSERT_TRUE(ref.attach());
+    StopInfo refHit1 = ref.cont();
+    StopInfo refHit2 = ref.cont();
+    ASSERT_EQ(refHit1.reason, StopReason::Event);
+    ASSERT_EQ(refHit2.reason, StopReason::Event);
+    StopInfo refBack = ref.reverseContinue();
+    ASSERT_EQ(refBack.reason, StopReason::Event);
+    EXPECT_EQ(refBack.time, refHit1.time);
+
+    // Wire path: a second session driven purely through packets.
+    DebugSession session(prog, optionsFor(GetParam()));
+    RspServer server(session);
+
+    EXPECT_NE(server.handlePacket("qSupported:hwbreak+").find(
+                  "ReverseContinue+"),
+              std::string::npos);
+    EXPECT_EQ(server.handlePacket("?"), "S05");
+
+    char z2[64];
+    std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+    EXPECT_EQ(server.handlePacket(z2), "OK");
+
+    std::string hit1 = server.handlePacket("c");
+    EXPECT_NE(hit1.find("watch:"), std::string::npos) << hit1;
+    uint64_t pc1 = 0;
+    ASSERT_TRUE(stopReplyPc(hit1, pc1)) << hit1;
+    EXPECT_EQ(pc1, refHit1.pc);
+
+    std::string hit2 = server.handlePacket("c");
+    uint64_t pc2 = 0;
+    ASSERT_TRUE(stopReplyPc(hit2, pc2)) << hit2;
+    EXPECT_EQ(pc2, refHit2.pc);
+
+    // Reverse-continue back across the second hit.
+    std::string back = server.handlePacket("bc");
+    EXPECT_NE(back.find("watch:"), std::string::npos) << back;
+    uint64_t pcBack = 0;
+    ASSERT_TRUE(stopReplyPc(back, pcBack)) << back;
+    EXPECT_EQ(pcBack, refBack.pc);
+
+    // Registers agree with the reference at the same position.
+    std::string g = server.handlePacket("g");
+    ASSERT_EQ(g.size(), DebugSession::NumSessionRegs * 16u);
+    std::vector<uint64_t> refRegs = ref.readRegisters();
+    for (unsigned i = 0; i < DebugSession::NumSessionRegs; ++i) {
+        uint64_t v = 0;
+        ASSERT_TRUE(parseHexLe(g.substr(i * 16, 16), v));
+        EXPECT_EQ(v, refRegs[i]) << "register " << i;
+    }
+
+    // Memory reads go through too.
+    char m[64];
+    std::snprintf(m, sizeof m, "m%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+    std::string mem = server.handlePacket(m);
+    EXPECT_EQ(mem.size(), 16u);
+
+    // Reverse-step and detach.
+    std::string bs = server.handlePacket("bs");
+    uint64_t pcBs = 0;
+    EXPECT_TRUE(stopReplyPc(bs, pcBs)) << bs;
+    EXPECT_EQ(server.handlePacket("D"), "OK");
+    EXPECT_TRUE(server.wantClose());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RspAllBackends,
+                         ::testing::Values(BackendKind::Dise,
+                                           BackendKind::SingleStep,
+                                           BackendKind::VirtualMemory,
+                                           BackendKind::HardwareReg,
+                                           BackendKind::Rewrite));
+
+// ------------------------------------------------------- TCP transport
+
+TEST(RspServerTcp, LoopbackSessionEndToEnd)
+{
+    Program prog = buildHeisenbugDemo();
+    DebugSession session(prog, optionsFor(BackendKind::Dise));
+    RspServer server(session);
+    ASSERT_TRUE(server.start());
+    ASSERT_NE(server.port(), 0);
+
+    std::thread serving([&] { server.serveOne(); });
+
+    RspClient client;
+    ASSERT_TRUE(client.connectTo(server.port()));
+    auto exchange = [&](const std::string &payload) {
+        return client.exchange(payload);
+    };
+
+    EXPECT_NE(exchange("qSupported").find("ReverseStep+"),
+              std::string::npos);
+    char z2[64];
+    std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                  static_cast<unsigned long long>(
+                      prog.symbol("directory")));
+    EXPECT_EQ(exchange(z2), "OK");
+    std::string hit = exchange("c");
+    EXPECT_NE(hit.find("watch:"), std::string::npos) << hit;
+    std::string back = exchange("bc");
+    EXPECT_NE(back.find("replaylog:begin"), std::string::npos) << back;
+    EXPECT_EQ(exchange("D"), "OK");
+
+    serving.join();
+    client.close();
+    server.stop();
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Session-layer tests: wire-encoding round-trips and rejection of
+ * malformed lines, lazy attach (configure → first resume), the ordered
+ * EventQueue (attach/watch/checkpoint/restore notices replacing the
+ * pull-style event vectors), post-attach mute/unmute, pre-attach
+ * pokes, parity between the typed verbs, the encoded wire path, and
+ * the underlying Debugger/TimeTravel front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/loader.hh"
+#include "session/debug_session.hh"
+
+namespace dise {
+namespace {
+
+using namespace reg;
+
+// ------------------------------------------------------ wire encoding
+
+TEST(SessionProtocol, RequestRoundTripsEveryKind)
+{
+    Request req;
+    req.kind = RequestKind::SetWatch;
+    req.seq = 42;
+    req.watch = WatchSpec::range("hot table", 0x20000, 64)
+                    .withCondition(0xdeadbeef);
+    Request back;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), back));
+    EXPECT_EQ(back.kind, RequestKind::SetWatch);
+    EXPECT_EQ(back.seq, 42u);
+    EXPECT_EQ(back.watch.kind, WatchKind::Range);
+    EXPECT_EQ(back.watch.name, "hot table"); // escaped space survives
+    EXPECT_EQ(back.watch.addr, 0x20000u);
+    EXPECT_EQ(back.watch.length, 64u);
+    EXPECT_TRUE(back.watch.conditional);
+    EXPECT_EQ(back.watch.predConst, 0xdeadbeefu);
+
+    req = Request{};
+    req.kind = RequestKind::SetBreak;
+    req.brk.pc = 0x1000054;
+    req.brk.conditional = true;
+    req.brk.condAddr = 0x20008;
+    req.brk.condSize = 4;
+    req.brk.condConst = 7;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), back));
+    EXPECT_EQ(back.brk.pc, 0x1000054u);
+    EXPECT_TRUE(back.brk.conditional);
+    EXPECT_EQ(back.brk.condAddr, 0x20008u);
+    EXPECT_EQ(back.brk.condSize, 4u);
+    EXPECT_EQ(back.brk.condConst, 7u);
+
+    req = Request{};
+    req.kind = RequestKind::SetWatch;
+    req.watch = WatchSpec::scalar("tab\tand\nnewline", 0x10, 8);
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), back));
+    EXPECT_EQ(back.watch.name, "tab\tand\nnewline");
+
+    req = Request{};
+    req.kind = RequestKind::WriteMemory;
+    req.addr = 0x30010;
+    req.size = 4;
+    req.value = 0x99;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), back));
+    EXPECT_EQ(back.addr, 0x30010u);
+    EXPECT_EQ(back.size, 4u);
+    EXPECT_EQ(back.value, 0x99u);
+
+    for (RequestKind kind :
+         {RequestKind::Ping, RequestKind::SelectBackend,
+          RequestKind::Attach, RequestKind::Cont, RequestKind::Stepi,
+          RequestKind::RunToEnd, RequestKind::ReverseContinue,
+          RequestKind::ReverseStep, RequestKind::RunToEvent,
+          RequestKind::ReadRegisters, RequestKind::Stats,
+          RequestKind::Detach}) {
+        req = Request{};
+        req.kind = kind;
+        req.backend = BackendKind::Rewrite;
+        req.count = 17;
+        ASSERT_TRUE(decodeRequest(encodeRequest(req), back))
+            << requestKindName(kind);
+        EXPECT_EQ(back.kind, kind);
+        if (kind == RequestKind::SelectBackend)
+            EXPECT_EQ(back.backend, BackendKind::Rewrite);
+    }
+}
+
+TEST(SessionProtocol, ResponseRoundTrip)
+{
+    Response resp;
+    resp.status = ResponseStatus::Ok;
+    resp.seq = 7;
+    resp.inReplyTo = RequestKind::Cont;
+    resp.hasStop = true;
+    resp.stop.reason = StopReason::Event;
+    resp.stop.eventIndex = 3;
+    resp.stop.mark.kind = EventKind::Watch;
+    resp.stop.mark.index = 2;
+    resp.stop.mark.pc = 0x100005c;
+    resp.stop.time = 1234;
+    resp.stop.appInsts = 567;
+    resp.stop.pc = 0x1000060;
+    Response back;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ(back.seq, 7u);
+    EXPECT_EQ(back.inReplyTo, RequestKind::Cont);
+    ASSERT_TRUE(back.hasStop);
+    EXPECT_EQ(back.stop.reason, StopReason::Event);
+    EXPECT_EQ(back.stop.eventIndex, 3);
+    EXPECT_EQ(back.stop.mark.kind, EventKind::Watch);
+    EXPECT_EQ(back.stop.mark.pc, 0x100005cu);
+    EXPECT_EQ(back.stop.time, 1234u);
+    EXPECT_EQ(back.stop.pc, 0x1000060u);
+
+    resp = Response{};
+    resp.inReplyTo = RequestKind::ReadRegisters;
+    resp.regs = {0, 0xdeadbeef, ~0ull};
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    ASSERT_EQ(back.regs.size(), 3u);
+    EXPECT_EQ(back.regs[1], 0xdeadbeefu);
+    EXPECT_EQ(back.regs[2], ~0ull);
+
+    resp = Response{};
+    resp.inReplyTo = RequestKind::ReadMemory;
+    resp.bytes = {0x00, 0xff, 0x7d, 0x24};
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    EXPECT_EQ(back.bytes, (std::vector<uint8_t>{0x00, 0xff, 0x7d, 0x24}));
+
+    resp = Response{};
+    resp.status = ResponseStatus::Unsupported;
+    resp.inReplyTo = RequestKind::Attach;
+    resp.error = "no experiment: INDIRECT under vm";
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    EXPECT_EQ(back.status, ResponseStatus::Unsupported);
+    EXPECT_EQ(back.error, "no experiment: INDIRECT under vm");
+}
+
+TEST(SessionProtocol, EventRoundTripAndDescribe)
+{
+    SessionEvent ev;
+    ev.kind = SessionEventKind::Watch;
+    ev.seq = 9;
+    ev.time = 100;
+    ev.appInsts = 42;
+    ev.pc = 0x100005c;
+    ev.index = 1;
+    ev.addr = 0x20100;
+    ev.oldValue = 0xd1;
+    ev.newValue = 0x1234;
+    SessionEvent back;
+    ASSERT_TRUE(decodeEvent(encodeEvent(ev), back));
+    EXPECT_EQ(back.kind, SessionEventKind::Watch);
+    EXPECT_EQ(back.seq, 9u);
+    EXPECT_EQ(back.addr, 0x20100u);
+    EXPECT_EQ(back.newValue, 0x1234u);
+
+    // describe() is for humans; just pin the load-bearing parts.
+    std::string text = ev.describe();
+    EXPECT_NE(text.find("watchpoint 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("0x20100"), std::string::npos) << text;
+}
+
+TEST(SessionProtocol, MalformedLinesRejected)
+{
+    Request req;
+    Response resp;
+    SessionEvent ev;
+    std::string err;
+    const char *bad[] = {
+        "",                          // empty
+        "warp-speed seq=1",          // unknown verb
+        "set-watch seq=1",           // missing addr
+        "set-watch addr=nope wkind=scalar", // bad number
+        "set-watch addr=0x10 wkind=diagonal", // bad watch kind
+        "select-backend backend=quantum",     // bad backend
+        "cont =bare",                // malformed token
+        "write-register seq=1",      // missing fields
+    };
+    for (const char *line : bad)
+        EXPECT_FALSE(decodeRequest(line, req, &err)) << line;
+    EXPECT_FALSE(decodeResponse("yes stop=1", resp, &err));
+    EXPECT_FALSE(decodeEvent("ok kind=watch", ev, &err));
+    EXPECT_FALSE(decodeEvent("event kind=mystery", ev, &err));
+}
+
+// ------------------------------------------------------- the session
+
+/** x is doubled five times; every store is a watch hit. */
+Program
+doublerProgram()
+{
+    Assembler a;
+    a.data(layout::DataBase);
+    a.label("x");
+    a.quad(3);
+    a.text(layout::TextBase);
+    a.label("main");
+    a.la(s0, "x");
+    a.lda(t1, 0, zero);
+    a.label("loop");
+    a.stmt(1);
+    a.ldq(t0, 0, s0);
+    a.addq(t0, t0, t0);
+    a.label("the_store");
+    a.stq(t0, 0, s0);
+    a.addq(t1, 1, t1);
+    a.cmplt(t1, 5, t2);
+    a.bne(t2, "loop");
+    a.syscall(SysExit);
+    return a.finish("main");
+}
+
+SessionOptions
+sessionOptions(BackendKind kind = BackendKind::Dise)
+{
+    SessionOptions o;
+    o.debugger.backend = kind;
+    o.timeTravel.checkpointInterval = 16;
+    return o;
+}
+
+TEST(DebugSession, LazyAttachAndEventQueue)
+{
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    EXPECT_EQ(session.setWatch(
+                  WatchSpec::scalar("x", prog.symbol("x"), 8)),
+              0);
+    EXPECT_FALSE(session.attached());
+
+    // Pre-attach peeks read the loaded image without attaching.
+    std::vector<uint8_t> x0 = session.readMemory(prog.symbol("x"), 8);
+    EXPECT_EQ(x0[0], 3);
+    EXPECT_FALSE(session.attached());
+
+    // The first resume attaches, runs, and stops on the watch hit.
+    StopInfo hit = session.cont();
+    EXPECT_TRUE(session.attached());
+    ASSERT_EQ(hit.reason, StopReason::Event) << hit;
+    EXPECT_EQ(hit.mark.pc, prog.symbol("the_store"));
+
+    // Queue order: attached first, then checkpoint(s)/watch events.
+    std::vector<SessionEvent> events = session.events().drain();
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events.front().kind, SessionEventKind::Attached);
+    bool sawWatch = false;
+    for (const auto &ev : events)
+        if (ev.kind == SessionEventKind::Watch) {
+            sawWatch = true;
+            EXPECT_EQ(ev.addr, prog.symbol("x"));
+            EXPECT_EQ(ev.oldValue, 3u);
+            EXPECT_EQ(ev.newValue, 6u);
+        }
+    EXPECT_TRUE(sawWatch);
+
+    // Run out: 4 more hits, then a halt notice.
+    StopInfo end = session.runToEnd();
+    EXPECT_EQ(end.reason, StopReason::Halted);
+    events = session.events().drain();
+    size_t watches = 0;
+    bool sawHalt = false;
+    for (const auto &ev : events) {
+        watches += ev.kind == SessionEventKind::Watch;
+        sawHalt |= ev.kind == SessionEventKind::Halted;
+    }
+    EXPECT_EQ(watches, 4u);
+    EXPECT_TRUE(sawHalt);
+
+    // Reverse travel announces a restore and re-crossed events.
+    StopInfo back = session.reverseContinue();
+    EXPECT_EQ(back.reason, StopReason::Event);
+    events = session.events().drain();
+    bool sawRestore = false;
+    for (const auto &ev : events)
+        sawRestore |= ev.kind == SessionEventKind::Restore;
+    EXPECT_TRUE(sawRestore);
+}
+
+TEST(DebugSession, MuteAndUnmute)
+{
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    int idx =
+        session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+
+    // Muted: the remaining 4 hits neither stop the session nor reach
+    // the event queue.
+    EXPECT_TRUE(session.removeWatch(idx));
+    EXPECT_TRUE(session.watchMuted(idx));
+    session.events().clear();
+    StopInfo end = session.cont();
+    EXPECT_EQ(end.reason, StopReason::Halted);
+    for (const auto &ev : session.events().drain())
+        EXPECT_NE(ev.kind, SessionEventKind::Watch) << ev.describe();
+
+    // Re-adding the identical spec unmutes (gdb's insert cycle);
+    // reverse-continue now stops on the last hit again.
+    EXPECT_EQ(session.setWatch(
+                  WatchSpec::scalar("x", prog.symbol("x"), 8)),
+              idx);
+    EXPECT_FALSE(session.watchMuted(idx));
+    StopInfo back = session.reverseContinue();
+    EXPECT_EQ(back.reason, StopReason::Event);
+    EXPECT_EQ(back.mark.pc, prog.symbol("the_store"));
+
+    // A brand-new spec cannot be added once machinery is installed.
+    EXPECT_LT(session.setWatch(WatchSpec::scalar("y", 0x99999, 8)), 0);
+}
+
+TEST(DebugSession, PreAttachRemovalKeepsIndicesStable)
+{
+    // Removal never erases: indices handed out earlier must stay
+    // valid (an RSP client caches them in its Z/z map).
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    int a = session.setWatch(WatchSpec::scalar("a", prog.symbol("x"), 8));
+    int b = session.setWatch(WatchSpec::scalar("b", 0x99999, 8));
+    ASSERT_EQ(a, 0);
+    ASSERT_EQ(b, 1);
+    EXPECT_TRUE(session.removeWatch(a));
+    // b's index still resolves, and re-adding b's spec re-arms slot 1.
+    EXPECT_TRUE(session.removeWatch(b));
+    EXPECT_EQ(session.setWatch(WatchSpec::scalar("b", 0x99999, 8)), b);
+    EXPECT_TRUE(session.watchMuted(a));
+    EXPECT_FALSE(session.watchMuted(b));
+
+    // a stays muted across the attach: the run never stops on it.
+    StopInfo end = session.runToEnd();
+    EXPECT_EQ(end.reason, StopReason::Halted);
+    for (const auto &ev : session.events().drain())
+        EXPECT_NE(ev.kind, SessionEventKind::Watch) << ev.describe();
+}
+
+TEST(DebugSession, MutedSpecsAreNotInstalled)
+{
+    // gdb's 'delete' before the first continue: the hwreg backend
+    // refuses breakpoints outright, so a deleted one must not be
+    // installed — and must not make attach fail.
+    Program prog = doublerProgram();
+    DebugSession session(prog,
+                         sessionOptions(BackendKind::HardwareReg));
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    BreakSpec bp;
+    bp.pc = prog.symbol("the_store");
+    int b = session.setBreak(bp);
+    EXPECT_TRUE(session.removeBreak(b));
+
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event) << hit;
+    EXPECT_EQ(hit.mark.kind, EventKind::Watch);
+
+    // The never-installed breakpoint cannot be re-armed post-attach.
+    EXPECT_LT(session.setBreak(bp), 0);
+}
+
+TEST(DebugSession, PreAttachPokesBecomeInitialState)
+{
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+
+    // Poke x before anything is attached: the run sees 10 -> 20.
+    EXPECT_TRUE(session.writeMemory(prog.symbol("x"), 8, 10));
+    EXPECT_EQ(session.readMemory(prog.symbol("x"), 8)[0], 10);
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+    bool saw = false;
+    for (const auto &ev : session.events().drain())
+        if (ev.kind == SessionEventKind::Watch) {
+            EXPECT_EQ(ev.oldValue, 10u);
+            EXPECT_EQ(ev.newValue, 20u);
+            saw = true;
+        }
+    EXPECT_TRUE(saw);
+}
+
+TEST(DebugSession, WireTranscriptMatchesTypedVerbs)
+{
+    Program prog = doublerProgram();
+
+    // Typed reference.
+    DebugSession ref(prog, sessionOptions());
+    ref.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo refHit = ref.cont();
+
+    // The same session driven entirely through encoded lines.
+    DebugSession wire(prog, sessionOptions());
+    Response resp;
+    ASSERT_TRUE(decodeResponse(
+        wire.handleEncoded("select-backend seq=1 backend=dise"), resp));
+    EXPECT_TRUE(resp.ok());
+
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("x", prog.symbol("x"), 8);
+    ASSERT_TRUE(
+        decodeResponse(wire.handleEncoded(encodeRequest(setw)), resp));
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.index, 0);
+
+    ASSERT_TRUE(decodeResponse(wire.handleEncoded("cont seq=3"), resp));
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(resp.hasStop);
+    EXPECT_EQ(resp.stop.reason, StopReason::Event);
+    EXPECT_EQ(resp.stop.pc, refHit.pc);
+    EXPECT_EQ(resp.stop.time, refHit.time);
+
+    ASSERT_TRUE(decodeResponse(
+        wire.handleEncoded("read-registers seq=4"), resp));
+    EXPECT_EQ(resp.regs, ref.readRegisters());
+
+    ASSERT_TRUE(decodeResponse(wire.handleEncoded("stats seq=5"), resp));
+    EXPECT_EQ(resp.stats.appInsts, refHit.appInsts);
+    EXPECT_GE(resp.stats.events, 1u);
+
+    // Unknown verbs come back as errors, not crashes.
+    ASSERT_TRUE(decodeResponse(
+        wire.handleEncoded("self-destruct seq=6"), resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+
+    ASSERT_TRUE(
+        decodeResponse(wire.handleEncoded("detach seq=7"), resp));
+    EXPECT_TRUE(resp.ok());
+    ASSERT_TRUE(decodeResponse(wire.handleEncoded("cont seq=8"), resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+}
+
+TEST(DebugSession, UnsupportedBackendReportsCleanly)
+{
+    // INDIRECT under virtual memory is the paper's "no experiment"
+    // cell: the session must answer Unsupported, not crash.
+    Program prog = doublerProgram();
+    DebugSession session(prog,
+                         sessionOptions(BackendKind::VirtualMemory));
+    session.setWatch(
+        WatchSpec::indirect("*p", prog.symbol("x"), 8));
+    Request cont;
+    cont.kind = RequestKind::Cont;
+    Response resp = session.handle(cont);
+    EXPECT_EQ(resp.status, ResponseStatus::Unsupported);
+    EXPECT_FALSE(session.attached());
+}
+
+TEST(DebugSession, CycleRunsStillWork)
+{
+    // The harness' cycle-level path through the session front end.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    ASSERT_TRUE(session.attach());
+    RunStats stats = session.runCycles();
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.halt, HaltReason::Exited);
+    size_t watches = 0;
+    for (const auto &ev : session.events().drain())
+        watches += ev.kind == SessionEventKind::Watch;
+    EXPECT_EQ(watches, 5u);
+}
+
+TEST(DebugSession, DescribePrintersAreReadable)
+{
+    StopInfo stop;
+    stop.reason = StopReason::Event;
+    stop.eventIndex = 3;
+    stop.mark.kind = EventKind::Watch;
+    stop.mark.index = 0;
+    stop.pc = 0x100005c;
+    stop.time = 1234;
+    stop.appInsts = 567;
+    std::string text = stop.describe();
+    EXPECT_NE(text.find("event"), std::string::npos) << text;
+    EXPECT_NE(text.find("0x100005c"), std::string::npos) << text;
+    EXPECT_NE(text.find("1234"), std::string::npos) << text;
+
+    Response resp;
+    resp.status = ResponseStatus::Unsupported;
+    resp.inReplyTo = RequestKind::Attach;
+    resp.error = "no experiment";
+    text = resp.describe();
+    EXPECT_NE(text.find("unsupported"), std::string::npos) << text;
+    EXPECT_NE(text.find("attach"), std::string::npos) << text;
+    EXPECT_NE(text.find("no experiment"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Standalone GDB-RSP server: serve a debug session over TCP so a stock
+ * gdb (or any RSP client) can attach with `target remote`, set
+ * watchpoints, continue, and step backwards through the checkpointed
+ * timeline with reverse-continue / reverse-stepi.
+ *
+ * By default it serves the heisenbug-hunt demo scenario (an
+ * out-of-bounds store occasionally tramples directory[0]); --workload
+ * serves one of the synthetic SPEC2000-calibrated workloads instead.
+ *
+ *   ./build/rsp_server                        # demo scenario, port 7777
+ *   ./build/rsp_server --port 9999 --backend single-step
+ *   ./build/rsp_server --workload twolf --backend dise
+ *
+ * Then, from gdb:   (gdb) target remote 127.0.0.1:7777
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "rsp/server.hh"
+#include "session/debug_session.hh"
+#include "workloads/workload.hh"
+
+using namespace dise;
+
+namespace {
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint16_t port = 7777;
+    BackendKind backend = BackendKind::Dise;
+    std::string workloadName;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = static_cast<uint16_t>(std::atoi(next()));
+        } else if (arg == "--backend") {
+            if (!parseBackendToken(next(), backend))
+                fatal("unknown backend (dise, single-step, vm, hwreg, "
+                      "rewrite)");
+        } else if (arg == "--workload") {
+            workloadName = next();
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options:\n"
+                "  --port N          TCP port (default 7777)\n"
+                "  --backend NAME    dise | single-step | vm | hwreg | "
+                "rewrite\n"
+                "  --workload NAME   serve a synthetic workload instead "
+                "of the demo\n"
+                "  --verbose         log every packet\n");
+            return 0;
+        } else {
+            fatal("unknown option '", arg, "' (try --help)");
+        }
+    }
+
+    Program prog;
+    Addr suggestedWatch = 0;
+    if (workloadName.empty()) {
+        prog = buildHeisenbugDemo();
+        suggestedWatch = prog.symbol("directory");
+        std::printf("serving the heisenbug demo (watch candidate: "
+                    "directory @ 0x%llx)\n",
+                    static_cast<unsigned long long>(suggestedWatch));
+    } else {
+        Workload w = buildWorkload(workloadName, {});
+        suggestedWatch = w.hotAddr;
+        prog = std::move(w.program);
+        std::printf("serving workload '%s' (HOT variable @ 0x%llx)\n",
+                    workloadName.c_str(),
+                    static_cast<unsigned long long>(suggestedWatch));
+    }
+
+    SessionOptions opts;
+    opts.debugger.backend = backend;
+    opts.timeTravel.checkpointInterval = 1024;
+    DebugSession session(std::move(prog), opts);
+
+    rsp::RspServerOptions sopts;
+    sopts.port = port;
+    sopts.verbose = verbose;
+    rsp::RspServer server(session, sopts);
+    if (!server.start()) {
+        std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", port);
+        return 1;
+    }
+    std::printf("%s backend ready; attach with:\n"
+                "  gdb -ex 'target remote 127.0.0.1:%u'\n",
+                backendName(backend), server.port());
+    server.serveOne();
+    std::printf("client detached; session stats: %s events\n",
+                std::to_string(session.eventCount()).c_str());
+    return 0;
+}
