@@ -39,6 +39,12 @@ struct Intervention
 {
     InterventionKind kind = InterventionKind::PokeMemory;
     uint64_t time = 0;
+    /** Application instructions retired when it was applied. Stream
+     *  positions (µops) are instrumentation-dependent, so replaying a
+     *  session under a *different* watchpoint set — the session layer's
+     *  post-attach rebuild — re-applies interventions at this stamp
+     *  instead. */
+    uint64_t appInsts = 0;
 
     // PokeMemory / PokeRegister payload.
     Addr addr = 0;

@@ -360,6 +360,15 @@ TimeTravel::cont()
 }
 
 StopInfo
+TimeTravel::contTo(uint64_t maxAppInsts)
+{
+    // Unlike cont(), always discovers step-by-step: in replayed
+    // territory the re-fired events are verified against the recorded
+    // marks as usual, so the bound applies uniformly.
+    return runForward(maxAppInsts, true);
+}
+
+StopInfo
 TimeTravel::runToEnd()
 {
     return runForward(0, false);
@@ -480,6 +489,7 @@ TimeTravel::recordIntervention(Intervention iv)
     DISE_ASSERT(nextIntervention_ == log_.interventions.size(),
                 "stale pending interventions survived a timeline fork");
     iv.time = time_;
+    iv.appInsts = appInsts_;
     applyIntervention(iv);
     log_.interventions.push_back(std::move(iv));
     nextIntervention_ = log_.interventions.size();

@@ -109,6 +109,14 @@ class TimeTravel
     ///@{
     /** Run to the next user-visible event (or halt/fault/limit). */
     StopInfo cont();
+    /**
+     * cont() bounded by an absolute instruction position: stop on the
+     * next event OR once @p maxAppInsts application instructions have
+     * retired (reason Step), whichever comes first. The run-queue's
+     * slicing primitive — a server worker can hand the session back
+     * after a bounded quantum even when no event fires.
+     */
+    StopInfo contTo(uint64_t maxAppInsts);
     /** Run to program end (reporting the halt, not each event). */
     StopInfo runToEnd();
     /** Execute @p n application instructions. */

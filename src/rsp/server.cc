@@ -43,20 +43,42 @@ splitOnce(const std::string &s, char sep, std::string &a, std::string &b)
 
 } // namespace
 
-RspServer::RspServer(DebugSession &session, RspServerOptions opts)
-    : session_(session), opts_(opts)
+RspConnection::RspConnection(DebugSession &session, ExecFn exec,
+                             bool verbose)
+    : session_(session), execFn_(std::move(exec)), verbose_(verbose)
 {
-}
-
-RspServer::~RspServer()
-{
-    stop();
 }
 
 // ------------------------------------------------------------ protocol
 
+bool
+RspConnection::exec(RequestKind kind, uint64_t count, StopInfo &out,
+                    std::string *err)
+{
+    if (execFn_)
+        return execFn_(kind, count, out, err);
+    switch (kind) {
+      case RequestKind::Cont:
+        out = session_.cont();
+        return true;
+      case RequestKind::Stepi:
+        out = session_.stepi(count);
+        return true;
+      case RequestKind::ReverseContinue:
+        out = session_.reverseContinue();
+        return true;
+      case RequestKind::ReverseStep:
+        out = session_.reverseStep(count);
+        return true;
+      default:
+        if (err)
+            *err = "not an execution verb";
+        return false;
+    }
+}
+
 std::string
-RspServer::stopReply(const StopInfo &stop)
+RspConnection::stopReply(const StopInfo &stop)
 {
     haveStop_ = true;
     lastStop_ = stop;
@@ -95,7 +117,7 @@ RspServer::stopReply(const StopInfo &stop)
 }
 
 std::string
-RspServer::handleQuery(const std::string &p)
+RspConnection::handleQuery(const std::string &p)
 {
     if (p.rfind("qSupported", 0) == 0)
         return "PacketSize=4000;ReverseContinue+;ReverseStep+;"
@@ -116,7 +138,7 @@ RspServer::handleQuery(const std::string &p)
 }
 
 std::string
-RspServer::handleInsert(const std::string &p, bool insert)
+RspConnection::handleInsert(const std::string &p, bool insert)
 {
     // Ztype,addr,kind — type 0/1: breakpoints, 2/4: write/access
     // watchpoints, 3: read watchpoints (not implementable here).
@@ -177,7 +199,7 @@ RspServer::handleInsert(const std::string &p, bool insert)
 }
 
 std::string
-RspServer::handleReadMem(const std::string &p)
+RspConnection::handleReadMem(const std::string &p)
 {
     std::string addrStr, lenStr;
     if (!splitOnce(p.substr(1), ',', addrStr, lenStr))
@@ -190,7 +212,7 @@ RspServer::handleReadMem(const std::string &p)
 }
 
 std::string
-RspServer::handleWriteMem(const std::string &p)
+RspConnection::handleWriteMem(const std::string &p)
 {
     std::string head, hex, addrStr, lenStr;
     if (!splitOnce(p.substr(1), ':', head, hex) ||
@@ -217,7 +239,7 @@ RspServer::handleWriteMem(const std::string &p)
 }
 
 std::string
-RspServer::handleReadRegs()
+RspConnection::handleReadRegs()
 {
     std::string out;
     for (uint64_t v : session_.readRegisters())
@@ -226,7 +248,7 @@ RspServer::handleReadRegs()
 }
 
 std::string
-RspServer::handleWriteRegs(const std::string &p)
+RspConnection::handleWriteRegs(const std::string &p)
 {
     std::string hex = p.substr(1);
     if (hex.size() != DebugSession::NumSessionRegs * 16)
@@ -250,11 +272,24 @@ RspServer::handleWriteRegs(const std::string &p)
 }
 
 std::string
-RspServer::handlePacket(const std::string &p)
+RspConnection::handlePacket(const std::string &p)
 {
     ++packetsHandled_;
     if (p.empty())
         return "";
+
+    auto execReply = [&](RequestKind kind, uint64_t count) {
+        StopInfo stop;
+        std::string err;
+        if (!exec(kind, count, stop, &err)) {
+            if (verbose_)
+                std::fprintf(stderr, "rsp: exec failed: %s\n",
+                             err.c_str());
+            wantClose_ = true;
+            return std::string("E04"); // session gone: hang up
+        }
+        return stopReply(stop);
+    };
 
     try {
         switch (p[0]) {
@@ -303,14 +338,14 @@ RspServer::handlePacket(const std::string &p)
           case 'z':
             return handleInsert(p, false);
           case 'c':
-            return stopReply(session_.cont());
+            return execReply(RequestKind::Cont, 0);
           case 's':
-            return stopReply(session_.stepi(1));
+            return execReply(RequestKind::Stepi, 1);
           case 'b':
             if (p == "bc")
-                return stopReply(session_.reverseContinue());
+                return execReply(RequestKind::ReverseContinue, 0);
             if (p == "bs")
-                return stopReply(session_.reverseStep(1));
+                return execReply(RequestKind::ReverseStep, 1);
             return "";
           case 'D':
             wantClose_ = true;
@@ -323,7 +358,7 @@ RspServer::handlePacket(const std::string &p)
         }
     } catch (const std::exception &e) {
         // Wire input must never take the server down.
-        if (opts_.verbose)
+        if (verbose_)
             std::fprintf(stderr, "rsp: '%s' failed: %s\n", p.c_str(),
                          e.what());
         return "E00";
@@ -331,6 +366,71 @@ RspServer::handlePacket(const std::string &p)
 }
 
 // ----------------------------------------------------------- transport
+
+void
+RspConnection::serve(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto sendAll = [&](const std::string &data) {
+        size_t off = 0;
+        while (off < data.size()) {
+            ssize_t n = ::write(fd, data.data() + off,
+                                data.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    };
+
+    PacketDecoder dec;
+    std::string lastFrame;
+    wantClose_ = false;
+    char buf[4096];
+    while (!wantClose_) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n <= 0)
+            break;
+        dec.feed(buf, static_cast<size_t>(n));
+
+        ItemKind kind;
+        std::string payload;
+        while (dec.next(kind, payload)) {
+            if (kind == ItemKind::Ack)
+                continue;
+            if (kind == ItemKind::Nak) {
+                if (!lastFrame.empty())
+                    sendAll(lastFrame);
+                continue;
+            }
+            if (kind == ItemKind::Break)
+                continue; // execution is synchronous; nothing to stop
+            if (verbose_)
+                std::fprintf(stderr, "rsp <- %s\n", payload.c_str());
+            std::string reply = handlePacket(payload);
+            if (verbose_)
+                std::fprintf(stderr, "rsp -> %s\n", reply.c_str());
+            bool wasKill = !payload.empty() && payload[0] == 'k';
+            lastFrame = frame(reply);
+            if (!sendAll("+") || (!wasKill && !sendAll(lastFrame)))
+                wantClose_ = true;
+            if (wantClose_)
+                break;
+        }
+    }
+}
+
+RspServer::RspServer(DebugSession &session, RspServerOptions opts)
+    : conn_(session, {}, opts.verbose), opts_(opts)
+{
+}
+
+RspServer::~RspServer()
+{
+    stop();
+}
 
 bool
 RspServer::start()
@@ -375,56 +475,7 @@ RspServer::serveOne()
     int fd = ::accept(listenFd_, nullptr, nullptr);
     if (fd < 0)
         return; // stop() closed the listener
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    auto sendAll = [&](const std::string &data) {
-        size_t off = 0;
-        while (off < data.size()) {
-            ssize_t n = ::write(fd, data.data() + off,
-                                data.size() - off);
-            if (n <= 0)
-                return false;
-            off += static_cast<size_t>(n);
-        }
-        return true;
-    };
-
-    PacketDecoder dec;
-    std::string lastFrame;
-    wantClose_ = false;
-    char buf[4096];
-    while (!wantClose_) {
-        ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n <= 0)
-            break;
-        dec.feed(buf, static_cast<size_t>(n));
-
-        ItemKind kind;
-        std::string payload;
-        while (dec.next(kind, payload)) {
-            if (kind == ItemKind::Ack)
-                continue;
-            if (kind == ItemKind::Nak) {
-                if (!lastFrame.empty())
-                    sendAll(lastFrame);
-                continue;
-            }
-            if (kind == ItemKind::Break)
-                continue; // execution is synchronous; nothing to stop
-            if (opts_.verbose)
-                std::fprintf(stderr, "rsp <- %s\n", payload.c_str());
-            std::string reply = handlePacket(payload);
-            if (opts_.verbose)
-                std::fprintf(stderr, "rsp -> %s\n", reply.c_str());
-            bool wasKill = !payload.empty() && payload[0] == 'k';
-            lastFrame = frame(reply);
-            if (!sendAll("+") || (!wasKill && !sendAll(lastFrame)))
-                wantClose_ = true;
-            if (wantClose_)
-                break;
-        }
-    }
+    conn_.serve(fd);
     ::close(fd);
 }
 

@@ -7,16 +7,27 @@
  * `p`/`P`, `m`/`M`, `Z`/`z`, `c`/`s` — plus the reverse-execution
  * packets `bc`/`bs`, which map straight onto the time-travel session's
  * reverseContinue()/reverseStep(). The protocol work is transport-free
- * (handlePacket() maps one decoded payload to one reply payload), so
- * tests drive the full command set in-process; serve() adds the
- * loopback TCP framing, ack handling, and retransmit on NAK.
+ * (RspConnection::handlePacket() maps one decoded payload to one reply
+ * payload), so tests drive the full command set in-process;
+ * RspConnection::serve() adds the TCP framing, ack handling, and
+ * retransmit on NAK over any connected socket.
+ *
+ * Two layers:
+ *  - RspConnection: one client's protocol state (Z-packet maps, last
+ *    stop) over one DebugSession. Execution verbs go through an
+ *    optional ExecFn hook, which the multi-session server
+ *    (src/server/) uses to route `c`/`s`/`bc`/`bs` onto its run queue
+ *    so many sessions share a bounded worker pool.
+ *  - RspServer: the classic single-session listener (bind, accept one
+ *    client, serve) used by the smoke tools and tests.
  *
  * Session mapping notes:
  *  - `Z2`/`Z4` (write/access watchpoint) and `Z0`/`Z1` (breakpoints)
  *    register specs on the session; the machinery installs at the
- *    first resume. Re-inserting an identical spec re-arms it and `z`
- *    mutes it, which matches gdb's remove/insert cycle around every
- *    continue.
+ *    first resume, and a `Z` after the target ran rebuilds + replays
+ *    (DebugSession::setWatch), so post-attach insertion just works.
+ *    Re-inserting an identical spec re-arms it and `z` mutes it,
+ *    which matches gdb's remove/insert cycle around every continue.
  *  - A watchpoint stop replies `T05watch:<addr>;` with the trapped
  *    data address and the PC as register 0x20, so the client sees the
  *    identical stop location the in-process session reports.
@@ -28,6 +39,7 @@
 #define DISE_RSP_SERVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -35,6 +47,65 @@
 #include "session/debug_session.hh"
 
 namespace dise::rsp {
+
+/** One RSP client's protocol state over one DebugSession. */
+class RspConnection
+{
+  public:
+    /**
+     * Execution hook: run @p kind (Cont / Stepi / ReverseContinue /
+     * ReverseStep) for @p count instructions, filling @p out. Returns
+     * false (with @p err) when the session cannot run — e.g. it was
+     * destroyed mid-request. When empty, verbs execute directly on
+     * the session in the calling thread.
+     */
+    using ExecFn = std::function<bool(RequestKind kind, uint64_t count,
+                                      StopInfo &out, std::string *err)>;
+
+    explicit RspConnection(DebugSession &session, ExecFn exec = {},
+                           bool verbose = false);
+
+    /**
+     * The transport-free core: map one decoded packet payload to the
+     * reply payload. Sets wantClose() on `D`/`k`.
+     */
+    std::string handlePacket(const std::string &payload);
+    bool wantClose() const { return wantClose_; }
+
+    /**
+     * Serve a connected socket until detach/kill/EOF: framing, acks,
+     * retransmit on NAK. Blocking; shut the fd down to unblock.
+     */
+    void serve(int fd);
+
+    /** Packets served (tests/diagnostics). */
+    uint64_t packetsHandled() const { return packetsHandled_; }
+
+  private:
+    bool exec(RequestKind kind, uint64_t count, StopInfo &out,
+              std::string *err);
+    std::string stopReply(const StopInfo &stop);
+    std::string handleQuery(const std::string &payload);
+    std::string handleInsert(const std::string &payload, bool insert);
+    std::string handleReadMem(const std::string &payload);
+    std::string handleWriteMem(const std::string &payload);
+    std::string handleReadRegs();
+    std::string handleWriteRegs(const std::string &payload);
+
+    DebugSession &session_;
+    ExecFn execFn_;
+    bool verbose_ = false;
+    bool wantClose_ = false;
+    uint64_t packetsHandled_ = 0;
+
+    /** Z-packet spec → session watch/break index (for z lookups). */
+    std::map<std::string, int> zWatches_;
+    std::map<std::string, int> zBreaks_;
+
+    /** Last stop, replayed by `?`. */
+    bool haveStop_ = false;
+    StopInfo lastStop_{};
+};
 
 struct RspServerOptions
 {
@@ -44,6 +115,8 @@ struct RspServerOptions
     bool verbose = false;
 };
 
+/** The single-session listener: one port, one target, one client at a
+ *  time. The multi-session daemon lives in src/server/. */
 class RspServer
 {
   public:
@@ -68,39 +141,22 @@ class RspServer
     void stop();
     ///@}
 
-    /**
-     * The transport-free core: map one decoded packet payload to the
-     * reply payload. Sets wantClose() on `D`/`k`.
-     */
-    std::string handlePacket(const std::string &payload);
-    bool wantClose() const { return wantClose_; }
-
-    /** Packets served (tests/diagnostics). */
-    uint64_t packetsHandled() const { return packetsHandled_; }
+    /** @name Transport-free forwards (tests) */
+    ///@{
+    std::string
+    handlePacket(const std::string &payload)
+    {
+        return conn_.handlePacket(payload);
+    }
+    bool wantClose() const { return conn_.wantClose(); }
+    uint64_t packetsHandled() const { return conn_.packetsHandled(); }
+    ///@}
 
   private:
-    std::string stopReply(const StopInfo &stop);
-    std::string handleQuery(const std::string &payload);
-    std::string handleInsert(const std::string &payload, bool insert);
-    std::string handleReadMem(const std::string &payload);
-    std::string handleWriteMem(const std::string &payload);
-    std::string handleReadRegs();
-    std::string handleWriteRegs(const std::string &payload);
-
-    DebugSession &session_;
+    RspConnection conn_;
     RspServerOptions opts_;
     int listenFd_ = -1;
     uint16_t port_ = 0;
-    bool wantClose_ = false;
-    uint64_t packetsHandled_ = 0;
-
-    /** Z-packet spec → session watch/break index (for z lookups). */
-    std::map<std::string, int> zWatches_;
-    std::map<std::string, int> zBreaks_;
-
-    /** Last stop, replayed by `?`. */
-    bool haveStop_ = false;
-    StopInfo lastStop_{};
 };
 
 } // namespace dise::rsp

@@ -1,0 +1,140 @@
+#include "server/run_queue.hh"
+
+#include <algorithm>
+#include <thread>
+
+namespace dise::server {
+
+RunQueue::RunQueue(RunQueueOptions opts)
+{
+    slots_ = opts.slots
+                 ? opts.slots
+                 : std::max(2u, std::thread::hardware_concurrency());
+    slice_ = opts.sliceInsts ? opts.sliceInsts : 50000;
+}
+
+bool
+RunQueue::isExecVerb(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Cont:
+      case RequestKind::Stepi:
+      case RequestKind::RunToEnd:
+      case RequestKind::ReverseContinue:
+      case RequestKind::ReverseStep:
+      case RequestKind::RunToEvent:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+RunQueue::acquireSlot()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    uint64_t ticket = nextTicket_++;
+    fifo_.push_back(ticket);
+    cv_.wait(lk, [&] {
+        return active_ < slots_ && fifo_.front() == ticket;
+    });
+    fifo_.pop_front();
+    ++active_;
+    // The next ticket may be admittable too (slots_ > 1).
+    if (active_ < slots_ && !fifo_.empty())
+        cv_.notify_all();
+}
+
+void
+RunQueue::releaseSlot()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    --active_;
+    cv_.notify_all();
+}
+
+struct RunQueue::SlotToken
+{
+    explicit SlotToken(RunQueue &q) : q(q) { q.acquireSlot(); }
+    ~SlotToken() { q.releaseSlot(); }
+    RunQueue &q;
+};
+
+bool
+RunQueue::drive(ManagedSession &s, RequestKind kind, uint64_t count,
+                StopInfo &out, std::string *err)
+{
+    if (!isExecVerb(kind)) {
+        if (err)
+            *err = "not a resume verb";
+        return false;
+    }
+    try {
+        // Attach is the capability gate ("no experiment" cells): fail
+        // it cleanly before burning a slot.
+        if (!s.session.attached() && !s.session.attach()) {
+            if (err)
+                *err = std::string("the ") +
+                       backendName(s.session.backendKind()) +
+                       " backend cannot implement this session's "
+                       "requests";
+            return false;
+        }
+        bool finished = false;
+        uint64_t remaining = count;
+        while (!finished) {
+            if (s.closing.load(std::memory_order_acquire)) {
+                if (err)
+                    *err = "session destroyed";
+                return false;
+            }
+            {
+                SlotToken slot(*this);
+                slices_.fetch_add(1, std::memory_order_relaxed);
+                switch (kind) {
+                  case RequestKind::Cont:
+                    out = s.session.contSlice(slice_);
+                    finished = out.reason != StopReason::Step;
+                    break;
+                  case RequestKind::RunToEnd:
+                    out = s.session.stepi(slice_);
+                    finished = out.reason != StopReason::Step;
+                    break;
+                  case RequestKind::Stepi: {
+                    uint64_t n = std::min(remaining, slice_);
+                    out = s.session.stepi(n);
+                    remaining -= n;
+                    finished = remaining == 0 ||
+                               out.reason != StopReason::Step;
+                    break;
+                  }
+                  // The reverse verbs are bounded by the explored
+                  // timeline; they run in one slot occupancy.
+                  case RequestKind::ReverseContinue:
+                    out = s.session.reverseContinue();
+                    finished = true;
+                    break;
+                  case RequestKind::ReverseStep:
+                    out = s.session.reverseStep(count);
+                    finished = true;
+                    break;
+                  case RequestKind::RunToEvent:
+                    out = s.session.runToEvent(count);
+                    finished = true;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            s.slices.fetch_add(1, std::memory_order_relaxed);
+            s.publishProgress();
+        }
+        return true;
+    } catch (const std::exception &e) {
+        if (err)
+            *err = e.what();
+        return false;
+    }
+}
+
+} // namespace dise::server

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The execution scheduler of the multi-session server: every resume
+ * verb (cont / stepi / run-to-end / the reverse verbs) is driven as a
+ * sequence of bounded µop slices, each admitted through a fair FIFO
+ * ticket queue with a fixed number of execution slots.
+ *
+ * Sessions are share-nothing, so a slice needs no state but its own
+ * session's; the queue therefore schedules *threads at slice
+ * boundaries* instead of shipping sessions to dedicated workers — the
+ * connection thread that owns a session executes its slices itself,
+ * keeping the session pinned to one OS thread (no per-slice handoff,
+ * no cross-thread cache bouncing), while the slot count bounds how
+ * many sessions simulate concurrently and the ticket FIFO round-robins
+ * the runnable ones: with S sessions contending for W slots, each
+ * session advances one slice per scheduling round.
+ *
+ * Teardown mid-run is a slice-boundary affair: drive() re-checks the
+ * session's closing flag before every slice and aborts with an error
+ * instead of touching a destroyed target.
+ */
+
+#ifndef DISE_SERVER_RUN_QUEUE_HH
+#define DISE_SERVER_RUN_QUEUE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "server/session_manager.hh"
+
+namespace dise::server {
+
+struct RunQueueOptions
+{
+    /** Concurrent execution slots; 0 = hardware concurrency. */
+    unsigned slots = 0;
+    /** Application instructions per slice. */
+    uint64_t sliceInsts = 50000;
+};
+
+class RunQueue
+{
+  public:
+    explicit RunQueue(RunQueueOptions opts = {});
+
+    /** Is @p kind a resume verb drive() accepts? */
+    static bool isExecVerb(RequestKind kind);
+
+    /**
+     * Run @p kind to completion on @p s in bounded round-robin
+     * slices, blocking the calling thread. The caller must have
+     * exclusive use of the session (hold s.mu for shared sessions).
+     * Returns false with @p err when the session is destroyed
+     * mid-run, the backend cannot attach, or the verb is not a
+     * resume verb; @p out holds the final stop otherwise.
+     */
+    bool drive(ManagedSession &s, RequestKind kind, uint64_t count,
+               StopInfo &out, std::string *err = nullptr);
+
+    unsigned slots() const { return slots_; }
+    uint64_t sliceInsts() const { return slice_; }
+    uint64_t slicesRun() const
+    {
+        return slices_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** FIFO ticket semaphore: strict arrival-order admission. */
+    void acquireSlot();
+    void releaseSlot();
+
+    struct SlotToken;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<uint64_t> fifo_;
+    uint64_t nextTicket_ = 0;
+    unsigned active_ = 0;
+    unsigned slots_;
+    uint64_t slice_;
+    std::atomic<uint64_t> slices_{0};
+};
+
+} // namespace dise::server
+
+#endif // DISE_SERVER_RUN_QUEUE_HH

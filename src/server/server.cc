@@ -1,0 +1,374 @@
+#include "server/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "rsp/server.hh"
+
+namespace dise::server {
+
+namespace {
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+DebugServer::DebugServer(DebugServerOptions opts,
+                         SessionManager::ProgramFactory factory)
+    : opts_(opts),
+      manager_({opts.maxSessions, opts.session}, std::move(factory)),
+      queue_({opts.slots, opts.sliceInsts})
+{
+}
+
+DebugServer::~DebugServer()
+{
+    stop();
+}
+
+// ------------------------------------------------------------ lifecycle
+
+bool
+DebugServer::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listenFd_, 16) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+
+    // The loop gets its own copy of the fd: stop() clears listenFd_
+    // from the owner thread, and sharing the member would race.
+    acceptThread_ =
+        std::thread([this, fd = listenFd_] { acceptLoop(fd); });
+    return true;
+}
+
+void
+DebugServer::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+}
+
+void
+DebugServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (Conn &c : conns_)
+            if (c.fd >= 0)
+                ::shutdown(c.fd, SHUT_RDWR);
+    }
+    // No new entries can appear (the accept loop is gone); joining
+    // outside the lock lets each connection finish its epilogue.
+    for (Conn &c : conns_)
+        if (c.th.joinable())
+            c.th.join();
+    conns_.clear();
+}
+
+void
+DebugServer::acceptLoop(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                return;
+            // Persistent failures (EMFILE under fd pressure) must not
+            // busy-spin a core; back off briefly and retry.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        connectionsServed_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(connMu_);
+        // Reap finished connections so a long-lived daemon does not
+        // accumulate one dead (joinable) thread per client. A done
+        // entry's thread has already left its epilogue's critical
+        // section, so joining under connMu_ cannot deadlock.
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (it->done.load(std::memory_order_acquire)) {
+                it->th.join();
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        conns_.emplace_back();
+        auto self = std::prev(conns_.end());
+        self->fd = fd;
+        self->th = std::thread([this, fd, self] {
+            serveConnection(fd);
+            {
+                // Retire the fd entry and close in one critical
+                // section: closing first would let the OS recycle
+                // the number while stop() still sees it and
+                // shutdown()s an unrelated descriptor.
+                std::lock_guard<std::mutex> done(connMu_);
+                self->fd = -1;
+                ::close(fd);
+            }
+            self->done.store(true, std::memory_order_release);
+        });
+    }
+}
+
+// ---------------------------------------------------------- connections
+
+void
+DebugServer::serveConnection(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    // Protocol sniff: RSP clients open with an ack, a packet, or an
+    // interrupt; the typed wire protocol opens with a verb letter.
+    char first = 0;
+    ssize_t n = ::recv(fd, &first, 1, MSG_PEEK);
+    if (n <= 0)
+        return;
+    if (first == '+' || first == '-' || first == '$' || first == '\x03')
+        serveRsp(fd);
+    else
+        serveWire(fd);
+}
+
+void
+DebugServer::serveRsp(int fd)
+{
+    // gdb's one-target model: this connection gets its own session,
+    // admission-capped like any other.
+    std::string err;
+    ManagedSessionPtr ms =
+        manager_.create(opts_.defaultWorkload, opts_.defaultBackend,
+                        /*exclusive=*/true, &err);
+    if (!ms) {
+        if (opts_.verbose)
+            std::fprintf(stderr, "server: RSP client rejected: %s\n",
+                         err.c_str());
+        return; // hang up: gdb reports the dropped connection
+    }
+    if (opts_.verbose)
+        std::fprintf(stderr, "server: RSP client -> session %llu\n",
+                     static_cast<unsigned long long>(ms->id));
+
+    // Exclusive sessions are single-client by construction, so only
+    // the resume verbs need coordination (the run queue's slot FIFO).
+    auto exec = [this, ms](RequestKind kind, uint64_t count,
+                           StopInfo &out, std::string *e) {
+        return queue_.drive(*ms, kind, count, out, e);
+    };
+    rsp::RspConnection conn(ms->session, exec, opts_.verbose);
+    conn.serve(fd);
+    manager_.destroy(ms->id);
+}
+
+Response
+DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
+{
+    Response resp;
+    resp.seq = req.seq;
+    resp.inReplyTo = req.kind;
+    auto errorOut = [&](const std::string &msg) {
+        resp.status = ResponseStatus::Error;
+        resp.error = msg;
+        return resp;
+    };
+
+    switch (req.kind) {
+      case RequestKind::SessionCreate: {
+        std::string err;
+        ManagedSessionPtr ms = manager_.create(
+            req.name, req.backend, /*exclusive=*/false, &err);
+        if (!ms)
+            return errorOut(err);
+        sel = ms; // creating selects
+        resp.value = ms->id;
+        return resp;
+      }
+      case RequestKind::SessionSelect: {
+        ManagedSessionPtr ms =
+            manager_.find(req.session, /*forSelect=*/true);
+        if (!ms)
+            return errorOut("no such (shared) session " +
+                            std::to_string(req.session));
+        sel = ms;
+        resp.value = ms->id;
+        return resp;
+      }
+      case RequestKind::SessionDestroy:
+        if (sel && sel->id == req.session)
+            sel.reset();
+        if (!manager_.destroy(req.session))
+            return errorOut("no such session " +
+                            std::to_string(req.session));
+        return resp;
+      case RequestKind::SessionList:
+        resp.regs = manager_.ids();
+        return resp;
+      case RequestKind::ServerStats:
+        resp.server = stats();
+        return resp;
+      default:
+        break;
+    }
+
+    if (!sel)
+        return errorOut(
+            "no session selected (session-create or session-select "
+            "first)");
+    if (sel->closing.load(std::memory_order_acquire)) {
+        sel.reset();
+        return errorOut("session destroyed");
+    }
+
+    Response out;
+    bool dropSelection = false;
+    {
+        std::lock_guard<std::mutex> lk(sel->mu);
+        if (RunQueue::isExecVerb(req.kind)) {
+            // Mirror DebugSession::dispatch's capability gate so
+            // remote clients still see "unsupported" for
+            // no-experiment cells.
+            if (!sel->session.attached() && !sel->session.attach()) {
+                resp.status = ResponseStatus::Unsupported;
+                resp.error = std::string("the ") +
+                             backendName(sel->session.backendKind()) +
+                             " backend cannot implement the requested "
+                             "watchpoints";
+                return resp;
+            }
+            StopInfo stop;
+            std::string err;
+            if (!queue_.drive(*sel, req.kind, req.count, stop, &err))
+                return errorOut(err);
+            resp.hasStop = true;
+            resp.stop = stop;
+            return resp;
+        }
+        out = sel->session.handle(req);
+        if (req.kind == RequestKind::Detach) {
+            // Wire detach ends the hosted session entirely. Do NOT
+            // publish after handle(): the detached session reports
+            // zero stats, and destroy() folds the *published*
+            // counters into the retired totals ("all sessions ever").
+            manager_.destroy(sel->id);
+            dropSelection = true;
+        } else {
+            sel->publishProgress();
+        }
+    }
+    // The selection may hold the last reference; it must not die
+    // while the lock_guard above still references sel->mu.
+    if (dropSelection)
+        sel.reset();
+    return out;
+}
+
+void
+DebugServer::serveWire(int fd)
+{
+    ManagedSessionPtr sel;
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<size_t>(n));
+        // A hostile peer must not grow the buffer without bound.
+        if (buf.size() > (1u << 20))
+            break;
+        size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (opts_.verbose)
+                std::fprintf(stderr, "wire <- %s\n", line.c_str());
+
+            Request req;
+            std::string err;
+            Response resp;
+            if (!decodeRequest(line, req, &err)) {
+                resp.status = ResponseStatus::Error;
+                resp.error = "decode: " + err;
+                size_t pos = line.find("seq=");
+                if (pos != std::string::npos)
+                    resp.seq = std::strtoull(line.c_str() + pos + 4,
+                                             nullptr, 0);
+            } else {
+                resp = handleWire(req, sel);
+            }
+            std::string out = encodeResponse(resp);
+            if (opts_.verbose)
+                std::fprintf(stderr, "wire -> %s\n", out.c_str());
+            if (!sendAll(fd, out + "\n"))
+                return;
+        }
+    }
+}
+
+ServerStats
+DebugServer::stats() const
+{
+    ServerStats s = manager_.stats();
+    s.slices = queue_.slicesRun();
+    s.workers = queue_.slots();
+    return s;
+}
+
+} // namespace dise::server

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The multi-session debug server: one TCP port, many concurrent
+ * targets, two protocols.
+ *
+ * Every accepted connection is sniffed on its first byte:
+ *
+ *  - GDB-RSP traffic ('+', '-', '$', 0x03) gets a dedicated,
+ *    per-connection session (gdb's one-target model) created under
+ *    the --max-sessions admission cap and destroyed when the client
+ *    detaches — two gdbs against one daemon debug two independent
+ *    targets.
+ *  - Anything else speaks the typed line protocol
+ *    (session/protocol.hh), extended with the session-* verbs:
+ *    session-create / session-select / session-destroy bind the
+ *    connection to any shared session in the table, session-list
+ *    enumerates, and server-stats reports the rolled-up aggregates.
+ *
+ * Execution verbs from either protocol are driven through the
+ * RunQueue, which bounds concurrent simulation and round-robins
+ * runnable sessions in µop slices; everything else touches the
+ * session directly (under its lock for shared wire sessions —
+ * exclusive RSP sessions are single-client by construction).
+ */
+
+#ifndef DISE_SERVER_SERVER_HH
+#define DISE_SERVER_SERVER_HH
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/run_queue.hh"
+#include "server/session_manager.hh"
+
+namespace dise::server {
+
+struct DebugServerOptions
+{
+    /** TCP port on 127.0.0.1; 0 picks an ephemeral port. */
+    uint16_t port = 0;
+    /** Admission cap on concurrent sessions (0 = unlimited). */
+    unsigned maxSessions = 8;
+    /** Concurrent execution slots (0 = hardware concurrency). */
+    unsigned slots = 0;
+    /** Application instructions per execution slice. */
+    uint64_t sliceInsts = 50000;
+    bool verbose = false;
+    /** Template for new sessions (checkpoint interval etc.). */
+    SessionOptions session{};
+    /** Defaults for per-connection RSP sessions. */
+    BackendKind defaultBackend = BackendKind::Dise;
+    std::string defaultWorkload = "demo";
+};
+
+class DebugServer
+{
+  public:
+    explicit DebugServer(DebugServerOptions opts = {},
+                         SessionManager::ProgramFactory factory = {});
+    ~DebugServer();
+
+    DebugServer(const DebugServer &) = delete;
+    DebugServer &operator=(const DebugServer &) = delete;
+
+    /** Bind + listen on 127.0.0.1 and start accepting in the
+     *  background. Returns false on socket errors. */
+    bool start();
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+    /** Block until stop() (the daemon's foreground wait). */
+    void wait();
+    /** Close the listener, hang up every client, join all threads. */
+    void stop();
+
+    SessionManager &sessions() { return manager_; }
+    RunQueue &queue() { return queue_; }
+    /** Session rollups + run-queue counters, one snapshot. */
+    ServerStats stats() const;
+    uint64_t connectionsServed() const
+    {
+        return connectionsServed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop(int listenFd);
+    void serveConnection(int fd);
+    void serveRsp(int fd);
+    void serveWire(int fd);
+    /** One typed-wire request → one response, with connection-local
+     *  session selection. */
+    Response handleWire(const Request &req, ManagedSessionPtr &sel);
+
+    DebugServerOptions opts_;
+    SessionManager manager_;
+    RunQueue queue_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> connectionsServed_{0};
+
+    /** One live (or just-finished, awaiting reap) connection. */
+    struct Conn
+    {
+        int fd = -1; ///< -1 once the connection closed it
+        std::atomic<bool> done{false};
+        std::thread th;
+    };
+
+    std::mutex connMu_;
+    /** Stable-iterator storage: each connection thread holds an
+     *  iterator to its own entry. Finished entries are joined and
+     *  erased by the accept loop (and finally by stop()), so a
+     *  long-lived daemon does not accumulate dead threads. */
+    std::list<Conn> conns_;
+};
+
+} // namespace dise::server
+
+#endif // DISE_SERVER_SERVER_HH

@@ -1,0 +1,141 @@
+#include "server/session_manager.hh"
+
+#include "workloads/workload.hh"
+
+namespace dise::server {
+
+bool
+defaultProgramFactory(const std::string &name, Program &out)
+{
+    std::string n = name.empty() ? "demo" : name;
+    if (n == "demo" || n == "heisenbug") {
+        out = buildHeisenbugDemo();
+        return true;
+    }
+    for (const std::string &w : workloadNames()) {
+        if (w == n) {
+            out = buildWorkload(n).program;
+            return true;
+        }
+    }
+    return false;
+}
+
+SessionManager::SessionManager(SessionManagerOptions opts,
+                               ProgramFactory factory)
+    : opts_(std::move(opts)), factory_(std::move(factory))
+{
+    if (!factory_)
+        factory_ = defaultProgramFactory;
+}
+
+ManagedSessionPtr
+SessionManager::create(const std::string &workload, BackendKind backend,
+                       bool exclusive, std::string *err)
+{
+    // Build the program outside the lock (workload construction is the
+    // expensive part), then admit under it.
+    Program prog;
+    if (!factory_(workload, prog)) {
+        // A typo'd workload is a client error, not an admission-cap
+        // rejection; rejected_ only counts the cap.
+        if (err)
+            *err = "unknown workload '" + workload + "'";
+        return nullptr;
+    }
+    SessionOptions sopts = opts_.session;
+    sopts.debugger.backend = backend;
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (opts_.maxSessions && sessions_.size() >= opts_.maxSessions) {
+        ++rejected_;
+        if (err)
+            *err = "session cap reached (" +
+                   std::to_string(opts_.maxSessions) + ")";
+        return nullptr;
+    }
+    uint64_t id = nextId_++;
+    auto ms = std::make_shared<ManagedSession>(
+        id, workload.empty() ? std::string("demo") : workload,
+        std::move(prog), std::move(sopts), exclusive);
+    sessions_.emplace(id, ms);
+    ++created_;
+    peak_ = std::max<uint64_t>(peak_, sessions_.size());
+    return ms;
+}
+
+ManagedSessionPtr
+SessionManager::find(uint64_t id, bool forSelect)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return nullptr;
+    if (forSelect && it->second->exclusive)
+        return nullptr;
+    return it->second;
+}
+
+bool
+SessionManager::destroy(uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return false;
+    ManagedSessionPtr ms = it->second;
+    sessions_.erase(it);
+    ms->closing.store(true, std::memory_order_release);
+    // Fold the published counters into the retired totals; a slice
+    // still in flight publishes once more, but its session no longer
+    // appears in either the live list or (beyond this snapshot) the
+    // totals — a bounded, documented undercount at teardown.
+    retiredUops_ += ms->uops.load(std::memory_order_relaxed);
+    retiredInsts_ += ms->appInsts.load(std::memory_order_relaxed);
+    retiredEvents_ += ms->events.load(std::memory_order_relaxed);
+    ++destroyed_;
+    return true;
+}
+
+std::vector<uint64_t>
+SessionManager::ids() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<uint64_t> out;
+    out.reserve(sessions_.size());
+    for (const auto &kv : sessions_)
+        out.push_back(kv.first);
+    return out;
+}
+
+size_t
+SessionManager::count() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return sessions_.size();
+}
+
+ServerStats
+SessionManager::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServerStats s;
+    s.activeSessions = sessions_.size();
+    s.peakSessions = peak_;
+    s.created = created_;
+    s.destroyed = destroyed_;
+    s.rejected = rejected_;
+    s.maxSessions = opts_.maxSessions;
+    s.totalUops = retiredUops_;
+    s.totalAppInsts = retiredInsts_;
+    s.totalEvents = retiredEvents_;
+    for (const auto &kv : sessions_) {
+        const ManagedSession &ms = *kv.second;
+        s.totalUops += ms.uops.load(std::memory_order_relaxed);
+        s.totalAppInsts += ms.appInsts.load(std::memory_order_relaxed);
+        s.totalEvents += ms.events.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+} // namespace dise::server

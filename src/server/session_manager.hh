@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The session table of the multi-session debug server: N independent
+ * DebugSession instances — each with its own Program, backend,
+ * TimeTravel controller, and EventQueue — created, looked up, and
+ * destroyed under one admission cap.
+ *
+ * Sessions are share-nothing: no target state is shared between them,
+ * so slices of different sessions run in parallel without
+ * coordination. What IS shared is the bookkeeping:
+ *
+ *  - the id → session map (guarded by the manager's mutex);
+ *  - per-session progress counters (µops, instructions, events),
+ *    published as atomics after every execution slice so
+ *    server-level stat rollups never block on a running session;
+ *  - admission counters (created / destroyed / rejected / peak).
+ *
+ * Lifetime: sessions are handed out as shared_ptr. destroy() removes
+ * a session from the table and marks it closing; a client mid-run
+ * observes the flag at its next slice boundary and aborts, and the
+ * object is reclaimed when the last holder lets go — teardown mid-run
+ * is safe by construction.
+ */
+
+#ifndef DISE_SERVER_SESSION_MANAGER_HH
+#define DISE_SERVER_SESSION_MANAGER_HH
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "session/debug_session.hh"
+
+namespace dise::server {
+
+/** One hosted target plus the concurrency state the serving layer
+ *  needs around it. */
+class ManagedSession
+{
+  public:
+    ManagedSession(uint64_t id, std::string workload, Program prog,
+                   SessionOptions opts, bool exclusive)
+        : id(id), workload(std::move(workload)), exclusive(exclusive),
+          session(std::move(prog), std::move(opts))
+    {
+    }
+
+    const uint64_t id;
+    const std::string workload;
+    /** Bound to one connection (RSP's one-target model): never handed
+     *  out by select, so its owner may drive it lock-free. */
+    const bool exclusive;
+
+    DebugSession session;
+    /** Serializes shared (wire-selected) access to the session. */
+    std::mutex mu;
+    /** Set by destroy(); observed at the next slice boundary. */
+    std::atomic<bool> closing{false};
+
+    /** @name Published progress (read without the session lock) */
+    ///@{
+    std::atomic<uint64_t> uops{0};
+    std::atomic<uint64_t> appInsts{0};
+    std::atomic<uint64_t> events{0};
+    std::atomic<uint64_t> slices{0};
+
+    /** Refresh the published counters from the session (call with
+     *  exclusive session access, e.g. after a slice). */
+    void
+    publishProgress()
+    {
+        SessionStats st = session.stats();
+        uops.store(st.time, std::memory_order_relaxed);
+        appInsts.store(st.appInsts, std::memory_order_relaxed);
+        events.store(st.events, std::memory_order_relaxed);
+    }
+    ///@}
+};
+
+using ManagedSessionPtr = std::shared_ptr<ManagedSession>;
+
+struct SessionManagerOptions
+{
+    /** Admission cap; 0 = unlimited. */
+    unsigned maxSessions = 8;
+    /** Template for new sessions (backend overridden per create). */
+    SessionOptions session{};
+};
+
+class SessionManager
+{
+  public:
+    /**
+     * Resolves a workload name to a Program. The default factory
+     * serves "demo" (the heisenbug scenario) and the six synthetic
+     * SPEC workloads by name.
+     */
+    using ProgramFactory =
+        std::function<bool(const std::string &name, Program &out)>;
+
+    explicit SessionManager(SessionManagerOptions opts = {},
+                            ProgramFactory factory = {});
+
+    /**
+     * Create a session for @p workload under the admission cap.
+     * Returns nullptr (and fills @p err) on an unknown workload or
+     * when the cap is reached.
+     */
+    ManagedSessionPtr create(const std::string &workload,
+                             BackendKind backend,
+                             bool exclusive = false,
+                             std::string *err = nullptr);
+
+    /** Look a live session up; nullptr when unknown. @p forSelect
+     *  additionally refuses exclusive (per-connection) sessions. */
+    ManagedSessionPtr find(uint64_t id, bool forSelect = false);
+
+    /**
+     * Remove @p id from the table and mark it closing. In-flight
+     * drivers abort at their next slice; the final per-session
+     * counters fold into the retired totals.
+     */
+    bool destroy(uint64_t id);
+
+    std::vector<uint64_t> ids() const;
+    size_t count() const;
+    unsigned maxSessions() const { return opts_.maxSessions; }
+    const SessionOptions &sessionTemplate() const { return opts_.session; }
+
+    /** Admission counters + per-session rollups (live + retired).
+     *  Never blocks on a running session. */
+    ServerStats stats() const;
+
+  private:
+    SessionManagerOptions opts_;
+    ProgramFactory factory_;
+
+    mutable std::mutex mu_;
+    std::map<uint64_t, ManagedSessionPtr> sessions_;
+    uint64_t nextId_ = 1;
+    uint64_t created_ = 0;
+    uint64_t destroyed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t peak_ = 0;
+    // Totals folded in from destroyed sessions.
+    uint64_t retiredUops_ = 0;
+    uint64_t retiredInsts_ = 0;
+    uint64_t retiredEvents_ = 0;
+};
+
+/** The stock name → Program mapping ("demo" + the six synthetic
+ *  SPEC2000 kernels). */
+bool defaultProgramFactory(const std::string &name, Program &out);
+
+} // namespace dise::server
+
+#endif // DISE_SERVER_SESSION_MANAGER_HH

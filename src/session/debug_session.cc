@@ -52,16 +52,31 @@ DebugSession::setWatch(const WatchSpec &spec)
     for (size_t i = 0; i < pendingWatches_.size(); ++i) {
         if (sameWatch(pendingWatches_[i], spec)) {
             int idx = static_cast<int>(i);
-            // A spec muted before attach was never installed, so it
-            // cannot be re-armed once machinery exists.
-            if (attached() && watchInstalled_[i] < 0)
-                return -1;
+            // A spec muted before attach was never installed; arming
+            // it now takes a machinery rebuild like any new spec.
+            if (attached() && watchInstalled_[i] < 0) {
+                mutedWatches_.erase(idx);
+                if (!reattachAndReplay()) {
+                    mutedWatches_.insert(idx);
+                    return -1;
+                }
+                return idx;
+            }
             mutedWatches_.erase(idx);
             return idx;
         }
     }
-    if (attached())
-        return -1; // machinery is installed; only re-arming is possible
+    if (attached()) {
+        // Post-attach addition: rebuild from the initial state with
+        // the enlarged set and replay to the current position. On
+        // failure the original session is untouched.
+        pendingWatches_.push_back(spec);
+        if (!reattachAndReplay()) {
+            pendingWatches_.pop_back();
+            return -1;
+        }
+        return static_cast<int>(pendingWatches_.size()) - 1;
+    }
     pendingWatches_.push_back(spec);
     return static_cast<int>(pendingWatches_.size()) - 1;
 }
@@ -72,14 +87,26 @@ DebugSession::setBreak(const BreakSpec &spec)
     for (size_t i = 0; i < pendingBreaks_.size(); ++i) {
         if (sameBreak(pendingBreaks_[i], spec)) {
             int idx = static_cast<int>(i);
-            if (attached() && breakInstalled_[i] < 0)
-                return -1;
+            if (attached() && breakInstalled_[i] < 0) {
+                mutedBreaks_.erase(idx);
+                if (!reattachAndReplay()) {
+                    mutedBreaks_.insert(idx);
+                    return -1;
+                }
+                return idx;
+            }
             mutedBreaks_.erase(idx);
             return idx;
         }
     }
-    if (attached())
-        return -1;
+    if (attached()) {
+        pendingBreaks_.push_back(spec);
+        if (!reattachAndReplay()) {
+            pendingBreaks_.pop_back();
+            return -1;
+        }
+        return static_cast<int>(pendingBreaks_.size()) - 1;
+    }
     pendingBreaks_.push_back(spec);
     return static_cast<int>(pendingBreaks_.size()) - 1;
 }
@@ -136,40 +163,35 @@ DebugSession::ensurePeekTarget()
 }
 
 bool
-DebugSession::attach()
+DebugSession::buildMachinery(Machinery &m)
 {
-    if (attached())
-        return true;
-    DISE_ASSERT(!detached_, "session already detached");
-
-    target_ = std::make_unique<DebugTarget>(program_);
+    m.target = std::make_unique<DebugTarget>(program_);
     if (opts_.prepare)
-        opts_.prepare(*target_);
-    debugger_ = std::make_unique<Debugger>(*target_, opts_.debugger);
+        opts_.prepare(*m.target);
+    m.debugger = std::make_unique<Debugger>(*m.target, opts_.debugger);
     // Specs removed before attach are never installed — a deleted
     // breakpoint must not make a capability-limited backend (hwreg,
     // vm) refuse the whole session. The maps keep session indices
     // stable against the compacted installed list.
-    watchInstalled_.assign(pendingWatches_.size(), -1);
-    breakInstalled_.assign(pendingBreaks_.size(), -1);
-    installedWatchOwner_.clear();
-    installedBreakOwner_.clear();
+    m.watchInstalled.assign(pendingWatches_.size(), -1);
+    m.breakInstalled.assign(pendingBreaks_.size(), -1);
     for (size_t i = 0; i < pendingWatches_.size(); ++i) {
         if (mutedWatches_.count(static_cast<int>(i)))
             continue;
-        watchInstalled_[i] = debugger_->watch(pendingWatches_[i]);
-        installedWatchOwner_.push_back(static_cast<int>(i));
+        m.watchInstalled[i] = m.debugger->watch(pendingWatches_[i]);
+        m.installedWatchOwner.push_back(static_cast<int>(i));
     }
     for (size_t i = 0; i < pendingBreaks_.size(); ++i) {
         if (mutedBreaks_.count(static_cast<int>(i)))
             continue;
-        breakInstalled_[i] = debugger_->breakAt(pendingBreaks_[i]);
-        installedBreakOwner_.push_back(static_cast<int>(i));
+        m.breakInstalled[i] = m.debugger->breakAt(pendingBreaks_[i]);
+        m.installedBreakOwner.push_back(static_cast<int>(i));
     }
     // Configuration-phase pokes fold into the initial state between
     // load and prime, so watchpoint shadows snapshot the poked image
     // (and they precede the time-travel session's time-zero
-    // checkpoint).
+    // checkpoint). Kept across rebuilds: every re-attach re-applies
+    // the same initial state.
     auto applyPokes = [this](DebugTarget &t) {
         for (const PendingPoke &p : pendingPokes_) {
             if (p.isReg) {
@@ -182,20 +204,223 @@ DebugSession::attach()
             }
         }
     };
-    if (!debugger_->attach(applyPokes)) {
-        debugger_.reset();
-        target_.reset();
-        attachFailed_ = true;
-        return false;
-    }
+    return m.debugger->attach(applyPokes);
+}
+
+void
+DebugSession::commitMachinery(Machinery &m)
+{
+    // Order matters: the outgoing debugger references the outgoing
+    // target, so it must die first.
+    debugger_ = std::move(m.debugger);
+    target_ = std::move(m.target);
+    watchInstalled_ = std::move(m.watchInstalled);
+    breakInstalled_ = std::move(m.breakInstalled);
+    installedWatchOwner_ = std::move(m.installedWatchOwner);
+    installedBreakOwner_ = std::move(m.installedBreakOwner);
     attachFailed_ = false;
-    pendingPokes_.clear();
     preview_.reset();
+
+    // The fresh backend has empty event lists; everything re-crossed
+    // during a replay is re-announced (the queue narrates traversal).
+    markCursor_ = 0;
+    announcedWatch_ = announcedBreak_ = announcedProt_ = 0;
+    announcedCheckpoints_ = announcedRestores_ = 0;
+    announcedPagesRestored_ = 0;
+    announcedHalt_ = false;
 
     SessionEvent ev;
     ev.kind = SessionEventKind::Attached;
     ev.pc = target_->arch.pc;
     events_.push(ev);
+}
+
+bool
+DebugSession::attach()
+{
+    if (attached())
+        return true;
+    DISE_ASSERT(!detached_, "session already detached");
+
+    Machinery m;
+    if (!buildMachinery(m)) {
+        attachFailed_ = true;
+        return false;
+    }
+    commitMachinery(m);
+    return true;
+}
+
+/**
+ * The post-attach watch/break *addition* path: build fresh machinery
+ * with the enlarged spec set, then restore-to-time-zero and replay the
+ * session back to its current position. Stream positions (µops) shift
+ * under different instrumentation, so the replay navigates by
+ * instrumentation-invariant coordinates instead: logged pokes are
+ * re-applied at their application-instruction stamps, and an
+ * event-position park (a stop mid-expansion) is re-found as the
+ * corresponding event — same (kind, pc, appInsts) occurrence — of the
+ * rebuilt timeline. The new spec's past hits materialize on the event
+ * queue as the replay re-crosses them. On any failure the live
+ * session is left untouched.
+ */
+bool
+DebugSession::reattachAndReplay()
+{
+    // A batch cycle-level/functional run advanced the target outside
+    // the replayable timeline: there is no position to rebuild to.
+    if (batchRan_)
+        return false;
+
+    bool hadTravel = debugger_->timeTraveling();
+    bool parkedAtEvent = false, parkedAtHalt = false;
+    uint64_t targetInsts = 0;
+    EventMark parkMark{};
+    int parkOccurrence = 0;
+    int parkSessIdx = -1;
+    Addr parkAddr = 0;
+    std::vector<Intervention> journal;
+
+    // The stable identity of a mark across a machinery rebuild:
+    // session-level spec index (owner-translated — stable across
+    // re-installation) plus the event's data address. (kind, pc,
+    // appInsts) alone is ambiguous when a newly added spec fires on
+    // the very same instruction as the park event.
+    auto markDetail = [this](const EventMark &mk, int &sessIdx,
+                             Addr &addr) {
+        const DebugBackend &backend = debugger_->backend();
+        sessIdx = -1;
+        addr = 0;
+        if (mk.index < 0)
+            return;
+        size_t i = static_cast<size_t>(mk.index);
+        switch (mk.kind) {
+          case EventKind::Watch:
+            if (i < backend.watchEvents().size()) {
+                const WatchEvent &we = backend.watchEvents()[i];
+                sessIdx = we.wpIndex >= 0 &&
+                                  static_cast<size_t>(we.wpIndex) <
+                                      installedWatchOwner_.size()
+                              ? installedWatchOwner_[we.wpIndex]
+                              : we.wpIndex;
+                addr = we.addr;
+            }
+            break;
+          case EventKind::Break:
+            if (i < backend.breakEvents().size()) {
+                const BreakEvent &be = backend.breakEvents()[i];
+                sessIdx = be.bpIndex >= 0 &&
+                                  static_cast<size_t>(be.bpIndex) <
+                                      installedBreakOwner_.size()
+                              ? installedBreakOwner_[be.bpIndex]
+                              : be.bpIndex;
+            }
+            break;
+          case EventKind::Protection:
+            if (i < backend.protectionEvents().size())
+                addr = backend.protectionEvents()[i].addr;
+            break;
+        }
+    };
+
+    if (hadTravel) {
+        TimeTravel &tt = debugger_->timeTravel();
+        const ReplayLog &log = debugger_->replayLog();
+        targetInsts = tt.appInsts();
+        parkedAtHalt = tt.halted();
+        // A session stopped on an event sits mid-instruction (inside
+        // the detecting expansion), below app-instruction resolution.
+        size_t cur = tt.eventsSoFar();
+        if (!parkedAtHalt && cur > 0 &&
+            log.marks[cur - 1].time == tt.time()) {
+            parkedAtEvent = true;
+            parkMark = log.marks[cur - 1];
+            markDetail(parkMark, parkSessIdx, parkAddr);
+            for (size_t i = 0; i + 1 < cur; ++i) {
+                const EventMark &mk = log.marks[i];
+                if (mk.kind != parkMark.kind ||
+                    mk.pc != parkMark.pc ||
+                    mk.appInsts != parkMark.appInsts)
+                    continue;
+                int si = -1;
+                Addr ad = 0;
+                markDetail(mk, si, ad);
+                if (si == parkSessIdx && ad == parkAddr)
+                    ++parkOccurrence;
+            }
+        }
+        for (const Intervention &iv : log.interventions) {
+            if (iv.time > tt.time())
+                break; // truncated future
+            // DISE-table mutations (escape-hatch users) cannot be
+            // re-targeted onto a fresh engine: refuse the rebuild
+            // rather than replay an incomplete history.
+            if (iv.kind == InterventionKind::AddProduction ||
+                iv.kind == InterventionKind::RemoveProduction)
+                return false;
+            journal.push_back(iv);
+        }
+    }
+
+    Machinery m;
+    if (!buildMachinery(m))
+        return false;
+    commitMachinery(m);
+
+    if (!hadTravel)
+        return true;
+
+    TimeTravel &tt = debugger_->timeTravel(opts_.timeTravel);
+    for (const Intervention &iv : journal) {
+        if (iv.appInsts > tt.appInsts())
+            tt.stepi(iv.appInsts - tt.appInsts());
+        if (iv.kind == InterventionKind::PokeMemory)
+            tt.pokeMemory(iv.addr, iv.size, iv.value);
+        else
+            tt.pokeRegister(iv.reg, iv.value);
+    }
+    if (parkedAtHalt) {
+        tt.runToEnd();
+    } else if (parkedAtEvent) {
+        // Run event to event until the occurrence shows up; the new
+        // spec's own hits pass by (and get announced) on the way.
+        size_t scanned = tt.eventsSoFar();
+        int occurrence = 0;
+        bool parked = false;
+        while (!parked) {
+            StopInfo stop = tt.cont();
+            const auto &marks = debugger_->replayLog().marks;
+            for (; scanned < tt.eventsSoFar(); ++scanned) {
+                const EventMark &mk = marks[scanned];
+                if (mk.kind != parkMark.kind ||
+                    mk.pc != parkMark.pc ||
+                    mk.appInsts != parkMark.appInsts)
+                    continue;
+                // Same full identity (the owner translation works on
+                // the NEW maps here; session indices are stable).
+                int si = -1;
+                Addr ad = 0;
+                markDetail(mk, si, ad);
+                if (si != parkSessIdx || ad != parkAddr)
+                    continue;
+                if (occurrence++ == parkOccurrence) {
+                    parked = true;
+                    break;
+                }
+            }
+            DISE_ASSERT(parked || stop.reason == StopReason::Event,
+                        "rebuild replay lost its event position (",
+                        eventKindName(parkMark.kind), " at pc=0x",
+                        std::hex, parkMark.pc, std::dec, ", ",
+                        parkMark.appInsts, " insts)");
+        }
+    } else if (targetInsts > tt.appInsts()) {
+        tt.stepi(targetInsts - tt.appInsts());
+    }
+    DISE_ASSERT(tt.appInsts() == targetInsts,
+                "rebuild replay fell short: at ", tt.appInsts(),
+                " insts, wanted ", targetInsts);
+    pumpEvents();
     return true;
 }
 
@@ -265,8 +490,12 @@ DebugSession::pumpEvents()
     announcedBreak_ = std::min(announcedBreak_, bs.size());
     announcedProt_ = std::min(announcedProt_, ps.size());
 
-    // Without a time-travel session there is no stream position; the
-    // backend's detection sequence is the best per-event stamp.
+    // Each announced event carries its OWN timeline position (the
+    // recorded mark), not the position the announcement happens to be
+    // made at — a runToEnd() that crosses five hits must deliver five
+    // distinct stamps. Without a time-travel session there is no
+    // stream position; the backend's detection sequence is the best
+    // per-event stamp.
     bool hasTravel = debugger_->timeTraveling();
     auto sessionWatchIdx = [&](int installed) {
         return installed >= 0 &&
@@ -287,10 +516,14 @@ DebugSession::pumpEvents()
         int idx = sessionWatchIdx(we.wpIndex);
         if (mutedWatches_.count(idx))
             continue; // muted: consume the position, deliver nothing
+        const EventMark *mark =
+            hasTravel ? findMark(EventKind::Watch,
+                                 static_cast<int>(announcedWatch_))
+                      : nullptr;
         SessionEvent ev;
         ev.kind = SessionEventKind::Watch;
-        ev.time = hasTravel ? now : we.seq;
-        ev.appInsts = insts;
+        ev.time = mark ? mark->time : (hasTravel ? now : we.seq);
+        ev.appInsts = mark ? mark->appInsts : insts;
         ev.pc = we.pc;
         ev.index = idx;
         ev.addr = we.addr;
@@ -303,20 +536,28 @@ DebugSession::pumpEvents()
         int idx = sessionBreakIdx(be.bpIndex);
         if (mutedBreaks_.count(idx))
             continue;
+        const EventMark *mark =
+            hasTravel ? findMark(EventKind::Break,
+                                 static_cast<int>(announcedBreak_))
+                      : nullptr;
         SessionEvent ev;
         ev.kind = SessionEventKind::Break;
-        ev.time = hasTravel ? now : be.seq;
-        ev.appInsts = insts;
+        ev.time = mark ? mark->time : (hasTravel ? now : be.seq);
+        ev.appInsts = mark ? mark->appInsts : insts;
         ev.pc = be.pc;
         ev.index = idx;
         events_.push(ev);
     }
     for (; announcedProt_ < ps.size(); ++announcedProt_) {
         const ProtectionEvent &pe = ps[announcedProt_];
+        const EventMark *mark =
+            hasTravel ? findMark(EventKind::Protection,
+                                 static_cast<int>(announcedProt_))
+                      : nullptr;
         SessionEvent ev;
         ev.kind = SessionEventKind::Protection;
-        ev.time = now;
-        ev.appInsts = insts;
+        ev.time = mark ? mark->time : now;
+        ev.appInsts = mark ? mark->appInsts : insts;
         ev.pc = pe.pc;
         ev.addr = pe.addr;
         events_.push(ev);
@@ -342,6 +583,29 @@ DebugSession::pumpEvents()
     } else if (!halted) {
         announcedHalt_ = false; // reverse travel un-halted the target
     }
+}
+
+/**
+ * The recorded mark for the @p index -th backend event of @p kind.
+ * Announcements arrive in per-kind index order, so a circular scan
+ * from the last hit position amortizes to O(1) per event.
+ */
+const EventMark *
+DebugSession::findMark(EventKind kind, int index)
+{
+    const auto &marks = debugger_->replayLog().marks;
+    if (marks.empty())
+        return nullptr;
+    if (markCursor_ >= marks.size())
+        markCursor_ = 0;
+    for (size_t n = 0; n < marks.size(); ++n) {
+        size_t i = (markCursor_ + n) % marks.size();
+        if (marks[i].kind == kind && marks[i].index == index) {
+            markCursor_ = i + 1;
+            return &marks[i];
+        }
+    }
+    return nullptr;
 }
 
 bool
@@ -392,6 +656,19 @@ DebugSession::cont()
     StopInfo stop;
     do {
         stop = tt.cont();
+        pumpEvents();
+    } while (stop.reason == StopReason::Event && stopIsMuted(stop));
+    return stop;
+}
+
+StopInfo
+DebugSession::contSlice(uint64_t maxInsts)
+{
+    TimeTravel &tt = ensureTravel();
+    uint64_t limit = tt.appInsts() + maxInsts;
+    StopInfo stop;
+    do {
+        stop = tt.contTo(limit);
         pumpEvents();
     } while (stop.reason == StopReason::Event && stopIsMuted(stop));
     return stop;
@@ -450,6 +727,7 @@ DebugSession::runCycles(TimingConfig cfg, RunLimits limits)
 {
     DISE_ASSERT(ensureAttached(), "the ", backendName(backendKind()),
                 " backend cannot implement this session's requests");
+    batchRan_ = true;
     RunStats stats = debugger_->run(cfg, limits);
     pumpEvents();
     if (stats.halt != HaltReason::None && !announcedHalt_) {
@@ -467,6 +745,7 @@ DebugSession::runFunctional(uint64_t maxAppInsts)
 {
     DISE_ASSERT(ensureAttached(), "the ", backendName(backendKind()),
                 " backend cannot implement this session's requests");
+    batchRan_ = true;
     FuncResult res = debugger_->runFunctional(maxAppInsts);
     pumpEvents();
     return res;
@@ -521,6 +800,16 @@ DebugSession::writeRegister(unsigned index, uint64_t value)
         debugger_->timeTravel().pokeRegister(ir(index), value);
         return true;
     }
+    // Attached but not yet resumed: the target sits at its initial
+    // state, so the poke is part of that initial state — record it
+    // with the configuration-phase pokes so a machinery rebuild
+    // (post-attach spec addition) re-applies it instead of silently
+    // reverting the write.
+    PendingPoke p;
+    p.isReg = true;
+    p.reg = index;
+    p.value = value;
+    pendingPokes_.push_back(p);
     if (index == PcRegIndex)
         target_->arch.pc = value;
     else
@@ -556,6 +845,13 @@ DebugSession::writeMemory(Addr addr, unsigned size, uint64_t value)
         debugger_->timeTravel().pokeMemory(addr, size, value);
         return true;
     }
+    // See writeRegister: pre-resume pokes belong to the initial state
+    // and must survive a machinery rebuild.
+    PendingPoke p;
+    p.addr = addr;
+    p.size = size;
+    p.value = value;
+    pendingPokes_.push_back(p);
     target_->mem.write(addr, size, value);
     return true;
 }
@@ -671,8 +967,9 @@ DebugSession::dispatch(const Request &req)
         int idx = setWatch(req.watch);
         if (idx < 0)
             return unsupportedOut(
-                "watchpoint machinery is installed at attach; only an "
-                "already-registered spec can be re-armed");
+                "the backend cannot implement the enlarged watchpoint "
+                "set, or the target advanced through a non-replayable "
+                "batch run");
         resp.index = idx;
         return resp;
       }
@@ -680,8 +977,9 @@ DebugSession::dispatch(const Request &req)
         int idx = setBreak(req.brk);
         if (idx < 0)
             return unsupportedOut(
-                "breakpoint machinery is installed at attach; only an "
-                "already-registered spec can be re-armed");
+                "the backend cannot implement the enlarged breakpoint "
+                "set, or the target advanced through a non-replayable "
+                "batch run");
         resp.index = idx;
         return resp;
       }
@@ -744,6 +1042,13 @@ DebugSession::dispatch(const Request &req)
       case RequestKind::Detach:
         detach();
         return resp;
+      case RequestKind::SessionCreate:
+      case RequestKind::SessionSelect:
+      case RequestKind::SessionDestroy:
+      case RequestKind::SessionList:
+      case RequestKind::ServerStats:
+        return errorOut("session management verbs are handled by the "
+                        "multi-session server, not a session");
     }
     return errorOut("unhandled request kind");
 }

@@ -77,9 +77,14 @@ class DebugSession
     /** @name Configuration (typed) */
     ///@{
     bool selectBackend(BackendKind kind);
-    /** Register a new spec (pre-attach) or re-arm a muted identical
-     *  one (any phase). Returns the watch index, or -1 when machinery
-     *  is already installed and the spec is new. */
+    /** Register a new spec or re-arm a muted identical one. Before
+     *  attach the spec is simply collected; after attach a *new* spec
+     *  rebuilds the machinery from the initial state and replays the
+     *  timeline (logged pokes included) back to the current position,
+     *  so a gdb `Z` packet after `c` just works. Returns the watch
+     *  index, or -1 when the backend cannot implement the enlarged set
+     *  (the original session is left untouched) or the target advanced
+     *  through a non-replayable batch run. */
     int setWatch(const WatchSpec &spec);
     int setBreak(const BreakSpec &spec);
     /** Mute delivery (stops and queue events). Indices stay stable;
@@ -101,6 +106,10 @@ class DebugSession
     /** @name Execution (checkpointed functional session) */
     ///@{
     StopInfo cont();
+    /** cont() bounded to @p maxInsts application instructions: stops
+     *  with reason Step when the quantum expires before any unmuted
+     *  event. The multi-session run-queue's slicing primitive. */
+    StopInfo contSlice(uint64_t maxInsts);
     StopInfo stepi(uint64_t n = 1);
     StopInfo runToEnd();
     StopInfo reverseContinue();
@@ -167,10 +176,25 @@ class DebugSession
         uint64_t value = 0;
     };
 
+    /** Freshly built (not yet committed) machinery for one attach. */
+    struct Machinery
+    {
+        std::unique_ptr<DebugTarget> target;
+        std::unique_ptr<Debugger> debugger;
+        std::vector<int> watchInstalled;
+        std::vector<int> breakInstalled;
+        std::vector<int> installedWatchOwner;
+        std::vector<int> installedBreakOwner;
+    };
+
     DebugTarget &ensurePeekTarget();
     bool ensureAttached();
     TimeTravel &ensureTravel();
+    bool buildMachinery(Machinery &m);
+    void commitMachinery(Machinery &m);
+    bool reattachAndReplay();
     void pumpEvents();
+    const EventMark *findMark(EventKind kind, int index);
     bool stopIsMuted(const StopInfo &stop) const;
     Response dispatch(const Request &req);
 
@@ -189,6 +213,9 @@ class DebugSession
     std::unique_ptr<DebugTarget> preview_;
     bool attachFailed_ = false;
     bool detached_ = false;
+    /** A cycle-level / functional batch run advanced the target
+     *  outside the replayable timeline: no post-attach rebuild. */
+    bool batchRan_ = false;
 
     std::set<int> mutedWatches_;
     std::set<int> mutedBreaks_;
@@ -201,6 +228,9 @@ class DebugSession
     std::vector<int> installedBreakOwner_;
 
     EventQueue events_;
+    /** Circular-scan hint into the replay log's mark list (used to
+     *  stamp announced events with their mark positions). */
+    size_t markCursor_ = 0;
     // Backend event-list positions already announced on the queue.
     size_t announcedWatch_ = 0;
     size_t announcedBreak_ = 0;

@@ -39,6 +39,11 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::WriteMemory, "write-memory"},
     {RequestKind::Stats, "stats"},
     {RequestKind::Detach, "detach"},
+    {RequestKind::SessionCreate, "session-create"},
+    {RequestKind::SessionSelect, "session-select"},
+    {RequestKind::SessionDestroy, "session-destroy"},
+    {RequestKind::SessionList, "session-list"},
+    {RequestKind::ServerStats, "server-stats"},
 };
 
 struct BackendToken
@@ -420,6 +425,14 @@ encodeRequest(const Request &req)
         w.num("reg", req.reg);
         w.hex("value", req.value);
         break;
+      case RequestKind::SessionCreate:
+        w.str("name", req.name);
+        w.str("backend", backendToken(req.backend));
+        break;
+      case RequestKind::SessionSelect:
+      case RequestKind::SessionDestroy:
+        w.num("session", req.session);
+        break;
       default:
         break;
     }
@@ -513,6 +526,18 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
             return fail(err, "write-register needs value=");
         break;
       }
+      case RequestKind::SessionCreate: {
+        r.str("name", req.name);
+        std::string tok = r.raw("backend");
+        if (!tok.empty() && !parseBackendToken(tok, req.backend))
+            return fail(err, "unknown backend '" + tok + "'");
+        break;
+      }
+      case RequestKind::SessionSelect:
+      case RequestKind::SessionDestroy:
+        if (!r.num("session", req.session))
+            return fail(err, "session verb needs session=");
+        break;
       default:
         break;
     }
@@ -609,6 +634,19 @@ encodeResponse(const Response &resp)
         w.num("st.restores", resp.stats.restores);
         w.num("st.replayed", resp.stats.replayedUops);
     }
+    if (resp.inReplyTo == RequestKind::ServerStats) {
+        w.num("sv.active", resp.server.activeSessions);
+        w.num("sv.peak", resp.server.peakSessions);
+        w.num("sv.created", resp.server.created);
+        w.num("sv.destroyed", resp.server.destroyed);
+        w.num("sv.rejected", resp.server.rejected);
+        w.num("sv.max", resp.server.maxSessions);
+        w.num("sv.workers", resp.server.workers);
+        w.num("sv.slices", resp.server.slices);
+        w.num("sv.uops", resp.server.totalUops);
+        w.num("sv.insts", resp.server.totalAppInsts);
+        w.num("sv.events", resp.server.totalEvents);
+    }
     return w.str();
 }
 
@@ -671,6 +709,19 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("st.restores", resp.stats.restores);
         r.num("st.replayed", resp.stats.replayedUops);
     }
+    if (resp.inReplyTo == RequestKind::ServerStats) {
+        r.num("sv.active", resp.server.activeSessions);
+        r.num("sv.peak", resp.server.peakSessions);
+        r.num("sv.created", resp.server.created);
+        r.num("sv.destroyed", resp.server.destroyed);
+        r.num("sv.rejected", resp.server.rejected);
+        r.num("sv.max", resp.server.maxSessions);
+        r.num("sv.workers", resp.server.workers);
+        r.num("sv.slices", resp.server.slices);
+        r.num("sv.uops", resp.server.totalUops);
+        r.num("sv.insts", resp.server.totalAppInsts);
+        r.num("sv.events", resp.server.totalEvents);
+    }
     return true;
 }
 
@@ -696,6 +747,12 @@ Response::describe() const
            << " events=" << stats.events << " checkpoints="
            << stats.checkpoints << " pagesCopied=" << stats.pagesCopied
            << " restores=" << stats.restores;
+    if (inReplyTo == RequestKind::ServerStats)
+        os << " sessions=" << server.activeSessions << " (peak "
+           << server.peakSessions << ", cap " << server.maxSessions
+           << ") created=" << server.created << " rejected="
+           << server.rejected << " slices=" << server.slices
+           << " uops=" << server.totalUops;
     return os.str();
 }
 

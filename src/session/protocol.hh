@@ -55,6 +55,14 @@ enum class RequestKind : uint8_t {
     WriteMemory,     ///< poke bytes (logged intervention)
     Stats,           ///< session statistics snapshot
     Detach,          ///< end the session
+
+    // Multi-session verbs, handled by the server front end
+    // (src/server/), never by a DebugSession itself.
+    SessionCreate,  ///< create a target (name= workload, backend=)
+    SessionSelect,  ///< bind this connection to session id=
+    SessionDestroy, ///< tear a session down (even mid-run)
+    SessionList,    ///< ids of every live session
+    ServerStats,    ///< server-level aggregate statistics
 };
 
 const char *requestKindName(RequestKind kind);
@@ -82,6 +90,8 @@ struct Request
     unsigned size = 8;   ///< Read/WriteMemory byte count
     uint64_t value = 0;  ///< WriteMemory / WriteRegister
     unsigned reg = 0;    ///< WriteRegister flat index (32 = pc)
+    uint64_t session = 0;  ///< SessionSelect / SessionDestroy id
+    std::string name;      ///< SessionCreate: workload ("demo", ...)
 
     std::string describe() const;
 };
@@ -104,6 +114,24 @@ struct SessionStats
     uint64_t replayedUops = 0;
 };
 
+/** Server-level aggregates (ServerStats request): per-session stats
+ *  rolled up across every live session plus totals retired by
+ *  destroyed ones, and the run-queue / admission counters. */
+struct ServerStats
+{
+    uint64_t activeSessions = 0;
+    uint64_t peakSessions = 0;
+    uint64_t created = 0;
+    uint64_t destroyed = 0;
+    uint64_t rejected = 0;    ///< admission-cap rejections
+    uint64_t maxSessions = 0; ///< admission cap (0 = unlimited)
+    uint64_t workers = 0;     ///< run-queue worker threads
+    uint64_t slices = 0;      ///< bounded execution slices run
+    uint64_t totalUops = 0;   ///< µops executed, all sessions ever
+    uint64_t totalAppInsts = 0;
+    uint64_t totalEvents = 0;
+};
+
 /** One debug-session response. */
 struct Response
 {
@@ -117,8 +145,9 @@ struct Response
     StopInfo stop;   ///< execution verbs: where and why we stopped
     std::vector<uint64_t> regs;  ///< ReadRegisters
     std::vector<uint8_t> bytes;  ///< ReadMemory
-    uint64_t value = 0;          ///< scalar result (peek)
+    uint64_t value = 0;          ///< scalar result (peek / session id)
     SessionStats stats;          ///< Stats
+    ServerStats server;          ///< ServerStats
 
     bool ok() const { return status == ResponseStatus::Ok; }
     std::string describe() const;

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Multi-session server tests: the SessionManager's admission cap and
+ * stat rollups, the RunQueue's slicing/round-robin/teardown-mid-run
+ * behavior, and the one-port TCP front end serving concurrent RSP and
+ * typed-wire clients on distinct targets with isolated, cross-checked
+ * stop locations — including a seeded-random multi-client soak.
+ */
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "rsp/client.hh"
+#include "server/server.hh"
+#include "workloads/workload.hh"
+
+namespace dise {
+namespace {
+
+using namespace server;
+using rsp::RspClient;
+using rsp::stopReplyPc;
+
+SessionOptions
+smallSessions()
+{
+    SessionOptions o;
+    o.timeTravel.checkpointInterval = 512;
+    return o;
+}
+
+/** Minimal line-oriented wire client for the typed protocol. */
+class WireClient
+{
+  public:
+    ~WireClient() { close(); }
+
+    bool
+    connectTo(uint16_t port, unsigned timeoutSeconds = 20)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return false;
+        timeval tv{};
+        tv.tv_sec = timeoutSeconds;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    /** One request line out, one response line back (decoded). */
+    bool
+    roundTrip(const std::string &line, Response &resp)
+    {
+        std::string out = line + "\n";
+        if (::write(fd_, out.data(), out.size()) !=
+            static_cast<ssize_t>(out.size()))
+            return false;
+        size_t nl;
+        while ((nl = buf_.find('\n')) == std::string::npos) {
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+        std::string reply = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return decodeResponse(reply, resp);
+    }
+
+    bool
+    roundTripOk(const std::string &line, Response &resp)
+    {
+        return roundTrip(line, resp) && resp.ok();
+    }
+
+    void
+    close()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+// ------------------------------------------------------ SessionManager
+
+TEST(SessionManager, AdmissionCapAndLifecycle)
+{
+    SessionManager mgr({2, smallSessions()});
+    std::string err;
+    ManagedSessionPtr a = mgr.create("demo", BackendKind::Dise);
+    ManagedSessionPtr b = mgr.create("mcf", BackendKind::Dise);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(mgr.count(), 2u);
+
+    ManagedSessionPtr c =
+        mgr.create("demo", BackendKind::Dise, false, &err);
+    EXPECT_EQ(c, nullptr);
+    EXPECT_NE(err.find("cap"), std::string::npos) << err;
+    EXPECT_EQ(mgr.stats().rejected, 1u);
+
+    // Destroying one frees a slot.
+    EXPECT_TRUE(mgr.destroy(a->id));
+    EXPECT_TRUE(a->closing.load());
+    EXPECT_FALSE(mgr.destroy(a->id)); // already gone
+    ManagedSessionPtr d = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(mgr.count(), 2u);
+    EXPECT_EQ(mgr.stats().peakSessions, 2u);
+    EXPECT_EQ(mgr.stats().created, 3u);
+
+    // Unknown workloads are rejected, not fatal.
+    EXPECT_EQ(mgr.create("not-a-workload", BackendKind::Dise, false,
+                         &err),
+              nullptr);
+    EXPECT_NE(err.find("unknown workload"), std::string::npos);
+
+    // Exclusive (per-connection) sessions never resolve via select.
+    EXPECT_TRUE(mgr.destroy(b->id));
+    ManagedSessionPtr e =
+        mgr.create("demo", BackendKind::Dise, /*exclusive=*/true);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(mgr.find(e->id, /*forSelect=*/true), nullptr);
+    EXPECT_EQ(mgr.find(e->id), e);
+}
+
+TEST(SessionManager, StatsRollAcrossDestroy)
+{
+    SessionManager mgr({4, smallSessions()});
+    RunQueue queue({2, 2000});
+    ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+    StopInfo stop;
+    std::string err;
+    ASSERT_TRUE(
+        queue.drive(*ms, RequestKind::RunToEnd, 0, stop, &err))
+        << err;
+    EXPECT_EQ(stop.reason, StopReason::Halted);
+
+    ServerStats live = mgr.stats();
+    EXPECT_GT(live.totalAppInsts, 0u);
+    EXPECT_GT(live.totalUops, 0u);
+
+    // The totals survive the session's destruction (retired rollup).
+    EXPECT_TRUE(mgr.destroy(ms->id));
+    ServerStats after = mgr.stats();
+    EXPECT_EQ(after.activeSessions, 0u);
+    EXPECT_EQ(after.destroyed, 1u);
+    EXPECT_EQ(after.totalAppInsts, live.totalAppInsts);
+}
+
+// ------------------------------------------------------------ RunQueue
+
+TEST(RunQueue, BoundedSlicesMatchUnboundedExecution)
+{
+    // A watch-hit cont driven through 1-slot, small-slice scheduling
+    // stops at the identical location as a direct session.
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+
+    DebugSession ref(prog, smallSessions());
+    ref.setWatch(WatchSpec::scalar("directory", watchAddr, 8));
+    StopInfo refHit = ref.cont();
+    ASSERT_EQ(refHit.reason, StopReason::Event);
+
+    SessionManager mgr({1, smallSessions()});
+    RunQueue queue({1, 500});
+    ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+    ms->session.setWatch(
+        WatchSpec::scalar("directory", watchAddr, 8));
+
+    StopInfo stop;
+    std::string err;
+    ASSERT_TRUE(queue.drive(*ms, RequestKind::Cont, 0, stop, &err))
+        << err;
+    EXPECT_EQ(stop.reason, StopReason::Event);
+    EXPECT_EQ(stop.pc, refHit.pc);
+    EXPECT_EQ(stop.time, refHit.time);
+    EXPECT_EQ(stop.appInsts, refHit.appInsts);
+
+    // Run-to-end from here takes many bounded slices, not one.
+    uint64_t before = queue.slicesRun();
+    ASSERT_TRUE(
+        queue.drive(*ms, RequestKind::RunToEnd, 0, stop, &err));
+    EXPECT_EQ(stop.reason, StopReason::Halted);
+    EXPECT_GT(queue.slicesRun() - before, 3u);
+
+    // Reverse works through the queue too.
+    ASSERT_TRUE(queue.drive(*ms, RequestKind::ReverseContinue, 0,
+                            stop, &err));
+    EXPECT_EQ(stop.reason, StopReason::Event);
+
+    // Non-resume verbs are refused.
+    EXPECT_FALSE(
+        queue.drive(*ms, RequestKind::ReadRegisters, 0, stop, &err));
+}
+
+TEST(RunQueue, TeardownMidRunAbortsAtSliceBoundary)
+{
+    SessionManager mgr({1, smallSessions()});
+    RunQueue queue({1, 1000});
+    ManagedSessionPtr ms = mgr.create("mcf", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+
+    std::atomic<bool> failed{false};
+    std::string err;
+    std::thread driver([&] {
+        StopInfo stop;
+        failed = !queue.drive(*ms, RequestKind::RunToEnd, 0, stop,
+                              &err);
+    });
+    // Let it make some progress, then tear the session down under it.
+    while (ms->slices.load() < 2)
+        std::this_thread::yield();
+    EXPECT_TRUE(mgr.destroy(ms->id));
+    driver.join();
+    EXPECT_TRUE(failed.load());
+    EXPECT_NE(err.find("destroyed"), std::string::npos) << err;
+    EXPECT_EQ(mgr.count(), 0u);
+}
+
+TEST(RunQueue, UnsupportedBackendFailsCleanly)
+{
+    SessionManager mgr({1, smallSessions()});
+    RunQueue queue({1, 1000});
+    ManagedSessionPtr ms =
+        mgr.create("demo", BackendKind::VirtualMemory);
+    ASSERT_TRUE(ms);
+    Program prog = buildHeisenbugDemo();
+    ms->session.setWatch(WatchSpec::indirect(
+        "*p", prog.symbol("directory"), 8));
+    StopInfo stop;
+    std::string err;
+    EXPECT_FALSE(
+        queue.drive(*ms, RequestKind::Cont, 0, stop, &err));
+    EXPECT_NE(err.find("cannot implement"), std::string::npos) << err;
+}
+
+// --------------------------------------------- concurrency, in-process
+
+TEST(ServerConcurrency, DistinctSessionsCrossCheckedInParallel)
+{
+    // N threads, each driving its own session through a
+    // watch/continue/reverse cycle; every stop location must equal
+    // the single-threaded reference for that session's workload.
+    struct Scenario
+    {
+        std::string workload;
+        Addr watchAddr;
+        StopInfo refHit1, refHit2, refBack;
+    };
+    std::vector<Scenario> scenarios;
+    for (const std::string &w : {"demo", "mcf", "bzip2", "twolf"}) {
+        Scenario sc;
+        sc.workload = w;
+        Program prog;
+        if (w == "demo") {
+            prog = buildHeisenbugDemo();
+            sc.watchAddr = prog.symbol("directory");
+        } else {
+            Workload wl = buildWorkload(w, {});
+            sc.watchAddr = wl.hotAddr;
+            prog = std::move(wl.program);
+        }
+        DebugSession ref(prog, smallSessions());
+        ref.setWatch(WatchSpec::scalar("w", sc.watchAddr, 8));
+        sc.refHit1 = ref.cont();
+        sc.refHit2 = ref.cont(); // may be Halted (single-hit watches)
+        sc.refBack = ref.reverseContinue();
+        ASSERT_EQ(sc.refHit1.reason, StopReason::Event) << w;
+        scenarios.push_back(sc);
+    }
+
+    SessionManager mgr(
+        {static_cast<unsigned>(scenarios.size()), smallSessions()});
+    RunQueue queue({2, 2000}); // fewer slots than sessions: contention
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (const Scenario &sc : scenarios) {
+        threads.emplace_back([&, sc] {
+            ManagedSessionPtr ms =
+                mgr.create(sc.workload, BackendKind::Dise);
+            if (!ms) {
+                ++mismatches;
+                return;
+            }
+            ms->session.setWatch(
+                WatchSpec::scalar("w", sc.watchAddr, 8));
+            StopInfo h1, h2, back;
+            std::string err;
+            bool ok =
+                queue.drive(*ms, RequestKind::Cont, 0, h1, &err) &&
+                queue.drive(*ms, RequestKind::Cont, 0, h2, &err) &&
+                queue.drive(*ms, RequestKind::ReverseContinue, 0,
+                            back, &err);
+            if (!ok || h1.reason != sc.refHit1.reason ||
+                h1.pc != sc.refHit1.pc ||
+                h1.time != sc.refHit1.time ||
+                h2.reason != sc.refHit2.reason ||
+                h2.pc != sc.refHit2.pc ||
+                h2.time != sc.refHit2.time ||
+                back.reason != sc.refBack.reason ||
+                back.time != sc.refBack.time)
+                ++mismatches;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_GT(queue.slicesRun(), scenarios.size());
+}
+
+// ------------------------------------------------------- TCP front end
+
+TEST(DebugServerTcp, TwoRspClientsPlusWireClientOnDistinctTargets)
+{
+    // The acceptance scenario: one daemon, two simultaneous
+    // gdb-style clients (each its own demo target) plus a typed-wire
+    // client on a different workload, all with correct isolated
+    // stops.
+    Program demo = buildHeisenbugDemo();
+    Addr demoWatch = demo.symbol("directory");
+    DebugSession demoRef(demo, smallSessions());
+    demoRef.setWatch(WatchSpec::scalar("w", demoWatch, 8));
+    StopInfo demoHit1 = demoRef.cont();
+    StopInfo demoHit2 = demoRef.cont();
+    ASSERT_EQ(demoHit1.reason, StopReason::Event);
+
+    Workload mcf = buildWorkload("mcf", {});
+    DebugSession mcfRef(mcf.program, smallSessions());
+    mcfRef.setWatch(WatchSpec::scalar("HOT", mcf.hotAddr, 8));
+    StopInfo mcfHit = mcfRef.cont();
+    ASSERT_EQ(mcfHit.reason, StopReason::Event);
+
+    DebugServerOptions opts;
+    opts.maxSessions = 8;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    std::atomic<int> failures{0};
+    auto rspClient = [&] {
+        RspClient client;
+        if (!client.connectTo(srv.port())) {
+            ++failures;
+            return;
+        }
+        char z2[64];
+        std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                      static_cast<unsigned long long>(demoWatch));
+        if (client.exchange("qSupported").find("ReverseContinue+") ==
+            std::string::npos)
+            ++failures;
+        if (client.exchange(z2) != "OK")
+            ++failures;
+        uint64_t pc1 = 0, pc2 = 0, pcBack = 0;
+        std::string h1 = client.exchange("c");
+        std::string h2 = client.exchange("c");
+        std::string back = client.exchange("bc");
+        if (!stopReplyPc(h1, pc1) || pc1 != demoHit1.pc)
+            ++failures;
+        if (!stopReplyPc(h2, pc2) || pc2 != demoHit2.pc)
+            ++failures;
+        if (!stopReplyPc(back, pcBack) || pcBack != demoHit1.pc)
+            ++failures;
+        if (client.exchange("D") != "OK")
+            ++failures;
+    };
+
+    std::thread rsp1(rspClient), rsp2(rspClient);
+    // Wire client rides along on its own target.
+    {
+        WireClient wire;
+        ASSERT_TRUE(wire.connectTo(srv.port()));
+        Response resp;
+        ASSERT_TRUE(wire.roundTripOk(
+            "session-create seq=1 name=mcf backend=dise", resp));
+        uint64_t sessionId = resp.value;
+        EXPECT_GT(sessionId, 0u);
+
+        Request setw;
+        setw.kind = RequestKind::SetWatch;
+        setw.seq = 2;
+        setw.watch = WatchSpec::scalar("HOT", mcf.hotAddr, 8);
+        ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+
+        ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+        ASSERT_TRUE(resp.hasStop);
+        EXPECT_EQ(resp.stop.reason, StopReason::Event);
+        EXPECT_EQ(resp.stop.pc, mcfHit.pc);
+        EXPECT_EQ(resp.stop.time, mcfHit.time);
+
+        ASSERT_TRUE(wire.roundTripOk("server-stats seq=4", resp));
+        EXPECT_GE(resp.server.created, 1u);
+        EXPECT_GE(resp.server.activeSessions, 1u);
+        EXPECT_EQ(resp.server.maxSessions, 8u);
+        EXPECT_GT(resp.server.totalAppInsts, 0u);
+
+        char destroy[64];
+        std::snprintf(destroy, sizeof destroy,
+                      "session-destroy seq=5 session=%llu",
+                      static_cast<unsigned long long>(sessionId));
+        ASSERT_TRUE(wire.roundTripOk(destroy, resp));
+    }
+    rsp1.join();
+    rsp2.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Per-connection teardown completes shortly after the detach
+    // reply reaches the client; poll rather than race it.
+    ServerStats st;
+    for (int spin = 0; spin < 200; ++spin) {
+        st = srv.stats();
+        if (st.activeSessions == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(st.created, 3u);
+    EXPECT_EQ(st.activeSessions, 0u); // all torn down
+    EXPECT_GE(st.slices, 1u);
+    EXPECT_GE(srv.connectionsServed(), 3u);
+    srv.stop();
+}
+
+TEST(DebugServerTcp, AdmissionCapRejectsExcessRspClients)
+{
+    DebugServerOptions opts;
+    opts.maxSessions = 1;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    RspClient first;
+    ASSERT_TRUE(first.connectTo(srv.port()));
+    // Holding a live session...
+    EXPECT_NE(first.exchange("qSupported").find("PacketSize"),
+              std::string::npos);
+
+    // ...the second client is admitted at TCP level but gets no
+    // session: the server hangs up before any reply.
+    RspClient second;
+    ASSERT_TRUE(second.connectTo(srv.port(), 5));
+    std::string reply = second.exchange("qSupported");
+    EXPECT_EQ(reply, "<timeout-or-eof>") << reply;
+    EXPECT_GE(srv.stats().rejected, 1u);
+
+    // A wire client is told why.
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(
+        wire.roundTrip("session-create seq=1 name=demo", resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+    EXPECT_NE(resp.error.find("cap"), std::string::npos);
+
+    EXPECT_EQ(first.exchange("D"), "OK");
+    srv.stop();
+}
+
+TEST(DebugServerTcp, SeededRandomMultiClientSoak)
+{
+    // Three concurrent RSP clients fire seeded-random command mixes
+    // at one daemon while a wire client polls server-stats; nothing
+    // may wedge, crash, or bleed between sessions.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+
+    DebugServerOptions opts;
+    opts.maxSessions = 8;
+    opts.sliceInsts = 2000;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    std::atomic<int> failures{0};
+    auto soakClient = [&](uint32_t seed) {
+        std::mt19937 rng(seed);
+        RspClient client;
+        if (!client.connectTo(srv.port(), 30)) {
+            ++failures;
+            return;
+        }
+        char z2[64];
+        std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                      static_cast<unsigned long long>(watchAddr));
+        if (client.exchange(z2) != "OK")
+            ++failures;
+        char m[64];
+        std::snprintf(m, sizeof m, "m%llx,8",
+                      static_cast<unsigned long long>(watchAddr));
+        for (int op = 0; op < 30; ++op) {
+            std::string reply;
+            switch (rng() % 6) {
+              case 0:
+                reply = client.exchange("c");
+                break;
+              case 1:
+                reply = client.exchange("s");
+                break;
+              case 2:
+                reply = client.exchange("bc");
+                break;
+              case 3:
+                reply = client.exchange("bs");
+                break;
+              case 4:
+                reply = client.exchange(m);
+                break;
+              case 5:
+                reply = client.exchange("g");
+                break;
+            }
+            if (reply == "<timeout-or-eof>" ||
+                reply == "<write-error>") {
+                ++failures;
+                return;
+            }
+        }
+        if (client.exchange("D") != "OK")
+            ++failures;
+    };
+
+    std::vector<std::thread> clients;
+    for (uint32_t i = 0; i < 3; ++i)
+        clients.emplace_back(soakClient, 1234u + i);
+    std::thread wirePoll([&] {
+        WireClient wire;
+        if (!wire.connectTo(srv.port())) {
+            ++failures;
+            return;
+        }
+        for (int i = 0; i < 10; ++i) {
+            Response resp;
+            if (!wire.roundTripOk("server-stats seq=1", resp)) {
+                ++failures;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    });
+    for (auto &t : clients)
+        t.join();
+    wirePoll.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // The daemon is still healthy afterwards.
+    RspClient post;
+    ASSERT_TRUE(post.connectTo(srv.port()));
+    EXPECT_NE(post.exchange("qSupported").find("PacketSize"),
+              std::string::npos);
+    EXPECT_EQ(post.exchange("D"), "OK");
+    srv.stop();
+}
+
+TEST(DebugServerTcp, WireDetachKeepsRetiredTotals)
+{
+    // server-stats totals are "all sessions ever": a wire detach must
+    // fold the session's final counters into the retired rollup, not
+    // wipe them with the post-detach zeros.
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    ASSERT_TRUE(wire.roundTripOk("run-to-end seq=2", resp));
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=3", resp));
+    uint64_t uopsBefore = resp.server.totalUops;
+    EXPECT_GT(uopsBefore, 0u);
+
+    ASSERT_TRUE(wire.roundTripOk("detach seq=4", resp));
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=5", resp));
+    EXPECT_EQ(resp.server.activeSessions, 0u);
+    EXPECT_GE(resp.server.totalUops, uopsBefore);
+    srv.stop();
+}
+
+TEST(DebugServerTcp, WireSelectSharesAndDestroyInforms)
+{
+    DebugServerOptions opts;
+    opts.maxSessions = 4;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient a, b;
+    ASSERT_TRUE(a.connectTo(srv.port()));
+    ASSERT_TRUE(b.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(a.roundTripOk("session-create seq=1 name=demo", resp));
+    uint64_t id = resp.value;
+
+    // b can see and select a's session; both observe the same target.
+    ASSERT_TRUE(b.roundTripOk("session-list seq=1", resp));
+    ASSERT_EQ(resp.regs.size(), 1u);
+    EXPECT_EQ(resp.regs[0], id);
+    char sel[64];
+    std::snprintf(sel, sizeof sel, "session-select seq=2 session=%llu",
+                  static_cast<unsigned long long>(id));
+    ASSERT_TRUE(b.roundTripOk(sel, resp));
+    ASSERT_TRUE(a.roundTripOk("read-registers seq=3", resp));
+    std::vector<uint64_t> regsA = resp.regs;
+    ASSERT_TRUE(b.roundTripOk("read-registers seq=4", resp));
+    EXPECT_EQ(resp.regs, regsA);
+
+    // Destroy via b; a's next request reports the loss.
+    char destroy[64];
+    std::snprintf(destroy, sizeof destroy,
+                  "session-destroy seq=5 session=%llu",
+                  static_cast<unsigned long long>(id));
+    ASSERT_TRUE(b.roundTripOk(destroy, resp));
+    ASSERT_TRUE(a.roundTrip("read-registers seq=6", resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+    EXPECT_NE(resp.error.find("destroyed"), std::string::npos)
+        << resp.error;
+    srv.stop();
+}
+
+} // namespace
+} // namespace dise

@@ -309,8 +309,231 @@ TEST(DebugSession, MuteAndUnmute)
     EXPECT_EQ(back.reason, StopReason::Event);
     EXPECT_EQ(back.mark.pc, prog.symbol("the_store"));
 
-    // A brand-new spec cannot be added once machinery is installed.
+    // A brand-new spec post-attach rebuilds the machinery and replays
+    // the timeline; it lands on a fresh index instead of a refusal.
+    EXPECT_EQ(session.setWatch(WatchSpec::scalar("y", 0x99999, 8)), 1);
+}
+
+TEST(DebugSession, PostAttachWatchAdditionReplays)
+{
+    // gdb's `Z` after `c`: adding a spec the session has never seen
+    // once machinery is installed must transparently rebuild + replay
+    // instead of requiring a manual session rebuild.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo hit1 = session.cont();
+    ASSERT_EQ(hit1.reason, StopReason::Event);
+    session.events().clear();
+
+    BreakSpec bp;
+    bp.pc = prog.symbol("loop");
+    int b = session.setBreak(bp);
+    ASSERT_GE(b, 0);
+
+    // The rebuild parked the session at the identical position...
+    EXPECT_EQ(session.stats().appInsts, hit1.appInsts);
+    // ...re-announcing the re-crossed history (attach, watch hit 1,
+    // plus the new breakpoint's past hit that materialized).
+    bool sawAttached = false, sawWatch = false, sawBreak = false;
+    for (const auto &ev : session.events().drain()) {
+        sawAttached |= ev.kind == SessionEventKind::Attached;
+        sawBreak |= ev.kind == SessionEventKind::Break;
+        if (ev.kind == SessionEventKind::Watch) {
+            sawWatch = true;
+            EXPECT_EQ(ev.oldValue, 3u);
+            EXPECT_EQ(ev.newValue, 6u);
+        }
+    }
+    EXPECT_TRUE(sawAttached);
+    EXPECT_TRUE(sawWatch);
+    EXPECT_TRUE(sawBreak); // iteration 1's `loop` precedes the store
+
+    // The new breakpoint stops the very next resume (iteration 2).
+    StopInfo hit2 = session.cont();
+    ASSERT_EQ(hit2.reason, StopReason::Event) << hit2;
+    EXPECT_EQ(hit2.mark.kind, EventKind::Break);
+    EXPECT_EQ(hit2.pc, prog.symbol("loop"));
+
+    // Reverse travel works on the rebuilt timeline: back across the
+    // breakpoint to the original watch hit.
+    StopInfo back = session.reverseContinue();
+    ASSERT_EQ(back.reason, StopReason::Event) << back;
+    EXPECT_EQ(back.mark.kind, EventKind::Watch);
+    EXPECT_EQ(back.appInsts, hit1.appInsts);
+}
+
+TEST(DebugSession, PostAttachAdditionReplaysLoggedPokes)
+{
+    // A poke made mid-session is part of the timeline; the rebuild
+    // must re-apply it at its recorded position or the replayed run
+    // diverges from what the user saw.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo hit1 = session.cont();
+    ASSERT_EQ(hit1.reason, StopReason::Event);
+    // Step onto the next boundary (pokes are only valid between
+    // instructions), then poke x to 100 so the next store sees 200.
+    session.stepi(1);
+    ASSERT_TRUE(session.writeMemory(prog.symbol("x"), 8, 100));
+
+    BreakSpec bp;
+    bp.pc = prog.symbol("loop");
+    ASSERT_GE(session.setBreak(bp), 0);
+    // The rebuilt target re-applied the poke.
+    EXPECT_EQ(session.readMemory(prog.symbol("x"), 8)[0], 100);
+
+    session.events().clear();
+    StopInfo hit2 = session.cont(); // break at loop, iteration 2
+    ASSERT_EQ(hit2.reason, StopReason::Event);
+    EXPECT_EQ(hit2.mark.kind, EventKind::Break);
+    StopInfo hit3 = session.cont(); // the store doubles the poked 100
+    ASSERT_EQ(hit3.reason, StopReason::Event);
+    bool saw = false;
+    for (const auto &ev : session.events().drain())
+        if (ev.kind == SessionEventKind::Watch) {
+            // newValue 200 = 2 * the replayed poke; oldValue is the
+            // watch's last *observed* value (shadows don't see pokes).
+            EXPECT_EQ(ev.oldValue, 6u);
+            EXPECT_EQ(ev.newValue, 200u);
+            saw = true;
+        }
+    EXPECT_TRUE(saw);
+}
+
+TEST(DebugSession, PostAttachAdditionDisambiguatesSameInstructionEvents)
+{
+    // The added spec overlaps the park event's own instruction: the
+    // store at the_store now fires TWO watch marks at the identical
+    // (pc, appInsts). The replay must re-park on the ORIGINAL spec's
+    // event, identified by session index + data address, not on
+    // whichever mark shows up first.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    int a = session.setWatch(
+        WatchSpec::scalar("x8", prog.symbol("x"), 8));
+    StopInfo hit1 = session.cont();
+    ASSERT_EQ(hit1.reason, StopReason::Event);
+    ASSERT_EQ(hit1.mark.index, 0);
+
+    // A 4-byte watch on the same cell: same store, same pc, same
+    // instruction count — a second mark at the park position.
+    int b = session.setWatch(
+        WatchSpec::scalar("x4", prog.symbol("x"), 4));
+    ASSERT_GE(b, 0);
+    EXPECT_NE(a, b);
+
+    // Position preserved, and the stop identity still belongs to the
+    // original watch.
+    EXPECT_EQ(session.stats().appInsts, hit1.appInsts);
+    StopInfo next = session.cont();
+    ASSERT_EQ(next.reason, StopReason::Event) << next;
+    // The immediate next event: the second spec's mark at the same
+    // store (it was re-discovered during replay just past the park).
+    EXPECT_LE(next.appInsts, hit1.appInsts + 7);
+}
+
+TEST(DebugSession, PreResumePokesSurviveRebuild)
+{
+    // A poke made after attach but before the first resume is part of
+    // the target's initial state; a rebuild triggered by a later spec
+    // addition must not silently revert it.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    ASSERT_TRUE(session.attach());
+    ASSERT_TRUE(session.writeMemory(prog.symbol("x"), 8, 0x42));
+    ASSERT_GE(session.setWatch(
+                  WatchSpec::scalar("x", prog.symbol("x"), 8)),
+              0);
+    EXPECT_EQ(session.readMemory(prog.symbol("x"), 8)[0], 0x42);
+
+    // And the rebuilt run actually computes with the poked value.
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+    bool saw = false;
+    for (const auto &ev : session.events().drain())
+        if (ev.kind == SessionEventKind::Watch) {
+            EXPECT_EQ(ev.oldValue, 0x42u);
+            EXPECT_EQ(ev.newValue, 0x84u);
+            saw = true;
+        }
+    EXPECT_TRUE(saw);
+}
+
+TEST(DebugSession, PostAttachAdditionRefusedAfterBatchRun)
+{
+    // A cycle-level batch run advances the target outside the
+    // replayable timeline: the rebuild must refuse, not corrupt.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    ASSERT_TRUE(session.attach());
+    session.runCycles();
     EXPECT_LT(session.setWatch(WatchSpec::scalar("y", 0x99999, 8)), 0);
+}
+
+TEST(DebugSession, BatchAnnouncementsCarryMarkPositions)
+{
+    // ROADMAP PR 3 follow-up: a runToEnd() crossing five hits must
+    // deliver five *distinct* positions (each event's own mark), not
+    // five copies of the halt position.
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo end = session.runToEnd();
+    ASSERT_EQ(end.reason, StopReason::Halted);
+
+    std::vector<SessionEvent> watches;
+    for (const auto &ev : session.events().drain())
+        if (ev.kind == SessionEventKind::Watch)
+            watches.push_back(ev);
+    ASSERT_EQ(watches.size(), 5u);
+
+    uint64_t prevTime = 0;
+    for (const auto &ev : watches) {
+        EXPECT_GT(ev.time, prevTime);       // strictly increasing
+        EXPECT_LT(ev.time, end.time);       // before the halt
+        EXPECT_LT(ev.appInsts, end.appInsts);
+        prevTime = ev.time;
+    }
+
+    // Pin them against a reference that stops at every hit, where the
+    // announcement position and the mark position coincide.
+    DebugSession ref(prog, sessionOptions());
+    ref.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    for (size_t i = 0; i < watches.size(); ++i) {
+        StopInfo hit = ref.cont();
+        ASSERT_EQ(hit.reason, StopReason::Event) << "hit " << i;
+        EXPECT_EQ(watches[i].time, hit.time) << "hit " << i;
+        EXPECT_EQ(watches[i].appInsts, hit.appInsts) << "hit " << i;
+    }
+}
+
+TEST(DebugSession, ContSliceHonorsQuantum)
+{
+    // The run-queue's slicing primitive: cont() bounded to a quantum
+    // returns Step when the quantum expires, and the next slice picks
+    // up exactly where the previous one left off.
+    Program prog = doublerProgram();
+    DebugSession full(prog, sessionOptions());
+    full.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo oneShot = full.cont();
+    ASSERT_EQ(oneShot.reason, StopReason::Event);
+
+    DebugSession sliced(prog, sessionOptions());
+    sliced.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo stop;
+    unsigned slices = 0;
+    do {
+        stop = sliced.contSlice(2);
+        ++slices;
+        ASSERT_LT(slices, 1000u);
+    } while (stop.reason == StopReason::Step);
+    EXPECT_EQ(stop.reason, StopReason::Event);
+    EXPECT_EQ(stop.time, oneShot.time);
+    EXPECT_EQ(stop.pc, oneShot.pc);
+    EXPECT_GT(slices, 1u); // the quantum actually split the run
 }
 
 TEST(DebugSession, PreAttachRemovalKeepsIndicesStable)

@@ -1,19 +1,26 @@
 /**
  * @file
- * Standalone GDB-RSP server: serve a debug session over TCP so a stock
- * gdb (or any RSP client) can attach with `target remote`, set
- * watchpoints, continue, and step backwards through the checkpointed
- * timeline with reverse-continue / reverse-stepi.
+ * The multi-session debug daemon: one TCP port serving many
+ * concurrent targets.
  *
- * By default it serves the heisenbug-hunt demo scenario (an
- * out-of-bounds store occasionally tramples directory[0]); --workload
- * serves one of the synthetic SPEC2000-calibrated workloads instead.
+ * Every connecting GDB (or any RSP client) gets its own
+ * per-connection session — two gdbs against one daemon debug two
+ * independent targets — while typed-wire clients manage shared
+ * sessions with the session-* verbs (session-create, session-select,
+ * session-destroy, session-list, server-stats). Admission is capped
+ * by --max-sessions; execution is round-robined in bounded µop slices
+ * across --workers slots.
  *
- *   ./build/rsp_server                        # demo scenario, port 7777
+ *   ./build/rsp_server                          # demo scenario, port 7777
  *   ./build/rsp_server --port 9999 --backend single-step
- *   ./build/rsp_server --workload twolf --backend dise
+ *   ./build/rsp_server --workload twolf --max-sessions 32 --workers 8
  *
- * Then, from gdb:   (gdb) target remote 127.0.0.1:7777
+ * Then, from any number of gdbs:
+ *   (gdb) target remote 127.0.0.1:7777
+ * or from a wire client (one request per line):
+ *   session-create seq=1 name=mcf backend=dise
+ *   cont seq=2
+ *   server-stats seq=3
  */
 
 #include <cstdio>
@@ -21,23 +28,17 @@
 #include <string>
 
 #include "common/logging.hh"
-#include "rsp/server.hh"
-#include "session/debug_session.hh"
+#include "server/server.hh"
 #include "workloads/workload.hh"
 
 using namespace dise;
 
-namespace {
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    uint16_t port = 7777;
-    BackendKind backend = BackendKind::Dise;
-    std::string workloadName;
-    bool verbose = false;
+    server::DebugServerOptions opts;
+    opts.port = 7777;
+    opts.session.timeTravel.checkpointInterval = 1024;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -47,65 +48,72 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--port") {
-            port = static_cast<uint16_t>(std::atoi(next()));
+            opts.port = static_cast<uint16_t>(std::atoi(next()));
         } else if (arg == "--backend") {
-            if (!parseBackendToken(next(), backend))
+            if (!parseBackendToken(next(), opts.defaultBackend))
                 fatal("unknown backend (dise, single-step, vm, hwreg, "
                       "rewrite)");
         } else if (arg == "--workload") {
-            workloadName = next();
+            opts.defaultWorkload = next();
+        } else if (arg == "--max-sessions") {
+            opts.maxSessions =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--workers") {
+            opts.slots = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--slice") {
+            opts.sliceInsts =
+                static_cast<uint64_t>(std::atoll(next()));
         } else if (arg == "--verbose") {
-            verbose = true;
+            opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options:\n"
                 "  --port N          TCP port (default 7777)\n"
                 "  --backend NAME    dise | single-step | vm | hwreg | "
-                "rewrite\n"
-                "  --workload NAME   serve a synthetic workload instead "
-                "of the demo\n"
-                "  --verbose         log every packet\n");
+                "rewrite (RSP default)\n"
+                "  --workload NAME   target for RSP connections "
+                "(default: the heisenbug demo)\n"
+                "  --max-sessions N  admission cap, 0 = unlimited "
+                "(default 8)\n"
+                "  --workers N       concurrent execution slots "
+                "(default: hardware)\n"
+                "  --slice N         app instructions per slice "
+                "(default 50000)\n"
+                "  --verbose         log packets and connections\n");
             return 0;
         } else {
             fatal("unknown option '", arg, "' (try --help)");
         }
     }
 
-    Program prog;
-    Addr suggestedWatch = 0;
-    if (workloadName.empty()) {
-        prog = buildHeisenbugDemo();
-        suggestedWatch = prog.symbol("directory");
-        std::printf("serving the heisenbug demo (watch candidate: "
-                    "directory @ 0x%llx)\n",
-                    static_cast<unsigned long long>(suggestedWatch));
+    // Print the watch candidate for the default target so a gdb user
+    // knows where to aim.
+    if (opts.defaultWorkload.empty() || opts.defaultWorkload == "demo") {
+        Program demo = buildHeisenbugDemo();
+        std::printf("RSP sessions serve the heisenbug demo (watch "
+                    "candidate: directory @ 0x%llx)\n",
+                    static_cast<unsigned long long>(
+                        demo.symbol("directory")));
     } else {
-        Workload w = buildWorkload(workloadName, {});
-        suggestedWatch = w.hotAddr;
-        prog = std::move(w.program);
-        std::printf("serving workload '%s' (HOT variable @ 0x%llx)\n",
-                    workloadName.c_str(),
-                    static_cast<unsigned long long>(suggestedWatch));
+        Workload w = buildWorkload(opts.defaultWorkload, {});
+        std::printf("RSP sessions serve workload '%s' (HOT variable @ "
+                    "0x%llx)\n",
+                    opts.defaultWorkload.c_str(),
+                    static_cast<unsigned long long>(w.hotAddr));
     }
 
-    SessionOptions opts;
-    opts.debugger.backend = backend;
-    opts.timeTravel.checkpointInterval = 1024;
-    DebugSession session(std::move(prog), opts);
-
-    rsp::RspServerOptions sopts;
-    sopts.port = port;
-    sopts.verbose = verbose;
-    rsp::RspServer server(session, sopts);
-    if (!server.start()) {
-        std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", port);
+    server::DebugServer srv(opts);
+    if (!srv.start()) {
+        std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", opts.port);
         return 1;
     }
-    std::printf("%s backend ready; attach with:\n"
-                "  gdb -ex 'target remote 127.0.0.1:%u'\n",
-                backendName(backend), server.port());
-    server.serveOne();
-    std::printf("client detached; session stats: %s events\n",
-                std::to_string(session.eventCount()).c_str());
+    std::printf(
+        "multi-session daemon on 127.0.0.1:%u — %s backend, cap %u "
+        "sessions, %u execution slots\n"
+        "  gdb -ex 'target remote 127.0.0.1:%u'   (each gdb gets its "
+        "own target)\n",
+        srv.port(), backendName(opts.defaultBackend), opts.maxSessions,
+        srv.queue().slots(), srv.port());
+    srv.wait();
     return 0;
 }
