@@ -130,6 +130,23 @@ class DebugBackend : public DebugMonitor
         return s;
     }
 
+    /**
+     * Seed the event lists with an already-recorded history prefix (an
+     * interval-replay replica adopting the live session's events up to
+     * its starting checkpoint, so per-kind indices — and state digests
+     * — line up with the original). Does not advance eventsRecorded():
+     * these are adopted, not detected.
+     */
+    void
+    adoptEvents(const std::vector<WatchEvent> &watches,
+                const std::vector<BreakEvent> &breaks,
+                const std::vector<ProtectionEvent> &protections)
+    {
+        watchEvents_ = watches;
+        breakEvents_ = breaks;
+        protectionEvents_ = protections;
+    }
+
     void
     restoreHost(const BackendSnapshot &s)
     {

@@ -105,6 +105,15 @@ DiseEngine::slotOf(ProductionId id) const
 }
 
 ProductionId
+DiseEngine::idAt(int slot) const
+{
+    if (slot < 0 || slot >= static_cast<int>(slots_.size()) ||
+        !slots_[slot].valid)
+        return 0;
+    return slots_[slot].id;
+}
+
+ProductionId
 DiseEngine::addProductionAt(Production p, int slot)
 {
     DISE_ASSERT(slot >= 0 && slot < static_cast<int>(slots_.size()),

@@ -96,6 +96,11 @@ class DiseEngine
     void removeProduction(ProductionId id);
     /** Pattern-table slot currently holding @p id, or -1. */
     int slotOf(ProductionId id) const;
+    /** Id of the production occupying @p slot, or 0 when empty —
+     *  the inverse of slotOf(), used by replay to re-target logged
+     *  RemoveProduction records (which identify pre-session
+     *  productions by their stable slot) onto a rebuilt engine. */
+    ProductionId idAt(int slot) const;
     /**
      * Re-install @p p into a specific empty @p slot. Slot order breaks
      * equal-specificity match ties, so undoing a removal during

@@ -129,6 +129,18 @@ MainMemory::applyUndo(const UndoLog &log)
 }
 
 void
+MainMemory::copyImageFrom(const MainMemory &src)
+{
+    pages_.clear();
+    for (const auto &[frame, page] : src.pages_) {
+        auto copy = std::make_unique<Page>();
+        std::memcpy(copy->bytes, page->bytes, PageBytes);
+        pages_.emplace(frame, std::move(copy));
+    }
+    invalidatePagePointerCaches();
+}
+
+void
 MainMemory::invalidatePagePointerCaches()
 {
     transCache_.fill(TransEnt{});

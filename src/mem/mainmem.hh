@@ -125,6 +125,21 @@ class MainMemory
     /** Pages dirtied so far in the open interval. */
     size_t undoPagesPending() const { return undoLog_.size(); }
     /**
+     * Read-only view of the open interval's pre-images (no seal, no
+     * state change). Interval-parallel replay materializes historical
+     * memory images on a *clone* by applying this plus the sealed
+     * interval chain, leaving the live memory untouched.
+     */
+    const UndoLog &pendingUndo() const { return undoLog_; }
+    /**
+     * Replace this memory's image with a copy of @p src's pages (raw
+     * contents only — no protections, code-page marks, watchers, or
+     * undo state travel with it). The basis of a share-nothing replay
+     * replica. Reads @p src without touching its mutable caches, so
+     * concurrent cloners are safe.
+     */
+    void copyImageFrom(const MainMemory &src);
+    /**
      * Write an interval's pre-images back, newest interval first when
      * chaining across checkpoints. Restored pages are treated as clean
      * for the open interval, code-watcher invalidation fires for pages

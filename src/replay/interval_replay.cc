@@ -1,0 +1,322 @@
+#include "replay/interval_replay.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "debug/debugger.hh"
+#include "debug/target.hh"
+#include "replay/checkpoint.hh"
+
+namespace dise {
+
+IntervalReplay::IntervalReplay(TimeTravel &tt, DebugTarget &live,
+                               DebugBackend &liveBackend,
+                               const ReplayLog &log,
+                               ReplicaFactory factory, Options opts)
+    : tt_(tt), live_(live), liveBackend_(liveBackend), log_(log),
+      factory_(std::move(factory)), opts_(opts)
+{
+    DISE_ASSERT(factory_, "IntervalReplay needs a replica factory");
+    const auto &cps = tt_.checkpoints();
+    DISE_ASSERT(!cps.empty(), "no checkpoints to replay from");
+    // Cut the checkpoint list into `pieces` contiguous ranges of
+    // near-equal length; the last range runs to the live position.
+    size_t pieces =
+        std::max<size_t>(1, std::min<size_t>(opts_.pieces, cps.size()));
+    for (size_t p = 0; p < pieces; ++p) {
+        size_t lo = p * cps.size() / pieces;
+        size_t hi = (p + 1) * cps.size() / pieces;
+        Interval iv;
+        iv.index = p;
+        iv.cpFrom = lo;
+        iv.cpTo = hi;
+        iv.fromTime = cps[lo].time;
+        iv.fromInsts = cps[lo].appInsts;
+        iv.toTime = hi < cps.size() ? cps[hi].time : tt_.time();
+        plan_.push_back(iv);
+    }
+}
+
+std::unique_ptr<IntervalReplay::Worker>
+IntervalReplay::makeWorker(size_t idx) const
+{
+    DISE_ASSERT(idx < plan_.size(), "interval index out of range");
+    return std::unique_ptr<Worker>(new Worker(*this, idx));
+}
+
+// --------------------------------------------------------------- worker
+
+IntervalReplay::Worker::Worker(const IntervalReplay &owner, size_t idx)
+    : owner_(owner), interval_(owner.plan_[idx]),
+      final_(idx + 1 == owner.plan_.size())
+{
+}
+
+IntervalReplay::Worker::~Worker() = default;
+
+void
+IntervalReplay::Worker::applyProduction(const Intervention &iv)
+{
+    DiseEngine &engine = target_->engine;
+    size_t journalIdx = nextIntervention_; // caller positions us
+    switch (iv.kind) {
+      case InterventionKind::AddProduction:
+        journalIds_[journalIdx] = engine.addProduction(iv.production);
+        break;
+      case InterventionKind::RemoveProduction: {
+        // An in-session production is identified through its
+        // AddProduction record (ids are replica-local); a pre-session
+        // one (prepare-hook installed) by its stable table slot.
+        ProductionId id = iv.addIndex >= 0
+                              ? journalIds_[iv.addIndex]
+                              : engine.idAt(iv.slot);
+        DISE_ASSERT(id, "interval replay cannot re-target a logged "
+                        "production removal");
+        engine.removeProduction(id);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+IntervalReplay::Worker::prepare()
+{
+    DISE_ASSERT(!prepared_, "worker already prepared");
+    if (!owner_.factory_(target_, debugger_))
+        throw std::runtime_error(
+            "interval replay: machinery rebuild failed");
+    DebugBackend &backend = debugger_->backend();
+    const auto &cps = owner_.tt_.checkpoints();
+    const Checkpoint &cp = cps[interval_.cpFrom];
+
+    // Materialize the memory image at the starting checkpoint: clone
+    // the live image (read-only on the live side) and roll it back
+    // through the undo chain, newest interval first.
+    target_->mem.copyImageFrom(owner_.live_.mem);
+    target_->mem.applyUndo(owner_.live_.mem.pendingUndo());
+    for (size_t j = cps.size() - 1; j > interval_.cpFrom; --j)
+        target_->mem.applyUndo(cps[j - 1].undo);
+
+    // Registers, backend host state, and the sink prefix as of the
+    // checkpoint; the event-list prefix is adopted from the live
+    // session so per-kind indices and digests line up.
+    target_->arch = cp.arch;
+    backend.restoreHost(cp.host);
+    backend.adoptEvents(
+        {owner_.liveBackend_.watchEvents().begin(),
+         owner_.liveBackend_.watchEvents().begin() + cp.host.watchEvents},
+        {owner_.liveBackend_.breakEvents().begin(),
+         owner_.liveBackend_.breakEvents().begin() + cp.host.breakEvents},
+        {owner_.liveBackend_.protectionEvents().begin(),
+         owner_.liveBackend_.protectionEvents().begin() +
+             cp.host.protectionEvents});
+    target_->sink.text = owner_.live_.sink.text.substr(0, cp.sinkText);
+    target_->sink.marks.assign(
+        owner_.live_.sink.marks.begin(),
+        owner_.live_.sink.marks.begin() + cp.sinkMarks);
+    target_->engine.invalidateMatchCaches();
+    target_->mem.invalidatePagePointerCaches();
+
+    time_ = cp.time;
+    appInsts_ = cp.appInsts;
+    seenWatch_ = cp.host.watchEvents;
+    seenBreak_ = cp.host.breakEvents;
+    seenProt_ = cp.host.protectionEvents;
+    markCursor_ = seenWatch_ + seenBreak_ + seenProt_;
+    seenRecorded_ = backend.eventsRecorded();
+
+    // Interventions before the interval: pokes are baked into the
+    // materialized image and register file; engine-table mutations are
+    // host state the checkpoint does not carry, so re-apply them.
+    const auto &ivs = owner_.log_.interventions;
+    journalIds_.assign(ivs.size(), 0);
+    while (nextIntervention_ < ivs.size() &&
+           ivs[nextIntervention_].time < interval_.fromTime) {
+        const Intervention &iv = ivs[nextIntervention_];
+        if (iv.kind == InterventionKind::AddProduction ||
+            iv.kind == InterventionKind::RemoveProduction)
+            applyProduction(iv);
+        ++nextIntervention_;
+    }
+
+    interval_.startDigest = stateDigest(*target_, backend);
+    stream_ = std::make_unique<InstStream>(target_->arch, target_->mem,
+                                           &target_->engine,
+                                           backend.streamEnv(*target_));
+    prepared_ = true;
+}
+
+void
+IntervalReplay::Worker::pollEvents()
+{
+    DebugBackend &backend = debugger_->backend();
+    if (backend.eventsRecorded() == seenRecorded_)
+        return;
+    seenRecorded_ = backend.eventsRecorded();
+
+    const auto &marks = owner_.log_.marks;
+    auto note = [&](EventKind kind, size_t &seen, size_t now,
+                    auto pcOf) {
+        for (; seen < now; ++seen) {
+            DISE_ASSERT(markCursor_ < marks.size(),
+                        "interval replay fired an event beyond the "
+                        "recorded timeline at t=", time_);
+            const EventMark &rec = marks[markCursor_];
+            DISE_ASSERT(rec.kind == kind &&
+                            rec.index == static_cast<int>(seen) &&
+                            rec.time == time_ && rec.pc == pcOf(seen),
+                        "interval replay diverged from the recorded "
+                        "event timeline at t=", time_);
+            ++markCursor_;
+            ++interval_.marksVerified;
+        }
+    };
+    note(EventKind::Watch, seenWatch_, backend.watchEvents().size(),
+         [&](size_t i) { return backend.watchEvents()[i].pc; });
+    note(EventKind::Break, seenBreak_, backend.breakEvents().size(),
+         [&](size_t i) { return backend.breakEvents()[i].pc; });
+    note(EventKind::Protection, seenProt_,
+         backend.protectionEvents().size(),
+         [&](size_t i) { return backend.protectionEvents()[i].pc; });
+}
+
+bool
+IntervalReplay::Worker::step(uint64_t maxUops)
+{
+    DISE_ASSERT(prepared_, "step() before prepare()");
+    const auto &ivs = owner_.log_.interventions;
+    uint64_t budget = maxUops ? maxUops : ~uint64_t{0};
+
+    auto applyHere = [&] {
+        while (nextIntervention_ < ivs.size() &&
+               ivs[nextIntervention_].time == time_) {
+            const Intervention &iv = ivs[nextIntervention_];
+            switch (iv.kind) {
+              case InterventionKind::PokeMemory:
+                target_->mem.write(iv.addr, iv.size, iv.value);
+                break;
+              case InterventionKind::PokeRegister:
+                target_->arch.write(iv.reg, iv.value);
+                break;
+              default:
+                applyProduction(iv);
+                break;
+            }
+            ++nextIntervention_;
+        }
+    };
+
+    while (time_ < interval_.toTime && budget--) {
+        applyHere();
+        MicroOp &op = scratchOp_;
+        DISE_ASSERT(stream_->next(op),
+                    "interval replay halted before its interval end "
+                    "(t=", time_, ", wanted t=", interval_.toTime, ")");
+        ++time_;
+        ++interval_.uopsReplayed;
+        if (op.isAppInst())
+            ++appInsts_;
+        pollEvents();
+    }
+    if (time_ < interval_.toTime)
+        return false; // budget expired; call step() again
+
+    // The final interval ends at the live position, where same-time
+    // interventions were applied live (and are part of the live
+    // digest). Interior intervals leave them to their successor's
+    // first µop, matching the checkpoint-restore convention.
+    if (final_)
+        applyHere();
+    interval_.endDigest = stateDigest(*target_, debugger_->backend());
+    return true;
+}
+
+// ----------------------------------------------------------- execution
+
+IntervalReplay::Report
+IntervalReplay::run(unsigned workers) const
+{
+    std::vector<Interval> results(plan_.size());
+    std::vector<std::string> errors(plan_.size());
+    std::atomic<size_t> next{0};
+    auto work = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= plan_.size())
+                return;
+            try {
+                std::unique_ptr<Worker> w = makeWorker(i);
+                w->prepare();
+                while (!w->step(opts_.sliceUops)) {
+                }
+                results[i] = w->result();
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+                results[i] = plan_[i];
+            }
+        }
+    };
+
+    unsigned n = std::max<size_t>(
+        1, std::min<size_t>(workers ? workers : 1, plan_.size()));
+    if (n == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    Report r = stitch(std::move(results));
+    r.workers = n;
+    for (size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i].empty()) {
+            r.ok = false;
+            if (r.error.empty())
+                r.error = "interval " + std::to_string(i) + ": " +
+                          errors[i];
+        }
+    }
+    return r;
+}
+
+IntervalReplay::Report
+IntervalReplay::stitch(std::vector<Interval> results) const
+{
+    Report r;
+    r.intervals = std::move(results);
+    r.liveDigest = stateDigest(live_, liveBackend_);
+    r.ok = !r.intervals.empty();
+    for (size_t i = 0; i < r.intervals.size(); ++i) {
+        const Interval &iv = r.intervals[i];
+        r.uopsReplayed += iv.uopsReplayed;
+        r.marksVerified += iv.marksVerified;
+        // Deterministic stitch: each interval must end exactly where
+        // the next one starts.
+        if (i + 1 < r.intervals.size() &&
+            iv.endDigest != r.intervals[i + 1].startDigest) {
+            r.ok = false;
+            if (r.error.empty())
+                r.error = "stitch mismatch between intervals " +
+                          std::to_string(i) + " and " +
+                          std::to_string(i + 1);
+        }
+    }
+    if (!r.intervals.empty()) {
+        r.finalDigest = r.intervals.back().endDigest;
+        if (r.finalDigest != r.liveDigest) {
+            r.ok = false;
+            if (r.error.empty())
+                r.error = "final digest differs from the live session";
+        }
+    }
+    return r;
+}
+
+} // namespace dise

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Interval-parallel replay: reconstruct the explored timeline as
+ * independent checkpoint intervals on share-nothing replicas.
+ *
+ * A debugged run's history is already cut into checkpoint intervals by
+ * the TimeTravel controller. Because the simulator is deterministic and
+ * every checkpoint captures the full replay input set (registers,
+ * backend host state, and — via the memory undo chain — the exact
+ * memory image), each interval can be re-executed *independently*: a
+ * worker gets a fresh replica of the session's machinery (same program,
+ * same specs, same instrumentation), is positioned at its interval's
+ * starting checkpoint, and replays forward to the interval's end,
+ * verifying every re-fired event against the recorded marks and
+ * re-applying logged interventions at their exact stream times.
+ *
+ * Fanned out across workers this turns an O(trace) serial
+ * reconstruction into O(trace/workers) wall time; the results are
+ * stitched deterministically by digest: interval k's end-state digest
+ * must equal interval k+1's start-state digest, and the final
+ * interval's end digest must equal the live session's digest
+ * bit-for-bit. Any mismatch means determinism was broken — the whole
+ * point of running the reconstruction.
+ *
+ * Workers read the live session (checkpoints, marks, interventions,
+ * memory pages) strictly read-only, so any number of them may run
+ * concurrently while the session is quiescent. Each worker's replay is
+ * itself preemptible (step() takes a µop budget), so a job scheduler
+ * can interleave interval jobs with other sessions' work.
+ */
+
+#ifndef DISE_REPLAY_INTERVAL_REPLAY_HH
+#define DISE_REPLAY_INTERVAL_REPLAY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replay/time_travel.hh"
+
+namespace dise {
+
+class Debugger;
+
+class IntervalReplay
+{
+  public:
+    /**
+     * Builds a share-nothing replica of the debugged session's
+     * machinery: fresh loaded target + attached backend with the
+     * identical spec set and initial state. Returns false when the
+     * machinery cannot be rebuilt.
+     */
+    using ReplicaFactory =
+        std::function<bool(std::unique_ptr<DebugTarget> &target,
+                           std::unique_ptr<Debugger> &debugger)>;
+
+    struct Options
+    {
+        /** µops per step() call in run() (preemption grain). */
+        uint64_t sliceUops = 250000;
+        /**
+         * How many independent pieces to cut the timeline into. Each
+         * piece is a contiguous RANGE of checkpoint intervals replayed
+         * by one worker — coarse enough that replica setup and digest
+         * cost amortize, fine enough to fan out. The piece boundaries
+         * (not the worker count) determine the digest chain, so runs
+         * with different worker counts stay comparable.
+         */
+        unsigned pieces = 8;
+    };
+
+    /** One timeline piece (a run of checkpoint intervals). */
+    struct Interval
+    {
+        size_t index = 0;
+        size_t cpFrom = 0;      ///< first checkpoint of the range
+        size_t cpTo = 0;        ///< one past the last checkpoint
+        uint64_t fromTime = 0;  ///< starting checkpoint's µop position
+        uint64_t toTime = 0;    ///< end position (next cp, or live now)
+        uint64_t fromInsts = 0;
+        uint64_t startDigest = 0; ///< digest of the materialized start
+        uint64_t endDigest = 0;   ///< digest after replaying to toTime
+        uint64_t uopsReplayed = 0;
+        size_t marksVerified = 0; ///< recorded events re-fired on cue
+    };
+
+    /** Stitched outcome of a full reconstruction. */
+    struct Report
+    {
+        bool ok = false;
+        std::string error;
+        unsigned workers = 0;
+        uint64_t liveDigest = 0;  ///< the session's own digest
+        uint64_t finalDigest = 0; ///< last interval's end digest
+        uint64_t uopsReplayed = 0;
+        size_t marksVerified = 0;
+        std::vector<Interval> intervals;
+    };
+
+    IntervalReplay(TimeTravel &tt, DebugTarget &live,
+                   DebugBackend &liveBackend, const ReplayLog &log,
+                   ReplicaFactory factory, Options opts);
+
+    size_t intervalCount() const { return plan_.size(); }
+    const Options &options() const { return opts_; }
+
+    /**
+     * One interval's share-nothing worker. prepare() builds the
+     * replica and materializes the interval's start state (throws on a
+     * factory failure or a start-state mismatch); step() replays a
+     * bounded chunk and returns true once the interval is complete
+     * (throws on replay divergence). Workers of different intervals
+     * are fully independent.
+     */
+    class Worker
+    {
+      public:
+        ~Worker();
+        void prepare();
+        bool step(uint64_t maxUops);
+        const Interval &result() const { return interval_; }
+
+      private:
+        friend class IntervalReplay;
+        Worker(const IntervalReplay &owner, size_t idx);
+
+        void applyProduction(const Intervention &iv);
+        void pollEvents();
+
+        const IntervalReplay &owner_;
+        Interval interval_;
+        bool final_ = false;
+        bool prepared_ = false;
+
+        std::unique_ptr<DebugTarget> target_;
+        std::unique_ptr<Debugger> debugger_;
+        std::unique_ptr<InstStream> stream_;
+
+        uint64_t time_ = 0;
+        uint64_t appInsts_ = 0;
+        size_t nextIntervention_ = 0;
+        size_t markCursor_ = 0;
+        size_t seenWatch_ = 0, seenBreak_ = 0, seenProt_ = 0;
+        uint64_t seenRecorded_ = 0;
+        /** Live-log intervention index → replica engine production id
+         *  (productions are re-created with fresh ids on a replica). */
+        std::vector<ProductionId> journalIds_;
+        MicroOp scratchOp_{};
+    };
+
+    std::unique_ptr<Worker> makeWorker(size_t idx) const;
+
+    /**
+     * Reconstruct every interval on @p workers threads (1 = serial)
+     * and stitch. Worker errors land in the report, never throw.
+     */
+    Report run(unsigned workers) const;
+
+    /** Digest-chain verification of externally driven workers. */
+    Report stitch(std::vector<Interval> results) const;
+
+  private:
+    TimeTravel &tt_;
+    DebugTarget &live_;
+    DebugBackend &liveBackend_;
+    const ReplayLog &log_;
+    ReplicaFactory factory_;
+    Options opts_;
+    std::vector<Interval> plan_;
+};
+
+} // namespace dise
+
+#endif // DISE_REPLAY_INTERVAL_REPLAY_HH

@@ -45,6 +45,12 @@ struct Intervention
      *  post-attach rebuild — re-applies interventions at this stamp
      *  instead. */
     uint64_t appInsts = 0;
+    /** Recorded while parked on an event stop (mid-expansion, below
+     *  app-instruction resolution). Same-machinery replay re-applies it
+     *  at its exact µop time as usual; a machinery REBUILD (which only
+     *  has app-instruction coordinates) re-applies it at the park
+     *  position after re-finding the event. */
+    bool atEventPark = false;
 
     // PokeMemory / PokeRegister payload.
     Addr addr = 0;

@@ -306,27 +306,6 @@ TimeTravel::travelToTime(uint64_t targetTime, int eventIndex)
 }
 
 StopInfo
-TimeTravel::travelToAppInst(uint64_t target)
-{
-    if (target < appInsts_) {
-        size_t idx = cps_.size() - 1;
-        while (idx > 0 && cps_[idx].appInsts > target)
-            --idx;
-        restoreTo(idx);
-    }
-    while (appInsts_ < target || !atBoundary()) {
-        replayPendingInterventions();
-        bool fired = false;
-        if (!stepUop(fired))
-            break;
-        ++stats_.replayedUops;
-        maybeCheckpoint();
-    }
-    replayPendingInterventions();
-    return stopHere(StopReason::Step);
-}
-
-StopInfo
 TimeTravel::runForward(uint64_t stopAppInsts, bool stopOnEvent)
 {
     for (;;) {
@@ -351,6 +330,7 @@ TimeTravel::runForward(uint64_t stopAppInsts, bool stopOnEvent)
 StopInfo
 TimeTravel::cont()
 {
+    travel_.active = false; // a new verb abandons any sliced travel
     // A future already explored is replayed to its next known event;
     // fresh territory is discovered live.
     if (curEvents_ < log_.marks.size())
@@ -362,6 +342,7 @@ TimeTravel::cont()
 StopInfo
 TimeTravel::contTo(uint64_t maxAppInsts)
 {
+    travel_.active = false;
     // Unlike cont(), always discovers step-by-step: in replayed
     // territory the re-fired events are verified against the recorded
     // marks as usual, so the bound applies uniformly.
@@ -371,52 +352,202 @@ TimeTravel::contTo(uint64_t maxAppInsts)
 StopInfo
 TimeTravel::runToEnd()
 {
+    travel_.active = false;
     return runForward(0, false);
 }
 
 StopInfo
 TimeTravel::stepi(uint64_t n)
 {
+    travel_.active = false;
     return runForward(appInsts_ + n, false);
 }
 
 StopInfo
 TimeTravel::reverseContinue()
 {
-    int target = static_cast<int>(curEvents_) - 1;
-    // Stopped exactly on an event: travel to the one before it — past
-    // ALL marks at the current position, since one micro-op can fire
-    // several events at once (e.g. overlapping watchpoints) and
-    // re-landing on the same position would make no progress.
-    while (target >= 0 && log_.marks[target].time == time_)
-        --target;
-    if (target < 0) {
-        StopInfo s = travelToTime(0, -1);
-        s.reason = StopReason::Start;
-        return s;
-    }
-    return travelToTime(log_.marks[target].time, target);
+    bool done = false;
+    StopInfo s = travelBegin(TravelVerb::ReverseContinue, 0, done);
+    while (!done)
+        s = travelStep(0, done);
+    return s;
 }
 
 StopInfo
 TimeTravel::reverseStep(uint64_t n)
 {
-    uint64_t target = n >= appInsts_ ? 0 : appInsts_ - n;
-    return travelToAppInst(target);
+    bool done = false;
+    StopInfo s = travelBegin(TravelVerb::ReverseStep, n, done);
+    while (!done)
+        s = travelStep(0, done);
+    return s;
 }
 
 StopInfo
 TimeTravel::runToEvent(size_t n)
 {
-    if (n < log_.marks.size())
-        return travelToTime(log_.marks[n].time, static_cast<int>(n));
-    for (;;) {
-        StopInfo s = cont();
-        if (s.reason != StopReason::Event)
-            return s;
-        if (static_cast<size_t>(s.eventIndex) == n)
-            return s;
+    bool done = false;
+    StopInfo s = travelBegin(TravelVerb::RunToEvent, n, done);
+    while (!done)
+        s = travelStep(0, done);
+    return s;
+}
+
+// ------------------------------------------------------- sliced travel
+
+StopInfo
+TimeTravel::travelBegin(TravelVerb verb, uint64_t count, bool &done)
+{
+    travel_ = TravelState{};
+    switch (verb) {
+      case TravelVerb::ReverseContinue: {
+        int target = static_cast<int>(curEvents_) - 1;
+        // Stopped exactly on an event: travel to the one before it —
+        // past ALL marks at the current position, since one micro-op
+        // can fire several events at once (e.g. overlapping
+        // watchpoints) and re-landing on the same position would make
+        // no progress.
+        while (target >= 0 && log_.marks[target].time == time_)
+            --target;
+        travel_.byTime = true;
+        if (target < 0) {
+            travel_.targetTime = 0;
+            travel_.eventIndex = -1;
+            travel_.reachReason = StopReason::Start;
+        } else {
+            travel_.targetTime = log_.marks[target].time;
+            travel_.eventIndex = target;
+            travel_.reachReason = StopReason::Event;
+        }
+        break;
+      }
+      case TravelVerb::ReverseStep:
+        travel_.targetInsts =
+            count >= appInsts_ ? 0 : appInsts_ - count;
+        travel_.reachReason = StopReason::Step;
+        break;
+      case TravelVerb::RunToEvent:
+        if (count < log_.marks.size()) {
+            travel_.byTime = true;
+            travel_.targetTime = log_.marks[count].time;
+            travel_.eventIndex = static_cast<int>(count);
+            travel_.reachReason = StopReason::Event;
+        } else {
+            travel_.discover = true;
+            travel_.eventGoal = count;
+        }
+        break;
     }
+
+    // The restore is the cheap part (cost ∝ pages dirtied since the
+    // target checkpoint); the replay that follows is what travelStep
+    // meters out in quanta.
+    if (travel_.byTime && travel_.targetTime < time_) {
+        restoreTo(checkpointAtOrBefore(travel_.targetTime));
+    } else if (!travel_.byTime && !travel_.discover &&
+               travel_.targetInsts < appInsts_) {
+        size_t idx = cps_.size() - 1;
+        while (idx > 0 && cps_[idx].appInsts > travel_.targetInsts)
+            --idx;
+        restoreTo(idx);
+    }
+    travel_.active = true;
+    done = false;
+    // The restore may land exactly on the goal (it often does for
+    // reverse-continue: the target event sits at a checkpoint).
+    bool arrived =
+        !travel_.discover &&
+        (travel_.byTime
+             ? time_ == travel_.targetTime
+             : !(appInsts_ < travel_.targetInsts || !atBoundary()));
+    if (arrived) {
+        replayPendingInterventions();
+        return travelFinish(done);
+    }
+    return stopHere(StopReason::Step);
+}
+
+StopInfo
+TimeTravel::travelStep(uint64_t maxAppInsts, bool &done)
+{
+    DISE_ASSERT(travel_.active, "travelStep() without an active travel");
+    done = false;
+    uint64_t budgetEnd = maxAppInsts ? appInsts_ + maxAppInsts : 0;
+
+    if (travel_.discover) {
+        // Forward discovery toward global event #eventGoal; known
+        // marks crossed on the way are verified by stepUop as usual.
+        for (;;) {
+            StopInfo s = runForward(budgetEnd, true);
+            if (s.reason == StopReason::Event &&
+                static_cast<size_t>(s.eventIndex) !=
+                    travel_.eventGoal)
+                continue; // an earlier event: keep going
+            if (s.reason == StopReason::Step && budgetEnd &&
+                appInsts_ >= budgetEnd)
+                return s; // quantum expired; travel stays active
+            // The goal event — or halt/fault/inst-limit, meaning the
+            // timeline never reaches the requested event.
+            done = true;
+            travel_.active = false;
+            return s;
+        }
+    }
+
+    if (travel_.byTime) {
+        while (time_ < travel_.targetTime &&
+               (!budgetEnd || appInsts_ < budgetEnd)) {
+            replayPendingInterventions();
+            bool fired = false;
+            if (!stepUop(fired))
+                break;
+            ++stats_.replayedUops;
+            maybeCheckpoint();
+        }
+        if (time_ < travel_.targetTime) {
+            DISE_ASSERT(!halted_,
+                        "replay fell short of its target position "
+                        "(halted at t=", time_, ", wanted t=",
+                        travel_.targetTime, ")");
+            return stopHere(StopReason::Step);
+        }
+        replayPendingInterventions();
+        DISE_ASSERT(time_ == travel_.targetTime,
+                    "replay overshot its target position (at t=",
+                    time_, ", wanted t=", travel_.targetTime, ")");
+        return travelFinish(done);
+    }
+
+    // App-instruction goal (reverse-step): land on the first
+    // inter-instruction boundary at or past the target.
+    while ((appInsts_ < travel_.targetInsts || !atBoundary()) &&
+           (!budgetEnd || appInsts_ < budgetEnd)) {
+        replayPendingInterventions();
+        bool fired = false;
+        if (!stepUop(fired))
+            break;
+        ++stats_.replayedUops;
+        maybeCheckpoint();
+    }
+    if (!halted_ && (appInsts_ < travel_.targetInsts || !atBoundary()))
+        return stopHere(StopReason::Step);
+    replayPendingInterventions();
+    return travelFinish(done);
+}
+
+/** Close out the active travel and build its final stop. */
+StopInfo
+TimeTravel::travelFinish(bool &done)
+{
+    done = true;
+    travel_.active = false;
+    StopInfo s = stopHere(travel_.reachReason == StopReason::Event
+                              ? StopReason::Event
+                              : StopReason::Step,
+                          travel_.eventIndex);
+    if (travel_.reachReason == StopReason::Start)
+        s.reason = StopReason::Start;
+    return s;
 }
 
 uint64_t
@@ -481,8 +612,19 @@ TimeTravel::unwindIntervention(Intervention &iv)
 void
 TimeTravel::recordIntervention(Intervention iv)
 {
-    DISE_ASSERT(atBoundary(),
-                "interventions are only valid between instructions");
+    // Between instructions is always fine. Mid-expansion is allowed
+    // only while parked exactly on an event stop — the position a gdb
+    // sits at when it writes memory at a watchpoint hit. The record
+    // keeps the exact µop time (same-machinery replay re-applies it
+    // there, preserving determinism) and flags the park so a machinery
+    // rebuild can re-apply it at the re-found event instead.
+    bool parked = !atBoundary() && curEvents_ > 0 &&
+                  curEvents_ <= log_.marks.size() &&
+                  log_.marks[curEvents_ - 1].time == time_;
+    DISE_ASSERT(atBoundary() || parked,
+                "interventions are only valid between instructions or "
+                "parked at an event stop");
+    iv.atEventPark = parked;
     // Intervening forks the timeline: the already-explored future can
     // no longer happen.
     log_.truncateAfter(time_);

@@ -69,6 +69,13 @@ enum class StopReason : uint8_t {
 const char *stopReasonName(StopReason reason);
 const char *eventKindName(EventKind kind);
 
+/** Travel goals the sliced (preemptible) travel API accepts. */
+enum class TravelVerb : uint8_t {
+    ReverseContinue, ///< back to the previous user-visible event
+    ReverseStep,     ///< back count application instructions
+    RunToEvent,      ///< position just after timeline event #count
+};
+
 struct StopInfo
 {
     StopReason reason = StopReason::Start;
@@ -112,7 +119,7 @@ class TimeTravel
     /**
      * cont() bounded by an absolute instruction position: stop on the
      * next event OR once @p maxAppInsts application instructions have
-     * retired (reason Step), whichever comes first. The run-queue's
+     * retired (reason Step), whichever comes first. The job scheduler's
      * slicing primitive — a server worker can hand the session back
      * after a bounded quantum even when no event fires.
      */
@@ -137,6 +144,32 @@ class TimeTravel
      * the timeline has not reached it yet.
      */
     StopInfo runToEvent(size_t n);
+
+    /** @name Sliced travel (preemptible reverse execution)
+     * A reverse verb decomposes into one cheap restore (travelBegin)
+     * plus a replay the caller drives in bounded quanta (travelStep),
+     * so a scheduler can interleave other sessions' work between
+     * slices instead of parking a worker for the whole replay. The
+     * one-shot verbs above are travelBegin + travelStep(0) loops. */
+    ///@{
+    /**
+     * Prepare a sliced travel toward @p verb's goal (count carries the
+     * step distance / event number). Performs the restore when the
+     * goal lies in the past; never replays. @p done is set when the
+     * goal was reached outright (the returned stop is final);
+     * otherwise the return value is the interim position and the
+     * caller must travelStep() until done.
+     */
+    StopInfo travelBegin(TravelVerb verb, uint64_t count, bool &done);
+    /**
+     * Replay up to @p maxAppInsts application instructions toward the
+     * active goal (0 = unbounded). Sets @p done (and finishes the
+     * travel) when the goal is reached; otherwise returns the interim
+     * position with reason Step.
+     */
+    StopInfo travelStep(uint64_t maxAppInsts, bool &done);
+    bool travelActive() const { return travel_.active; }
+    ///@}
 
     /** @name Logged debugger interventions */
     ///@{
@@ -182,9 +215,9 @@ class TimeTravel
     size_t checkpointAtOrBefore(uint64_t time) const;
     void restoreTo(size_t cpIdx);
     StopInfo travelToTime(uint64_t targetTime, int eventIndex);
-    StopInfo travelToAppInst(uint64_t targetAppInsts);
     StopInfo runForward(uint64_t stopAppInsts, bool stopOnEvent);
     StopInfo stopHere(StopReason reason, int eventIndex = -1);
+    StopInfo travelFinish(bool &done);
     void applyIntervention(Intervention &iv);
     void unwindIntervention(Intervention &iv);
     void recordIntervention(Intervention iv);
@@ -214,6 +247,22 @@ class TimeTravel
     uint64_t seenRecorded_ = 0;
     /** Next intervention to re-apply while replaying forward. */
     size_t nextIntervention_ = 0;
+
+    /** The sliced-travel goal. A travel abandoned mid-way (a new verb
+     *  issued, or an interrupted job) simply leaves the session at a
+     *  valid intermediate replay position; the next verb cancels it. */
+    struct TravelState
+    {
+        bool active = false;
+        bool byTime = false;   ///< goal in µops; else app-instructions
+        bool discover = false; ///< forward discovery past known marks
+        uint64_t targetTime = 0;
+        uint64_t targetInsts = 0;
+        size_t eventGoal = 0;  ///< discover: wanted global event index
+        int eventIndex = -1;
+        StopReason reachReason = StopReason::Step;
+    };
+    TravelState travel_;
 
     /** App-inst position of the next automatic checkpoint — the
      *  record-mode loop pays one compare instead of re-deriving it

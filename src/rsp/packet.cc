@@ -105,6 +105,15 @@ frame(const std::string &raw, bool rle)
     return "$" + payload + tail;
 }
 
+std::string
+notifyFrame(const std::string &raw)
+{
+    std::string payload = escapePayload(raw);
+    char tail[8];
+    std::snprintf(tail, sizeof tail, "#%02x", checksum(payload));
+    return "%" + payload + tail;
+}
+
 bool
 decodeFrame(const std::string &wire, std::string &payload)
 {

@@ -44,6 +44,13 @@ std::string runLengthEncode(const std::string &payload);
 /** Build a complete `$payload#xx` frame (escaping applied). */
 std::string frame(const std::string &raw, bool rle = false);
 
+/**
+ * Build a `%payload#xx` notification frame (escaping applied) — the
+ * server-initiated, unacknowledged frames of non-stop mode (e.g.
+ * `%Stop:T05...`).
+ */
+std::string notifyFrame(const std::string &raw);
+
 /** What the decoder produced. */
 enum class ItemKind : uint8_t {
     Packet, ///< a well-formed payload (unescaped, RLE-expanded)

@@ -45,8 +45,27 @@ splitOnce(const std::string &s, char sep, std::string &a, std::string &b)
 
 RspConnection::RspConnection(DebugSession &session, ExecFn exec,
                              bool verbose)
-    : session_(session), execFn_(std::move(exec)), verbose_(verbose)
+    : session_(session), execFn_(std::move(exec)), verbose_(verbose),
+      async_(std::make_shared<AsyncState>())
 {
+}
+
+bool
+RspConnection::AsyncState::notify(const std::string &payload)
+{
+    // Caller holds mu.
+    if (!open)
+        return false;
+    std::string wire = notifyFrame(payload);
+    size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n =
+            ::write(fd, wire.data() + off, wire.size() - off);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
 }
 
 // ------------------------------------------------------------ protocol
@@ -78,12 +97,13 @@ RspConnection::exec(RequestKind kind, uint64_t count, StopInfo &out,
 }
 
 std::string
-RspConnection::stopReply(const StopInfo &stop)
+RspConnection::buildStopReply(DebugSession &session,
+                              const StopInfo &stop, bool interrupted)
 {
-    haveStop_ = true;
-    lastStop_ = stop;
     std::string pcInfo =
         "20:" + hexLe(stop.pc, 8) + ";"; // register 0x20 is the PC
+    if (interrupted)
+        return "T02" + pcInfo; // SIGINT: the job was cancelled
 
     switch (stop.reason) {
       case StopReason::Event:
@@ -91,7 +111,7 @@ RspConnection::stopReply(const StopInfo &stop)
           case EventKind::Watch: {
             // Report the trapped data address, as gdb expects.
             Addr dataAddr = stop.mark.pc;
-            const auto &ws = session_.debugger().backend().watchEvents();
+            const auto &ws = session.debugger().backend().watchEvents();
             if (stop.mark.index >= 0 &&
                 static_cast<size_t>(stop.mark.index) < ws.size())
                 dataAddr = ws[stop.mark.index].addr;
@@ -117,11 +137,68 @@ RspConnection::stopReply(const StopInfo &stop)
 }
 
 std::string
+RspConnection::stopReply(const StopInfo &stop)
+{
+    haveStop_ = true;
+    lastStop_ = stop;
+    return buildStopReply(session_, stop, false);
+}
+
+const std::string &
+RspConnection::targetXml()
+{
+    // A self-consistent description of the session register file: 32
+    // 64-bit integer registers plus the PC at regnum 32 — exactly the
+    // layout `g`/`G`/`p`/`P` serve — so gdb stops falling back to
+    // guessed register layouts.
+    static const std::string xml = [] {
+        std::string s = "<?xml version=\"1.0\"?>\n"
+                        "<!DOCTYPE target SYSTEM \"gdb-target.dtd\">\n"
+                        "<target version=\"1.0\">\n"
+                        "  <feature name=\"org.dise.sim.core\">\n";
+        for (unsigned i = 0; i < NumIntRegs; ++i) {
+            s += "    <reg name=\"r" + std::to_string(i) +
+                 "\" bitsize=\"64\" type=\"int64\" regnum=\"" +
+                 std::to_string(i) + "\"/>\n";
+        }
+        s += "    <reg name=\"pc\" bitsize=\"64\" type=\"code_ptr\" "
+             "regnum=\"" +
+             std::to_string(DebugSession::PcRegIndex) + "\"/>\n";
+        s += "  </feature>\n</target>\n";
+        return s;
+    }();
+    return xml;
+}
+
+std::string
 RspConnection::handleQuery(const std::string &p)
 {
     if (p.rfind("qSupported", 0) == 0)
-        return "PacketSize=4000;ReverseContinue+;ReverseStep+;"
-               "hwbreak+;swbreak+;QNonStop-";
+        return std::string("PacketSize=4000;ReverseContinue+;"
+                           "ReverseStep+;hwbreak+;swbreak+;"
+                           "qXfer:features:read+;vContSupported+;"
+                           "QNonStop") +
+               (asyncExecFn_ ? "+" : "-");
+    if (p.rfind("qXfer:features:read:", 0) == 0) {
+        // qXfer:features:read:<annex>:<offset>,<length>
+        std::string rest = p.substr(std::string("qXfer:features:read:")
+                                        .size());
+        std::string annex, range, offStr, lenStr;
+        if (!splitOnce(rest, ':', annex, range) ||
+            !splitOnce(range, ',', offStr, lenStr))
+            return "E01";
+        uint64_t off = 0, len = 0;
+        if (annex != "target.xml" || !parseHexNum(offStr, off) ||
+            !parseHexNum(lenStr, len) || len == 0 ||
+            len > MaxTransfer)
+            return "E01";
+        const std::string &doc = targetXml();
+        if (off >= doc.size())
+            return "l";
+        std::string chunk = doc.substr(off, len);
+        bool last = off + chunk.size() >= doc.size();
+        return (last ? "l" : "m") + chunk;
+    }
     if (p == "qC")
         return "QC0";
     if (p == "qAttached")
@@ -135,6 +212,101 @@ RspConnection::handleQuery(const std::string &p)
     if (p == "qTStatus")
         return "";
     return ""; // unsupported query
+}
+
+/**
+ * Start a non-stop execution verb: the packet gets its "OK"
+ * immediately, the work runs as a preemptible scheduler job, and the
+ * final stop arrives as a `%Stop` notification built and sent by the
+ * completion callback — which deliberately captures only the shared
+ * AsyncState (and the session, whose lifetime the server guarantees
+ * across the callback), never the connection object.
+ */
+std::string
+RspConnection::execAsync(RequestKind kind, uint64_t count)
+{
+    std::shared_ptr<AsyncState> st = async_;
+    DebugSession &session = session_;
+    std::unique_lock<std::mutex> lk(st->mu);
+    if (st->running)
+        return "E05"; // one in-flight verb per connection
+    st->running = true;
+    st->havePending = false;
+    // The hook is called with the mutex dropped: a stopping scheduler
+    // may run the completion callback synchronously on this very
+    // thread, and the callback takes st->mu.
+    lk.unlock();
+    std::function<void()> cancel = asyncExecFn_(
+        kind, count,
+        [st, &session](bool ok, bool interrupted, const StopInfo &stop,
+                       const std::string &err) {
+            // Even a failed job must produce a notification — gdb is
+            // waiting for one. X0b (terminated) is the honest story
+            // for a wedged/destroyed target; if the connection is
+            // already gone, notify() is a no-op anyway.
+            std::string payload =
+                ok ? buildStopReply(session, stop, interrupted)
+                   : std::string("X0b");
+            std::lock_guard<std::mutex> cb(st->mu);
+            st->running = false;
+            st->cancel = nullptr;
+            st->pendingReply = payload;
+            st->havePending = true;
+            st->notify("Stop:" + payload);
+        });
+    lk.lock();
+    if (!cancel) {
+        st->running = false;
+        return "E04";
+    }
+    // A fast job may have completed (and cleared running) already; a
+    // canceller stored then would target a finished ticket, where
+    // cancel() is a harmless no-op — but don't resurrect the slot.
+    if (st->running)
+        st->cancel = std::move(cancel);
+    return "OK";
+}
+
+std::string
+RspConnection::handleVPacket(const std::string &p)
+{
+    if (p.rfind("vMustReplyEmpty", 0) == 0)
+        return "";
+    if (p == "vCont?")
+        return "vCont;c;C;s;S";
+    if (p == "vStopped") {
+        std::lock_guard<std::mutex> lk(async_->mu);
+        // Single-target stub: one stop per notification sequence.
+        async_->havePending = false;
+        return "OK";
+    }
+    if (p.rfind("vCont", 0) == 0) {
+        // vCont;action[:thread][;...] — single-threaded target: the
+        // first (leftmost) action wins.
+        if (p.size() < 7 || p[5] != ';')
+            return "E01";
+        char action = p[6];
+        RequestKind kind;
+        uint64_t count = 0;
+        if (action == 'c' || action == 'C') {
+            kind = RequestKind::Cont;
+        } else if (action == 's' || action == 'S') {
+            kind = RequestKind::Stepi;
+            count = 1;
+        } else {
+            return "E01"; // t/r: not supported by this stub
+        }
+        if (nonStop_ && asyncExecFn_)
+            return execAsync(kind, count);
+        StopInfo stop;
+        std::string err;
+        if (!exec(kind, count, stop, &err)) {
+            wantClose_ = true;
+            return "E04";
+        }
+        return stopReply(stop);
+    }
+    return ""; // unknown v-packets get the empty reply
 }
 
 std::string
@@ -279,6 +451,8 @@ RspConnection::handlePacket(const std::string &p)
         return "";
 
     auto execReply = [&](RequestKind kind, uint64_t count) {
+        if (nonStop_ && asyncExecFn_)
+            return execAsync(kind, count);
         StopInfo stop;
         std::string err;
         if (!exec(kind, count, stop, &err)) {
@@ -291,19 +465,55 @@ RspConnection::handlePacket(const std::string &p)
         return stopReply(stop);
     };
 
+    // While a non-stop job is in flight the session belongs to the
+    // scheduler worker driving it: refuse session-touching packets
+    // until the %Stop lands (queries, stop polls, and detach stay
+    // available — that is what keeps the connection responsive).
+    if (nonStop_) {
+        std::lock_guard<std::mutex> lk(async_->mu);
+        if (async_->running) {
+            switch (p[0]) {
+              case 'q':
+              case 'Q':
+              case 'v':
+              case '?':
+              case 'H':
+              case 'D':
+              case 'k':
+                break;
+              default:
+                return "E05";
+            }
+        }
+    }
+
     try {
         switch (p[0]) {
           case 'q':
             return handleQuery(p);
           case 'Q':
+            if (p == "QNonStop:1") {
+                if (!asyncExecFn_)
+                    return "E01";
+                nonStop_ = true;
+                return "OK";
+            }
+            if (p == "QNonStop:0") {
+                nonStop_ = false;
+                return "OK";
+            }
             return "";
           case 'v':
-            if (p.rfind("vMustReplyEmpty", 0) == 0)
-                return "";
-            return ""; // no vCont: gdb falls back to c/s
+            return handleVPacket(p);
           case 'H':
             return "OK";
           case '?':
+            if (nonStop_) {
+                std::lock_guard<std::mutex> lk(async_->mu);
+                if (async_->havePending)
+                    return async_->pendingReply;
+                return "OK"; // nothing stopped (or still running)
+            }
             return haveStop_ ? stopReply(lastStop_) : "S05";
           case 'g':
             return handleReadRegs();
@@ -385,6 +595,12 @@ RspConnection::serve(int fd)
         return true;
     };
 
+    {
+        std::lock_guard<std::mutex> lk(async_->mu);
+        async_->fd = fd;
+        async_->open = true;
+    }
+
     PacketDecoder dec;
     std::string lastFrame;
     wantClose_ = false;
@@ -401,12 +617,26 @@ RspConnection::serve(int fd)
             if (kind == ItemKind::Ack)
                 continue;
             if (kind == ItemKind::Nak) {
+                // Same mutex as replies/notifications: a retransmit
+                // must not interleave mid-frame with a %Stop.
+                std::lock_guard<std::mutex> lk(async_->mu);
                 if (!lastFrame.empty())
                     sendAll(lastFrame);
                 continue;
             }
-            if (kind == ItemKind::Break)
-                continue; // execution is synchronous; nothing to stop
+            if (kind == ItemKind::Break) {
+                // All-stop execution is synchronous (nothing to
+                // stop); a non-stop job is interrupted at its next
+                // slice boundary and lands as %Stop:T02.
+                std::function<void()> cancel;
+                {
+                    std::lock_guard<std::mutex> lk(async_->mu);
+                    cancel = async_->cancel;
+                }
+                if (cancel)
+                    cancel();
+                continue;
+            }
             if (verbose_)
                 std::fprintf(stderr, "rsp <- %s\n", payload.c_str());
             std::string reply = handlePacket(payload);
@@ -414,11 +644,27 @@ RspConnection::serve(int fd)
                 std::fprintf(stderr, "rsp -> %s\n", reply.c_str());
             bool wasKill = !payload.empty() && payload[0] == 'k';
             lastFrame = frame(reply);
-            if (!sendAll("+") || (!wasKill && !sendAll(lastFrame)))
+            bool sent;
+            {
+                // Replies and %Stop notifications must not interleave
+                // mid-frame: both go out under the async-state mutex.
+                std::lock_guard<std::mutex> lk(async_->mu);
+                sent = sendAll("+") && (wasKill || sendAll(lastFrame));
+            }
+            if (!sent)
                 wantClose_ = true;
             if (wantClose_)
                 break;
         }
+    }
+
+    // Close the notification channel before the fd dies; a completion
+    // callback landing later finds open == false and drops its send.
+    // Taking the mutex also drains any notify() already in flight.
+    {
+        std::lock_guard<std::mutex> lk(async_->mu);
+        async_->open = false;
+        async_->fd = -1;
     }
 }
 

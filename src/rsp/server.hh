@@ -4,9 +4,16 @@
  *
  * Implements the core packet set a stock gdb needs to drive any of the
  * five watchpoint backends over TCP — `qSupported`, `?`, `g`/`G`,
- * `p`/`P`, `m`/`M`, `Z`/`z`, `c`/`s` — plus the reverse-execution
- * packets `bc`/`bs`, which map straight onto the time-travel session's
- * reverseContinue()/reverseStep(). The protocol work is transport-free
+ * `p`/`P`, `m`/`M`, `Z`/`z`, `c`/`s`, `vCont`/`vCont?` — plus the
+ * reverse-execution packets `bc`/`bs`, which map straight onto the
+ * time-travel session's reverseContinue()/reverseStep(), a minimal
+ * `qXfer:features:read` target description (so gdb stops guessing
+ * register layouts), and — when the multi-session server provides an
+ * async execution hook — non-stop mode: `QNonStop:1` makes execution
+ * verbs reply OK immediately, run as preemptible scheduler jobs, and
+ * report their landing via server-initiated `%Stop` notifications
+ * (`vStopped` acknowledges; a Ctrl-C interrupt cancels the job at a
+ * slice boundary and lands as `%Stop:T02`). The protocol work is transport-free
  * (RspConnection::handlePacket() maps one decoded payload to one reply
  * payload), so tests drive the full command set in-process;
  * RspConnection::serve() adds the TCP framing, ack handling, and
@@ -16,7 +23,7 @@
  *  - RspConnection: one client's protocol state (Z-packet maps, last
  *    stop) over one DebugSession. Execution verbs go through an
  *    optional ExecFn hook, which the multi-session server
- *    (src/server/) uses to route `c`/`s`/`bc`/`bs` onto its run queue
+ *    (src/server/) uses to route `c`/`s`/`bc`/`bs` onto its job scheduler
  *    so many sessions share a bounded worker pool.
  *  - RspServer: the classic single-session listener (bind, accept one
  *    client, serve) used by the smoke tools and tests.
@@ -41,6 +48,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "rsp/packet.hh"
@@ -62,8 +71,29 @@ class RspConnection
     using ExecFn = std::function<bool(RequestKind kind, uint64_t count,
                                       StopInfo &out, std::string *err)>;
 
+    /**
+     * Async completion of a non-stop execution verb: @p interrupted
+     * marks a job stopped between slices by an interrupt (gdb Ctrl-C
+     * → `%Stop:T02`). Runs on a scheduler worker thread.
+     */
+    using AsyncDoneFn = std::function<void(
+        bool ok, bool interrupted, const StopInfo &stop,
+        const std::string &err)>;
+    /**
+     * Start @p kind asynchronously; returns a canceller (empty on
+     * failure) that interrupts the job at its next slice boundary.
+     * Provided by the multi-session server (the job scheduler); when
+     * absent, QNonStop is not advertised and execution stays
+     * synchronous.
+     */
+    using AsyncExecFn = std::function<std::function<void()>(
+        RequestKind kind, uint64_t count, AsyncDoneFn done)>;
+
     explicit RspConnection(DebugSession &session, ExecFn exec = {},
                            bool verbose = false);
+
+    /** Enable non-stop support (see AsyncExecFn). */
+    void setAsyncExec(AsyncExecFn fn) { asyncExecFn_ = std::move(fn); }
 
     /**
      * The transport-free core: map one decoded packet payload to the
@@ -82,21 +112,55 @@ class RspConnection
     uint64_t packetsHandled() const { return packetsHandled_; }
 
   private:
+    /**
+     * State shared between the serving thread and async-completion
+     * callbacks (scheduler workers). Lives in a shared_ptr so a
+     * callback landing after the connection object died only touches
+     * this — and finds the socket closed.
+     */
+    struct AsyncState
+    {
+        std::mutex mu;
+        int fd = -1;       ///< valid while open
+        bool open = false; ///< serve() is inside its socket loop
+        bool running = false; ///< a non-stop job is in flight
+        bool havePending = false;
+        std::string pendingReply; ///< stop-reply payload for vStopped
+        std::function<void()> cancel;
+
+        /** Frame and send a `%payload#xx` notification (no-op once
+         *  the socket closed). */
+        bool notify(const std::string &payload);
+    };
+
     bool exec(RequestKind kind, uint64_t count, StopInfo &out,
               std::string *err);
+    /** Start a non-stop job for @p kind; returns the immediate reply
+     *  ("OK", or an error). */
+    std::string execAsync(RequestKind kind, uint64_t count);
     std::string stopReply(const StopInfo &stop);
+    /** Payload-only builder, safe from any thread. */
+    static std::string buildStopReply(DebugSession &session,
+                                      const StopInfo &stop,
+                                      bool interrupted);
     std::string handleQuery(const std::string &payload);
+    std::string handleVPacket(const std::string &payload);
     std::string handleInsert(const std::string &payload, bool insert);
     std::string handleReadMem(const std::string &payload);
     std::string handleWriteMem(const std::string &payload);
     std::string handleReadRegs();
     std::string handleWriteRegs(const std::string &payload);
+    /** The target description served via qXfer:features:read. */
+    static const std::string &targetXml();
 
     DebugSession &session_;
     ExecFn execFn_;
+    AsyncExecFn asyncExecFn_;
     bool verbose_ = false;
     bool wantClose_ = false;
+    bool nonStop_ = false;
     uint64_t packetsHandled_ = 0;
+    std::shared_ptr<AsyncState> async_;
 
     /** Z-packet spec → session watch/break index (for z lookups). */
     std::map<std::string, int> zWatches_;

@@ -1,0 +1,299 @@
+#include "server/job_scheduler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dise::server {
+
+JobScheduler::JobScheduler(JobSchedulerOptions opts)
+{
+    workers_ = opts.workers
+                   ? opts.workers
+                   : std::max(2u, std::thread::hardware_concurrency());
+    slice_ = opts.sliceInsts ? opts.sliceInsts : 50000;
+    pool_.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+JobScheduler::~JobScheduler()
+{
+    stop();
+}
+
+bool
+JobScheduler::isExecVerb(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Cont:
+      case RequestKind::Stepi:
+      case RequestKind::RunToEnd:
+      case RequestKind::ReverseContinue:
+      case RequestKind::ReverseStep:
+      case RequestKind::RunToEvent:
+        return true;
+      default:
+        return false;
+    }
+}
+
+// ------------------------------------------------------------ lifecycle
+
+void
+JobScheduler::stop()
+{
+    std::deque<TicketPtr> orphans;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        orphans.swap(ready_);
+        for (const TicketPtr &t : orphans)
+            finalize(lk, t, {false, "scheduler stopped"});
+        cv_.notify_all();
+    }
+    for (std::thread &th : pool_)
+        if (th.joinable())
+            th.join();
+    pool_.clear();
+}
+
+/** Mark @p t finished under the scheduler lock; completion callbacks
+ *  run with the lock dropped (they may touch sessions or sockets). */
+void
+JobScheduler::finalize(std::unique_lock<std::mutex> &lk,
+                       const TicketPtr &t, JobResult res)
+{
+    t->finished = true;
+    t->result = std::move(res);
+    jobsDone_.fetch_add(1, std::memory_order_relaxed);
+    doneCv_.notify_all();
+    if (t->onDone) {
+        DoneFn done = std::move(t->onDone);
+        JobResult copy = t->result;
+        lk.unlock();
+        done(copy);
+        lk.lock();
+    }
+}
+
+void
+JobScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [&] { return stopping_ || !ready_.empty(); });
+        if (stopping_)
+            return;
+        TicketPtr t = ready_.front();
+        ready_.pop_front();
+
+        if (t->cancelled.load(std::memory_order_acquire)) {
+            finalize(lk, t, {false, "interrupted"});
+            continue;
+        }
+
+        bool done = false;
+        JobResult res;
+        lk.unlock();
+        try {
+            done = t->fn(slice_);
+        } catch (const std::exception &e) {
+            done = true;
+            res = {false, e.what()};
+        }
+        slices_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+
+        if (done)
+            finalize(lk, t, std::move(res));
+        else if (stopping_)
+            finalize(lk, t, {false, "scheduler stopped"});
+        else
+            ready_.push_back(t); // round-robin: back of the line
+    }
+}
+
+// ------------------------------------------------------------- generic
+
+JobScheduler::TicketPtr
+JobScheduler::submit(SliceFn fn, DoneFn onDone)
+{
+    auto t = std::make_shared<Ticket>();
+    t->fn = std::move(fn);
+    t->onDone = std::move(onDone);
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) {
+        finalize(lk, t, {false, "scheduler stopped"});
+        return t;
+    }
+    ready_.push_back(t);
+    cv_.notify_one();
+    return t;
+}
+
+bool
+JobScheduler::wait(const TicketPtr &t, std::string *err)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [&] { return t->finished; });
+    if (!t->result.ok && err)
+        *err = t->result.error;
+    return t->result.ok;
+}
+
+void
+JobScheduler::cancel(const TicketPtr &t)
+{
+    if (t)
+        t->cancelled.store(true, std::memory_order_release);
+}
+
+bool
+JobScheduler::run(SliceFn fn, std::string *err)
+{
+    return wait(submit(std::move(fn)), err);
+}
+
+// -------------------------------------------------------- resume verbs
+
+struct JobScheduler::ExecState
+{
+    StopInfo stop;
+    uint64_t remaining = 0;
+    bool begun = false;
+};
+
+bool
+JobScheduler::precheck(ManagedSession &s, RequestKind kind,
+                       std::string *err)
+{
+    if (!isExecVerb(kind)) {
+        if (err)
+            *err = "not a resume verb";
+        return false;
+    }
+    // Attach is the capability gate ("no experiment" cells): fail it
+    // cleanly on the submitting thread before queueing any work.
+    try {
+        if (!s.session.attached() && !s.session.attach()) {
+            if (err)
+                *err = std::string("the ") +
+                       backendName(s.session.backendKind()) +
+                       " backend cannot implement this session's "
+                       "requests";
+            return false;
+        }
+    } catch (const std::exception &e) {
+        if (err)
+            *err = e.what();
+        return false;
+    }
+    return true;
+}
+
+JobScheduler::SliceFn
+JobScheduler::makeExecSlice(ManagedSessionPtr sp, RequestKind kind,
+                            uint64_t count,
+                            std::shared_ptr<ExecState> st)
+{
+    st->remaining = count;
+    return [sp = std::move(sp), kind, count,
+            st = std::move(st)](uint64_t slice) {
+        ManagedSession &s = *sp;
+        if (s.closing.load(std::memory_order_acquire))
+            throw std::runtime_error("session destroyed");
+        bool done = false;
+        switch (kind) {
+          case RequestKind::Cont:
+            st->stop = s.session.contSlice(slice);
+            done = st->stop.reason != StopReason::Step;
+            break;
+          case RequestKind::RunToEnd:
+            st->stop = s.session.stepi(slice);
+            done = st->stop.reason != StopReason::Step;
+            break;
+          case RequestKind::Stepi: {
+            uint64_t n = std::min(st->remaining, slice);
+            st->stop = s.session.stepi(n);
+            st->remaining -= n;
+            done = st->remaining == 0 ||
+                   st->stop.reason != StopReason::Step;
+            break;
+          }
+          // The reverse verbs: one cheap restore, then bounded replay
+          // quanta — no more slot-pinning for the whole replay.
+          case RequestKind::ReverseContinue:
+          case RequestKind::ReverseStep:
+          case RequestKind::RunToEvent:
+            if (!st->begun) {
+                st->begun = true;
+                st->stop = s.session.reverseBegin(kind, count, done);
+            } else {
+                st->stop = s.session.reverseSlice(slice, done);
+            }
+            break;
+          default:
+            throw std::runtime_error("not a resume verb");
+        }
+        s.slices.fetch_add(1, std::memory_order_relaxed);
+        s.publishProgress();
+        s.pushEvents();
+        return done;
+    };
+}
+
+bool
+JobScheduler::drive(ManagedSession &s, RequestKind kind, uint64_t count,
+                    StopInfo &out, std::string *err)
+{
+    if (!precheck(s, kind, err))
+        return false;
+    auto st = std::make_shared<ExecState>();
+    // drive() is called with exclusive session access held by the
+    // caller; the bare shared_ptr aliasing trick is safe because the
+    // caller outlives the synchronous wait.
+    ManagedSessionPtr alias(ManagedSessionPtr{}, &s);
+    TicketPtr t = submit(makeExecSlice(alias, kind, count, st));
+    if (!wait(t, err))
+        return false;
+    s.jobs.fetch_add(1, std::memory_order_relaxed);
+    out = st->stop;
+    return true;
+}
+
+JobScheduler::TicketPtr
+JobScheduler::driveAsync(ManagedSessionPtr sp, RequestKind kind,
+                         uint64_t count, ExecDoneFn done,
+                         std::string *err)
+{
+    if (!sp) {
+        if (err)
+            *err = "no session";
+        return nullptr;
+    }
+    if (!precheck(*sp, kind, err))
+        return nullptr;
+    auto st = std::make_shared<ExecState>();
+    ManagedSessionPtr keep = sp;
+    return submit(
+        makeExecSlice(sp, kind, count, st),
+        [keep, st, done = std::move(done)](const JobResult &res) {
+            keep->jobs.fetch_add(1, std::memory_order_relaxed);
+            if (res.ok) {
+                done(true, false, st->stop, "");
+                return;
+            }
+            if (res.interrupted()) {
+                // The job stopped at a slice boundary: the session
+                // sits at a valid, deterministic intermediate
+                // position. Report it as the stop.
+                done(true, true, keep->session.currentStop(), "");
+                return;
+            }
+            done(false, false, st->stop, res.error);
+        });
+}
+
+} // namespace dise::server

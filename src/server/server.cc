@@ -33,11 +33,58 @@ sendAll(int fd, const std::string &data)
 
 } // namespace
 
+/** Per-connection outbound line channel. Responses (connection
+ *  thread) and pushed events (scheduler workers) both go through
+ *  sendLine(), so lines never interleave mid-write. A send that fails
+ *  — hangup, or the SO_SNDTIMEO bound on a subscriber that stopped
+ *  reading — reports false and the caller drops the path. */
+struct DebugServer::WireOut
+{
+    int fd = -1;
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return sendAll(fd, line + "\n");
+    }
+
+  private:
+    std::mutex mu;
+};
+
+class DebugServer::WireSink : public EventSink
+{
+  public:
+    explicit WireSink(std::shared_ptr<WireOut> out)
+        : out_(std::move(out))
+    {
+    }
+
+    bool
+    deliver(const SessionEvent &ev) override
+    {
+        return out_->sendLine(encodeEvent(ev));
+    }
+
+  private:
+    std::shared_ptr<WireOut> out_;
+};
+
+struct DebugServer::WireConn
+{
+    ManagedSessionPtr sel;
+    std::shared_ptr<WireOut> out;
+    /** Live subscriptions, unregistered when the connection dies. */
+    std::vector<std::pair<ManagedSessionPtr, std::shared_ptr<EventSink>>>
+        subs;
+};
+
 DebugServer::DebugServer(DebugServerOptions opts,
                          SessionManager::ProgramFactory factory)
     : opts_(opts),
       manager_({opts.maxSessions, opts.session}, std::move(factory)),
-      queue_({opts.slots, opts.sliceInsts})
+      sched_({opts.slots, opts.sliceInsts})
 {
 }
 
@@ -105,6 +152,9 @@ DebugServer::stop()
             if (c.fd >= 0)
                 ::shutdown(c.fd, SHUT_RDWR);
     }
+    // Fail any queued/in-flight jobs so connection threads blocked in
+    // a synchronous drive() wake up and observe their dead sockets.
+    sched_.stop();
     // No new entries can appear (the accept loop is gone); joining
     // outside the lock lets each connection finish its epilogue.
     for (Conn &c : conns_)
@@ -203,19 +253,173 @@ DebugServer::serveRsp(int fd)
                      static_cast<unsigned long long>(ms->id));
 
     // Exclusive sessions are single-client by construction, so only
-    // the resume verbs need coordination (the run queue's slot FIFO).
+    // the resume verbs need scheduling. The synchronous hook serves
+    // all-stop gdb; the async hook powers non-stop mode (`vCont` OK'd
+    // immediately, `%Stop` notification when the job lands) and lets
+    // a Ctrl-C interrupt the job between slices.
     auto exec = [this, ms](RequestKind kind, uint64_t count,
                            StopInfo &out, std::string *e) {
-        return queue_.drive(*ms, kind, count, out, e);
+        return sched_.drive(*ms, kind, count, out, e);
+    };
+    auto asyncExec = [this, ms](RequestKind kind, uint64_t count,
+                                rsp::RspConnection::AsyncDoneFn done)
+        -> std::function<void()> {
+        std::string err;
+        JobScheduler::TicketPtr t = sched_.driveAsync(
+            ms, kind, count,
+            [done = std::move(done)](bool ok, bool interrupted,
+                                     const StopInfo &stop,
+                                     const std::string &e) {
+                done(ok, interrupted, stop, e);
+            },
+            &err);
+        if (!t)
+            return {};
+        return [this, t] { sched_.cancel(t); };
     };
     rsp::RspConnection conn(ms->session, exec, opts_.verbose);
+    conn.setAsyncExec(asyncExec);
     conn.serve(fd);
     manager_.destroy(ms->id);
 }
 
+/**
+ * A post-attach watch/break change can trigger a rebuild-replay —
+ * O(timeline) work — so it runs as a preemptible job: the first slice
+ * plans and commits the new machinery, subsequent slices advance the
+ * replay by bounded quanta, round-robining with every other session's
+ * jobs.
+ */
 Response
-DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
+DebugServer::driveSpecJob(ManagedSession &s, const Request &req)
 {
+    Response resp;
+    resp.seq = req.seq;
+    resp.inReplyTo = req.kind;
+    bool isWatch = req.kind == RequestKind::SetWatch;
+    auto idx = std::make_shared<int>(-1);
+    auto begun = std::make_shared<bool>(false);
+    std::string err;
+    bool ok = sched_.run(
+        [&s, isWatch, watch = req.watch, brk = req.brk, idx,
+         begun](uint64_t slice) {
+            if (s.closing.load(std::memory_order_acquire))
+                throw std::runtime_error("session destroyed");
+            if (!*begun) {
+                *begun = true;
+                bool done = false;
+                *idx = isWatch ? s.session.setWatchBegin(watch, done)
+                               : s.session.setBreakBegin(brk, done);
+                return *idx < 0 || done;
+            }
+            return s.session.rebuildStep(slice);
+        },
+        &err);
+    if (!ok) {
+        resp.status = ResponseStatus::Error;
+        resp.error = err;
+        return resp;
+    }
+    s.jobs.fetch_add(1, std::memory_order_relaxed);
+    s.publishProgress();
+    s.pushEvents();
+    if (*idx < 0) {
+        resp.status = ResponseStatus::Unsupported;
+        resp.error =
+            "the backend cannot implement the enlarged set, or the "
+            "target advanced through a non-replayable batch run";
+        return resp;
+    }
+    resp.index = *idx;
+    return resp;
+}
+
+/**
+ * Interval-parallel replay as sibling jobs: one preemptible job per
+ * checkpoint interval, fanned out across the scheduler's workers
+ * (share-nothing replicas, read-only against the live session), then
+ * stitched deterministically by digest.
+ */
+Response
+DebugServer::driveReplayVerify(ManagedSession &s, const Request &req)
+{
+    Response resp;
+    resp.seq = req.seq;
+    resp.inReplyTo = req.kind;
+    auto errorOut = [&](const std::string &msg) {
+        resp.status = ResponseStatus::Error;
+        resp.error = msg;
+        return resp;
+    };
+
+    std::unique_ptr<IntervalReplay> ir;
+    try {
+        ir = s.session.beginIntervalReplay();
+    } catch (const std::exception &e) {
+        return errorOut(e.what());
+    }
+    if (!ir)
+        return errorOut("no replayable timeline (attach and run "
+                        "first, and batch runs cannot be "
+                        "reconstructed)");
+
+    struct WorkerJob
+    {
+        std::unique_ptr<IntervalReplay::Worker> w;
+        bool prepared = false;
+    };
+    size_t n = ir->intervalCount();
+    std::vector<IntervalReplay::Interval> results(n);
+    std::vector<JobScheduler::TicketPtr> tickets;
+    for (size_t i = 0; i < n; ++i) {
+        auto wj = std::make_shared<WorkerJob>();
+        wj->w = ir->makeWorker(i);
+        tickets.push_back(sched_.submit([wj, &results, &s,
+                                         i](uint64_t slice) {
+            if (s.closing.load(std::memory_order_acquire))
+                throw std::runtime_error("session destroyed");
+            if (!wj->prepared) {
+                // Materializing the start state is its own slice.
+                wj->w->prepare();
+                wj->prepared = true;
+                return false;
+            }
+            // The scheduler's grain is app-instructions; replay
+            // slices meter µops (≈4 per instrumented instruction).
+            if (!wj->w->step(slice * 4))
+                return false;
+            results[i] = wj->w->result();
+            return true;
+        }));
+    }
+    bool ok = true;
+    std::string err;
+    for (const JobScheduler::TicketPtr &t : tickets) {
+        std::string e;
+        if (!sched_.wait(t, &e)) {
+            ok = false;
+            if (err.empty())
+                err = e;
+        }
+    }
+    s.jobs.fetch_add(tickets.size(), std::memory_order_relaxed);
+    if (!ok)
+        return errorOut(err);
+    IntervalReplay::Report rep = ir->stitch(std::move(results));
+    if (!rep.ok)
+        return errorOut(rep.error.empty()
+                            ? "replay verification failed"
+                            : rep.error);
+    resp.value = rep.finalDigest;
+    for (const IntervalReplay::Interval &iv : rep.intervals)
+        resp.regs.push_back(iv.endDigest);
+    return resp;
+}
+
+Response
+DebugServer::handleWire(const Request &req, WireConn &conn)
+{
+    ManagedSessionPtr &sel = conn.sel;
     Response resp;
     resp.seq = req.seq;
     resp.inReplyTo = req.kind;
@@ -259,6 +463,36 @@ DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
       case RequestKind::ServerStats:
         resp.server = stats();
         return resp;
+      case RequestKind::Subscribe: {
+        if (!sel)
+            return errorOut("no session selected");
+        for (const auto &sub : conn.subs)
+            if (sub.first == sel)
+                return resp; // idempotent
+        auto sink = std::make_shared<WireSink>(conn.out);
+        sel->addSink(sink);
+        conn.subs.emplace_back(sel, sink);
+        // Flush the backlog so the subscriber starts from a known
+        // point; everything later arrives at slice/verb boundaries.
+        {
+            std::lock_guard<std::mutex> lk(sel->mu);
+            sel->pushEvents();
+        }
+        return resp;
+      }
+      case RequestKind::Unsubscribe: {
+        if (!sel)
+            return errorOut("no session selected");
+        for (auto it = conn.subs.begin(); it != conn.subs.end();) {
+            if (it->first == sel) {
+                it->first->removeSink(it->second);
+                it = conn.subs.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return resp;
+      }
       default:
         break;
     }
@@ -276,7 +510,7 @@ DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
     bool dropSelection = false;
     {
         std::lock_guard<std::mutex> lk(sel->mu);
-        if (RunQueue::isExecVerb(req.kind)) {
+        if (JobScheduler::isExecVerb(req.kind)) {
             // Mirror DebugSession::dispatch's capability gate so
             // remote clients still see "unsupported" for
             // no-experiment cells.
@@ -290,12 +524,18 @@ DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
             }
             StopInfo stop;
             std::string err;
-            if (!queue_.drive(*sel, req.kind, req.count, stop, &err))
+            if (!sched_.drive(*sel, req.kind, req.count, stop, &err))
                 return errorOut(err);
             resp.hasStop = true;
             resp.stop = stop;
             return resp;
         }
+        if ((req.kind == RequestKind::SetWatch ||
+             req.kind == RequestKind::SetBreak) &&
+            sel->session.attached())
+            return driveSpecJob(*sel, req);
+        if (req.kind == RequestKind::ReplayVerify)
+            return driveReplayVerify(*sel, req);
         out = sel->session.handle(req);
         if (req.kind == RequestKind::Detach) {
             // Wire detach ends the hosted session entirely. Do NOT
@@ -306,6 +546,7 @@ DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
             dropSelection = true;
         } else {
             sel->publishProgress();
+            sel->pushEvents();
         }
     }
     // The selection may hold the last reference; it must not die
@@ -318,7 +559,18 @@ DebugServer::handleWire(const Request &req, ManagedSessionPtr &sel)
 void
 DebugServer::serveWire(int fd)
 {
-    ManagedSessionPtr sel;
+    // A subscriber that stops reading must not wedge the pushing job
+    // forever: TCP flow control is the backpressure (the job stalls at
+    // a slice boundary while the socket buffer is full), and the send
+    // timeout is the escape hatch that drops the dead subscription.
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    WireConn conn;
+    conn.out = std::make_shared<WireOut>();
+    conn.out->fd = fd;
+
     std::string buf;
     char chunk[4096];
     for (;;) {
@@ -330,6 +582,7 @@ DebugServer::serveWire(int fd)
         if (buf.size() > (1u << 20))
             break;
         size_t nl;
+        bool dead = false;
         while ((nl = buf.find('\n')) != std::string::npos) {
             std::string line = buf.substr(0, nl);
             buf.erase(0, nl + 1);
@@ -351,23 +604,32 @@ DebugServer::serveWire(int fd)
                     resp.seq = std::strtoull(line.c_str() + pos + 4,
                                              nullptr, 0);
             } else {
-                resp = handleWire(req, sel);
+                resp = handleWire(req, conn);
             }
             std::string out = encodeResponse(resp);
             if (opts_.verbose)
                 std::fprintf(stderr, "wire -> %s\n", out.c_str());
-            if (!sendAll(fd, out + "\n"))
-                return;
+            if (!conn.out->sendLine(out)) {
+                dead = true;
+                break;
+            }
         }
+        if (dead)
+            break;
     }
+    // Unregister the connection's sinks before the channel dies; a
+    // worker mid-deliver holds its own shared_ptr to the channel, so
+    // the write path stays valid (and merely fails) during teardown.
+    for (const auto &sub : conn.subs)
+        sub.first->removeSink(sub.second);
 }
 
 ServerStats
 DebugServer::stats() const
 {
     ServerStats s = manager_.stats();
-    s.slices = queue_.slicesRun();
-    s.workers = queue_.slots();
+    s.slices = sched_.slicesRun();
+    s.workers = sched_.workers();
     return s;
 }
 

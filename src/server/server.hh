@@ -16,11 +16,19 @@
  *    connection to any shared session in the table, session-list
  *    enumerates, and server-stats reports the rolled-up aggregates.
  *
- * Execution verbs from either protocol are driven through the
- * RunQueue, which bounds concurrent simulation and round-robins
- * runnable sessions in µop slices; everything else touches the
- * session directly (under its lock for shared wire sessions —
- * exclusive RSP sessions are single-client by construction).
+ * Every long-running operation from either protocol — forward resumes,
+ * reverse replays, post-attach rebuild-replays, interval-parallel
+ * replay workers — runs as a preemptible Job on the JobScheduler,
+ * which bounds concurrent simulation and round-robins runnable jobs in
+ * µop slices; everything else touches the session directly (under its
+ * lock for shared wire sessions — exclusive RSP sessions are
+ * single-client by construction).
+ *
+ * Typed-wire clients may `subscribe` to their selected session: every
+ * queued SessionEvent is then pushed as a server-initiated `event`
+ * line (ordered by queue seq) at job-slice and verb boundaries, so
+ * clients stop polling. RSP clients get the async analogue via
+ * non-stop `%Stop` notifications (src/rsp/).
  */
 
 #ifndef DISE_SERVER_SERVER_HH
@@ -31,8 +39,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
-#include "server/run_queue.hh"
+#include "server/job_scheduler.hh"
 #include "server/session_manager.hh"
 
 namespace dise::server {
@@ -43,7 +52,7 @@ struct DebugServerOptions
     uint16_t port = 0;
     /** Admission cap on concurrent sessions (0 = unlimited). */
     unsigned maxSessions = 8;
-    /** Concurrent execution slots (0 = hardware concurrency). */
+    /** Scheduler worker threads (0 = hardware concurrency). */
     unsigned slots = 0;
     /** Application instructions per execution slice. */
     uint64_t sliceInsts = 50000;
@@ -76,8 +85,8 @@ class DebugServer
     void stop();
 
     SessionManager &sessions() { return manager_; }
-    RunQueue &queue() { return queue_; }
-    /** Session rollups + run-queue counters, one snapshot. */
+    JobScheduler &scheduler() { return sched_; }
+    /** Session rollups + scheduler counters, one snapshot. */
     ServerStats stats() const;
     uint64_t connectionsServed() const
     {
@@ -85,17 +94,27 @@ class DebugServer
     }
 
   private:
+    /** Per-connection outbound line channel: responses and pushed
+     *  events interleave whole-line-atomically under one mutex. */
+    struct WireOut;
+    /** EventSink writing `event` lines onto a wire connection. */
+    class WireSink;
+    /** A wire connection's state: selected session + subscriptions. */
+    struct WireConn;
+
     void acceptLoop(int listenFd);
     void serveConnection(int fd);
     void serveRsp(int fd);
     void serveWire(int fd);
     /** One typed-wire request → one response, with connection-local
      *  session selection. */
-    Response handleWire(const Request &req, ManagedSessionPtr &sel);
+    Response handleWire(const Request &req, WireConn &conn);
+    Response driveSpecJob(ManagedSession &s, const Request &req);
+    Response driveReplayVerify(ManagedSession &s, const Request &req);
 
     DebugServerOptions opts_;
     SessionManager manager_;
-    RunQueue queue_;
+    JobScheduler sched_;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

@@ -93,6 +93,8 @@ SessionManager::destroy(uint64_t id)
     retiredUops_ += ms->uops.load(std::memory_order_relaxed);
     retiredInsts_ += ms->appInsts.load(std::memory_order_relaxed);
     retiredEvents_ += ms->events.load(std::memory_order_relaxed);
+    retiredJobs_ += ms->jobs.load(std::memory_order_relaxed);
+    retiredPushed_ += ms->eventsPushed.load(std::memory_order_relaxed);
     ++destroyed_;
     return true;
 }
@@ -129,11 +131,17 @@ SessionManager::stats() const
     s.totalUops = retiredUops_;
     s.totalAppInsts = retiredInsts_;
     s.totalEvents = retiredEvents_;
+    s.jobs = retiredJobs_;
+    s.eventsPushed = retiredPushed_;
     for (const auto &kv : sessions_) {
         const ManagedSession &ms = *kv.second;
         s.totalUops += ms.uops.load(std::memory_order_relaxed);
         s.totalAppInsts += ms.appInsts.load(std::memory_order_relaxed);
         s.totalEvents += ms.events.load(std::memory_order_relaxed);
+        s.jobs += ms.jobs.load(std::memory_order_relaxed);
+        s.eventsPushed +=
+            ms.eventsPushed.load(std::memory_order_relaxed);
+        s.subscribers += ms.subscriberCount();
     }
     return s;
 }

@@ -37,6 +37,18 @@
 
 namespace dise::server {
 
+/**
+ * Destination for pushed session events (one per subscribed
+ * connection). deliver() returning false drops the subscription — the
+ * hangup path for dead or hopelessly slow consumers.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+    virtual bool deliver(const SessionEvent &ev) = 0;
+};
+
 /** One hosted target plus the concurrency state the serving layer
  *  needs around it. */
 class ManagedSession
@@ -67,6 +79,10 @@ class ManagedSession
     std::atomic<uint64_t> appInsts{0};
     std::atomic<uint64_t> events{0};
     std::atomic<uint64_t> slices{0};
+    /** Preemptible jobs completed on this session. */
+    std::atomic<uint64_t> jobs{0};
+    /** Events delivered to subscribers. */
+    std::atomic<uint64_t> eventsPushed{0};
 
     /** Refresh the published counters from the session (call with
      *  exclusive session access, e.g. after a slice). */
@@ -79,6 +95,68 @@ class ManagedSession
         events.store(st.events, std::memory_order_relaxed);
     }
     ///@}
+
+    /** @name Async event push
+     * Subscribers receive every queued session event in delivery
+     * order. Drains happen wherever exclusive session access is
+     * already held (after each job slice and each wire verb), so the
+     * queue itself needs no extra locking; the sink list has its own
+     * mutex because subscribe/unsubscribe arrive from other
+     * connections' threads. Backpressure is the transport's: a slow
+     * subscriber blocks the pushing slice boundary until its socket
+     * drains or its send times out (then the sink reports failure and
+     * is dropped). */
+    ///@{
+    void
+    addSink(std::shared_ptr<EventSink> sink)
+    {
+        std::lock_guard<std::mutex> lk(sinkMu_);
+        sinks_.push_back(std::move(sink));
+    }
+
+    void
+    removeSink(const std::shared_ptr<EventSink> &sink)
+    {
+        std::lock_guard<std::mutex> lk(sinkMu_);
+        for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+            if (*it == sink) {
+                sinks_.erase(it);
+                return;
+            }
+        }
+    }
+
+    size_t
+    subscriberCount() const
+    {
+        std::lock_guard<std::mutex> lk(sinkMu_);
+        return sinks_.size();
+    }
+
+    /** Drain the event queue to the subscribers (call with exclusive
+     *  session access). With no subscribers the queue keeps
+     *  accumulating for in-process consumers, as before. */
+    void
+    pushEvents()
+    {
+        std::lock_guard<std::mutex> lk(sinkMu_);
+        if (sinks_.empty())
+            return;
+        for (const SessionEvent &ev : session.events().drain()) {
+            eventsPushed.fetch_add(1, std::memory_order_relaxed);
+            for (auto it = sinks_.begin(); it != sinks_.end();) {
+                if ((*it)->deliver(ev))
+                    ++it;
+                else
+                    it = sinks_.erase(it);
+            }
+        }
+    }
+    ///@}
+
+  private:
+    mutable std::mutex sinkMu_;
+    std::vector<std::shared_ptr<EventSink>> sinks_;
 };
 
 using ManagedSessionPtr = std::shared_ptr<ManagedSession>;
@@ -150,6 +228,8 @@ class SessionManager
     uint64_t retiredUops_ = 0;
     uint64_t retiredInsts_ = 0;
     uint64_t retiredEvents_ = 0;
+    uint64_t retiredJobs_ = 0;
+    uint64_t retiredPushed_ = 0;
 };
 
 /** The stock name → Program mapping ("demo" + the six synthetic

@@ -47,8 +47,9 @@ DebugSession::selectBackend(BackendKind kind)
 }
 
 int
-DebugSession::setWatch(const WatchSpec &spec)
+DebugSession::setWatchBegin(const WatchSpec &spec, bool &done)
 {
+    done = true;
     for (size_t i = 0; i < pendingWatches_.size(); ++i) {
         if (sameWatch(pendingWatches_[i], spec)) {
             int idx = static_cast<int>(i);
@@ -56,10 +57,11 @@ DebugSession::setWatch(const WatchSpec &spec)
             // it now takes a machinery rebuild like any new spec.
             if (attached() && watchInstalled_[i] < 0) {
                 mutedWatches_.erase(idx);
-                if (!reattachAndReplay()) {
+                if (!rebuildBegin()) {
                     mutedWatches_.insert(idx);
                     return -1;
                 }
+                done = !rebuild_.active;
                 return idx;
             }
             mutedWatches_.erase(idx);
@@ -71,10 +73,11 @@ DebugSession::setWatch(const WatchSpec &spec)
         // the enlarged set and replay to the current position. On
         // failure the original session is untouched.
         pendingWatches_.push_back(spec);
-        if (!reattachAndReplay()) {
+        if (!rebuildBegin()) {
             pendingWatches_.pop_back();
             return -1;
         }
+        done = !rebuild_.active;
         return static_cast<int>(pendingWatches_.size()) - 1;
     }
     pendingWatches_.push_back(spec);
@@ -82,17 +85,29 @@ DebugSession::setWatch(const WatchSpec &spec)
 }
 
 int
-DebugSession::setBreak(const BreakSpec &spec)
+DebugSession::setWatch(const WatchSpec &spec)
 {
+    bool done = false;
+    int idx = setWatchBegin(spec, done);
+    while (idx >= 0 && !done)
+        done = rebuildStep(0);
+    return idx;
+}
+
+int
+DebugSession::setBreakBegin(const BreakSpec &spec, bool &done)
+{
+    done = true;
     for (size_t i = 0; i < pendingBreaks_.size(); ++i) {
         if (sameBreak(pendingBreaks_[i], spec)) {
             int idx = static_cast<int>(i);
             if (attached() && breakInstalled_[i] < 0) {
                 mutedBreaks_.erase(idx);
-                if (!reattachAndReplay()) {
+                if (!rebuildBegin()) {
                     mutedBreaks_.insert(idx);
                     return -1;
                 }
+                done = !rebuild_.active;
                 return idx;
             }
             mutedBreaks_.erase(idx);
@@ -101,14 +116,25 @@ DebugSession::setBreak(const BreakSpec &spec)
     }
     if (attached()) {
         pendingBreaks_.push_back(spec);
-        if (!reattachAndReplay()) {
+        if (!rebuildBegin()) {
             pendingBreaks_.pop_back();
             return -1;
         }
+        done = !rebuild_.active;
         return static_cast<int>(pendingBreaks_.size()) - 1;
     }
     pendingBreaks_.push_back(spec);
     return static_cast<int>(pendingBreaks_.size()) - 1;
+}
+
+int
+DebugSession::setBreak(const BreakSpec &spec)
+{
+    bool done = false;
+    int idx = setBreakBegin(spec, done);
+    while (idx >= 0 && !done)
+        done = rebuildStep(0);
+    return idx;
 }
 
 bool
@@ -252,175 +278,315 @@ DebugSession::attach()
 }
 
 /**
- * The post-attach watch/break *addition* path: build fresh machinery
- * with the enlarged spec set, then restore-to-time-zero and replay the
- * session back to its current position. Stream positions (µops) shift
- * under different instrumentation, so the replay navigates by
- * instrumentation-invariant coordinates instead: logged pokes are
- * re-applied at their application-instruction stamps, and an
- * event-position park (a stop mid-expansion) is re-found as the
- * corresponding event — same (kind, pc, appInsts) occurrence — of the
- * rebuilt timeline. The new spec's past hits materialize on the event
- * queue as the replay re-crosses them. On any failure the live
- * session is left untouched.
+ * The stable identity of a mark across a machinery rebuild:
+ * session-level spec index (owner-translated — stable across
+ * re-installation) plus the event's data address. (kind, pc, appInsts)
+ * alone is ambiguous when a newly added spec fires on the very same
+ * instruction as the park event.
+ */
+void
+DebugSession::markDetail(const EventMark &mk, int &sessIdx,
+                         Addr &addr) const
+{
+    const DebugBackend &backend =
+        const_cast<Debugger &>(*debugger_).backend();
+    sessIdx = -1;
+    addr = 0;
+    if (mk.index < 0)
+        return;
+    size_t i = static_cast<size_t>(mk.index);
+    switch (mk.kind) {
+      case EventKind::Watch:
+        if (i < backend.watchEvents().size()) {
+            const WatchEvent &we = backend.watchEvents()[i];
+            sessIdx = we.wpIndex >= 0 &&
+                              static_cast<size_t>(we.wpIndex) <
+                                  installedWatchOwner_.size()
+                          ? installedWatchOwner_[we.wpIndex]
+                          : we.wpIndex;
+            addr = we.addr;
+        }
+        break;
+      case EventKind::Break:
+        if (i < backend.breakEvents().size()) {
+            const BreakEvent &be = backend.breakEvents()[i];
+            sessIdx = be.bpIndex >= 0 &&
+                              static_cast<size_t>(be.bpIndex) <
+                                  installedBreakOwner_.size()
+                          ? installedBreakOwner_[be.bpIndex]
+                          : be.bpIndex;
+        }
+        break;
+      case EventKind::Protection:
+        if (i < backend.protectionEvents().size())
+            addr = backend.protectionEvents()[i].addr;
+        break;
+    }
+}
+
+/**
+ * Re-apply one logged intervention on the rebuilt machinery. Journal
+ * entries are re-recorded in order, so the new log's index of an
+ * already-replayed entry equals its journal index — which is how a
+ * RemoveProduction re-targets the fresh engine id its AddProduction
+ * was assigned; a pre-session production is re-found by its stable
+ * pattern-table slot (the rebuilt engine ran the same prepare hook).
+ */
+void
+DebugSession::applyJournalEntry(const Intervention &iv)
+{
+    TimeTravel &tt = debugger_->timeTravel();
+    switch (iv.kind) {
+      case InterventionKind::PokeMemory:
+        tt.pokeMemory(iv.addr, iv.size, iv.value);
+        break;
+      case InterventionKind::PokeRegister:
+        tt.pokeRegister(iv.reg, iv.value);
+        break;
+      case InterventionKind::AddProduction:
+        tt.addProduction(iv.production);
+        break;
+      case InterventionKind::RemoveProduction: {
+        const auto &replayed = debugger_->replayLog().interventions;
+        ProductionId id =
+            iv.addIndex >= 0 &&
+                    static_cast<size_t>(iv.addIndex) < replayed.size()
+                ? replayed[iv.addIndex].engineId
+                : target_->engine.idAt(iv.slot);
+        DISE_ASSERT(id, "rebuild replay cannot re-target a logged "
+                        "production removal");
+        tt.removeProduction(id);
+        break;
+      }
+    }
+}
+
+/**
+ * Plan a post-attach rebuild-replay and perform its instantaneous
+ * part: capture the current position's instrumentation-invariant
+ * identity and the intervention journal, build fresh machinery with
+ * the enlarged spec set, and commit it. The replay back to the
+ * captured position is metered out by rebuildStep(). Returns false —
+ * leaving the live session untouched — when the target advanced
+ * through a non-replayable batch run or the backend cannot implement
+ * the enlarged set.
  */
 bool
-DebugSession::reattachAndReplay()
+DebugSession::rebuildBegin()
 {
     // A batch cycle-level/functional run advanced the target outside
     // the replayable timeline: there is no position to rebuild to.
     if (batchRan_)
         return false;
 
-    bool hadTravel = debugger_->timeTraveling();
-    bool parkedAtEvent = false, parkedAtHalt = false;
-    uint64_t targetInsts = 0;
-    EventMark parkMark{};
-    int parkOccurrence = 0;
-    int parkSessIdx = -1;
-    Addr parkAddr = 0;
-    std::vector<Intervention> journal;
-
-    // The stable identity of a mark across a machinery rebuild:
-    // session-level spec index (owner-translated — stable across
-    // re-installation) plus the event's data address. (kind, pc,
-    // appInsts) alone is ambiguous when a newly added spec fires on
-    // the very same instruction as the park event.
-    auto markDetail = [this](const EventMark &mk, int &sessIdx,
-                             Addr &addr) {
-        const DebugBackend &backend = debugger_->backend();
-        sessIdx = -1;
-        addr = 0;
-        if (mk.index < 0)
-            return;
-        size_t i = static_cast<size_t>(mk.index);
-        switch (mk.kind) {
-          case EventKind::Watch:
-            if (i < backend.watchEvents().size()) {
-                const WatchEvent &we = backend.watchEvents()[i];
-                sessIdx = we.wpIndex >= 0 &&
-                                  static_cast<size_t>(we.wpIndex) <
-                                      installedWatchOwner_.size()
-                              ? installedWatchOwner_[we.wpIndex]
-                              : we.wpIndex;
-                addr = we.addr;
-            }
-            break;
-          case EventKind::Break:
-            if (i < backend.breakEvents().size()) {
-                const BreakEvent &be = backend.breakEvents()[i];
-                sessIdx = be.bpIndex >= 0 &&
-                                  static_cast<size_t>(be.bpIndex) <
-                                      installedBreakOwner_.size()
-                              ? installedBreakOwner_[be.bpIndex]
-                              : be.bpIndex;
-            }
-            break;
-          case EventKind::Protection:
-            if (i < backend.protectionEvents().size())
-                addr = backend.protectionEvents()[i].addr;
-            break;
-        }
-    };
-
-    if (hadTravel) {
+    rebuild_ = RebuildPlan{};
+    rebuild_.hadTravel = debugger_->timeTraveling();
+    if (rebuild_.hadTravel) {
         TimeTravel &tt = debugger_->timeTravel();
         const ReplayLog &log = debugger_->replayLog();
-        targetInsts = tt.appInsts();
-        parkedAtHalt = tt.halted();
+        rebuild_.targetInsts = tt.appInsts();
+        rebuild_.parkedAtHalt = tt.halted();
         // A session stopped on an event sits mid-instruction (inside
         // the detecting expansion), below app-instruction resolution.
         size_t cur = tt.eventsSoFar();
-        if (!parkedAtHalt && cur > 0 &&
+        if (!rebuild_.parkedAtHalt && cur > 0 &&
             log.marks[cur - 1].time == tt.time()) {
-            parkedAtEvent = true;
-            parkMark = log.marks[cur - 1];
-            markDetail(parkMark, parkSessIdx, parkAddr);
+            rebuild_.parkedAtEvent = true;
+            rebuild_.parkMark = log.marks[cur - 1];
+            markDetail(rebuild_.parkMark, rebuild_.parkSessIdx,
+                       rebuild_.parkAddr);
             for (size_t i = 0; i + 1 < cur; ++i) {
                 const EventMark &mk = log.marks[i];
-                if (mk.kind != parkMark.kind ||
-                    mk.pc != parkMark.pc ||
-                    mk.appInsts != parkMark.appInsts)
+                if (mk.kind != rebuild_.parkMark.kind ||
+                    mk.pc != rebuild_.parkMark.pc ||
+                    mk.appInsts != rebuild_.parkMark.appInsts)
                     continue;
                 int si = -1;
                 Addr ad = 0;
                 markDetail(mk, si, ad);
-                if (si == parkSessIdx && ad == parkAddr)
-                    ++parkOccurrence;
+                if (si == rebuild_.parkSessIdx &&
+                    ad == rebuild_.parkAddr)
+                    ++rebuild_.parkOccurrence;
             }
         }
         for (const Intervention &iv : log.interventions) {
             if (iv.time > tt.time())
                 break; // truncated future
-            // DISE-table mutations (escape-hatch users) cannot be
-            // re-targeted onto a fresh engine: refuse the rebuild
-            // rather than replay an incomplete history.
-            if (iv.kind == InterventionKind::AddProduction ||
-                iv.kind == InterventionKind::RemoveProduction)
+            // A poke recorded at an INTERIOR event park (the client
+            // parked mid-expansion, poked, and then ran on) has no
+            // instrumentation-invariant coordinate: re-applying it at
+            // the enclosing boundary could change what the parked
+            // instruction's remaining µops read and silently fork the
+            // replay. Refuse the rebuild; pokes at the CURRENT park
+            // re-apply exactly (phase 3, after the park is re-found).
+            if (iv.atEventPark &&
+                !(rebuild_.parkedAtEvent && iv.time == tt.time())) {
+                rebuild_ = RebuildPlan{};
                 return false;
-            journal.push_back(iv);
+            }
+            rebuild_.journal.push_back(iv);
         }
     }
 
     Machinery m;
-    if (!buildMachinery(m))
+    if (!buildMachinery(m)) {
+        rebuild_ = RebuildPlan{};
         return false;
+    }
     commitMachinery(m);
 
-    if (!hadTravel)
-        return true;
+    if (!rebuild_.hadTravel)
+        return true; // nothing to replay; rebuild_ stays inactive
 
-    TimeTravel &tt = debugger_->timeTravel(opts_.timeTravel);
-    for (const Intervention &iv : journal) {
-        if (iv.appInsts > tt.appInsts())
-            tt.stepi(iv.appInsts - tt.appInsts());
-        if (iv.kind == InterventionKind::PokeMemory)
-            tt.pokeMemory(iv.addr, iv.size, iv.value);
-        else
-            tt.pokeRegister(iv.reg, iv.value);
+    debugger_->timeTravel(opts_.timeTravel);
+    rebuild_.active = true;
+    return true;
+}
+
+/**
+ * Advance the rebuild-replay by up to @p maxInsts application
+ * instructions (0 = run to completion). Stream positions (µops) shift
+ * under different instrumentation, so the replay navigates by
+ * instrumentation-invariant coordinates: journal entries are
+ * re-applied at their application-instruction stamps (pokes recorded
+ * *at* the original event park re-apply after the park is re-found),
+ * and an event-position park is re-found as the corresponding event —
+ * same (kind, pc, appInsts, owner, address) occurrence — of the
+ * rebuilt timeline. The new spec's past hits materialize on the event
+ * queue as the replay re-crosses them. Returns true when the session
+ * is back at its position.
+ */
+bool
+DebugSession::rebuildStep(uint64_t maxInsts)
+{
+    if (!rebuild_.active)
+        return true;
+    TimeTravel &tt = debugger_->timeTravel();
+    uint64_t used = 0;
+    auto budgetLeft = [&]() -> uint64_t {
+        if (!maxInsts)
+            return ~uint64_t{0};
+        return maxInsts > used ? maxInsts - used : 0;
+    };
+    // Run exactly @p need instructions (bounded by the budget);
+    // returns false when the budget expired first.
+    auto boundedStepi = [&](uint64_t need) {
+        while (need) {
+            uint64_t n = std::min(need, budgetLeft());
+            if (n == 0)
+                return false;
+            uint64_t before = tt.appInsts();
+            tt.stepi(n);
+            uint64_t ran = tt.appInsts() - before;
+            DISE_ASSERT(ran > 0, "rebuild replay made no progress at ",
+                        tt.appInsts(), " insts");
+            used += ran;
+            need -= std::min(need, ran);
+        }
+        return true;
+    };
+
+    // Phase 1: journal entries at their app-inst stamps. Entries
+    // recorded while parked on the final event stop wait for phase 3.
+    while (rebuild_.nextJournal < rebuild_.journal.size()) {
+        const Intervention &iv =
+            rebuild_.journal[rebuild_.nextJournal];
+        if (rebuild_.parkedAtEvent && iv.atEventPark &&
+            iv.appInsts >= rebuild_.targetInsts)
+            break;
+        if (iv.appInsts > tt.appInsts() &&
+            !boundedStepi(iv.appInsts - tt.appInsts()))
+            return false;
+        applyJournalEntry(iv);
+        ++rebuild_.nextJournal;
     }
-    if (parkedAtHalt) {
-        tt.runToEnd();
-    } else if (parkedAtEvent) {
+
+    // Phase 2: navigate back to the captured position.
+    if (rebuild_.parkedAtHalt) {
+        while (!tt.halted()) {
+            uint64_t chunk =
+                std::min<uint64_t>(budgetLeft(), uint64_t{1} << 30);
+            if (chunk == 0)
+                return false;
+            uint64_t before = tt.appInsts();
+            tt.stepi(chunk);
+            DISE_ASSERT(tt.halted() || tt.appInsts() > before,
+                        "rebuild replay made no progress toward halt");
+            used += tt.appInsts() - before;
+        }
+    } else if (rebuild_.parkedAtEvent) {
+        // Occurrence matching starts at the post-journal frontier
+        // (events crossed while re-applying the journal precede the
+        // positions the park occurrence count was taken over).
+        if (!rebuild_.scanInit) {
+            rebuild_.scanned = tt.eventsSoFar();
+            rebuild_.scanInit = true;
+        }
         // Run event to event until the occurrence shows up; the new
         // spec's own hits pass by (and get announced) on the way.
-        size_t scanned = tt.eventsSoFar();
-        int occurrence = 0;
-        bool parked = false;
-        while (!parked) {
-            StopInfo stop = tt.cont();
+        while (!rebuild_.parked) {
+            uint64_t chunk =
+                std::min<uint64_t>(budgetLeft(), uint64_t{1} << 30);
+            if (chunk == 0)
+                return false;
+            uint64_t before = tt.appInsts();
+            StopInfo stop = tt.contTo(tt.appInsts() + chunk);
+            used += tt.appInsts() - before;
             const auto &marks = debugger_->replayLog().marks;
-            for (; scanned < tt.eventsSoFar(); ++scanned) {
-                const EventMark &mk = marks[scanned];
-                if (mk.kind != parkMark.kind ||
-                    mk.pc != parkMark.pc ||
-                    mk.appInsts != parkMark.appInsts)
+            for (; rebuild_.scanned < tt.eventsSoFar();
+                 ++rebuild_.scanned) {
+                const EventMark &mk = marks[rebuild_.scanned];
+                if (mk.kind != rebuild_.parkMark.kind ||
+                    mk.pc != rebuild_.parkMark.pc ||
+                    mk.appInsts != rebuild_.parkMark.appInsts)
                     continue;
                 // Same full identity (the owner translation works on
                 // the NEW maps here; session indices are stable).
                 int si = -1;
                 Addr ad = 0;
                 markDetail(mk, si, ad);
-                if (si != parkSessIdx || ad != parkAddr)
+                if (si != rebuild_.parkSessIdx ||
+                    ad != rebuild_.parkAddr)
                     continue;
-                if (occurrence++ == parkOccurrence) {
-                    parked = true;
+                if (rebuild_.occurrence++ == rebuild_.parkOccurrence) {
+                    rebuild_.parked = true;
                     break;
                 }
             }
-            DISE_ASSERT(parked || stop.reason == StopReason::Event,
+            DISE_ASSERT(rebuild_.parked ||
+                            stop.reason == StopReason::Event ||
+                            stop.reason == StopReason::Step,
                         "rebuild replay lost its event position (",
-                        eventKindName(parkMark.kind), " at pc=0x",
-                        std::hex, parkMark.pc, std::dec, ", ",
-                        parkMark.appInsts, " insts)");
+                        eventKindName(rebuild_.parkMark.kind),
+                        " at pc=0x", std::hex, rebuild_.parkMark.pc,
+                        std::dec, ", ", rebuild_.parkMark.appInsts,
+                        " insts)");
         }
-    } else if (targetInsts > tt.appInsts()) {
-        tt.stepi(targetInsts - tt.appInsts());
+    } else if (rebuild_.targetInsts > tt.appInsts()) {
+        if (!boundedStepi(rebuild_.targetInsts - tt.appInsts()))
+            return false;
     }
-    DISE_ASSERT(tt.appInsts() == targetInsts,
+
+    // Phase 3: pokes recorded at the re-found event park.
+    while (rebuild_.nextJournal < rebuild_.journal.size())
+        applyJournalEntry(rebuild_.journal[rebuild_.nextJournal++]);
+
+    DISE_ASSERT(tt.appInsts() == rebuild_.targetInsts,
                 "rebuild replay fell short: at ", tt.appInsts(),
-                " insts, wanted ", targetInsts);
+                " insts, wanted ", rebuild_.targetInsts);
     pumpEvents();
+    rebuild_.active = false;
+    return true;
+}
+
+/** The one-shot rebuild: plan, then replay to completion. */
+bool
+DebugSession::reattachAndReplay()
+{
+    if (!rebuildBegin())
+        return false;
+    while (!rebuildStep(0)) {
+    }
     return true;
 }
 
@@ -692,34 +858,140 @@ DebugSession::runToEnd()
     return stop;
 }
 
+/**
+ * Muted events must not surface from a reverse-continue: when a sliced
+ * travel finishes on one, transparently begin another travel further
+ * into the past (the non-sliced verbs relied on a retry loop; the
+ * sliced form restarts inside the same job).
+ */
+StopInfo
+DebugSession::restartMutedReverse(StopInfo stop, bool &done)
+{
+    if (sliceVerb_ != RequestKind::ReverseContinue)
+        return stop;
+    TimeTravel &tt = debugger_->timeTravel();
+    while (done && stop.reason == StopReason::Event &&
+           stopIsMuted(stop)) {
+        stop = tt.travelBegin(TravelVerb::ReverseContinue, 0, done);
+        pumpEvents();
+    }
+    return stop;
+}
+
+StopInfo
+DebugSession::reverseBegin(RequestKind kind, uint64_t count, bool &done)
+{
+    DISE_ASSERT(kind == RequestKind::ReverseContinue ||
+                    kind == RequestKind::ReverseStep ||
+                    kind == RequestKind::RunToEvent,
+                "not a sliced reverse verb");
+    TimeTravel &tt = ensureTravel();
+    sliceVerb_ = kind;
+    TravelVerb verb = kind == RequestKind::ReverseContinue
+                          ? TravelVerb::ReverseContinue
+                          : kind == RequestKind::ReverseStep
+                                ? TravelVerb::ReverseStep
+                                : TravelVerb::RunToEvent;
+    StopInfo stop = tt.travelBegin(verb, count, done);
+    pumpEvents();
+    if (done)
+        stop = restartMutedReverse(stop, done);
+    return stop;
+}
+
+StopInfo
+DebugSession::reverseSlice(uint64_t maxInsts, bool &done)
+{
+    DISE_ASSERT(debugger_ && debugger_->timeTraveling(),
+                "reverseSlice() without reverseBegin()");
+    TimeTravel &tt = debugger_->timeTravel();
+    StopInfo stop = tt.travelStep(maxInsts, done);
+    pumpEvents();
+    if (done)
+        stop = restartMutedReverse(stop, done);
+    return stop;
+}
+
 StopInfo
 DebugSession::reverseContinue()
 {
-    TimeTravel &tt = ensureTravel();
-    StopInfo stop;
-    do {
-        stop = tt.reverseContinue();
-        pumpEvents();
-    } while (stop.reason == StopReason::Event && stopIsMuted(stop));
+    bool done = false;
+    StopInfo stop = reverseBegin(RequestKind::ReverseContinue, 0, done);
+    while (!done)
+        stop = reverseSlice(0, done);
     return stop;
 }
 
 StopInfo
 DebugSession::reverseStep(uint64_t n)
 {
-    TimeTravel &tt = ensureTravel();
-    StopInfo stop = tt.reverseStep(n);
-    pumpEvents();
+    bool done = false;
+    StopInfo stop = reverseBegin(RequestKind::ReverseStep, n, done);
+    while (!done)
+        stop = reverseSlice(0, done);
     return stop;
 }
 
 StopInfo
 DebugSession::runToEvent(uint64_t n)
 {
-    TimeTravel &tt = ensureTravel();
-    StopInfo stop = tt.runToEvent(static_cast<size_t>(n));
-    pumpEvents();
+    bool done = false;
+    StopInfo stop = reverseBegin(RequestKind::RunToEvent, n, done);
+    while (!done)
+        stop = reverseSlice(0, done);
     return stop;
+}
+
+std::unique_ptr<IntervalReplay>
+DebugSession::beginIntervalReplay()
+{
+    if (!attached() || !debugger_->timeTraveling() || batchRan_)
+        return nullptr;
+    // Each interval worker gets machinery built exactly the way this
+    // session's was (same specs, same initial-state pokes, same
+    // prepare hook), so its replay is bit-deterministic against the
+    // live timeline.
+    IntervalReplay::ReplicaFactory factory =
+        [this](std::unique_ptr<DebugTarget> &t,
+               std::unique_ptr<Debugger> &d) {
+            Machinery m;
+            if (!buildMachinery(m))
+                return false;
+            t = std::move(m.target);
+            d = std::move(m.debugger);
+            return true;
+        };
+    return std::make_unique<IntervalReplay>(
+        debugger_->timeTravel(), *target_, debugger_->backend(),
+        debugger_->replayLog(), std::move(factory),
+        IntervalReplay::Options{});
+}
+
+IntervalReplay::Report
+DebugSession::verifyReplay(unsigned workers)
+{
+    std::unique_ptr<IntervalReplay> ir = beginIntervalReplay();
+    if (!ir) {
+        IntervalReplay::Report r;
+        r.error = "no replayable timeline (attach and run first, and "
+                  "batch runs cannot be reconstructed)";
+        return r;
+    }
+    return ir->run(workers);
+}
+
+StopInfo
+DebugSession::currentStop()
+{
+    StopInfo s;
+    s.reason = StopReason::Step;
+    if (debugger_ && debugger_->timeTraveling()) {
+        TimeTravel &tt = debugger_->timeTravel();
+        s.time = tt.time();
+        s.appInsts = tt.appInsts();
+        s.pc = target_->arch.pc;
+    }
+    return s;
 }
 
 RunStats
@@ -1042,11 +1314,25 @@ DebugSession::dispatch(const Request &req)
       case RequestKind::Detach:
         detach();
         return resp;
+      case RequestKind::ReplayVerify: {
+        IntervalReplay::Report rep = verifyReplay(
+            static_cast<unsigned>(req.count ? req.count : 1));
+        if (!rep.ok)
+            return errorOut(rep.error.empty()
+                                ? "replay verification failed"
+                                : rep.error);
+        resp.value = rep.finalDigest;
+        for (const IntervalReplay::Interval &iv : rep.intervals)
+            resp.regs.push_back(iv.endDigest);
+        return resp;
+      }
       case RequestKind::SessionCreate:
       case RequestKind::SessionSelect:
       case RequestKind::SessionDestroy:
       case RequestKind::SessionList:
       case RequestKind::ServerStats:
+      case RequestKind::Subscribe:
+      case RequestKind::Unsubscribe:
         return errorOut("session management verbs are handled by the "
                         "multi-session server, not a session");
     }

@@ -40,6 +40,7 @@
 
 #include "debug/debugger.hh"
 #include "debug/target.hh"
+#include "replay/interval_replay.hh"
 #include "session/event_queue.hh"
 #include "session/protocol.hh"
 
@@ -108,7 +109,7 @@ class DebugSession
     StopInfo cont();
     /** cont() bounded to @p maxInsts application instructions: stops
      *  with reason Step when the quantum expires before any unmuted
-     *  event. The multi-session run-queue's slicing primitive. */
+     *  event. The job scheduler's forward slicing primitive. */
     StopInfo contSlice(uint64_t maxInsts);
     StopInfo stepi(uint64_t n = 1);
     StopInfo runToEnd();
@@ -116,6 +117,50 @@ class DebugSession
     StopInfo reverseStep(uint64_t n = 1);
     StopInfo runToEvent(uint64_t n);
     ///@}
+
+    /** @name Sliced reverse execution (job-scheduler primitives)
+     * A reverse verb as a preemptible job: reverseBegin() performs the
+     * cheap restore; reverseSlice() replays bounded quanta until done.
+     * Mute filtering matches the one-shot verbs (a muted event restarts
+     * the travel transparently). The one-shot verbs above are
+     * begin + slice(0) loops. */
+    ///@{
+    StopInfo reverseBegin(RequestKind kind, uint64_t count, bool &done);
+    StopInfo reverseSlice(uint64_t maxInsts, bool &done);
+    ///@}
+
+    /** @name Sliced post-attach spec addition (rebuild-replay job)
+     * setWatchBegin/setBreakBegin validate, rebuild the machinery with
+     * the enlarged set, and prepare the deterministic replay back to
+     * the current position; rebuildStep() advances that replay in
+     * bounded quanta. Returns the spec index (or -1: refused, session
+     * untouched); when @p done comes back false, drive rebuildStep()
+     * to completion before issuing other verbs. setWatch()/setBreak()
+     * are begin + step(0) loops. */
+    ///@{
+    int setWatchBegin(const WatchSpec &spec, bool &done);
+    int setBreakBegin(const BreakSpec &spec, bool &done);
+    bool rebuildStep(uint64_t maxInsts);
+    bool rebuildActive() const { return rebuild_.active; }
+    ///@}
+
+    /**
+     * Interval-parallel reconstruction of the explored timeline on
+     * share-nothing replicas (replay/interval_replay.hh): every
+     * checkpoint interval is replayed independently and the results
+     * are stitched by digest. The returned report's finalDigest must
+     * equal digest() bit-for-bit — the determinism proof a client can
+     * ask for over the wire (replay-verify).
+     */
+    IntervalReplay::Report verifyReplay(unsigned workers);
+    /** The underlying plan, for callers that schedule the interval
+     *  workers themselves (the server fans them out as sibling jobs).
+     *  Null when there is no replayable timeline. */
+    std::unique_ptr<IntervalReplay> beginIntervalReplay();
+
+    /** Position-only stop record for the current state (reports an
+     *  interrupted job's landing point). */
+    StopInfo currentStop();
 
     /** @name One-shot batch runs (no time-travel session)
      * The harness' cycle-level measurement path. Mutually exclusive
@@ -187,12 +232,38 @@ class DebugSession
         std::vector<int> installedBreakOwner;
     };
 
+    /** Resumable state of a post-attach rebuild-replay. */
+    struct RebuildPlan
+    {
+        bool active = false;
+        bool hadTravel = false;
+        bool parkedAtEvent = false;
+        bool parkedAtHalt = false;
+        uint64_t targetInsts = 0;
+        EventMark parkMark{};
+        int parkOccurrence = 0;
+        int parkSessIdx = -1;
+        Addr parkAddr = 0;
+        std::vector<Intervention> journal;
+        size_t nextJournal = 0;
+        /** Event-occurrence scan cursor over the rebuilt timeline
+         *  (initialized once the journal is fully re-applied). */
+        size_t scanned = 0;
+        bool scanInit = false;
+        int occurrence = 0;
+        bool parked = false;
+    };
+
     DebugTarget &ensurePeekTarget();
     bool ensureAttached();
     TimeTravel &ensureTravel();
     bool buildMachinery(Machinery &m);
     void commitMachinery(Machinery &m);
     bool reattachAndReplay();
+    bool rebuildBegin();
+    void applyJournalEntry(const Intervention &iv);
+    void markDetail(const EventMark &mk, int &sessIdx, Addr &addr) const;
+    StopInfo restartMutedReverse(StopInfo stop, bool &done);
     void pumpEvents();
     const EventMark *findMark(EventKind kind, int index);
     bool stopIsMuted(const StopInfo &stop) const;
@@ -226,6 +297,10 @@ class DebugSession
     std::vector<int> breakInstalled_;
     std::vector<int> installedWatchOwner_;
     std::vector<int> installedBreakOwner_;
+
+    RebuildPlan rebuild_;
+    /** Verb of the in-flight sliced reverse (mute-restart policy). */
+    RequestKind sliceVerb_ = RequestKind::Ping;
 
     EventQueue events_;
     /** Circular-scan hint into the replay log's mark list (used to

@@ -39,11 +39,14 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::WriteMemory, "write-memory"},
     {RequestKind::Stats, "stats"},
     {RequestKind::Detach, "detach"},
+    {RequestKind::ReplayVerify, "replay-verify"},
     {RequestKind::SessionCreate, "session-create"},
     {RequestKind::SessionSelect, "session-select"},
     {RequestKind::SessionDestroy, "session-destroy"},
     {RequestKind::SessionList, "session-list"},
     {RequestKind::ServerStats, "server-stats"},
+    {RequestKind::Subscribe, "subscribe"},
+    {RequestKind::Unsubscribe, "unsubscribe"},
 };
 
 struct BackendToken
@@ -410,6 +413,7 @@ encodeRequest(const Request &req)
       case RequestKind::Stepi:
       case RequestKind::ReverseStep:
       case RequestKind::RunToEvent:
+      case RequestKind::ReplayVerify:
         w.num("count", req.count);
         break;
       case RequestKind::ReadMemory:
@@ -505,6 +509,7 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
       case RequestKind::Stepi:
       case RequestKind::ReverseStep:
       case RequestKind::RunToEvent:
+      case RequestKind::ReplayVerify:
         r.num("count", req.count);
         break;
       case RequestKind::ReadMemory:
@@ -643,9 +648,12 @@ encodeResponse(const Response &resp)
         w.num("sv.max", resp.server.maxSessions);
         w.num("sv.workers", resp.server.workers);
         w.num("sv.slices", resp.server.slices);
+        w.num("sv.jobs", resp.server.jobs);
         w.num("sv.uops", resp.server.totalUops);
         w.num("sv.insts", resp.server.totalAppInsts);
         w.num("sv.events", resp.server.totalEvents);
+        w.num("sv.pushed", resp.server.eventsPushed);
+        w.num("sv.subs", resp.server.subscribers);
     }
     return w.str();
 }
@@ -718,9 +726,12 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("sv.max", resp.server.maxSessions);
         r.num("sv.workers", resp.server.workers);
         r.num("sv.slices", resp.server.slices);
+        r.num("sv.jobs", resp.server.jobs);
         r.num("sv.uops", resp.server.totalUops);
         r.num("sv.insts", resp.server.totalAppInsts);
         r.num("sv.events", resp.server.totalEvents);
+        r.num("sv.pushed", resp.server.eventsPushed);
+        r.num("sv.subs", resp.server.subscribers);
     }
     return true;
 }

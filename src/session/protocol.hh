@@ -55,6 +55,8 @@ enum class RequestKind : uint8_t {
     WriteMemory,     ///< poke bytes (logged intervention)
     Stats,           ///< session statistics snapshot
     Detach,          ///< end the session
+    ReplayVerify,    ///< interval-parallel timeline reconstruction
+                     ///< (count = worker hint); value = state digest
 
     // Multi-session verbs, handled by the server front end
     // (src/server/), never by a DebugSession itself.
@@ -63,6 +65,8 @@ enum class RequestKind : uint8_t {
     SessionDestroy, ///< tear a session down (even mid-run)
     SessionList,    ///< ids of every live session
     ServerStats,    ///< server-level aggregate statistics
+    Subscribe,      ///< push this session's events to the connection
+    Unsubscribe,    ///< stop pushing
 };
 
 const char *requestKindName(RequestKind kind);
@@ -116,7 +120,7 @@ struct SessionStats
 
 /** Server-level aggregates (ServerStats request): per-session stats
  *  rolled up across every live session plus totals retired by
- *  destroyed ones, and the run-queue / admission counters. */
+ *  destroyed ones, and the scheduler / admission counters. */
 struct ServerStats
 {
     uint64_t activeSessions = 0;
@@ -125,11 +129,14 @@ struct ServerStats
     uint64_t destroyed = 0;
     uint64_t rejected = 0;    ///< admission-cap rejections
     uint64_t maxSessions = 0; ///< admission cap (0 = unlimited)
-    uint64_t workers = 0;     ///< run-queue worker threads
+    uint64_t workers = 0;     ///< scheduler worker threads
     uint64_t slices = 0;      ///< bounded execution slices run
+    uint64_t jobs = 0;        ///< preemptible jobs completed
     uint64_t totalUops = 0;   ///< µops executed, all sessions ever
     uint64_t totalAppInsts = 0;
     uint64_t totalEvents = 0;
+    uint64_t eventsPushed = 0; ///< events delivered to subscribers
+    uint64_t subscribers = 0;  ///< live event subscriptions
 };
 
 /** One debug-session response. */

@@ -14,7 +14,9 @@
 #include "cpu/loader.hh"
 #include "debug/debugger.hh"
 #include "isa/encoding.hh"
+#include "replay/interval_replay.hh"
 #include "replay/time_travel.hh"
+#include "session/debug_session.hh"
 #include "workloads/workload.hh"
 
 namespace dise {
@@ -403,6 +405,197 @@ TEST(Replay, RestoreInvalidatesStaleDecodes)
     s.tt().reverseStep(end2.appInsts);
     s.tt().runToEnd();
     EXPECT_EQ(s.tt().digest(), d1);
+}
+
+// ------------------------------------------------------- sliced travel
+
+TEST(SlicedTravel, BoundedQuantaMatchOneShotReverseContinue)
+{
+    // The same reverse-continue, one driven in tiny preemptible quanta
+    // (the job scheduler's view), must land on the identical stop and
+    // state as the one-shot verb.
+    Session a(BackendKind::Dise), b(BackendKind::Dise);
+    a.tt().runToEnd();
+    b.tt().runToEnd();
+    ASSERT_GE(a.tt().eventCount(), 2u);
+
+    StopInfo ref = a.tt().reverseContinue();
+    bool done = false;
+    StopInfo got = b.tt().travelBegin(TravelVerb::ReverseContinue, 0,
+                                      done);
+    unsigned slices = 0;
+    while (!done) {
+        got = b.tt().travelStep(25, done);
+        ++slices;
+    }
+    EXPECT_EQ(got.reason, ref.reason);
+    EXPECT_EQ(got.eventIndex, ref.eventIndex);
+    EXPECT_EQ(got.time, ref.time);
+    EXPECT_EQ(got.pc, ref.pc);
+    EXPECT_EQ(a.tt().digest(), b.tt().digest());
+    // Interim quanta reported Step, never a user-visible stop.
+    EXPECT_GE(slices, 1u);
+
+    // reverse-step and run-to-event slice identically.
+    StopInfo refStep = a.tt().reverseStep(40);
+    got = b.tt().travelBegin(TravelVerb::ReverseStep, 40, done);
+    while (!done)
+        got = b.tt().travelStep(15, done);
+    EXPECT_EQ(got.time, refStep.time);
+    EXPECT_EQ(a.tt().digest(), b.tt().digest());
+
+    size_t lastEvent = a.tt().eventCount() - 1;
+    StopInfo refEvt = a.tt().runToEvent(lastEvent);
+    got = b.tt().travelBegin(TravelVerb::RunToEvent, lastEvent, done);
+    while (!done)
+        got = b.tt().travelStep(30, done);
+    EXPECT_EQ(got.reason, StopReason::Event);
+    EXPECT_EQ(got.time, refEvt.time);
+    EXPECT_EQ(a.tt().digest(), b.tt().digest());
+}
+
+TEST(SlicedTravel, AbandonedTravelLeavesAValidPosition)
+{
+    // An interrupted job stops mid-travel; the session must be usable
+    // (and deterministic) from the intermediate position.
+    Session s(BackendKind::Dise);
+    StopInfo end = s.tt().runToEnd();
+    uint64_t endDigest = s.tt().digest();
+
+    bool done = false;
+    s.tt().travelBegin(TravelVerb::ReverseStep, end.appInsts - 2, done);
+    if (!done)
+        s.tt().travelStep(1, done); // one tiny quantum, then abandon
+    StopInfo resumed = s.tt().runToEnd(); // new verb cancels the travel
+    EXPECT_EQ(resumed.reason, StopReason::Halted);
+    EXPECT_EQ(resumed.time, end.time);
+    EXPECT_EQ(s.tt().digest(), endDigest);
+}
+
+// ------------------------------------------------- pokes at event parks
+
+TEST(Replay, PokeAtEventStopIsRecordedAndReplayed)
+{
+    // A gdb user writing memory at a watchpoint stop: the session sits
+    // mid-expansion (an event park), which used to be refused. The
+    // poke must apply, be recorded at its exact µop time, and replay
+    // deterministically across reverse travel.
+    Session s(BackendKind::Dise);
+    StopInfo hit = s.tt().cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+
+    Addr scratch = s.target.symbol("directory") + 64;
+    s.tt().pokeMemory(scratch, 8, 0xfeedface);
+    EXPECT_EQ(s.target.mem.read(scratch, 8), 0xfeedfaceu);
+
+    // Travel across the poke and back: the intervention re-applies at
+    // the park's exact stream position.
+    StopInfo later = s.tt().stepi(100);
+    ASSERT_GT(later.time, hit.time);
+    EXPECT_EQ(s.target.mem.read(scratch, 8), 0xfeedfaceu);
+    StopInfo backAtPark = s.tt().runToEvent(hit.eventIndex);
+    EXPECT_EQ(backAtPark.time, hit.time);
+    EXPECT_EQ(s.target.mem.read(scratch, 8), 0xfeedfaceu);
+    StopInfo before = s.tt().reverseStep(5);
+    ASSERT_LT(before.time, hit.time);
+    EXPECT_NE(s.target.mem.read(scratch, 8), 0xfeedfaceu);
+    StopInfo again = s.tt().runToEvent(hit.eventIndex);
+    EXPECT_EQ(again.time, hit.time);
+    EXPECT_EQ(s.target.mem.read(scratch, 8), 0xfeedfaceu);
+
+    // Arbitrary mid-expansion positions (not an event park) stay
+    // refused — there is no client-visible way to reach them anyway.
+    // (Covered by the atBoundary assert; nothing to drive here.)
+}
+
+// ------------------------------------------- interval-parallel replay
+
+class AllBackendsIntervalReplay
+    : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(AllBackendsIntervalReplay, ParallelDigestsMatchSerialAndLive)
+{
+    // Reconstruct the explored timeline as independent checkpoint
+    // intervals on share-nothing replicas: serial (1 worker) and
+    // parallel (2 and 4 workers) must produce bit-identical stitched
+    // digests, equal to the live session's own digest.
+    SessionOptions so;
+    so.debugger.backend = GetParam();
+    so.timeTravel.checkpointInterval = 300;
+    DebugSession s(buildHeisenbugDemo(), so);
+    Program demo = buildHeisenbugDemo();
+    s.setWatch(WatchSpec::scalar("directory", demo.symbol("directory"),
+                                 8));
+    StopInfo hit = s.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+    StopInfo end = s.runToEnd();
+    ASSERT_EQ(end.reason, StopReason::Halted);
+
+    IntervalReplay::Report serial = s.verifyReplay(1);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    EXPECT_GT(serial.intervals.size(), 3u)
+        << "timeline should span several checkpoint intervals";
+    EXPECT_EQ(serial.finalDigest, s.digest());
+    EXPECT_GT(serial.marksVerified, 0u);
+
+    for (unsigned workers : {2u, 4u}) {
+        IntervalReplay::Report par = s.verifyReplay(workers);
+        ASSERT_TRUE(par.ok) << par.error;
+        EXPECT_EQ(par.finalDigest, serial.finalDigest);
+        EXPECT_EQ(par.marksVerified, serial.marksVerified);
+        ASSERT_EQ(par.intervals.size(), serial.intervals.size());
+        for (size_t i = 0; i < par.intervals.size(); ++i)
+            EXPECT_EQ(par.intervals[i].endDigest,
+                      serial.intervals[i].endDigest)
+                << "interval " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AllBackendsIntervalReplay,
+    ::testing::Values(BackendKind::Dise, BackendKind::SingleStep,
+                      BackendKind::VirtualMemory,
+                      BackendKind::HardwareReg, BackendKind::Rewrite),
+    [](const ::testing::TestParamInfo<BackendKind> &info) {
+        switch (info.param) {
+          case BackendKind::Dise: return "dise";
+          case BackendKind::SingleStep: return "singlestep";
+          case BackendKind::VirtualMemory: return "vm";
+          case BackendKind::HardwareReg: return "hwreg";
+          case BackendKind::Rewrite: return "rewrite";
+        }
+        return "unknown";
+    });
+
+TEST(IntervalReplay, ReconstructsAParkedPositionWithInterventions)
+{
+    // The hard case: the live session sits parked on an event
+    // (mid-expansion), with pokes logged both at boundaries and at the
+    // park itself. The parallel reconstruction must still stitch to
+    // the live digest.
+    SessionOptions so;
+    so.timeTravel.checkpointInterval = 250;
+    Program demo = buildHeisenbugDemo();
+    DebugSession s(demo, so);
+    s.setWatch(WatchSpec::scalar("directory", demo.symbol("directory"),
+                                 8));
+    StopInfo hit = s.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+    Addr scratch = demo.symbol("directory") + 72;
+    ASSERT_TRUE(s.writeMemory(scratch, 8, 0x1234)); // poke at the park
+    s.stepi(40);
+    ASSERT_TRUE(s.writeMemory(scratch, 8, 0x5678)); // boundary poke
+    StopInfo hit2 = s.cont();
+    (void)hit2;
+
+    IntervalReplay::Report serial = s.verifyReplay(1);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    IntervalReplay::Report par = s.verifyReplay(2);
+    ASSERT_TRUE(par.ok) << par.error;
+    EXPECT_EQ(par.finalDigest, serial.finalDigest);
+    EXPECT_EQ(serial.finalDigest, s.digest());
 }
 
 } // namespace

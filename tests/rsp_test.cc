@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "rsp/client.hh"
@@ -488,6 +489,179 @@ TEST(RspFuzz, OversizedAndPathologicalFramesSingleConnection)
     EXPECT_EQ(server.handlePacket(z2), "OK");
     std::string back = server.handlePacket("bc");
     EXPECT_NE(back.find("watch:"), std::string::npos) << back;
+}
+
+// --------------------------------------- vCont / qXfer / parked pokes
+
+TEST(RspVCont, ActionsMatchPlainResumePackets)
+{
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+    char z2[64];
+    std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+
+    DebugSession a(prog, optionsFor(BackendKind::Dise));
+    DebugSession b(prog, optionsFor(BackendKind::Dise));
+    RspServer plain(a), vcont(b);
+    EXPECT_EQ(plain.handlePacket(z2), "OK");
+    EXPECT_EQ(vcont.handlePacket(z2), "OK");
+
+    EXPECT_EQ(vcont.handlePacket("vCont?"), "vCont;c;C;s;S");
+    EXPECT_NE(plain.handlePacket("qSupported")
+                  .find("vContSupported+"),
+              std::string::npos);
+
+    // vCont;c ≙ c, vCont;s ≙ s, signal forms accepted, thread ids
+    // tolerated; bogus actions are errors.
+    EXPECT_EQ(vcont.handlePacket("vCont;c"),
+              plain.handlePacket("c"));
+    EXPECT_EQ(vcont.handlePacket("vCont;s:0"),
+              plain.handlePacket("s"));
+    EXPECT_EQ(vcont.handlePacket("vCont;C05"),
+              plain.handlePacket("c"));
+    EXPECT_EQ(vcont.handlePacket("vCont;t"), "E01");
+    EXPECT_EQ(vcont.handlePacket("vCont"), "E01");
+}
+
+TEST(RspQXfer, TargetXmlChunksReassemble)
+{
+    Program prog = buildHeisenbugDemo();
+    DebugSession session(prog, optionsFor(BackendKind::Dise));
+    RspServer server(session);
+
+    EXPECT_NE(server.handlePacket("qSupported")
+                  .find("qXfer:features:read+"),
+              std::string::npos);
+
+    // Read the document in small chunks, honoring the m/l framing.
+    std::string doc;
+    for (uint64_t off = 0;;) {
+        char req[80];
+        std::snprintf(req, sizeof req,
+                      "qXfer:features:read:target.xml:%llx,40",
+                      static_cast<unsigned long long>(off));
+        std::string reply = server.handlePacket(req);
+        ASSERT_FALSE(reply.empty());
+        ASSERT_TRUE(reply[0] == 'm' || reply[0] == 'l') << reply;
+        doc += reply.substr(1);
+        off += reply.size() - 1;
+        if (reply[0] == 'l')
+            break;
+        ASSERT_LT(off, 65536u) << "runaway document";
+    }
+    EXPECT_NE(doc.find("<target"), std::string::npos);
+    EXPECT_NE(doc.find("org.dise.sim.core"), std::string::npos);
+    // One <reg> per session register, pc at the session's index.
+    size_t regs = 0;
+    for (size_t pos = 0; (pos = doc.find("<reg ", pos)) !=
+                         std::string::npos;
+         ++pos)
+        ++regs;
+    EXPECT_EQ(regs, DebugSession::NumSessionRegs);
+    EXPECT_NE(doc.find("name=\"pc\""), std::string::npos);
+
+    // Unknown annexes and malformed ranges fail cleanly.
+    EXPECT_EQ(server.handlePacket("qXfer:features:read:other.xml:0,40"),
+              "E01");
+    EXPECT_EQ(server.handlePacket("qXfer:features:read:target.xml:zz"),
+              "E01");
+}
+
+TEST(RspParkedPoke, MemoryWriteAtWatchpointStopSucceeds)
+{
+    // gdb writing memory at a watchpoint stop used to get E02 (step
+    // once first); the poke now records against the park position.
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+    DebugSession session(prog, optionsFor(BackendKind::Dise));
+    RspServer server(session);
+
+    char z2[64];
+    std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+    ASSERT_EQ(server.handlePacket(z2), "OK");
+    std::string hit = server.handlePacket("c");
+    ASSERT_NE(hit.find("watch:"), std::string::npos) << hit;
+
+    Addr scratch = watchAddr + 48;
+    char m[96];
+    std::snprintf(m, sizeof m, "M%llx,8:efbeadde00000000",
+                  static_cast<unsigned long long>(scratch));
+    EXPECT_EQ(server.handlePacket(m), "OK");
+    std::snprintf(m, sizeof m, "m%llx,8",
+                  static_cast<unsigned long long>(scratch));
+    EXPECT_EQ(server.handlePacket(m), "efbeadde00000000");
+
+    // The poked timeline stays reversible.
+    std::string back = server.handlePacket("bs");
+    uint64_t backPc = 0;
+    EXPECT_TRUE(stopReplyPc(back, backPc)) << back;
+}
+
+// ----------------------------------------------------- non-stop mode
+
+TEST(RspNonStop, AsyncContinueNotifiesStopAndStaysResponsive)
+{
+    using namespace server;
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+
+    SessionManagerOptions mopts;
+    mopts.maxSessions = 1;
+    mopts.session = optionsFor(BackendKind::Dise);
+    SessionManager mgr(mopts);
+    JobScheduler sched({1, 200});
+    ManagedSessionPtr ms =
+        mgr.create("demo", BackendKind::Dise, /*exclusive=*/true);
+    ASSERT_TRUE(ms);
+
+    auto exec = [&](RequestKind kind, uint64_t count, StopInfo &out,
+                    std::string *err) {
+        return sched.drive(*ms, kind, count, out, err);
+    };
+    rsp::RspConnection conn(ms->session, exec);
+    conn.setAsyncExec(
+        [&](RequestKind kind, uint64_t count,
+            rsp::RspConnection::AsyncDoneFn done)
+            -> std::function<void()> {
+            JobScheduler::TicketPtr t = sched.driveAsync(
+                ms, kind, count,
+                [done](bool ok, bool interrupted, const StopInfo &stop,
+                       const std::string &err) {
+                    done(ok, interrupted, stop, err);
+                });
+            if (!t)
+                return {};
+            return [&sched, t] { sched.cancel(t); };
+        });
+
+    EXPECT_NE(conn.handlePacket("qSupported").find("QNonStop+"),
+              std::string::npos);
+    EXPECT_EQ(conn.handlePacket("QNonStop:1"), "OK");
+    char z2[64];
+    std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+    ASSERT_EQ(conn.handlePacket(z2), "OK");
+
+    // The continue is acknowledged immediately; the stop lands later
+    // (observable through `?`, which never blocks).
+    ASSERT_EQ(conn.handlePacket("vCont;c"), "OK");
+    std::string stop;
+    for (int spin = 0; spin < 5000; ++spin) {
+        stop = conn.handlePacket("?");
+        if (stop.rfind("T05", 0) == 0)
+            break;
+        EXPECT_EQ(stop, "OK"); // still running: responsive, not wedged
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_NE(stop.find("watch:"), std::string::npos) << stop;
+    EXPECT_EQ(conn.handlePacket("vStopped"), "OK");
+
+    // Back to all-stop: synchronous verbs behave as before.
+    EXPECT_EQ(conn.handlePacket("QNonStop:0"), "OK");
+    std::string back = conn.handlePacket("bc");
+    EXPECT_NE(back.find("replaylog:begin"), std::string::npos) << back;
 }
 
 TEST(RspServerTcp, LoopbackSessionEndToEnd)

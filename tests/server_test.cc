@@ -1,7 +1,7 @@
 /**
  * @file
  * Multi-session server tests: the SessionManager's admission cap and
- * stat rollups, the RunQueue's slicing/round-robin/teardown-mid-run
+ * stat rollups, the JobScheduler's slicing/round-robin/teardown-mid-run
  * behavior, and the one-port TCP front end serving concurrent RSP and
  * typed-wire clients on distinct targets with isolated, cross-checked
  * stop locations — including a seeded-random multi-client soak.
@@ -64,7 +64,9 @@ class WireClient
         return true;
     }
 
-    /** One request line out, one response line back (decoded). */
+    /** One request line out, one response line back (decoded).
+     *  Server-initiated `event` lines arriving in between are decoded
+     *  into events(). */
     bool
     roundTrip(const std::string &line, Response &resp)
     {
@@ -72,17 +74,34 @@ class WireClient
         if (::write(fd_, out.data(), out.size()) !=
             static_cast<ssize_t>(out.size()))
             return false;
-        size_t nl;
-        while ((nl = buf_.find('\n')) == std::string::npos) {
-            char chunk[4096];
-            ssize_t n = ::read(fd_, chunk, sizeof chunk);
-            if (n <= 0)
-                return false;
-            buf_.append(chunk, static_cast<size_t>(n));
+        for (;;) {
+            size_t nl;
+            while ((nl = buf_.find('\n')) == std::string::npos) {
+                char chunk[4096];
+                ssize_t n = ::read(fd_, chunk, sizeof chunk);
+                if (n <= 0)
+                    return false;
+                buf_.append(chunk, static_cast<size_t>(n));
+            }
+            std::string reply = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (reply.rfind("event ", 0) == 0 || reply == "event") {
+                SessionEvent ev;
+                if (decodeEvent(reply, ev))
+                    events_.push_back(ev);
+                continue;
+            }
+            return decodeResponse(reply, resp);
         }
-        std::string reply = buf_.substr(0, nl);
-        buf_.erase(0, nl + 1);
-        return decodeResponse(reply, resp);
+    }
+
+    /** Events pushed by the server so far (drained). */
+    std::vector<SessionEvent>
+    takeEvents()
+    {
+        std::vector<SessionEvent> out;
+        out.swap(events_);
+        return out;
     }
 
     bool
@@ -103,6 +122,7 @@ class WireClient
   private:
     int fd_ = -1;
     std::string buf_;
+    std::vector<SessionEvent> events_;
 };
 
 // ------------------------------------------------------ SessionManager
@@ -150,7 +170,7 @@ TEST(SessionManager, AdmissionCapAndLifecycle)
 TEST(SessionManager, StatsRollAcrossDestroy)
 {
     SessionManager mgr({4, smallSessions()});
-    RunQueue queue({2, 2000});
+    JobScheduler queue({2, 2000});
     ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
     ASSERT_TRUE(ms);
     StopInfo stop;
@@ -172,9 +192,9 @@ TEST(SessionManager, StatsRollAcrossDestroy)
     EXPECT_EQ(after.totalAppInsts, live.totalAppInsts);
 }
 
-// ------------------------------------------------------------ RunQueue
+// ------------------------------------------------------------ JobScheduler
 
-TEST(RunQueue, BoundedSlicesMatchUnboundedExecution)
+TEST(JobScheduler, BoundedSlicesMatchUnboundedExecution)
 {
     // A watch-hit cont driven through 1-slot, small-slice scheduling
     // stops at the identical location as a direct session.
@@ -187,7 +207,7 @@ TEST(RunQueue, BoundedSlicesMatchUnboundedExecution)
     ASSERT_EQ(refHit.reason, StopReason::Event);
 
     SessionManager mgr({1, smallSessions()});
-    RunQueue queue({1, 500});
+    JobScheduler queue({1, 500});
     ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
     ASSERT_TRUE(ms);
     ms->session.setWatch(
@@ -219,10 +239,10 @@ TEST(RunQueue, BoundedSlicesMatchUnboundedExecution)
         queue.drive(*ms, RequestKind::ReadRegisters, 0, stop, &err));
 }
 
-TEST(RunQueue, TeardownMidRunAbortsAtSliceBoundary)
+TEST(JobScheduler, TeardownMidRunAbortsAtSliceBoundary)
 {
     SessionManager mgr({1, smallSessions()});
-    RunQueue queue({1, 1000});
+    JobScheduler queue({1, 1000});
     ManagedSessionPtr ms = mgr.create("mcf", BackendKind::Dise);
     ASSERT_TRUE(ms);
 
@@ -243,10 +263,10 @@ TEST(RunQueue, TeardownMidRunAbortsAtSliceBoundary)
     EXPECT_EQ(mgr.count(), 0u);
 }
 
-TEST(RunQueue, UnsupportedBackendFailsCleanly)
+TEST(JobScheduler, UnsupportedBackendFailsCleanly)
 {
     SessionManager mgr({1, smallSessions()});
-    RunQueue queue({1, 1000});
+    JobScheduler queue({1, 1000});
     ManagedSessionPtr ms =
         mgr.create("demo", BackendKind::VirtualMemory);
     ASSERT_TRUE(ms);
@@ -258,6 +278,116 @@ TEST(RunQueue, UnsupportedBackendFailsCleanly)
     EXPECT_FALSE(
         queue.drive(*ms, RequestKind::Cont, 0, stop, &err));
     EXPECT_NE(err.find("cannot implement"), std::string::npos) << err;
+}
+
+TEST(JobScheduler, ReverseReplayDoesNotStarveForwardSessions)
+{
+    // The acceptance scenario: ONE worker slot, two sessions. R runs a
+    // long replay-family verb (run-to-event discovery across the whole
+    // trace); F steps forward in small jobs. Because every job yields
+    // at bounded µop-slice boundaries and the ready queue round-robins,
+    // F must complete all its steps while R is still replaying — and R
+    // must advance between each of F's steps.
+    SessionManagerOptions mopts;
+    mopts.maxSessions = 2;
+    mopts.session.timeTravel.checkpointInterval = 1u << 20;
+    SessionManager mgr(mopts);
+    JobScheduler sched({1, 1000});
+
+    ManagedSessionPtr r = mgr.create("mcf", BackendKind::Dise);
+    ManagedSessionPtr f = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(r && f);
+
+    // R: a run-to-event hunt for an event number that never fires —
+    // a bounded O(trace) sliced replay ending in Halted.
+    std::atomic<bool> rDone{false};
+    std::atomic<bool> rOk{false};
+    std::thread rDriver([&] {
+        StopInfo stop;
+        std::string err;
+        bool ok = sched.drive(*r, RequestKind::RunToEvent, 999999,
+                              stop, &err);
+        rOk = ok && stop.reason == StopReason::Halted;
+        rDone = true;
+    });
+    while (r->slices.load() < 1)
+        std::this_thread::yield();
+
+    // F: ten small forward steps, each its own job.
+    uint64_t lastRSlices = r->slices.load();
+    int progressed = 0, beforeRDone = 0;
+    for (int i = 0; i < 10; ++i) {
+        StopInfo stop;
+        std::string err;
+        ASSERT_TRUE(
+            sched.drive(*f, RequestKind::Stepi, 200, stop, &err))
+            << err;
+        beforeRDone += !rDone.load();
+        uint64_t now = r->slices.load();
+        progressed += now > lastRSlices;
+        lastRSlices = now;
+    }
+    // Forward progress between replay slices, both directions: F was
+    // never starved behind R's replay (all 10 steps landed while R was
+    // still running), and R kept replaying between F's steps.
+    EXPECT_EQ(beforeRDone, 10)
+        << "the forward session was starved behind a replay";
+    EXPECT_GE(progressed, 9)
+        << "the replay made no progress between forward steps";
+
+    rDriver.join();
+    EXPECT_TRUE(rOk.load());
+    EXPECT_GT(r->slices.load(), 50u) << "replay should take many slices";
+}
+
+TEST(JobScheduler, InterruptedJobLandsAtSliceBoundaryAndResumes)
+{
+    // A gdb Ctrl-C: cancel() finalizes the job between slices; the
+    // session sits at a valid intermediate position and keeps working.
+    SessionManagerOptions mopts;
+    mopts.session.timeTravel.checkpointInterval = 1u << 20;
+    SessionManager mgr(mopts);
+    JobScheduler sched({1, 500});
+    ManagedSessionPtr ms = mgr.create("mcf", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+
+    std::atomic<bool> landed{false};
+    std::atomic<bool> wasInterrupted{false};
+    StopInfo landing;
+    std::mutex mu;
+    JobScheduler::TicketPtr t = sched.driveAsync(
+        ms, RequestKind::RunToEnd, 0,
+        [&](bool ok, bool interrupted, const StopInfo &stop,
+            const std::string &err) {
+            std::lock_guard<std::mutex> lk(mu);
+            landing = stop;
+            wasInterrupted = interrupted;
+            landed = ok;
+        });
+    ASSERT_TRUE(t);
+    while (ms->slices.load() < 3)
+        std::this_thread::yield();
+    sched.cancel(t);
+    std::string err;
+    EXPECT_FALSE(sched.wait(t, &err)); // result: interrupted
+    EXPECT_EQ(err, "interrupted");
+    while (!landed.load())
+        std::this_thread::yield();
+    EXPECT_TRUE(wasInterrupted.load());
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        EXPECT_GT(landing.appInsts, 0u);
+        EXPECT_LT(landing.appInsts,
+                  1000000u); // mid-run, not at the end
+    }
+
+    // The session resumes from the interrupted position to completion.
+    StopInfo stop;
+    ASSERT_TRUE(
+        sched.drive(*ms, RequestKind::RunToEnd, 0, stop, &err))
+        << err;
+    EXPECT_EQ(stop.reason, StopReason::Halted);
+    EXPECT_GE(ms->jobs.load(), 2u);
 }
 
 // --------------------------------------------- concurrency, in-process
@@ -297,7 +427,7 @@ TEST(ServerConcurrency, DistinctSessionsCrossCheckedInParallel)
 
     SessionManager mgr(
         {static_cast<unsigned>(scenarios.size()), smallSessions()});
-    RunQueue queue({2, 2000}); // fewer slots than sessions: contention
+    JobScheduler queue({2, 2000}); // fewer slots than sessions: contention
     std::atomic<int> mismatches{0};
     std::vector<std::thread> threads;
     for (const Scenario &sc : scenarios) {
@@ -602,6 +732,152 @@ TEST(DebugServerTcp, WireDetachKeepsRetiredTotals)
     ASSERT_TRUE(wire.roundTripOk("server-stats seq=5", resp));
     EXPECT_EQ(resp.server.activeSessions, 0u);
     EXPECT_GE(resp.server.totalUops, uopsBefore);
+    srv.stop();
+}
+
+TEST(DebugServerTcp, SubscribePushesEventsWithoutPolling)
+{
+    // After `subscribe`, the server pushes every queued session event
+    // as an `event` line at job-slice and verb boundaries — no
+    // stats-polling needed. Order follows the queue's delivery seq.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    opts.sliceInsts = 500;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+    ASSERT_TRUE(wire.roundTripOk("subscribe seq=3", resp));
+
+    ASSERT_TRUE(wire.roundTripOk("cont seq=4", resp));
+    ASSERT_TRUE(resp.hasStop);
+    ASSERT_EQ(resp.stop.reason, StopReason::Event);
+    std::vector<SessionEvent> events = wire.takeEvents();
+    ASSERT_FALSE(events.empty());
+    bool sawAttach = false, sawWatch = false;
+    uint64_t lastSeq = 0;
+    bool first = true;
+    for (const SessionEvent &ev : events) {
+        if (!first)
+            EXPECT_GT(ev.seq, lastSeq); // queue order preserved
+        first = false;
+        lastSeq = ev.seq;
+        sawAttach |= ev.kind == SessionEventKind::Attached;
+        if (ev.kind == SessionEventKind::Watch) {
+            sawWatch = true;
+            EXPECT_EQ(ev.addr, watchAddr);
+        }
+    }
+    EXPECT_TRUE(sawAttach);
+    EXPECT_TRUE(sawWatch);
+
+    // server-stats counts the delivery; unsubscribe stops the flow.
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=5", resp));
+    EXPECT_GE(resp.server.eventsPushed, events.size());
+    EXPECT_EQ(resp.server.subscribers, 1u);
+    ASSERT_TRUE(wire.roundTripOk("unsubscribe seq=6", resp));
+    ASSERT_TRUE(wire.roundTripOk("run-to-end seq=7", resp));
+    EXPECT_TRUE(wire.takeEvents().empty());
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=8", resp));
+    EXPECT_EQ(resp.server.subscribers, 0u);
+    srv.stop();
+}
+
+TEST(DebugServerTcp, ReplayVerifyRunsAsSiblingJobs)
+{
+    // replay-verify over the wire: the timeline is reconstructed as
+    // one preemptible job per checkpoint interval, stitched digests
+    // must equal the session's — and an identical in-process session
+    // produces the identical digest.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+    DebugSession ref(demo, smallSessions());
+    ref.setWatch(WatchSpec::scalar("w", watchAddr, 8));
+    ref.cont();
+    ref.runToEnd();
+    IntervalReplay::Report refRep = ref.verifyReplay(2);
+    ASSERT_TRUE(refRep.ok) << refRep.error;
+
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.slots = 2;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+    ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+    ASSERT_TRUE(wire.roundTripOk("run-to-end seq=4", resp));
+
+    uint64_t jobsBefore = srv.stats().jobs;
+    ASSERT_TRUE(wire.roundTripOk("replay-verify seq=5 count=4", resp));
+    EXPECT_EQ(resp.value, refRep.finalDigest);
+    EXPECT_EQ(resp.regs.size(), refRep.intervals.size());
+    // One sibling job per interval was scheduled.
+    EXPECT_GE(srv.stats().jobs - jobsBefore, resp.regs.size());
+    srv.stop();
+}
+
+TEST(DebugServerTcp, PostAttachWatchAdditionRunsAsRebuildJob)
+{
+    // A Z-style post-attach spec addition over the wire rides the
+    // scheduler as a preemptible rebuild-replay job and preserves the
+    // session's position.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    opts.sliceInsts = 300;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+    ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+    ASSERT_TRUE(resp.hasStop);
+    uint64_t posInsts = resp.stop.appInsts;
+
+    Request setw2;
+    setw2.kind = RequestKind::SetWatch;
+    setw2.seq = 4;
+    setw2.watch = WatchSpec::scalar("w4", watchAddr, 4);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw2), resp));
+    EXPECT_EQ(resp.index, 1);
+
+    ASSERT_TRUE(wire.roundTripOk("stats seq=5", resp));
+    EXPECT_EQ(resp.stats.appInsts, posInsts); // position preserved
     srv.stop();
 }
 

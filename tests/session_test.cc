@@ -512,7 +512,7 @@ TEST(DebugSession, BatchAnnouncementsCarryMarkPositions)
 
 TEST(DebugSession, ContSliceHonorsQuantum)
 {
-    // The run-queue's slicing primitive: cont() bounded to a quantum
+    // The scheduler's forward slicing primitive: cont() bounded to a quantum
     // returns Step when the quantum expires, and the next slice picks
     // up exactly where the previous one left off.
     Program prog = doublerProgram();
@@ -685,6 +685,210 @@ TEST(DebugSession, CycleRunsStillWork)
     for (const auto &ev : session.events().drain())
         watches += ev.kind == SessionEventKind::Watch;
     EXPECT_EQ(watches, 5u);
+}
+
+TEST(DebugSession, PokeAtWatchStopWithoutStepping)
+{
+    // gdb writes memory at a watchpoint stop without stepping first —
+    // the session is parked mid-expansion, which used to be refused
+    // with "interventions are only valid between instructions".
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+
+    Addr scratch = prog.symbol("x") + 32;
+    ASSERT_TRUE(session.writeMemory(scratch, 8, 0xabcd));
+    EXPECT_EQ(session.readMemory(scratch, 2)[0], 0xcd);
+
+    // The same thing over the wire answers ok, not error.
+    StopInfo hit2 = session.cont();
+    ASSERT_EQ(hit2.reason, StopReason::Event);
+    char line[96];
+    std::snprintf(line, sizeof line,
+                  "write-memory seq=9 addr=0x%llx size=8 value=0x99",
+                  static_cast<unsigned long long>(scratch));
+    Response resp;
+    ASSERT_TRUE(decodeResponse(session.handleEncoded(line), resp));
+    EXPECT_TRUE(resp.ok()) << resp.error;
+
+    // The pokes are loggable interventions: travel back across them
+    // and forward again reproduces the poked state.
+    uint64_t d = session.digest();
+    session.reverseStep(3);
+    StopInfo back = session.runToEvent(hit2.eventIndex);
+    EXPECT_EQ(back.time, hit2.time);
+    EXPECT_EQ(session.digest(), d);
+    EXPECT_EQ(session.readMemory(scratch, 1)[0], 0x99);
+
+    // This timeline now holds a poke at an INTERIOR park (the first
+    // hit's, run past long ago). A machinery rebuild is refused for
+    // it: there is no instrumentation-invariant position to re-apply
+    // an interior mid-expansion poke at, and a silently forked replay
+    // would be worse than an error.
+    EXPECT_EQ(
+        session.setWatch(WatchSpec::scalar("x4", prog.symbol("x"), 4)),
+        -1);
+
+    // A session whose only park poke is at the CURRENT park rebuilds
+    // fine: phase 3 re-applies it after re-finding the park.
+    DebugSession fresh(prog, sessionOptions());
+    fresh.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo fhit = fresh.cont();
+    ASSERT_EQ(fhit.reason, StopReason::Event);
+    ASSERT_TRUE(fresh.writeMemory(scratch, 8, 0x55));
+    int idx = fresh.setWatch(
+        WatchSpec::scalar("x4", prog.symbol("x"), 4));
+    EXPECT_GE(idx, 0);
+    EXPECT_EQ(fresh.readMemory(scratch, 1)[0], 0x55);
+    EXPECT_EQ(fresh.stats().appInsts, fhit.appInsts);
+}
+
+TEST(DebugSession, PostAttachAdditionReplaysProductionMutations)
+{
+    // Satellite of the rebuild path: DISE-table interventions used to
+    // refuse reattachAndReplay outright. Now the rebuild replays them
+    // at their stamps — including a removal of a pre-session
+    // (prepare-hook) production, re-targeted by its stable slot.
+    Program prog = doublerProgram();
+    SessionOptions so = sessionOptions();
+    auto preId = std::make_shared<ProductionId>(0);
+    so.prepare = [preId](DebugTarget &t) {
+        Production p;
+        p.name = "presession";
+        p.pattern = Pattern::forPc(0x7fff0000); // inert: never matches
+        p.replacement.push_back(TemplateInst::trigInst());
+        *preId = t.engine.addProduction(p);
+    };
+    DebugSession session(prog, so);
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+    StopInfo hit = session.cont();
+    ASSERT_EQ(hit.reason, StopReason::Event);
+
+    TimeTravel &tt = session.timeTravel();
+    session.stepi(1);
+    Production q;
+    q.name = "insession";
+    q.pattern = Pattern::forPc(0x7fff1000);
+    q.replacement.push_back(TemplateInst::trigInst());
+    tt.addProduction(q);
+    session.stepi(1);
+    tt.removeProduction(*preId);
+    session.stepi(1);
+    uint64_t pos = session.stats().appInsts;
+
+    // Post-attach addition with table mutations in the journal: no
+    // longer refused.
+    BreakSpec bp;
+    bp.pc = prog.symbol("loop");
+    int idx = session.setBreak(bp);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(session.stats().appInsts, pos);
+
+    // The rebuilt timeline carries the mutations at their stamps:
+    // stepping back across the removal resurrects the pre-session
+    // production, and re-crossing removes it again.
+    DiseEngine &eng = session.target().engine;
+    size_t cAfter = eng.productionCount();
+    uint64_t d1 = session.digest();
+    session.reverseStep(2);
+    EXPECT_EQ(eng.productionCount(), cAfter + 1);
+    // (An intervention recorded at a position applies when execution
+    // continues FROM it, so the removal lands during this step.)
+    session.stepi(2);
+    EXPECT_EQ(eng.productionCount(), cAfter);
+    EXPECT_EQ(session.digest(), d1);
+
+    // Interval-parallel reconstruction handles the production journal
+    // too (pre-applied before an interval, applied in-loop within).
+    IntervalReplay::Report rep = session.verifyReplay(2);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(rep.finalDigest, session.digest());
+}
+
+TEST(DebugSession, SlicedRebuildMatchesOneShot)
+{
+    // The server drives post-attach spec changes as preemptible jobs:
+    // begin + bounded rebuildStep() quanta must land exactly where the
+    // one-shot setWatch() does.
+    Program prog = doublerProgram();
+    DebugSession a(prog, sessionOptions());
+    DebugSession b(prog, sessionOptions());
+    for (DebugSession *s : {&a, &b}) {
+        s->setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+        StopInfo hit = s->cont();
+        ASSERT_EQ(hit.reason, StopReason::Event);
+    }
+    WatchSpec w4 = WatchSpec::scalar("x4", prog.symbol("x"), 4);
+    int refIdx = a.setWatch(w4);
+    ASSERT_GE(refIdx, 0);
+
+    bool done = false;
+    int idx = b.setWatchBegin(w4, done);
+    ASSERT_GE(idx, 0);
+    unsigned steps = 0;
+    while (!done) {
+        done = b.rebuildStep(3); // tiny quanta
+        ++steps;
+    }
+    EXPECT_EQ(idx, refIdx);
+    EXPECT_GE(steps, 2u) << "rebuild should take several quanta";
+    EXPECT_EQ(a.stats().appInsts, b.stats().appInsts);
+    EXPECT_EQ(a.stats().time, b.stats().time);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(DebugSession, SlicedReverseMatchesOneShot)
+{
+    Program prog = doublerProgram();
+    DebugSession a(prog, sessionOptions());
+    DebugSession b(prog, sessionOptions());
+    for (DebugSession *s : {&a, &b}) {
+        s->setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+        s->runToEnd();
+    }
+    StopInfo ref = a.reverseContinue();
+    bool done = false;
+    StopInfo got = b.reverseBegin(RequestKind::ReverseContinue, 0,
+                                  done);
+    while (!done)
+        got = b.reverseSlice(2, done);
+    EXPECT_EQ(got.reason, ref.reason);
+    EXPECT_EQ(got.time, ref.time);
+    EXPECT_EQ(got.eventIndex, ref.eventIndex);
+    EXPECT_EQ(a.digest(), b.digest());
+
+    // Muted events restart the travel inside the sliced form too.
+    ASSERT_TRUE(a.removeWatch(0));
+    ASSERT_TRUE(b.removeWatch(0));
+    StopInfo refBack = a.reverseContinue(); // start-of-history
+    got = b.reverseBegin(RequestKind::ReverseContinue, 0, done);
+    while (!done)
+        got = b.reverseSlice(2, done);
+    EXPECT_EQ(got.reason, refBack.reason);
+    EXPECT_EQ(got.time, refBack.time);
+}
+
+TEST(DebugSession, ReplayVerifyWireVerb)
+{
+    Program prog = doublerProgram();
+    DebugSession session(prog, sessionOptions());
+    session.setWatch(WatchSpec::scalar("x", prog.symbol("x"), 8));
+
+    // Before any run there is nothing to reconstruct.
+    Response resp;
+    ASSERT_TRUE(decodeResponse(
+        session.handleEncoded("replay-verify seq=1 count=2"), resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+
+    session.cont();
+    session.runToEnd();
+    ASSERT_TRUE(decodeResponse(
+        session.handleEncoded("replay-verify seq=2 count=2"), resp));
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_EQ(resp.value, session.digest());
+    EXPECT_GT(resp.regs.size(), 1u); // per-interval digests
 }
 
 TEST(DebugSession, DescribePrintersAreReadable)

@@ -109,11 +109,11 @@ main(int argc, char **argv)
     }
     std::printf(
         "multi-session daemon on 127.0.0.1:%u — %s backend, cap %u "
-        "sessions, %u execution slots\n"
+        "sessions, %u scheduler workers\n"
         "  gdb -ex 'target remote 127.0.0.1:%u'   (each gdb gets its "
         "own target)\n",
         srv.port(), backendName(opts.defaultBackend), opts.maxSessions,
-        srv.queue().slots(), srv.port());
+        srv.scheduler().workers(), srv.port());
     srv.wait();
     return 0;
 }

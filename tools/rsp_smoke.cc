@@ -5,9 +5,11 @@
  * For each of the five watchpoint backends, starts an RspServer on a
  * loopback port, connects over real TCP, and drives one debugging
  * session — qSupported handshake, Z2 watchpoint insert, `c` to the
- * first two hits, `bc` back across the second, `bs`, `m`, detach —
- * verifying every stop location against an in-process DebugSession
- * running the identical scenario. Exits non-zero on any mismatch;
+ * first two hits, `bc` back across the second, `bs`, a
+ * `vCont?`/`vCont;s`/`vCont;c` round-trip, a `qXfer:features:read`
+ * target description fetch, `m`, detach — verifying every stop
+ * location against an in-process DebugSession running the identical
+ * scenario. Exits non-zero on any mismatch;
  * every socket read carries a timeout so a hung server fails the job
  * instead of wedging it.
  *
@@ -122,6 +124,34 @@ driveBackend(BackendKind kind)
     std::string step = client.exchange("bs");
     CHECK(stopReplyPc(step, pcStep) && pcStep == refStep.pc,
           "%s: bs diverged: '%s'", name, step.c_str());
+
+    // vCont round-trip: the action form of the same verbs.
+    std::string vq = client.exchange("vCont?");
+    CHECK(vq == "vCont;c;C;s;S", "%s: vCont? said '%s'", name,
+          vq.c_str());
+    StopInfo refVs = ref.stepi(1);
+    uint64_t pcVs = 0;
+    std::string vs = client.exchange("vCont;s");
+    CHECK(stopReplyPc(vs, pcVs) && pcVs == refVs.pc,
+          "%s: vCont;s diverged: '%s'", name, vs.c_str());
+    StopInfo refVc = ref.cont();
+    std::string vc = client.exchange("vCont;c");
+    if (refVc.reason == StopReason::Event) {
+        uint64_t pcVc = 0;
+        CHECK(stopReplyPc(vc, pcVc) && pcVc == refVc.pc,
+              "%s: vCont;c diverged: '%s'", name, vc.c_str());
+    } else {
+        CHECK(vc == "W00", "%s: vCont;c at end said '%s'", name,
+              vc.c_str());
+    }
+
+    // Target description: gdb must not have to guess the registers.
+    std::string xml =
+        client.exchange("qXfer:features:read:target.xml:0,1000");
+    CHECK(!xml.empty() && (xml[0] == 'l' || xml[0] == 'm') &&
+              xml.find("<target") != std::string::npos &&
+              xml.find("org.dise.sim.core") != std::string::npos,
+          "%s: bad target.xml reply: '%.60s'", name, xml.c_str());
 
     // Memory read-back of the watched cell at matched positions.
     char m[64];

@@ -6,7 +6,7 @@
  * For N in {1, 2, 4, 8}, hosts N independent instrumented sessions
  * (each its own workload instance with a watched variable under the
  * chosen backend) in one SessionManager, drives them all to
- * completion through the RunQueue from N client threads, and reports
+ * completion through the JobScheduler from N client threads, and reports
  * total application instructions / wall time. Sessions are
  * share-nothing, so aggregate throughput should scale with
  * min(sessions, slots, cores) — the "many concurrent users" claim,
@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "server/run_queue.hh"
+#include "server/job_scheduler.hh"
 #include "server/session_manager.hh"
 #include "workloads/workload.hh"
 
@@ -54,7 +54,7 @@ nowMs()
         .count();
 }
 
-/** Drive N sessions of @p workload to completion on one run queue. */
+/** Drive N sessions of @p workload to completion on one scheduler. */
 RunResult
 runScale(unsigned n, const std::string &workload, BackendKind backend,
          unsigned scale, unsigned slots)
@@ -70,7 +70,7 @@ runScale(unsigned n, const std::string &workload, BackendKind backend,
             out = buildWorkload(workload, {scale}).program;
             return true;
         });
-    RunQueue queue({slots, 50000});
+    JobScheduler queue({slots, 50000});
 
     std::vector<ManagedSessionPtr> sessions;
     for (unsigned i = 0; i < n; ++i) {
