@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The crash-consistent on-disk session store.
+ *
+ * Layout: one directory holding versioned image files
+ * (`sess-<id>.v<N>.img`, each a checksummed SessionImage) plus a
+ * checksummed `manifest.bin` naming the current version of every live
+ * entry. Every mutation follows write-then-rename:
+ *
+ *   1. the new image is written to a `.tmp` file and renamed into
+ *      place under its versioned name (never overwriting a live file);
+ *   2. a new manifest is written to a `.tmp` file and renamed over
+ *      `manifest.bin` — THE commit point;
+ *   3. the superseded image file is removed (best effort — a crash
+ *      here leaves an orphan, collected at the next open()).
+ *
+ * A crash at any byte therefore leaves either the old manifest (naming
+ * only old, fully-written images) or the new one — never a state that
+ * references a torn file. open() validates every referenced image
+ * (magic, version, checksum, id) and QUARANTINES failures as typed
+ * records instead of aborting: one rotten entry must not take down a
+ * recovering server. A corrupt or missing manifest degrades to a
+ * salvage scan that adopts the newest valid image of each session id.
+ *
+ * All filesystem access goes through the injectable Vfs, so the fault
+ * battery (tests/persist_test.cc) can force a failure at every call
+ * site and assert the store stays consistent.
+ */
+
+#ifndef DISE_PERSIST_STORE_HH
+#define DISE_PERSIST_STORE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/image.hh"
+#include "persist/vfs.hh"
+
+namespace dise::persist {
+
+/** Typed store failure classes. */
+enum class StoreErr : uint8_t {
+    None,
+    Io,          ///< filesystem primitive failed
+    Injected,    ///< an injected fault fired (the chaos battery)
+    Truncated,   ///< image/manifest ran out of bytes
+    BadMagic,
+    BadVersion,
+    BadChecksum,
+    Malformed,   ///< structurally invalid content
+    BadManifest, ///< manifest unreadable (salvage scan ran)
+    DuplicateId, ///< two live entries claim one session id
+    Missing,     ///< no such session in the store
+};
+
+const char *storeErrName(StoreErr err);
+
+struct StoreResult
+{
+    bool ok = true;
+    StoreErr err = StoreErr::None;
+    std::string detail;
+
+    static StoreResult
+    failure(StoreErr e, std::string d)
+    {
+        return {false, e, std::move(d)};
+    }
+};
+
+/** One corrupt artifact set aside during open()/load(). */
+struct QuarantineRecord
+{
+    std::string file;
+    StoreErr err = StoreErr::None;
+    std::string detail;
+};
+
+/** Cheap per-entry metadata (no image decode needed). */
+struct StoreEntryMeta
+{
+    uint64_t id = 0;
+    std::string workload;
+    BackendKind backend = BackendKind::Dise;
+    uint64_t appInsts = 0;
+    uint64_t digest = 0;
+    uint64_t bytes = 0;
+};
+
+struct StoreCounters
+{
+    uint64_t images = 0; ///< live entries
+    uint64_t bytes = 0;  ///< bytes across live entries
+    uint64_t puts = 0;
+    uint64_t loads = 0;
+    uint64_t erases = 0;
+    uint64_t quarantined = 0;
+    uint64_t orphansRemoved = 0;
+};
+
+class SessionStore
+{
+  public:
+    SessionStore(std::string dir, Vfs &vfs);
+
+    /** Scan + validate the directory. Always callable on a fresh or
+     *  damaged store: corruption quarantines, it never fails open()
+     *  (only an unusable directory does). */
+    StoreResult open();
+
+    /** Persist @p img (replacing any previous version of its id). */
+    StoreResult put(const SessionImage &img);
+    /** Read + decode the current image of @p id. */
+    StoreResult load(uint64_t id, SessionImage &out);
+    StoreResult erase(uint64_t id);
+
+    /** Drop @p id from the manifest but record it as quarantined
+     *  (resurrection found the image unusable). */
+    StoreResult quarantine(uint64_t id, const std::string &why);
+
+    bool contains(uint64_t id) const;
+    std::vector<StoreEntryMeta> entries() const;
+    std::vector<QuarantineRecord> quarantined() const;
+    StoreCounters counters() const;
+    const std::string &dir() const { return dir_; }
+
+  private:
+    struct Entry
+    {
+        std::string file; ///< current image filename (no dir)
+        uint64_t bytes = 0;
+        uint64_t checksum = 0; ///< fnv64 of the whole file
+        StoreEntryMeta meta;
+    };
+
+    std::string path(const std::string &name) const;
+    std::vector<uint8_t> encodeManifestLocked() const;
+    bool decodeManifest(const std::vector<uint8_t> &bytes,
+                        std::map<uint64_t, Entry> &out, uint64_t &seq,
+                        std::string *why) const;
+    StoreResult commitManifestLocked();
+    void addQuarantineLocked(const std::string &file, StoreErr err,
+                             std::string detail);
+    StoreResult validateEntry(const Entry &e, SessionImage *out,
+                              std::string *why) const;
+    static StoreErr classifyVfs(const std::string &detail);
+    static StoreErr fromImageErr(ImageErr err);
+
+    const std::string dir_;
+    Vfs &vfs_;
+
+    mutable std::mutex mu_;
+    bool opened_ = false;
+    std::map<uint64_t, Entry> table_;
+    std::vector<QuarantineRecord> quarantine_;
+    uint64_t seq_ = 0; ///< monotonic image-file version counter
+    uint64_t puts_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t erases_ = 0;
+    uint64_t orphansRemoved_ = 0;
+};
+
+} // namespace dise::persist
+
+#endif // DISE_PERSIST_STORE_HH

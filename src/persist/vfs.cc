@@ -1,0 +1,238 @@
+#include "persist/vfs.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace dise::persist {
+
+namespace {
+
+void
+setErr(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+}
+
+std::string
+errnoStr(const std::string &op, const std::string &path)
+{
+    return op + " " + path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+// -------------------------------------------------------------- RealVfs
+
+bool
+RealVfs::mkdirs(const std::string &dir, std::string *err)
+{
+    std::string path;
+    size_t pos = 0;
+    while (pos <= dir.size()) {
+        size_t next = dir.find('/', pos);
+        if (next == std::string::npos)
+            next = dir.size();
+        path = dir.substr(0, next);
+        pos = next + 1;
+        if (path.empty())
+            continue;
+        if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+            setErr(err, errnoStr("mkdir", path));
+            return false;
+        }
+    }
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        setErr(err, "not a directory: " + dir);
+        return false;
+    }
+    return true;
+}
+
+bool
+RealVfs::writeFile(const std::string &path, const uint8_t *data,
+                   size_t n, std::string *err)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setErr(err, errnoStr("open", path));
+        return false;
+    }
+    size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, errnoStr("write", path));
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+        setErr(err, errnoStr("fsync", path));
+        ::close(fd);
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setErr(err, errnoStr("close", path));
+        return false;
+    }
+    return true;
+}
+
+bool
+RealVfs::readFile(const std::string &path, std::vector<uint8_t> &out,
+                  std::string *err)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setErr(err, errnoStr("open", path));
+        return false;
+    }
+    out.clear();
+    uint8_t buf[1 << 16];
+    for (;;) {
+        ssize_t r = ::read(fd, buf, sizeof buf);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, errnoStr("read", path));
+            ::close(fd);
+            return false;
+        }
+        if (r == 0)
+            break;
+        out.insert(out.end(), buf, buf + r);
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+RealVfs::rename(const std::string &from, const std::string &to,
+                std::string *err)
+{
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+        setErr(err, errnoStr("rename", from + " -> " + to));
+        return false;
+    }
+    return true;
+}
+
+bool
+RealVfs::remove(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0;
+}
+
+bool
+RealVfs::list(const std::string &dir, std::vector<std::string> &names)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return false;
+    names.clear();
+    while (struct dirent *de = ::readdir(d)) {
+        std::string name = de->d_name;
+        if (name == "." || name == "..")
+            continue;
+        names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return true;
+}
+
+bool
+RealVfs::exists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+// ------------------------------------------------------------- FaultyVfs
+
+bool
+FaultyVfs::mkdirs(const std::string &dir, std::string *err)
+{
+    if (faults_.shouldFail(FaultInjector::Site::Open)) {
+        setErr(err, "injected fault: mkdir " + dir);
+        return false;
+    }
+    return base_.mkdirs(dir, err);
+}
+
+bool
+FaultyVfs::writeFile(const std::string &path, const uint8_t *data,
+                     size_t n, std::string *err)
+{
+    if (faults_.shouldFail(FaultInjector::Site::Open)) {
+        setErr(err, "injected fault: open " + path);
+        return false;
+    }
+    if (faults_.shouldFail(FaultInjector::Site::Write)) {
+        // A torn file: the honest residue of a crash (or ENOSPC)
+        // mid-write. The store's recovery path must survive finding it.
+        base_.writeFile(path, data, n / 2, nullptr);
+        setErr(err, "injected fault: short write " + path);
+        return false;
+    }
+    if (faults_.shouldFail(FaultInjector::Site::Fsync)) {
+        // Data fully written but durability unknown: report failure.
+        base_.writeFile(path, data, n, nullptr);
+        setErr(err, "injected fault: fsync " + path);
+        return false;
+    }
+    return base_.writeFile(path, data, n, err);
+}
+
+bool
+FaultyVfs::readFile(const std::string &path, std::vector<uint8_t> &out,
+                    std::string *err)
+{
+    if (faults_.shouldFail(FaultInjector::Site::Open)) {
+        setErr(err, "injected fault: open " + path);
+        return false;
+    }
+    return base_.readFile(path, out, err);
+}
+
+bool
+FaultyVfs::rename(const std::string &from, const std::string &to,
+                  std::string *err)
+{
+    if (faults_.shouldFail(FaultInjector::Site::Rename)) {
+        setErr(err, "injected fault: rename " + from + " -> " + to);
+        return false;
+    }
+    return base_.rename(from, to, err);
+}
+
+bool
+FaultyVfs::remove(const std::string &path)
+{
+    return base_.remove(path);
+}
+
+bool
+FaultyVfs::list(const std::string &dir, std::vector<std::string> &names)
+{
+    return base_.list(dir, names);
+}
+
+bool
+FaultyVfs::exists(const std::string &path)
+{
+    return base_.exists(path);
+}
+
+} // namespace dise::persist

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The injectable filesystem interface of the persistence layer.
+ *
+ * SessionStore performs every filesystem operation through this
+ * interface so tests can substitute a FaultyVfs that forces short
+ * writes, fsync failures, failed renames, and unreadable files at
+ * exact, seeded call sites — proving the store's crash-consistency
+ * story without ptrace tricks or real disk errors.
+ *
+ * The primitives are whole-file: writeFile() is create + write + fsync
+ * + close, so the store's atomicity protocol (write a temp file, then
+ * rename over the target) composes from two calls with well-defined
+ * failure points. A failed writeFile may leave a partial temp file
+ * behind (exactly like a real crash mid-write); rename is all or
+ * nothing, as POSIX guarantees.
+ */
+
+#ifndef DISE_PERSIST_VFS_HH
+#define DISE_PERSIST_VFS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/fault_injector.hh"
+
+namespace dise::persist {
+
+class Vfs
+{
+  public:
+    virtual ~Vfs() = default;
+
+    /** mkdir -p. True when the directory exists afterwards. */
+    virtual bool mkdirs(const std::string &dir, std::string *err) = 0;
+    /** Create/truncate @p path, write all @p n bytes, fsync, close. */
+    virtual bool writeFile(const std::string &path, const uint8_t *data,
+                           size_t n, std::string *err) = 0;
+    virtual bool readFile(const std::string &path,
+                          std::vector<uint8_t> &out, std::string *err) = 0;
+    /** Atomic replace (POSIX rename semantics). */
+    virtual bool rename(const std::string &from, const std::string &to,
+                        std::string *err) = 0;
+    virtual bool remove(const std::string &path) = 0;
+    /** Entry names (not paths) in @p dir, unsorted; "." ".." omitted. */
+    virtual bool list(const std::string &dir,
+                      std::vector<std::string> &names) = 0;
+    virtual bool exists(const std::string &path) = 0;
+};
+
+/** The real POSIX filesystem. */
+class RealVfs : public Vfs
+{
+  public:
+    bool mkdirs(const std::string &dir, std::string *err) override;
+    bool writeFile(const std::string &path, const uint8_t *data,
+                   size_t n, std::string *err) override;
+    bool readFile(const std::string &path, std::vector<uint8_t> &out,
+                  std::string *err) override;
+    bool rename(const std::string &from, const std::string &to,
+                std::string *err) override;
+    bool remove(const std::string &path) override;
+    bool list(const std::string &dir,
+              std::vector<std::string> &names) override;
+    bool exists(const std::string &path) override;
+};
+
+/**
+ * A Vfs decorator that consults a FaultInjector on every primitive.
+ * Injected failures have honest side effects: a Write fault leaves a
+ * torn half-written file behind (what a crash or ENOSPC mid-write
+ * leaves), an Fsync fault leaves the full data written but reports
+ * failure (durability unknown), and a Rename fault leaves the target
+ * untouched. Every injected error message starts with "injected" so
+ * callers can classify it.
+ */
+class FaultyVfs : public Vfs
+{
+  public:
+    FaultyVfs(Vfs &base, FaultInjector &faults)
+        : base_(base), faults_(faults)
+    {
+    }
+
+    bool mkdirs(const std::string &dir, std::string *err) override;
+    bool writeFile(const std::string &path, const uint8_t *data,
+                   size_t n, std::string *err) override;
+    bool readFile(const std::string &path, std::vector<uint8_t> &out,
+                  std::string *err) override;
+    bool rename(const std::string &from, const std::string &to,
+                std::string *err) override;
+    bool remove(const std::string &path) override;
+    bool list(const std::string &dir,
+              std::vector<std::string> &names) override;
+    bool exists(const std::string &path) override;
+
+  private:
+    Vfs &base_;
+    FaultInjector &faults_;
+};
+
+} // namespace dise::persist
+
+#endif // DISE_PERSIST_VFS_HH

@@ -29,6 +29,18 @@ enum class InterventionKind : uint8_t {
     RemoveProduction, ///< debugger removed a DISE production
 };
 
+inline const char *
+interventionKindName(InterventionKind kind)
+{
+    switch (kind) {
+      case InterventionKind::PokeMemory: return "poke-memory";
+      case InterventionKind::PokeRegister: return "poke-register";
+      case InterventionKind::AddProduction: return "add-production";
+      case InterventionKind::RemoveProduction: return "remove-production";
+    }
+    return "?";
+}
+
 /**
  * One debugger intervention, stamped with the stream position (µops
  * executed) it was applied at. Each record carries enough to re-apply

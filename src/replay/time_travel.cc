@@ -468,6 +468,24 @@ TimeTravel::travelBegin(TravelVerb verb, uint64_t count, bool &done)
 }
 
 StopInfo
+TimeTravel::seekBegin(uint64_t targetTime, bool &done)
+{
+    travel_ = TravelState{};
+    travel_.byTime = true;
+    travel_.targetTime = targetTime;
+    travel_.reachReason = StopReason::Step;
+    if (targetTime < time_)
+        restoreTo(checkpointAtOrBefore(targetTime));
+    travel_.active = true;
+    done = false;
+    if (time_ == targetTime) {
+        replayPendingInterventions();
+        return travelFinish(done);
+    }
+    return stopHere(StopReason::Step);
+}
+
+StopInfo
 TimeTravel::travelStep(uint64_t maxAppInsts, bool &done)
 {
     DISE_ASSERT(travel_.active, "travelStep() without an active travel");

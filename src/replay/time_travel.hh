@@ -168,6 +168,16 @@ class TimeTravel
      * position with reason Step.
      */
     StopInfo travelStep(uint64_t maxAppInsts, bool &done);
+    /**
+     * Prepare a sliced travel to the absolute µop position
+     * @p targetTime. The resurrection primitive: a session restored
+     * from its on-disk image (whose ReplayLog was injected into this
+     * controller's log) seeks from time zero to its persisted position,
+     * re-taking checkpoints and re-verifying recorded marks as the
+     * replay crosses them. Also valid mid-life, forward or backward.
+     * Same contract as travelBegin: drive travelStep() until @p done.
+     */
+    StopInfo seekBegin(uint64_t targetTime, bool &done);
     bool travelActive() const { return travel_.active; }
     ///@}
 

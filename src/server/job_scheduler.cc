@@ -11,6 +11,7 @@ JobScheduler::JobScheduler(JobSchedulerOptions opts)
                    ? opts.workers
                    : std::max(2u, std::thread::hardware_concurrency());
     slice_ = opts.sliceInsts ? opts.sliceInsts : 50000;
+    faults_ = opts.faults;
     pool_.reserve(workers_);
     for (unsigned i = 0; i < workers_; ++i)
         pool_.emplace_back([this] { workerLoop(); });
@@ -97,11 +98,21 @@ JobScheduler::workerLoop()
         bool done = false;
         JobResult res;
         lk.unlock();
-        try {
-            done = t->fn(slice_);
-        } catch (const std::exception &e) {
+        if (faults_ &&
+            faults_->shouldFail(persist::FaultInjector::Site::Slice)) {
+            // Chaos hook: fail the job at a slice boundary — the same
+            // cut point a cancel uses, so the session is at a valid,
+            // deterministic position and the error path is exactly the
+            // one a real mid-job failure would take.
             done = true;
-            res = {false, e.what()};
+            res = {false, "injected scheduler fault at slice boundary"};
+        } else {
+            try {
+                done = t->fn(slice_);
+            } catch (const std::exception &e) {
+                done = true;
+                res = {false, e.what()};
+            }
         }
         slices_.fetch_add(1, std::memory_order_relaxed);
         lk.lock();

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "persist/fault_injector.hh"
 #include "server/session_manager.hh"
 
 namespace dise::server {
@@ -58,6 +59,11 @@ struct JobSchedulerOptions
     unsigned workers = 0;
     /** Application instructions per slice. */
     uint64_t sliceInsts = 50000;
+    /** When set, consulted at every slice boundary (Site::Slice); a
+     *  hit fails the job cleanly — the session stays at its last
+     *  slice-boundary position, exactly like a cancel. Chaos-testing
+     *  hook; not owned. */
+    persist::FaultInjector *faults = nullptr;
 };
 
 class JobScheduler
@@ -182,6 +188,7 @@ class JobScheduler
 
     unsigned workers_;
     uint64_t slice_;
+    persist::FaultInjector *faults_;
     std::atomic<uint64_t> slices_{0};
     std::atomic<uint64_t> jobsDone_{0};
 };

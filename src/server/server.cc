@@ -49,6 +49,20 @@ struct DebugServer::WireOut
         return sendAll(fd, line + "\n");
     }
 
+    /** Best-effort single-attempt send for farewell lines: the peer is
+     *  known wedged, so this must neither block on its full socket
+     *  buffer nor wait for a writer already stuck in sendLine(). */
+    void
+    sendLineNoWait(const std::string &line)
+    {
+        std::unique_lock<std::mutex> lk(mu, std::try_to_lock);
+        if (!lk.owns_lock())
+            return;
+        std::string data = line + "\n";
+        (void)::send(fd, data.data(), data.size(),
+                     MSG_DONTWAIT | MSG_NOSIGNAL);
+    }
+
   private:
     std::mutex mu;
 };
@@ -65,6 +79,15 @@ class DebugServer::WireSink : public EventSink
     deliver(const SessionEvent &ev) override
     {
         return out_->sendLine(encodeEvent(ev));
+    }
+
+    void
+    farewell(const SessionEvent &ev) override
+    {
+        // One non-blocking attempt: if the peer ever drains its socket
+        // again it learns why the stream ended instead of seeing a
+        // silent stop.
+        out_->sendLineNoWait(encodeEvent(ev));
     }
 
   private:
@@ -84,7 +107,7 @@ DebugServer::DebugServer(DebugServerOptions opts,
                          SessionManager::ProgramFactory factory)
     : opts_(opts),
       manager_({opts.maxSessions, opts.session}, std::move(factory)),
-      sched_({opts.slots, opts.sliceInsts})
+      sched_({opts.slots, opts.sliceInsts, opts.faults})
 {
 }
 
@@ -98,6 +121,43 @@ DebugServer::~DebugServer()
 bool
 DebugServer::start()
 {
+    // Crash recovery precedes the listener: by the time a client can
+    // connect, every valid image from the previous run is re-admitted
+    // (as a hibernated session, resurrected on first use) and every
+    // corrupt artifact is quarantined with a typed record.
+    if (!opts_.storeDir.empty() && !store_) {
+        persist::Vfs *vfs = &realVfs_;
+        if (opts_.faults) {
+            faultyVfs_ = std::make_unique<persist::FaultyVfs>(
+                realVfs_, *opts_.faults);
+            vfs = faultyVfs_.get();
+        }
+        store_ =
+            std::make_unique<persist::SessionStore>(opts_.storeDir, *vfs);
+        persist::StoreResult res = store_->open();
+        if (!res.ok) {
+            std::fprintf(stderr, "server: store %s unusable: %s: %s\n",
+                         opts_.storeDir.c_str(),
+                         persist::storeErrName(res.err),
+                         res.detail.c_str());
+            store_.reset();
+            return false;
+        }
+        if (opts_.verbose) {
+            for (const persist::QuarantineRecord &q :
+                 store_->quarantined())
+                std::fprintf(stderr,
+                             "server: quarantined %s: %s: %s\n",
+                             q.file.c_str(),
+                             persist::storeErrName(q.err),
+                             q.detail.c_str());
+            std::fprintf(
+                stderr, "server: store %s: %zu session(s) recovered\n",
+                opts_.storeDir.c_str(), store_->entries().size());
+        }
+        manager_.adoptStore(store_.get());
+    }
+
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
         return false;
@@ -325,9 +385,13 @@ DebugServer::driveSpecJob(ManagedSession &s, const Request &req)
     s.pushEvents();
     if (*idx < 0) {
         resp.status = ResponseStatus::Unsupported;
-        resp.error =
-            "the backend cannot implement the enlarged set, or the "
-            "target advanced through a non-replayable batch run";
+        // The session records exactly why it refused (which journal
+        // entry blocks the rebuild, or which capability is missing).
+        resp.error = !s.session.lastRefusal().empty()
+                         ? s.session.lastRefusal()
+                         : "the backend cannot implement the enlarged "
+                           "set, or the target advanced through a "
+                           "non-replayable batch run";
         return resp;
     }
     resp.index = *idx;
@@ -437,16 +501,21 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         if (!ms)
             return errorOut(err);
         sel = ms; // creating selects
+        manager_.touch(*ms);
         resp.value = ms->id;
         return resp;
       }
       case RequestKind::SessionSelect: {
+        // find() transparently resurrects a hibernated id; a typed
+        // resurrection/quarantine error surfaces to the client.
+        std::string err;
         ManagedSessionPtr ms =
-            manager_.find(req.session, /*forSelect=*/true);
+            manager_.find(req.session, /*forSelect=*/true, &err);
         if (!ms)
-            return errorOut("no such (shared) session " +
-                            std::to_string(req.session));
+            return errorOut("session " + std::to_string(req.session) +
+                            ": " + err);
         sel = ms;
+        manager_.touch(*ms);
         resp.value = ms->id;
         return resp;
       }
@@ -493,6 +562,49 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         }
         return resp;
       }
+      case RequestKind::SessionHibernate: {
+        uint64_t id = req.session ? req.session : (sel ? sel->id : 0);
+        if (!id)
+            return errorOut("no session selected");
+        // Our own selection reference would count the session busy;
+        // hibernating it implies deselecting it.
+        bool wasSelected = sel && sel->id == id;
+        if (wasSelected)
+            sel.reset();
+        std::string err;
+        if (!manager_.hibernate(id, &err)) {
+            if (wasSelected)
+                sel = manager_.find(id); // restore the selection
+            return errorOut(err);
+        }
+        resp.value = id;
+        return resp;
+      }
+      case RequestKind::SessionPersist: {
+        uint64_t id = req.session ? req.session : (sel ? sel->id : 0);
+        if (!id)
+            return errorOut("no session selected");
+        std::string err;
+        uint64_t digest = 0;
+        if (!manager_.persist(id, &err, &digest))
+            return errorOut(err);
+        resp.value = digest;
+        return resp;
+      }
+      case RequestKind::StoreStats: {
+        if (!store_)
+            return errorOut(
+                "the server has no session store (--store-dir)");
+        persist::StoreCounters c = store_->counters();
+        resp.store.images = c.images;
+        resp.store.bytes = c.bytes;
+        resp.store.puts = c.puts;
+        resp.store.loads = c.loads;
+        resp.store.erases = c.erases;
+        resp.store.quarantined = c.quarantined;
+        resp.store.orphansRemoved = c.orphansRemoved;
+        return resp;
+      }
       default:
         break;
     }
@@ -505,6 +617,7 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         sel.reset();
         return errorOut("session destroyed");
     }
+    manager_.touch(*sel); // LRU stamp: this session is in active use
 
     Response out;
     bool dropSelection = false;
@@ -630,6 +743,8 @@ DebugServer::stats() const
     ServerStats s = manager_.stats();
     s.slices = sched_.slicesRun();
     s.workers = sched_.workers();
+    if (opts_.faults)
+        s.faultsInjected = opts_.faults->injected();
     return s;
 }
 

@@ -36,11 +36,13 @@
 
 #include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "persist/vfs.hh"
 #include "server/job_scheduler.hh"
 #include "server/session_manager.hh"
 
@@ -62,6 +64,14 @@ struct DebugServerOptions
     /** Defaults for per-connection RSP sessions. */
     BackendKind defaultBackend = BackendKind::Dise;
     std::string defaultWorkload = "demo";
+    /** Session-store directory; empty = no durability (hibernate /
+     *  persist verbs report errors, crashes lose sessions). start()
+     *  opens the store, quarantines anything corrupt, and re-admits
+     *  every valid image as a hibernated session. */
+    std::string storeDir;
+    /** When set, every store filesystem primitive and every scheduler
+     *  slice boundary consults it (chaos testing). Not owned. */
+    persist::FaultInjector *faults = nullptr;
 };
 
 class DebugServer
@@ -86,6 +96,8 @@ class DebugServer
 
     SessionManager &sessions() { return manager_; }
     JobScheduler &scheduler() { return sched_; }
+    /** The on-disk store (nullptr without --store-dir). */
+    persist::SessionStore *store() { return store_.get(); }
     /** Session rollups + scheduler counters, one snapshot. */
     ServerStats stats() const;
     uint64_t connectionsServed() const
@@ -115,6 +127,13 @@ class DebugServer
     DebugServerOptions opts_;
     SessionManager manager_;
     JobScheduler sched_;
+
+    /** Durable-session machinery (only with a storeDir). The real VFS
+     *  is wrapped by a FaultyVfs when a FaultInjector is configured,
+     *  so chaos runs exercise the exact production code paths. */
+    persist::RealVfs realVfs_;
+    std::unique_ptr<persist::FaultyVfs> faultyVfs_;
+    std::unique_ptr<persist::SessionStore> store_;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

@@ -30,9 +30,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "persist/store.hh"
 #include "session/debug_session.hh"
 
 namespace dise::server {
@@ -47,6 +49,10 @@ class EventSink
   public:
     virtual ~EventSink() = default;
     virtual bool deliver(const SessionEvent &ev) = 0;
+    /** Last-gasp notification as the subscription is dropped (deliver
+     *  failed). Must not block: the peer is known to be wedged, so
+     *  implementations send best-effort or not at all. */
+    virtual void farewell(const SessionEvent &ev) { (void)ev; }
 };
 
 /** One hosted target plus the concurrency state the serving layer
@@ -83,6 +89,11 @@ class ManagedSession
     std::atomic<uint64_t> jobs{0};
     /** Events delivered to subscribers. */
     std::atomic<uint64_t> eventsPushed{0};
+    /** Subscriptions dropped because the peer stopped draining. */
+    std::atomic<uint64_t> droppedSinks{0};
+    /** Logical-clock stamp of the last verb served (LRU eviction
+     *  order; set via SessionManager::touch()). */
+    std::atomic<uint64_t> lastTouch{0};
 
     /** Refresh the published counters from the session (call with
      *  exclusive session access, e.g. after a slice). */
@@ -145,10 +156,21 @@ class ManagedSession
         for (const SessionEvent &ev : session.events().drain()) {
             eventsPushed.fetch_add(1, std::memory_order_relaxed);
             for (auto it = sinks_.begin(); it != sinks_.end();) {
-                if ((*it)->deliver(ev))
+                if ((*it)->deliver(ev)) {
                     ++it;
-                else
-                    it = sinks_.erase(it);
+                    continue;
+                }
+                // Graceful drop: a final best-effort farewell line so
+                // the peer (if it ever drains again) learns WHY its
+                // event stream went quiet, then the unsubscribe
+                // bookkeeping instead of a silent erase.
+                SessionEvent bye;
+                bye.kind = SessionEventKind::SubscriberDropped;
+                bye.time = ev.time;
+                bye.appInsts = ev.appInsts;
+                (*it)->farewell(bye);
+                it = sinks_.erase(it);
+                droppedSinks.fetch_add(1, std::memory_order_relaxed);
             }
         }
     }
@@ -184,52 +206,101 @@ class SessionManager
                             ProgramFactory factory = {});
 
     /**
-     * Create a session for @p workload under the admission cap.
-     * Returns nullptr (and fills @p err) on an unknown workload or
-     * when the cap is reached.
+     * Create a session for @p workload under the admission cap. At the
+     * cap, a store-backed manager hibernates the least-recently-used
+     * idle session (not exclusive, no subscribers, not held by any
+     * connection or job) to make room; only when nothing is evictable
+     * does admission reject. Returns nullptr (and fills @p err) on an
+     * unknown workload or a genuine rejection.
      */
     ManagedSessionPtr create(const std::string &workload,
                              BackendKind backend,
                              bool exclusive = false,
                              std::string *err = nullptr);
 
-    /** Look a live session up; nullptr when unknown. @p forSelect
-     *  additionally refuses exclusive (per-connection) sessions. */
-    ManagedSessionPtr find(uint64_t id, bool forSelect = false);
+    /** Look a session up; nullptr when unknown. A hibernated id is
+     *  transparently resurrected from the store (rebuild + replay to
+     *  its persisted position, digest-verified); a resurrection
+     *  failure quarantines the image and reports a typed error in
+     *  @p err. @p forSelect additionally refuses exclusive
+     *  (per-connection) sessions. */
+    ManagedSessionPtr find(uint64_t id, bool forSelect = false,
+                           std::string *err = nullptr);
 
     /**
      * Remove @p id from the table and mark it closing. In-flight
      * drivers abort at their next slice; the final per-session
-     * counters fold into the retired totals.
+     * counters fold into the retired totals. A hibernated id is
+     * erased from the store instead.
      */
     bool destroy(uint64_t id);
 
+    /** Live AND hibernated session ids. */
     std::vector<uint64_t> ids() const;
     size_t count() const;
     unsigned maxSessions() const { return opts_.maxSessions; }
     const SessionOptions &sessionTemplate() const { return opts_.session; }
+
+    /** @name Durable sessions */
+    ///@{
+    /** Attach an (opened) on-disk store and re-admit its entries as
+     *  hibernated sessions, resurrected lazily on first find(). */
+    void adoptStore(persist::SessionStore *store);
+    persist::SessionStore *store() const { return store_; }
+
+    /** Evict @p id to the store (export + put + drop from the live
+     *  table). Refuses — session intact — when it is exclusive, has
+     *  subscribers, is held by a connection or job, or the persistence
+     *  path fails. */
+    bool hibernate(uint64_t id, std::string *err = nullptr);
+
+    /** Write a crash-consistent image of @p id without evicting it.
+     *  Fills @p digest (when given) with the persisted state digest. */
+    bool persist(uint64_t id, std::string *err = nullptr,
+                 uint64_t *digest = nullptr);
+
+    /** Stamp @p ms as just-used (LRU eviction order). */
+    void touch(ManagedSession &ms);
+    ///@}
 
     /** Admission counters + per-session rollups (live + retired).
      *  Never blocks on a running session. */
     ServerStats stats() const;
 
   private:
+    ManagedSessionPtr resurrect(uint64_t id, std::string *err);
+    bool exportToStore(ManagedSession &ms, std::string *err);
+    /** Pick the LRU evictable victim id not in @p tried (0 = none).
+     *  Call with mu_ held. */
+    uint64_t victimLocked(const std::set<uint64_t> &tried) const;
+
     SessionManagerOptions opts_;
     ProgramFactory factory_;
 
+    persist::SessionStore *store_ = nullptr;
+    /** Serializes resurrections (so two selects of one hibernated id
+     *  produce one rebuild, the second finding it live). */
+    std::mutex resurrectMu_;
+
     mutable std::mutex mu_;
     std::map<uint64_t, ManagedSessionPtr> sessions_;
+    /** id → workload of sessions living only in the store. */
+    std::map<uint64_t, std::string> hibernated_;
+    std::atomic<uint64_t> clock_{0};
     uint64_t nextId_ = 1;
     uint64_t created_ = 0;
     uint64_t destroyed_ = 0;
     uint64_t rejected_ = 0;
     uint64_t peak_ = 0;
-    // Totals folded in from destroyed sessions.
+    uint64_t evictions_ = 0;
+    uint64_t resurrections_ = 0;
+    // Totals folded in from destroyed (or hibernated) sessions.
     uint64_t retiredUops_ = 0;
     uint64_t retiredInsts_ = 0;
     uint64_t retiredEvents_ = 0;
     uint64_t retiredJobs_ = 0;
     uint64_t retiredPushed_ = 0;
+    uint64_t retiredDropped_ = 0;
 };
 
 /** The stock name → Program mapping ("demo" + the six synthetic

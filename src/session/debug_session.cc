@@ -374,10 +374,15 @@ DebugSession::applyJournalEntry(const Intervention &iv)
 bool
 DebugSession::rebuildBegin()
 {
+    refusal_.clear();
     // A batch cycle-level/functional run advanced the target outside
     // the replayable timeline: there is no position to rebuild to.
-    if (batchRan_)
+    if (batchRan_) {
+        refusal_ = "rebuild refused: a batch cycle-level/functional "
+                   "run advanced the target outside the replayable "
+                   "timeline";
         return false;
+    }
 
     rebuild_ = RebuildPlan{};
     rebuild_.hadTravel = debugger_->timeTraveling();
@@ -409,7 +414,8 @@ DebugSession::rebuildBegin()
                     ++rebuild_.parkOccurrence;
             }
         }
-        for (const Intervention &iv : log.interventions) {
+        for (size_t n = 0; n < log.interventions.size(); ++n) {
+            const Intervention &iv = log.interventions[n];
             if (iv.time > tt.time())
                 break; // truncated future
             // A poke recorded at an INTERIOR event park (the client
@@ -421,6 +427,16 @@ DebugSession::rebuildBegin()
             // re-apply exactly (phase 3, after the park is re-found).
             if (iv.atEventPark &&
                 !(rebuild_.parkedAtEvent && iv.time == tt.time())) {
+                refusal_ =
+                    "rebuild refused: journal entry #" +
+                    std::to_string(n) + " (" +
+                    interventionKindName(iv.kind) + " at t=" +
+                    std::to_string(iv.time) + ", " +
+                    std::to_string(iv.appInsts) +
+                    " insts) was recorded at an interior event park "
+                    "and has no instrumentation-invariant re-apply "
+                    "position; remove the spec instead, or re-travel "
+                    "to that park before enlarging the set";
                 rebuild_ = RebuildPlan{};
                 return false;
             }
@@ -430,6 +446,9 @@ DebugSession::rebuildBegin()
 
     Machinery m;
     if (!buildMachinery(m)) {
+        refusal_ = std::string("rebuild refused: the ") +
+                   backendName(backendKind()) +
+                   " backend cannot implement the enlarged spec set";
         rebuild_ = RebuildPlan{};
         return false;
     }
@@ -1196,6 +1215,218 @@ DebugSession::detach()
     return true;
 }
 
+// ---------------------------------------------------- durable sessions
+
+bool
+DebugSession::exportImage(persist::SessionImage &img, std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (detached_)
+        return fail("a detached session has no state to persist");
+    if (batchRan_)
+        return fail("a batch cycle-level/functional run advanced the "
+                    "target outside the replayable timeline; the "
+                    "session cannot be reconstructed from its log");
+    if (rebuild_.active)
+        return fail("a rebuild-replay is in flight; drive it to "
+                    "completion before persisting");
+    if (resurrect_.active)
+        return fail("a resurrection replay is in flight");
+
+    img.backend = opts_.debugger.backend;
+    img.attached = attached();
+    img.watches = pendingWatches_;
+    img.breaks = pendingBreaks_;
+    img.mutedWatches.assign(mutedWatches_.begin(), mutedWatches_.end());
+    img.mutedBreaks.assign(mutedBreaks_.begin(), mutedBreaks_.end());
+    img.pokes.clear();
+    for (const PendingPoke &p : pendingPokes_)
+        img.pokes.push_back({p.isReg, p.reg, p.addr, p.size, p.value});
+
+    img.hasTravel = attached() && debugger_->timeTraveling();
+    img.seed = 0;
+    img.programName.clear();
+    img.interventions.clear();
+    img.marks.clear();
+    img.time = 0;
+    img.appInsts = 0;
+    img.digest = 0;
+    img.checkpoints.clear();
+    if (img.hasTravel) {
+        TimeTravel &tt = debugger_->timeTravel();
+        if (tt.travelActive())
+            return fail("a sliced travel is in flight; drive it to "
+                        "completion before persisting");
+        const ReplayLog &log = debugger_->replayLog();
+        img.seed = log.seed;
+        img.programName = log.programName;
+        img.interventions = log.interventions;
+        img.marks = log.marks;
+        img.time = tt.time();
+        img.appInsts = tt.appInsts();
+        img.digest = tt.digest();
+        for (const Checkpoint &cp : tt.checkpoints())
+            img.checkpoints.push_back({cp.time, cp.appInsts});
+    } else if (attached()) {
+        img.digest = digest();
+    }
+    return true;
+}
+
+bool
+DebugSession::resurrectBegin(const persist::SessionImage &img,
+                             bool &done, std::string *err)
+{
+    done = true;
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (attached() || detached_ || !pendingWatches_.empty() ||
+        !pendingBreaks_.empty() || !pendingPokes_.empty())
+        return fail("resurrection requires a freshly constructed "
+                    "session");
+
+    opts_.debugger.backend = img.backend;
+    pendingWatches_ = img.watches;
+    pendingBreaks_ = img.breaks;
+    mutedWatches_.clear();
+    mutedBreaks_.clear();
+    for (int32_t i : img.mutedWatches)
+        mutedWatches_.insert(i);
+    for (int32_t i : img.mutedBreaks)
+        mutedBreaks_.insert(i);
+    for (const persist::SessionImage::Poke &p : img.pokes)
+        pendingPokes_.push_back({p.isReg, p.reg, p.addr, p.size,
+                                 p.value});
+
+    if (!img.attached)
+        return true; // config-only image: nothing to replay
+
+    // Divergence during the replay (a mark that does not re-fire at
+    // its recorded position, a production removal that cannot
+    // re-target) surfaces as an assertion; convert it into a typed
+    // failure with the session safely detached rather than admitting
+    // half-replayed state.
+    try {
+        if (!attach())
+            return fail(std::string("the ") + backendName(img.backend) +
+                        " backend refused the persisted spec set");
+        if (!img.hasTravel) {
+            uint64_t live = digest();
+            if (live != img.digest) {
+                detach();
+                return fail("re-attach digest mismatch: live " +
+                            std::to_string(live) + ", image says " +
+                            std::to_string(img.digest));
+            }
+            return true;
+        }
+        // Create the controller FIRST (it holds a reference to the
+        // debugger's log), then inject the recorded log underneath it:
+        // the seek below replays the interventions at their stamps and
+        // verifies every recorded mark as it crosses it.
+        TimeTravel &tt = ensureTravel();
+        ReplayLog &log = debugger_->replayLog();
+        log.seed = img.seed;
+        log.programName = img.programName;
+        log.interventions = img.interventions;
+        log.marks = img.marks;
+
+        resurrect_.active = true;
+        resurrect_.time = img.time;
+        resurrect_.appInsts = img.appInsts;
+        resurrect_.digest = img.digest;
+        resurrect_.checkpoints = img.checkpoints;
+
+        tt.seekBegin(img.time, done);
+        pumpEvents();
+        if (done)
+            return resurrectFinish(err);
+        return true;
+    } catch (const std::exception &e) {
+        resurrect_ = ResurrectPlan{};
+        detach();
+        return fail(std::string("resurrection replay diverged: ") +
+                    e.what());
+    }
+}
+
+bool
+DebugSession::resurrectStep(uint64_t maxInsts, bool &done,
+                            std::string *err)
+{
+    done = true;
+    if (!resurrect_.active)
+        return true;
+    try {
+        TimeTravel &tt = debugger_->timeTravel();
+        tt.travelStep(maxInsts, done);
+        pumpEvents();
+        if (!done)
+            return true;
+        return resurrectFinish(err);
+    } catch (const std::exception &e) {
+        resurrect_ = ResurrectPlan{};
+        detach();
+        if (err)
+            *err = std::string("resurrection replay diverged: ") +
+                   e.what();
+        return false;
+    }
+}
+
+/** Verify the completed resurrection replay against the image's
+ *  anchors; any mismatch detaches the session (typed error, no
+ *  divergent state admitted). */
+bool
+DebugSession::resurrectFinish(std::string *err)
+{
+    ResurrectPlan plan = std::move(resurrect_);
+    resurrect_ = ResurrectPlan{};
+    auto fail = [&](const std::string &why) {
+        detach();
+        if (err)
+            *err = why;
+        return false;
+    };
+    TimeTravel &tt = debugger_->timeTravel();
+    if (tt.time() != plan.time || tt.appInsts() != plan.appInsts)
+        return fail("resurrection landed at t=" +
+                    std::to_string(tt.time()) + ", " +
+                    std::to_string(tt.appInsts()) +
+                    " insts; image says t=" + std::to_string(plan.time) +
+                    ", " + std::to_string(plan.appInsts) + " insts");
+    uint64_t live = tt.digest();
+    if (live != plan.digest)
+        return fail("resurrection digest mismatch: replay produced " +
+                    std::to_string(live) + ", image says " +
+                    std::to_string(plan.digest));
+    // The chain's positions are deterministic functions of the travel
+    // history, so the re-taken chain must sit at the recorded
+    // positions exactly.
+    const auto &cps = tt.checkpoints();
+    if (cps.size() != plan.checkpoints.size())
+        return fail("resurrection re-took " +
+                    std::to_string(cps.size()) +
+                    " checkpoints; image recorded " +
+                    std::to_string(plan.checkpoints.size()));
+    for (size_t i = 0; i < cps.size(); ++i)
+        if (cps[i].time != plan.checkpoints[i].time ||
+            cps[i].appInsts != plan.checkpoints[i].appInsts)
+            return fail("resurrection checkpoint #" +
+                        std::to_string(i) + " sits at t=" +
+                        std::to_string(cps[i].time) +
+                        "; image recorded t=" +
+                        std::to_string(plan.checkpoints[i].time));
+    return true;
+}
+
 // ---------------------------------------------------------- wire entry
 
 Response
@@ -1239,9 +1470,10 @@ DebugSession::dispatch(const Request &req)
         int idx = setWatch(req.watch);
         if (idx < 0)
             return unsupportedOut(
-                "the backend cannot implement the enlarged watchpoint "
-                "set, or the target advanced through a non-replayable "
-                "batch run");
+                !refusal_.empty()
+                    ? refusal_
+                    : "the backend cannot implement the enlarged "
+                      "watchpoint set");
         resp.index = idx;
         return resp;
       }
@@ -1249,9 +1481,10 @@ DebugSession::dispatch(const Request &req)
         int idx = setBreak(req.brk);
         if (idx < 0)
             return unsupportedOut(
-                "the backend cannot implement the enlarged breakpoint "
-                "set, or the target advanced through a non-replayable "
-                "batch run");
+                !refusal_.empty()
+                    ? refusal_
+                    : "the backend cannot implement the enlarged "
+                      "breakpoint set");
         resp.index = idx;
         return resp;
       }
@@ -1333,6 +1566,9 @@ DebugSession::dispatch(const Request &req)
       case RequestKind::ServerStats:
       case RequestKind::Subscribe:
       case RequestKind::Unsubscribe:
+      case RequestKind::SessionHibernate:
+      case RequestKind::SessionPersist:
+      case RequestKind::StoreStats:
         return errorOut("session management verbs are handled by the "
                         "multi-session server, not a session");
     }

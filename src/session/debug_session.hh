@@ -40,6 +40,7 @@
 
 #include "debug/debugger.hh"
 #include "debug/target.hh"
+#include "persist/image.hh"
 #include "replay/interval_replay.hh"
 #include "session/event_queue.hh"
 #include "session/protocol.hh"
@@ -162,6 +163,39 @@ class DebugSession
      *  interrupted job's landing point). */
     StopInfo currentStop();
 
+    /** @name Durable sessions (hibernation / resurrection)
+     * exportImage() captures everything persist::SessionImage records —
+     * the spec set and the replay log, not memory pages. A fresh
+     * session resurrects from such an image by re-attaching identical
+     * machinery, injecting the recorded log, and seek-replaying from
+     * time zero to the persisted µop position (checkpoints re-taken,
+     * marks re-verified on the way); resurrectBegin/resurrectStep is
+     * the sliced form of that replay. Completion verifies the landing
+     * position, the state digest, and the checkpoint-chain positions
+     * against the image — any mismatch detaches the session and
+     * reports a typed error rather than admitting divergent state. */
+    ///@{
+    /** Fill @p img from the live session (id/workload left to the
+     *  caller). Refuses — with a reason in @p err — while a rebuild,
+     *  resurrection, or sliced travel is in flight, or after a
+     *  non-replayable batch run. */
+    bool exportImage(persist::SessionImage &img,
+                     std::string *err = nullptr);
+    /** Start resurrecting this (freshly constructed) session from
+     *  @p img. On true with @p done unset, drive resurrectStep(). */
+    bool resurrectBegin(const persist::SessionImage &img, bool &done,
+                        std::string *err = nullptr);
+    bool resurrectStep(uint64_t maxInsts, bool &done,
+                       std::string *err = nullptr);
+    bool resurrectActive() const { return resurrect_.active; }
+    ///@}
+
+    /** Why the last refused verb (setWatch/setBreak rebuild) was
+     *  refused — a typed, actionable message naming the offending
+     *  journal entry when a rebuild has no instrumentation-invariant
+     *  replay. Empty when nothing was refused. */
+    const std::string &lastRefusal() const { return refusal_; }
+
     /** @name One-shot batch runs (no time-travel session)
      * The harness' cycle-level measurement path. Mutually exclusive
      * with the checkpointed verbs above: once a TimeTravel session
@@ -254,7 +288,18 @@ class DebugSession
         bool parked = false;
     };
 
+    /** Position/digest anchors of an in-flight resurrection replay. */
+    struct ResurrectPlan
+    {
+        bool active = false;
+        uint64_t time = 0;
+        uint64_t appInsts = 0;
+        uint64_t digest = 0;
+        std::vector<persist::CheckpointMeta> checkpoints;
+    };
+
     DebugTarget &ensurePeekTarget();
+    bool resurrectFinish(std::string *err);
     bool ensureAttached();
     TimeTravel &ensureTravel();
     bool buildMachinery(Machinery &m);
@@ -299,6 +344,9 @@ class DebugSession
     std::vector<int> installedBreakOwner_;
 
     RebuildPlan rebuild_;
+    ResurrectPlan resurrect_;
+    /** See lastRefusal(). */
+    std::string refusal_;
     /** Verb of the in-flight sliced reverse (mute-restart policy). */
     RequestKind sliceVerb_ = RequestKind::Ping;
 

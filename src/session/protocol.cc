@@ -47,6 +47,9 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::ServerStats, "server-stats"},
     {RequestKind::Subscribe, "subscribe"},
     {RequestKind::Unsubscribe, "unsubscribe"},
+    {RequestKind::SessionHibernate, "session-hibernate"},
+    {RequestKind::SessionPersist, "session-persist"},
+    {RequestKind::StoreStats, "store-stats"},
 };
 
 struct BackendToken
@@ -374,6 +377,8 @@ sessionEventKindName(SessionEventKind kind)
       case SessionEventKind::Restore: return "restore";
       case SessionEventKind::Attached: return "attached";
       case SessionEventKind::Halted: return "halted";
+      case SessionEventKind::SubscriberDropped:
+        return "subscriber-dropped";
     }
     return "?";
 }
@@ -436,6 +441,11 @@ encodeRequest(const Request &req)
       case RequestKind::SessionSelect:
       case RequestKind::SessionDestroy:
         w.num("session", req.session);
+        break;
+      case RequestKind::SessionHibernate:
+      case RequestKind::SessionPersist:
+        if (req.session)
+            w.num("session", req.session);
         break;
       default:
         break;
@@ -542,6 +552,10 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
       case RequestKind::SessionDestroy:
         if (!r.num("session", req.session))
             return fail(err, "session verb needs session=");
+        break;
+      case RequestKind::SessionHibernate:
+      case RequestKind::SessionPersist:
+        r.num("session", req.session); // optional: default selected
         break;
       default:
         break;
@@ -654,6 +668,21 @@ encodeResponse(const Response &resp)
         w.num("sv.events", resp.server.totalEvents);
         w.num("sv.pushed", resp.server.eventsPushed);
         w.num("sv.subs", resp.server.subscribers);
+        w.num("sv.dropped", resp.server.dropped);
+        w.num("sv.hibernated", resp.server.hibernated);
+        w.num("sv.evictions", resp.server.evictions);
+        w.num("sv.resurrections", resp.server.resurrections);
+        w.num("sv.quarantined", resp.server.quarantined);
+        w.num("sv.faults", resp.server.faultsInjected);
+    }
+    if (resp.inReplyTo == RequestKind::StoreStats) {
+        w.num("ps.images", resp.store.images);
+        w.num("ps.bytes", resp.store.bytes);
+        w.num("ps.puts", resp.store.puts);
+        w.num("ps.loads", resp.store.loads);
+        w.num("ps.erases", resp.store.erases);
+        w.num("ps.quarantined", resp.store.quarantined);
+        w.num("ps.orphans", resp.store.orphansRemoved);
     }
     return w.str();
 }
@@ -732,6 +761,21 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("sv.events", resp.server.totalEvents);
         r.num("sv.pushed", resp.server.eventsPushed);
         r.num("sv.subs", resp.server.subscribers);
+        r.num("sv.dropped", resp.server.dropped);
+        r.num("sv.hibernated", resp.server.hibernated);
+        r.num("sv.evictions", resp.server.evictions);
+        r.num("sv.resurrections", resp.server.resurrections);
+        r.num("sv.quarantined", resp.server.quarantined);
+        r.num("sv.faults", resp.server.faultsInjected);
+    }
+    if (resp.inReplyTo == RequestKind::StoreStats) {
+        r.num("ps.images", resp.store.images);
+        r.num("ps.bytes", resp.store.bytes);
+        r.num("ps.puts", resp.store.puts);
+        r.num("ps.loads", resp.store.loads);
+        r.num("ps.erases", resp.store.erases);
+        r.num("ps.quarantined", resp.store.quarantined);
+        r.num("ps.orphans", resp.store.orphansRemoved);
     }
     return true;
 }
@@ -808,7 +852,8 @@ decodeEvent(const std::string &line, SessionEvent &ev, std::string *err)
          {SessionEventKind::Watch, SessionEventKind::Break,
           SessionEventKind::Protection, SessionEventKind::Checkpoint,
           SessionEventKind::Restore, SessionEventKind::Attached,
-          SessionEventKind::Halted}) {
+          SessionEventKind::Halted,
+          SessionEventKind::SubscriberDropped}) {
         if (tok == sessionEventKindName(k)) {
             ev.kind = k;
             found = true;
@@ -861,6 +906,9 @@ SessionEvent::describe() const
         break;
       case SessionEventKind::Halted:
         os << "target halted";
+        break;
+      case SessionEventKind::SubscriberDropped:
+        os << "subscription dropped: the peer stopped draining events";
         break;
     }
     os << " @ t=" << time << ", " << appInsts << " insts";

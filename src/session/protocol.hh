@@ -67,6 +67,11 @@ enum class RequestKind : uint8_t {
     ServerStats,    ///< server-level aggregate statistics
     Subscribe,      ///< push this session's events to the connection
     Unsubscribe,    ///< stop pushing
+
+    // Durable-session verbs (require a server started with a store).
+    SessionHibernate, ///< evict session id= (default: selected) to disk
+    SessionPersist,   ///< write a crash-consistent image, keep it live
+    StoreStats,       ///< on-disk store statistics
 };
 
 const char *requestKindName(RequestKind kind);
@@ -137,6 +142,26 @@ struct ServerStats
     uint64_t totalEvents = 0;
     uint64_t eventsPushed = 0; ///< events delivered to subscribers
     uint64_t subscribers = 0;  ///< live event subscriptions
+
+    // Durable-session counters (a server with no store reports 0s).
+    uint64_t dropped = 0;       ///< subscribers dropped (wedged peers)
+    uint64_t hibernated = 0;    ///< sessions currently on disk only
+    uint64_t evictions = 0;     ///< LRU hibernations at the cap
+    uint64_t resurrections = 0; ///< sessions rebuilt from the store
+    uint64_t quarantined = 0;   ///< corrupt artifacts set aside
+    uint64_t faultsInjected = 0; ///< injected-fault hits (chaos runs)
+};
+
+/** On-disk store aggregates (StoreStats request). */
+struct StoreStats
+{
+    uint64_t images = 0; ///< live entries in the store
+    uint64_t bytes = 0;  ///< bytes across live entries
+    uint64_t puts = 0;
+    uint64_t loads = 0;
+    uint64_t erases = 0;
+    uint64_t quarantined = 0;
+    uint64_t orphansRemoved = 0;
 };
 
 /** One debug-session response. */
@@ -155,6 +180,7 @@ struct Response
     uint64_t value = 0;          ///< scalar result (peek / session id)
     SessionStats stats;          ///< Stats
     ServerStats server;          ///< ServerStats
+    StoreStats store;            ///< StoreStats
 
     bool ok() const { return status == ResponseStatus::Ok; }
     std::string describe() const;
@@ -171,6 +197,8 @@ enum class SessionEventKind : uint8_t {
     Restore,    ///< timeline restore (value = pages rolled back)
     Attached,   ///< backend installed and target loaded
     Halted,     ///< target exited / halted / faulted
+    SubscriberDropped, ///< farewell line: this subscription is being
+                       ///< dropped (the peer stopped draining)
 };
 
 const char *sessionEventKindName(SessionEventKind kind);

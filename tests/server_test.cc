@@ -18,6 +18,8 @@
 #include <random>
 #include <thread>
 
+#include "persist/store.hh"
+#include "persist/vfs.hh"
 #include "rsp/client.hh"
 #include "server/server.hh"
 #include "workloads/workload.hh"
@@ -919,6 +921,327 @@ TEST(DebugServerTcp, WireSelectSharesAndDestroyInforms)
     EXPECT_EQ(resp.status, ResponseStatus::Error);
     EXPECT_NE(resp.error.find("destroyed"), std::string::npos)
         << resp.error;
+    srv.stop();
+}
+
+// ------------------------------------------------------ durable sessions
+
+/** Fresh per-test store directory under the build tree (ctest cwd). */
+std::string
+storeScratch(const std::string &name)
+{
+    std::string dir = "server_test_store_" + name + "_" +
+                      std::to_string(static_cast<long>(::getpid()));
+    persist::RealVfs vfs;
+    std::vector<std::string> names;
+    if (vfs.list(dir, names))
+        for (const std::string &n : names)
+            vfs.remove(dir + "/" + n);
+    return dir;
+}
+
+TEST(SessionManagerDurable, CapEvictsLruIdleAndResurrects)
+{
+    std::string dir = storeScratch("lru");
+    persist::RealVfs vfs;
+    persist::SessionStore store(dir, vfs);
+    ASSERT_TRUE(store.open().ok);
+
+    SessionManager mgr({2, smallSessions()});
+    mgr.adoptStore(&store);
+    uint64_t aId = mgr.create("demo", BackendKind::Dise)->id;
+    uint64_t bId = mgr.create("mcf", BackendKind::Dise)->id;
+    EXPECT_EQ(mgr.count(), 2u);
+
+    // At the cap, creating hibernates the LRU idle session (a — it was
+    // touched first and nothing holds it) instead of rejecting.
+    uint64_t cId = mgr.create("demo", BackendKind::Dise)->id;
+    EXPECT_EQ(mgr.count(), 2u);
+    ServerStats s = mgr.stats();
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.hibernated, 1u);
+    EXPECT_TRUE(store.contains(aId));
+    // ids() spans live AND hibernated sessions.
+    EXPECT_EQ(mgr.ids().size(), 3u);
+
+    // find() on the hibernated id transparently resurrects it, which
+    // at the cap evicts the next LRU idle victim (b).
+    std::string err;
+    ManagedSessionPtr a = mgr.find(aId, false, &err);
+    ASSERT_TRUE(a) << err;
+    EXPECT_EQ(a->id, aId);
+    EXPECT_EQ(a->workload, "demo");
+    s = mgr.stats();
+    EXPECT_EQ(s.resurrections, 1u);
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.hibernated, 1u);
+    EXPECT_TRUE(store.contains(bId));
+    // a's image stays on disk as a crash-recovery anchor until it is
+    // superseded by a later hibernate/persist or the session dies.
+    EXPECT_TRUE(store.contains(aId));
+
+    // Busy sessions (held by this test) are never victims: with both
+    // remaining slots pinned, admission genuinely rejects.
+    ManagedSessionPtr c = mgr.find(cId);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(mgr.create("demo", BackendKind::Dise, false, &err),
+              nullptr);
+    EXPECT_NE(err.find("no idle session"), std::string::npos) << err;
+    EXPECT_EQ(mgr.stats().rejected, 1u);
+
+    // Destroying a hibernated session erases its image.
+    EXPECT_TRUE(mgr.destroy(bId));
+    EXPECT_FALSE(store.contains(bId));
+    EXPECT_EQ(mgr.stats().hibernated, 0u);
+    EXPECT_EQ(mgr.find(bId, false, &err), nullptr);
+}
+
+TEST(SessionManagerDurable, HibernateRefusalsKeepSessionIntact)
+{
+    std::string dir = storeScratch("refuse");
+    persist::RealVfs vfs;
+    persist::SessionStore store(dir, vfs);
+    ASSERT_TRUE(store.open().ok);
+
+    SessionManager mgr({4, smallSessions()});
+    std::string err;
+    // No store adopted yet: typed refusal.
+    ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+    EXPECT_FALSE(mgr.hibernate(ms->id, &err));
+    EXPECT_NE(err.find("store"), std::string::npos) << err;
+
+    mgr.adoptStore(&store);
+    // Held by this test: busy, refused, still live.
+    EXPECT_FALSE(mgr.hibernate(ms->id, &err));
+    EXPECT_NE(err.find("busy"), std::string::npos) << err;
+    EXPECT_EQ(mgr.count(), 1u);
+
+    uint64_t id = ms->id;
+    ms.reset();
+    EXPECT_TRUE(mgr.hibernate(id, &err)) << err;
+    EXPECT_FALSE(mgr.hibernate(id, &err)); // already on disk
+    EXPECT_NE(err.find("already"), std::string::npos) << err;
+}
+
+TEST(SessionManagerDurable, DroppedSubscriberGetsFarewell)
+{
+    class FlakySink : public EventSink
+    {
+      public:
+        int deliveries = 0;
+        std::vector<SessionEvent> farewells;
+        bool
+        deliver(const SessionEvent &) override
+        {
+            return deliveries++ < 1; // accept one event, then wedge
+        }
+        void
+        farewell(const SessionEvent &ev) override
+        {
+            farewells.push_back(ev);
+        }
+    };
+
+    SessionManager mgr({4, smallSessions()});
+    ManagedSessionPtr ms = mgr.create("demo", BackendKind::Dise);
+    ASSERT_TRUE(ms);
+    auto sink = std::make_shared<FlakySink>();
+    ms->addSink(sink);
+    EXPECT_EQ(ms->subscriberCount(), 1u);
+
+    Program demo = buildHeisenbugDemo();
+    ms->session.setWatch(
+        WatchSpec::scalar("w", demo.symbol("directory"), 8));
+    ms->session.cont(); // queues attach + checkpoint/watch events
+    ms->pushEvents();
+
+    // The wedged sink was dropped gracefully: exactly one farewell
+    // line of the dedicated kind, unsubscribe bookkeeping done, and
+    // the drop is counted at session and server level.
+    ASSERT_EQ(sink->farewells.size(), 1u);
+    EXPECT_EQ(sink->farewells[0].kind,
+              SessionEventKind::SubscriberDropped);
+    EXPECT_EQ(ms->subscriberCount(), 0u);
+    EXPECT_EQ(ms->droppedSinks.load(), 1u);
+    EXPECT_EQ(mgr.stats().dropped, 1u);
+
+    // The counter survives the session's destruction (retired fold).
+    uint64_t id = ms->id;
+    ms.reset();
+    EXPECT_TRUE(mgr.destroy(id));
+    EXPECT_EQ(mgr.stats().dropped, 1u);
+}
+
+TEST(DebugServerTcp, HibernateResurrectOverWireWithDigestMatch)
+{
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+    std::string dir = storeScratch("wire");
+
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    opts.storeDir = dir;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    uint64_t id = resp.value;
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+    ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+    ASSERT_TRUE(resp.hasStop);
+    uint64_t posInsts = resp.stop.appInsts;
+
+    // A crash-consistent image without eviction; its digest is the
+    // session's state digest.
+    ASSERT_TRUE(wire.roundTripOk("session-persist seq=4", resp));
+    uint64_t digest = resp.value;
+    EXPECT_NE(digest, 0u);
+    ASSERT_TRUE(wire.roundTripOk("store-stats seq=5", resp));
+    EXPECT_EQ(resp.store.images, 1u);
+    EXPECT_GE(resp.store.puts, 1u);
+    EXPECT_GT(resp.store.bytes, 0u);
+
+    // Hibernate the selected session (the handler drops its own
+    // reference first), then resurrect it by selecting it again.
+    ASSERT_TRUE(wire.roundTripOk("session-hibernate seq=6", resp));
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=7", resp));
+    EXPECT_EQ(resp.server.hibernated, 1u);
+    EXPECT_EQ(resp.server.evictions, 1u);
+    EXPECT_EQ(resp.server.activeSessions, 0u);
+
+    char sel[64];
+    std::snprintf(sel, sizeof sel, "session-select seq=8 session=%llu",
+                  static_cast<unsigned long long>(id));
+    ASSERT_TRUE(wire.roundTripOk(sel, resp));
+    ASSERT_TRUE(wire.roundTripOk("stats seq=9", resp));
+    EXPECT_EQ(resp.stats.appInsts, posInsts); // position restored
+
+    // Bit-identical state: a fresh image of the resurrected session
+    // carries the same digest, and replay-verify still stitches clean.
+    ASSERT_TRUE(wire.roundTripOk("session-persist seq=10", resp));
+    EXPECT_EQ(resp.value, digest);
+    ASSERT_TRUE(wire.roundTripOk("replay-verify seq=11 count=2", resp));
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=12", resp));
+    EXPECT_EQ(resp.server.resurrections, 1u);
+    EXPECT_EQ(resp.server.hibernated, 0u);
+    srv.stop();
+}
+
+TEST(DebugServerTcp, CreateBeyondCapHibernatesIdleSessions)
+{
+    std::string dir = storeScratch("cap");
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    opts.storeDir = dir;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    uint64_t id1 = resp.value;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=2 name=mcf",
+                                 resp));
+    uint64_t id2 = resp.value;
+    // The third create succeeds by hibernating the LRU idle session
+    // (the first one — this connection moved its selection off it).
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=3 name=demo",
+                                 resp));
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=4", resp));
+    EXPECT_EQ(resp.server.activeSessions, 2u);
+    EXPECT_EQ(resp.server.hibernated, 1u);
+    EXPECT_EQ(resp.server.evictions, 1u);
+    EXPECT_EQ(resp.server.rejected, 0u);
+    ASSERT_TRUE(wire.roundTripOk("session-list seq=5", resp));
+    EXPECT_EQ(resp.regs.size(), 3u);
+
+    // Rejection only when nothing is evictable: a second client pins
+    // the other live session (id2 — id1 went to disk above), this
+    // connection pins its own, so a fourth create has no victim.
+    WireClient pinner;
+    ASSERT_TRUE(pinner.connectTo(srv.port()));
+    Response r;
+    char line[64];
+    std::snprintf(line, sizeof line, "session-select seq=6 session=%llu",
+                  static_cast<unsigned long long>(id2));
+    ASSERT_TRUE(pinner.roundTripOk(line, r));
+    (void)id1;
+    Response rej;
+    ASSERT_TRUE(wire.roundTrip("session-create seq=8 name=demo", rej));
+    EXPECT_EQ(rej.status, ResponseStatus::Error);
+    EXPECT_NE(rej.error.find("no idle session"), std::string::npos)
+        << rej.error;
+    srv.stop();
+}
+
+TEST(DebugServerTcp, RestartRecoversPersistedSessions)
+{
+    // The in-process crash-recovery e2e: server 1 persists a session
+    // and dies without any orderly hibernation; server 2 on the same
+    // store directory re-admits and resurrects it, digest-identical.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+    std::string dir = storeScratch("restart");
+
+    uint64_t id = 0, digest = 0, posInsts = 0;
+    {
+        DebugServerOptions opts;
+        opts.maxSessions = 4;
+        opts.session = smallSessions();
+        opts.storeDir = dir;
+        DebugServer srv(opts);
+        ASSERT_TRUE(srv.start());
+        WireClient wire;
+        ASSERT_TRUE(wire.connectTo(srv.port()));
+        Response resp;
+        ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                     resp));
+        id = resp.value;
+        Request setw;
+        setw.kind = RequestKind::SetWatch;
+        setw.seq = 2;
+        setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+        ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+        ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+        posInsts = resp.stop.appInsts;
+        ASSERT_TRUE(wire.roundTripOk("session-persist seq=4", resp));
+        digest = resp.value;
+        srv.stop(); // hard stop: nothing else written to the store
+    }
+
+    DebugServerOptions opts;
+    opts.maxSessions = 4;
+    opts.session = smallSessions();
+    opts.storeDir = dir;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=1", resp));
+    EXPECT_EQ(resp.server.hibernated, 1u);
+    char sel[64];
+    std::snprintf(sel, sizeof sel, "session-select seq=2 session=%llu",
+                  static_cast<unsigned long long>(id));
+    ASSERT_TRUE(wire.roundTripOk(sel, resp));
+    ASSERT_TRUE(wire.roundTripOk("stats seq=3", resp));
+    EXPECT_EQ(resp.stats.appInsts, posInsts);
+    ASSERT_TRUE(wire.roundTripOk("session-persist seq=4", resp));
+    EXPECT_EQ(resp.value, digest); // bit-identical resurrection
     srv.stop();
 }
 

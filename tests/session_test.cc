@@ -730,6 +730,31 @@ TEST(DebugSession, PokeAtWatchStopWithoutStepping)
     EXPECT_EQ(
         session.setWatch(WatchSpec::scalar("x4", prog.symbol("x"), 4)),
         -1);
+    // The refusal is typed and actionable: it names the offending
+    // journal entry (index, kind, stamp) and what to do about it.
+    const std::string &refusal = session.lastRefusal();
+    EXPECT_NE(refusal.find("rebuild refused"), std::string::npos)
+        << refusal;
+    EXPECT_NE(refusal.find("journal entry #"), std::string::npos)
+        << refusal;
+    EXPECT_NE(refusal.find("poke-memory"), std::string::npos) << refusal;
+    EXPECT_NE(refusal.find("t=" + std::to_string(hit.time)),
+              std::string::npos)
+        << refusal;
+    EXPECT_NE(refusal.find("interior event park"), std::string::npos)
+        << refusal;
+
+    // The same refusal travels the wire as the unsupported detail.
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 10;
+    setw.watch = WatchSpec::scalar("x4", prog.symbol("x"), 4);
+    Response rw;
+    ASSERT_TRUE(
+        decodeResponse(session.handleEncoded(encodeRequest(setw)), rw));
+    EXPECT_EQ(rw.status, ResponseStatus::Unsupported);
+    EXPECT_NE(rw.error.find("journal entry #"), std::string::npos)
+        << rw.error;
 
     // A session whose only park poke is at the CURRENT park rebuilds
     // fine: phase 3 re-applies it after re-finding the park.

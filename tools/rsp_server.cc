@@ -63,6 +63,22 @@ main(int argc, char **argv)
         } else if (arg == "--slice") {
             opts.sliceInsts =
                 static_cast<uint64_t>(std::atoll(next()));
+        } else if (arg == "--store-dir") {
+            opts.storeDir = next();
+        } else if (arg == "--chaos-seed") {
+            // Probability-armed fault injection across every store
+            // primitive and scheduler slice boundary — the daemon's
+            // chaos mode (crash-recovery CI uses it).
+            static persist::FaultInjector chaos(
+                static_cast<uint64_t>(std::atoll(next())));
+            for (auto site : {persist::FaultInjector::Site::Open,
+                              persist::FaultInjector::Site::Write,
+                              persist::FaultInjector::Site::Fsync,
+                              persist::FaultInjector::Site::Rename})
+                chaos.armProbability(site, 1, 64);
+            chaos.armProbability(persist::FaultInjector::Site::Slice,
+                                 1, 256);
+            opts.faults = &chaos;
         } else if (arg == "--verbose") {
             opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -79,6 +95,11 @@ main(int argc, char **argv)
                 "(default: hardware)\n"
                 "  --slice N         app instructions per slice "
                 "(default 50000)\n"
+                "  --store-dir DIR   durable session store: crash "
+                "recovery on start,\n"
+                "                    LRU hibernation at the cap\n"
+                "  --chaos-seed N    seeded fault injection on store + "
+                "scheduler paths\n"
                 "  --verbose         log packets and connections\n");
             return 0;
         } else {
@@ -114,6 +135,12 @@ main(int argc, char **argv)
         "own target)\n",
         srv.port(), backendName(opts.defaultBackend), opts.maxSessions,
         srv.scheduler().workers(), srv.port());
+    if (!opts.storeDir.empty())
+        std::printf("  durable store: %s (%llu hibernated session(s) "
+                    "recovered)\n",
+                    opts.storeDir.c_str(),
+                    static_cast<unsigned long long>(
+                        srv.stats().hibernated));
     srv.wait();
     return 0;
 }

@@ -17,6 +17,8 @@
  *   ./build/session_bench --quick        # CI smoke (small work items)
  */
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +27,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "persist/store.hh"
+#include "persist/vfs.hh"
 #include "server/job_scheduler.hh"
 #include "server/session_manager.hh"
 #include "workloads/workload.hh"
@@ -109,6 +113,81 @@ runScale(unsigned n, const std::string &workload, BackendKind backend,
     return r;
 }
 
+struct DurableResult
+{
+    unsigned iters = 0;
+    uint64_t appInsts = 0;
+    uint64_t imageBytes = 0;
+    double hibernateMs = 0; ///< mean export + crash-consistent put
+    double resurrectMs = 0; ///< mean load + rebuild-replay + verify
+};
+
+/** Hibernate/resurrect round-trip latency at a mid-run position. */
+DurableResult
+runDurable(const std::string &workload, BackendKind backend,
+           unsigned scale, unsigned iters)
+{
+    std::string dir = "session_bench_store_" +
+                      std::to_string(static_cast<long>(::getpid()));
+    persist::RealVfs vfs;
+    { // start from an empty store
+        std::vector<std::string> names;
+        if (vfs.list(dir, names))
+            for (const std::string &n : names)
+                vfs.remove(dir + "/" + n);
+    }
+    persist::SessionStore store(dir, vfs);
+    DISE_ASSERT(store.open().ok, "bench store open failed");
+
+    Workload proto = buildWorkload(workload, {scale});
+    SessionManagerOptions mopts;
+    mopts.maxSessions = 2;
+    SessionManager manager(
+        mopts, [&](const std::string &, Program &out) {
+            out = buildWorkload(workload, {scale}).program;
+            return true;
+        });
+    manager.adoptStore(&store);
+    JobScheduler queue({1, 50000});
+
+    ManagedSessionPtr ms = manager.create(workload, backend);
+    DISE_ASSERT(ms, "bench admission failed");
+    ms->session.setWatch(
+        WatchSpec::scalar("WARM1", proto.warm1Addr, 8));
+    StopInfo stop;
+    std::string err;
+    DISE_ASSERT(queue.drive(*ms, RequestKind::Cont, 0, stop, &err),
+                "bench cont failed: ", err);
+
+    DurableResult r;
+    r.iters = iters;
+    r.appInsts = ms->appInsts.load();
+    uint64_t id = ms->id;
+    ms.reset();
+    for (unsigned i = 0; i < iters; ++i) {
+        double t0 = nowMs();
+        DISE_ASSERT(manager.hibernate(id, &err),
+                    "bench hibernate failed: ", err);
+        double t1 = nowMs();
+        ms = manager.find(id, false, &err);
+        DISE_ASSERT(ms, "bench resurrect failed: ", err);
+        double t2 = nowMs();
+        ms.reset();
+        r.hibernateMs += t1 - t0;
+        r.resurrectMs += t2 - t1;
+    }
+    r.hibernateMs /= iters;
+    r.resurrectMs /= iters;
+    r.imageBytes = store.counters().bytes;
+
+    manager.destroy(id);
+    std::vector<std::string> names;
+    if (vfs.list(dir, names))
+        for (const std::string &n : names)
+            vfs.remove(dir + "/" + n);
+    return r;
+}
+
 } // namespace
 
 int
@@ -163,6 +242,15 @@ main(int argc, char **argv)
                                      : 0);
     }
 
+    DurableResult d =
+        runDurable(workload, backend, scale, quick ? 3 : 10);
+    std::printf("  durable round-trip @ %llu insts: hibernate %.2f ms, "
+                "resurrect %.2f ms, image %llu bytes (%u iters)\n",
+                static_cast<unsigned long long>(d.appInsts),
+                d.hibernateMs, d.resurrectMs,
+                static_cast<unsigned long long>(d.imageBytes),
+                d.iters);
+
     FILE *f = std::fopen(out.c_str(), "w");
     if (!f)
         fatal("cannot write ", out);
@@ -193,7 +281,16 @@ main(int argc, char **argv)
                                      : 0,
             i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"durable\": {\"iterations\": %u, \"app_insts\": %llu, "
+        "\"image_bytes\": %llu, \"hibernate_ms\": %g, "
+        "\"resurrect_ms\": %g}\n",
+        d.iters, static_cast<unsigned long long>(d.appInsts),
+        static_cast<unsigned long long>(d.imageBytes), d.hibernateMs,
+        d.resurrectMs);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
     return 0;
