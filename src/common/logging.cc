@@ -1,14 +1,82 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace dise {
+
+namespace {
+
+std::atomic<int> currentLevel{static_cast<int>(LogLevel::Info)};
+
+/** One-shot DISE_LOG env read; a bad value keeps the default rather
+ *  than failing a process that otherwise would have run. */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("DISE_LOG");
+    LogLevel level = LogLevel::Info;
+    if (env && *env)
+        parseLogLevel(env, level);
+    return level;
+}
+
+struct EnvInit
+{
+    EnvInit()
+    {
+        currentLevel.store(static_cast<int>(initialLevel()),
+                           std::memory_order_relaxed);
+    }
+};
+EnvInit envInit;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        currentLevel.load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+bool
+parseLogLevel(const std::string &token, LogLevel &level)
+{
+    if (token == "error")
+        level = LogLevel::Error;
+    else if (token == "warn" || token == "warning")
+        level = LogLevel::Warn;
+    else if (token == "info")
+        level = LogLevel::Info;
+    else if (token == "debug")
+        level = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
 namespace detail {
 
 namespace {
 std::mutex emitMutex;
 } // namespace
+
+bool
+levelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           currentLevel.load(std::memory_order_relaxed);
+}
 
 void
 emitMessage(const char *prefix, const std::string &msg)

@@ -27,9 +27,28 @@ struct FatalError : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
 
+/** Message severities, most to least severe. panic/fatal always
+ *  throw regardless of level; the level only gates what is printed. */
+enum class LogLevel : int {
+    Error = 0, ///< only panic/fatal messages
+    Warn = 1,
+    Info = 2,  ///< the default: warn() + inform()
+    Debug = 3, ///< + debugMsg() diagnostics
+};
+
+/** The process log level. Initialized once from the DISE_LOG
+ *  environment variable ("error" / "warn" / "info" / "debug", default
+ *  info); rsp_server's --log-level flag overrides it. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+/** Parse a level token; false (level untouched) when unknown. */
+bool parseLogLevel(const std::string &token, LogLevel &level);
+
 namespace detail {
 
 void emitMessage(const char *prefix, const std::string &msg);
+/** True when messages of @p level should be printed. */
+bool levelEnabled(LogLevel level);
 
 template <typename... Args>
 std::string
@@ -73,6 +92,8 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
+    if (!detail::levelEnabled(LogLevel::Warn))
+        return;
     detail::emitMessage("warn",
                         detail::formatParts(std::forward<Args>(args)...));
 }
@@ -82,7 +103,22 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
+    if (!detail::levelEnabled(LogLevel::Info))
+        return;
     detail::emitMessage("info",
+                        detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Diagnostic chatter, silent unless the level is raised to debug
+ *  (DISE_LOG=debug or --log-level=debug). The format-parts expansion
+ *  is skipped entirely when disabled. */
+template <typename... Args>
+void
+debugMsg(Args &&...args)
+{
+    if (!detail::levelEnabled(LogLevel::Debug))
+        return;
+    detail::emitMessage("debug",
                         detail::formatParts(std::forward<Args>(args)...));
 }
 

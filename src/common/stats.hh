@@ -2,16 +2,21 @@
  * @file
  * Minimal statistics package: named scalar counters grouped per component,
  * with a registry that can be dumped for debugging or consumed by the
- * experiment harness.
+ * experiment harness, plus a lock-free fixed-bucket log2 Histogram for
+ * latency distributions.
  */
 
 #ifndef DISE_COMMON_STATS_HH
 #define DISE_COMMON_STATS_HH
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace dise {
 
@@ -78,6 +83,119 @@ class StatGroup
   private:
     std::string name_;
     std::map<std::string, uint64_t> counters_;
+};
+
+/** Wire/registry snapshot of one Histogram (plain integers). */
+struct HistogramSnapshot
+{
+    std::string name;   ///< metric family, e.g. "dise_verb_latency_us"
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<uint64_t> buckets; ///< per-bucket counts (not cumulative)
+
+    bool
+    operator==(const HistogramSnapshot &o) const
+    {
+        return name == o.name && count == o.count && sum == o.sum &&
+               buckets == o.buckets;
+    }
+};
+
+/**
+ * Fixed-bucket log2 histogram with lock-free increments.
+ *
+ * Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1];
+ * the last bucket additionally absorbs everything beyond the covered
+ * range (an implicit +Inf tail). With 40 buckets the top finite bound
+ * is 2^39 - 1 — about 9 days at microsecond resolution, comfortably
+ * past any latency this server can produce.
+ *
+ * observe() is wait-free: one bit_width + three relaxed fetch_adds.
+ * Concurrent observers never serialize; a concurrent snapshot() may
+ * see count/sum/buckets mid-update (totals can disagree transiently by
+ * in-flight observations), which is the standard monitoring trade.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 40;
+
+    /** Map a value to its bucket index. */
+    static size_t
+    bucketIndex(uint64_t value)
+    {
+        size_t idx = static_cast<size_t>(std::bit_width(value));
+        return idx < kBuckets ? idx : kBuckets - 1;
+    }
+
+    /** Lowest value landing in bucket @p i (its inclusive floor). */
+    static uint64_t
+    bucketFloor(size_t i)
+    {
+        return i == 0 ? 0 : uint64_t(1) << (i - 1);
+    }
+
+    /** Highest value landing in bucket @p i; the last bucket is
+     *  unbounded and reports ~0. */
+    static uint64_t
+    bucketCeil(size_t i)
+    {
+        if (i + 1 >= kBuckets)
+            return ~uint64_t(0);
+        return (uint64_t(1) << i) - 1;
+    }
+
+    void
+    observe(uint64_t value)
+    {
+        buckets_[bucketIndex(value)].fetch_add(1,
+                                               std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    uint64_t
+    bucketCount(size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot as plain integers, trailing-zero buckets trimmed (the
+     *  wire encoding stays short for mostly-idle servers). */
+    HistogramSnapshot
+    snapshot(std::string name) const
+    {
+        HistogramSnapshot s;
+        s.name = std::move(name);
+        s.count = count();
+        s.sum = sum();
+        size_t last = 0;
+        std::array<uint64_t, kBuckets> vals{};
+        for (size_t i = 0; i < kBuckets; ++i) {
+            vals[i] = bucketCount(i);
+            if (vals[i])
+                last = i + 1;
+        }
+        s.buckets.assign(vals.begin(), vals.begin() + last);
+        return s;
+    }
+
+    void
+    reset()
+    {
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
 } // namespace dise

@@ -1,0 +1,306 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace dise::obs {
+
+namespace {
+
+/** Registered recording threads are capped so a daemon with heavy
+ *  connection churn cannot grow tracer memory without bound; threads
+ *  past the cap drop their records (counted). */
+constexpr size_t kMaxThreads = 512;
+constexpr size_t kDefaultBytesPerThread = 256u << 10;
+
+uint64_t
+tick()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#else
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+uint64_t
+wallNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+/** One thread's ring of records. Owned by the registry for the
+ *  process lifetime (a dump may outlive the thread); the writer locks
+ *  its own mutex per record, contended only by a concurrent dump. */
+struct Tracer::ThreadBuf
+{
+    std::mutex mu;
+    std::vector<TraceRecord> ring;
+    uint64_t next = 0;    ///< records ever written since last arm
+    uint64_t tid = 0;     ///< stable 1-based display id
+    uint64_t armGen = 0;  ///< generation the ring was last reset for
+};
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::ThreadBuf *
+Tracer::threadBuf()
+{
+    thread_local ThreadBuf *tls = nullptr;
+    thread_local uint64_t tlsGen = ~0ull;
+    uint64_t gen = generation();
+    if (tls && tlsGen == gen)
+        return tls;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!tls) {
+        if (bufs_.size() >= kMaxThreads) {
+            droppedThreads_.fetch_add(1, std::memory_order_relaxed);
+            tlsGen = gen;
+            return nullptr;
+        }
+        bufs_.push_back(std::make_unique<ThreadBuf>());
+        tls = bufs_.back().get();
+        tls->tid = bufs_.size();
+    }
+    // A ring surviving from a previous arm() holds stale records:
+    // reset it lazily the first time its thread records in this
+    // generation (arm() already reset the registered ones; this
+    // covers threads racing the arm).
+    std::lock_guard<std::mutex> blk(tls->mu);
+    if (tls->armGen != gen) {
+        tls->armGen = gen;
+        tls->next = 0;
+        tls->ring.assign(recordsPerThread_, TraceRecord{});
+    }
+    tlsGen = gen;
+    return tls;
+}
+
+void
+Tracer::arm(size_t bytesPerThread)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!bytesPerThread)
+        bytesPerThread = kDefaultBytesPerThread;
+    recordsPerThread_ =
+        std::max<size_t>(1, bytesPerThread / sizeof(TraceRecord));
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t gen = generation_.load(std::memory_order_relaxed);
+    for (auto &b : bufs_) {
+        std::lock_guard<std::mutex> blk(b->mu);
+        b->armGen = gen;
+        b->next = 0;
+        b->ring.assign(recordsPerThread_, TraceRecord{});
+    }
+    droppedThreads_.store(0, std::memory_order_relaxed);
+    armTick_ = tick();
+    armWallNs_ = wallNs();
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+}
+
+void
+Tracer::record(const char *cat, const char *name, char phase)
+{
+    ThreadBuf *b = threadBuf();
+    if (!b || b->ring.empty())
+        return;
+    uint64_t t = tick();
+    std::lock_guard<std::mutex> lk(b->mu);
+    TraceRecord &r = b->ring[b->next % b->ring.size()];
+    r.tick = t;
+    r.cat = cat;
+    r.name = name;
+    r.phase = phase;
+    ++b->next;
+}
+
+size_t
+Tracer::recordCount()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t total = 0;
+    for (auto &b : bufs_) {
+        std::lock_guard<std::mutex> blk(b->mu);
+        total += static_cast<size_t>(
+            std::min<uint64_t>(b->next, b->ring.size()));
+    }
+    return total;
+}
+
+uint64_t
+Tracer::droppedCount()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t dropped = droppedThreads_.load(std::memory_order_relaxed);
+    for (auto &b : bufs_) {
+        std::lock_guard<std::mutex> blk(b->mu);
+        if (b->next > b->ring.size())
+            dropped += b->next - b->ring.size();
+    }
+    return dropped;
+}
+
+size_t
+Tracer::countSpans(const char *name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t hits = 0;
+    for (auto &b : bufs_) {
+        std::lock_guard<std::mutex> blk(b->mu);
+        uint64_t have = std::min<uint64_t>(b->next, b->ring.size());
+        for (uint64_t i = 0; i < have; ++i) {
+            const TraceRecord &r = b->ring[i];
+            if (r.phase == 'B' && r.name &&
+                std::strcmp(r.name, name) == 0)
+                ++hits;
+        }
+    }
+    return hits;
+}
+
+std::string
+Tracer::dumpJson()
+{
+    // Snapshot every ring first (short critical sections), then render
+    // outside all locks.
+    struct Snap
+    {
+        uint64_t tid;
+        std::vector<TraceRecord> records; ///< oldest first
+    };
+    std::vector<Snap> snaps;
+    uint64_t dropped;
+    uint64_t armTick, armWallNs;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        armTick = armTick_;
+        armWallNs = armWallNs_;
+        dropped = droppedThreads_.load(std::memory_order_relaxed);
+        for (auto &b : bufs_) {
+            std::lock_guard<std::mutex> blk(b->mu);
+            if (!b->next || b->ring.empty())
+                continue;
+            Snap s;
+            s.tid = b->tid;
+            uint64_t have = std::min<uint64_t>(b->next, b->ring.size());
+            if (b->next > b->ring.size())
+                dropped += b->next - b->ring.size();
+            s.records.reserve(have);
+            // Ring order: oldest record sits at next % size when
+            // wrapped, at 0 otherwise.
+            uint64_t start = b->next > b->ring.size()
+                                 ? b->next % b->ring.size()
+                                 : 0;
+            for (uint64_t i = 0; i < have; ++i)
+                s.records.push_back(
+                    b->ring[(start + i) % b->ring.size()]);
+            snaps.push_back(std::move(s));
+        }
+    }
+
+    // Calibrate ticks -> microseconds against the wall clock interval
+    // since arm (rdtsc has no portable frequency API).
+    double ticksPerUs = 1.0;
+    uint64_t nowTick = tick(), nowWall = wallNs();
+    if (nowTick > armTick && nowWall > armWallNs) {
+        double us = static_cast<double>(nowWall - armWallNs) / 1000.0;
+        if (us > 0)
+            ticksPerUs = static_cast<double>(nowTick - armTick) / us;
+    }
+    if (ticksPerUs <= 0)
+        ticksPerUs = 1.0;
+
+    std::string out;
+    out.reserve(1024 + 96 * (snaps.empty() ? 0 : snaps.size() *
+                                                 snaps[0].records.size()));
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const Snap &s : snaps) {
+        // One pid per recorded thread: Perfetto renders each as its
+        // own process group, which keeps worker timelines separate.
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":%" PRIu64 ",\"tid\":%" PRIu64
+                      ",\"args\":{\"name\":\"dise-thread-%" PRIu64
+                      "\"}}",
+                      first ? "" : ",", s.tid, s.tid, s.tid);
+        first = false;
+        out += buf;
+        // A wrapped ring may start with 'E' records whose 'B' was
+        // overwritten; skip them so B/E nesting stays well-formed.
+        int depth = 0;
+        for (const TraceRecord &r : s.records) {
+            if (r.phase == 'E') {
+                if (depth == 0)
+                    continue;
+                --depth;
+            } else {
+                ++depth;
+            }
+            double ts =
+                r.tick >= armTick
+                    ? static_cast<double>(r.tick - armTick) / ticksPerUs
+                    : 0.0;
+            // Names/cats are compile-time literals today, but escape
+            // them anyway — the invariant is one TRACE_SPAN away from
+            // breaking.
+            out += ",{\"name\":\"";
+            appendEscaped(out, r.name ? r.name : "?");
+            out += "\",\"cat\":\"";
+            appendEscaped(out, r.cat ? r.cat : "?");
+            out += "\",\"ph\":\"";
+            out += r.phase;
+            std::snprintf(buf, sizeof buf,
+                          "\",\"ts\":%.3f,\"pid\":%" PRIu64
+                          ",\"tid\":%" PRIu64 "}",
+                          ts, s.tid, s.tid);
+            out += buf;
+        }
+    }
+    std::snprintf(buf, sizeof buf,
+                  "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                  "\"dropped_records\":%" PRIu64 "}}",
+                  dropped);
+    out += buf;
+    return out;
+}
+
+} // namespace dise::obs

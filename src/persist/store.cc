@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.hh"
+
 namespace dise::persist {
 
 namespace {
@@ -286,6 +288,7 @@ SessionStore::validateEntry(const Entry &e, SessionImage *out,
 StoreResult
 SessionStore::open()
 {
+    TRACE_SPAN("store", "store.open");
     std::lock_guard<std::mutex> lk(mu_);
     table_.clear();
     quarantine_.clear();
@@ -445,6 +448,7 @@ SessionStore::commitManifestLocked()
 StoreResult
 SessionStore::put(const SessionImage &img)
 {
+    TRACE_SPAN("store", "store.put");
     std::lock_guard<std::mutex> lk(mu_);
     if (!opened_)
         return StoreResult::failure(StoreErr::Io, "store not opened");
@@ -498,6 +502,7 @@ SessionStore::put(const SessionImage &img)
 StoreResult
 SessionStore::load(uint64_t id, SessionImage &out)
 {
+    TRACE_SPAN("store", "store.load");
     std::lock_guard<std::mutex> lk(mu_);
     auto it = table_.find(id);
     if (it == table_.end())

@@ -3,6 +3,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 #include <dirent.h>
 #include <fcntl.h>
 #include <stdio.h>
@@ -61,6 +64,7 @@ bool
 RealVfs::writeFile(const std::string &path, const uint8_t *data,
                    size_t n, std::string *err)
 {
+    TRACE_SPAN("store", "vfs.write");
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
         setErr(err, errnoStr("open", path));
@@ -78,10 +82,16 @@ RealVfs::writeFile(const std::string &path, const uint8_t *data,
         }
         off += static_cast<size_t>(w);
     }
-    if (::fsync(fd) != 0) {
-        setErr(err, errnoStr("fsync", path));
-        ::close(fd);
-        return false;
+    {
+        TRACE_SPAN("store", "vfs.fsync");
+        uint64_t t0 = obs::nowNs();
+        int rc = ::fsync(fd);
+        obs::metrics().storeFsyncUs.observe(obs::usSince(t0));
+        if (rc != 0) {
+            setErr(err, errnoStr("fsync", path));
+            ::close(fd);
+            return false;
+        }
     }
     if (::close(fd) != 0) {
         setErr(err, errnoStr("close", path));
@@ -122,6 +132,7 @@ bool
 RealVfs::rename(const std::string &from, const std::string &to,
                 std::string *err)
 {
+    TRACE_SPAN("store", "vfs.rename");
     if (::rename(from.c_str(), to.c_str()) != 0) {
         setErr(err, errnoStr("rename", from + " -> " + to));
         return false;

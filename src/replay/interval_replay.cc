@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "debug/debugger.hh"
 #include "debug/target.hh"
+#include "obs/trace.hh"
 #include "replay/checkpoint.hh"
 
 namespace dise {
@@ -85,6 +86,7 @@ IntervalReplay::Worker::applyProduction(const Intervention &iv)
 void
 IntervalReplay::Worker::prepare()
 {
+    TRACE_SPAN("replay", "ireplay.prepare");
     DISE_ASSERT(!prepared_, "worker already prepared");
     if (!owner_.factory_(target_, debugger_))
         throw std::runtime_error(
@@ -187,6 +189,7 @@ IntervalReplay::Worker::pollEvents()
 bool
 IntervalReplay::Worker::step(uint64_t maxUops)
 {
+    TRACE_SPAN("replay", "ireplay.step");
     DISE_ASSERT(prepared_, "step() before prepare()");
     const auto &ivs = owner_.log_.interventions;
     uint64_t budget = maxUops ? maxUops : ~uint64_t{0};

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "debug/target.hh"
+#include "obs/trace.hh"
 
 namespace dise {
 
@@ -169,6 +170,7 @@ TimeTravel::stepUop(bool &firedEvent)
 void
 TimeTravel::takeCheckpoint()
 {
+    TRACE_SPAN("travel", "travel.checkpoint");
     Checkpoint cp;
     cp.time = time_;
     cp.appInsts = appInsts_;
@@ -209,6 +211,7 @@ TimeTravel::checkpointAtOrBefore(uint64_t time) const
 void
 TimeTravel::restoreTo(size_t cpIdx)
 {
+    TRACE_SPAN("travel", "travel.restore");
     MainMemory &mem = target_.mem;
     ++stats_.restores;
 
@@ -308,6 +311,7 @@ TimeTravel::travelToTime(uint64_t targetTime, int eventIndex)
 StopInfo
 TimeTravel::runForward(uint64_t stopAppInsts, bool stopOnEvent)
 {
+    TRACE_SPAN("travel", "travel.run");
     for (;;) {
         if (halted_)
             return stopHere(haltReason_ == HaltReason::Fault
@@ -488,6 +492,7 @@ TimeTravel::seekBegin(uint64_t targetTime, bool &done)
 StopInfo
 TimeTravel::travelStep(uint64_t maxAppInsts, bool &done)
 {
+    TRACE_SPAN("travel", "travel.replay");
     DISE_ASSERT(travel_.active, "travelStep() without an active travel");
     done = false;
     uint64_t budgetEnd = maxAppInsts ? appInsts_ + maxAppInsts : 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace dise::server {
 
 JobScheduler::JobScheduler(JobSchedulerOptions opts)
@@ -87,8 +90,14 @@ JobScheduler::workerLoop()
         cv_.wait(lk, [&] { return stopping_ || !ready_.empty(); });
         if (stopping_)
             return;
-        TicketPtr t = ready_.front();
-        ready_.pop_front();
+        TicketPtr t;
+        {
+            TRACE_SPAN("sched", "sched.dequeue");
+            t = ready_.front();
+            ready_.pop_front();
+            obs::metrics().schedQueueWaitUs.observe(
+                obs::usSince(t->enqueuedNs));
+        }
 
         if (t->cancelled.load(std::memory_order_acquire)) {
             finalize(lk, t, {false, "interrupted"});
@@ -107,12 +116,15 @@ JobScheduler::workerLoop()
             done = true;
             res = {false, "injected scheduler fault at slice boundary"};
         } else {
+            uint64_t t0 = obs::nowNs();
             try {
+                TRACE_SPAN("sched", "sched.slice");
                 done = t->fn(slice_);
             } catch (const std::exception &e) {
                 done = true;
                 res = {false, e.what()};
             }
+            obs::metrics().sliceDurationUs.observe(obs::usSince(t0));
         }
         slices_.fetch_add(1, std::memory_order_relaxed);
         lk.lock();
@@ -121,8 +133,11 @@ JobScheduler::workerLoop()
             finalize(lk, t, std::move(res));
         else if (stopping_)
             finalize(lk, t, {false, "scheduler stopped"});
-        else
+        else {
+            TRACE_SPAN("sched", "sched.requeue");
+            t->enqueuedNs = obs::nowNs();
             ready_.push_back(t); // round-robin: back of the line
+        }
     }
 }
 
@@ -131,9 +146,11 @@ JobScheduler::workerLoop()
 JobScheduler::TicketPtr
 JobScheduler::submit(SliceFn fn, DoneFn onDone)
 {
+    TRACE_SPAN("sched", "sched.submit");
     auto t = std::make_shared<Ticket>();
     t->fn = std::move(fn);
     t->onDone = std::move(onDone);
+    t->enqueuedNs = obs::nowNs();
     std::unique_lock<std::mutex> lk(mu_);
     if (stopping_) {
         finalize(lk, t, {false, "scheduler stopped"});

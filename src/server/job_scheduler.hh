@@ -97,6 +97,9 @@ class JobScheduler
         std::atomic<bool> cancelled{false};
         bool finished = false; ///< guarded by the scheduler mutex
         JobResult result;
+        /** obs::nowNs() at submit/requeue; feeds the queue-wait
+         *  histogram when a worker dequeues the job. */
+        uint64_t enqueuedNs = 0;
     };
     using TicketPtr = std::shared_ptr<Ticket>;
 

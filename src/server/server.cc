@@ -6,12 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "rsp/server.hh"
 
 namespace dise::server {
@@ -605,6 +608,41 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         resp.store.orphansRemoved = c.orphansRemoved;
         return resp;
       }
+      case RequestKind::TraceStart: {
+        // count = ring KiB per recording thread (0/1 = default).
+        uint64_t kb = req.count > 1 ? req.count : 0;
+        obs::Tracer::instance().arm(static_cast<size_t>(kb) * 1024);
+        return resp;
+      }
+      case RequestKind::TraceStop:
+        obs::Tracer::instance().disarm();
+        resp.value = obs::Tracer::instance().recordCount();
+        return resp;
+      case RequestKind::TraceDump: {
+        obs::Tracer &tr = obs::Tracer::instance();
+        if (tr.armed())
+            return errorOut("tracer is armed (trace-stop first)");
+        std::lock_guard<std::mutex> lk(traceMu_);
+        if (traceJsonGen_ != tr.generation()) {
+            traceJson_ = tr.dumpJson();
+            traceJsonGen_ = tr.generation();
+        }
+        // Chunked: value= is the byte offset, count= the max chunk
+        // (clamped to keep any one wire line bounded); the response
+        // carries the chunk in text and the total size in value.
+        constexpr uint64_t kMaxChunk = 256 * 1024;
+        uint64_t chunk = req.count ? std::min(req.count, kMaxChunk)
+                                   : 48 * 1024;
+        resp.value = traceJson_.size();
+        if (req.value < traceJson_.size())
+            resp.text = traceJson_.substr(
+                static_cast<size_t>(req.value),
+                static_cast<size_t>(chunk));
+        return resp;
+      }
+      case RequestKind::Metrics:
+        resp.text = obs::renderPrometheus(obs::metrics().snapshotAll());
+        return resp;
       default:
         break;
     }
@@ -706,6 +744,7 @@ DebugServer::serveWire(int fd)
             if (opts_.verbose)
                 std::fprintf(stderr, "wire <- %s\n", line.c_str());
 
+            uint64_t t0 = obs::nowNs();
             Request req;
             std::string err;
             Response resp;
@@ -717,12 +756,15 @@ DebugServer::serveWire(int fd)
                     resp.seq = std::strtoull(line.c_str() + pos + 4,
                                              nullptr, 0);
             } else {
+                TRACE_SPAN("server", "server.verb");
                 resp = handleWire(req, conn);
             }
             std::string out = encodeResponse(resp);
             if (opts_.verbose)
                 std::fprintf(stderr, "wire -> %s\n", out.c_str());
-            if (!conn.out->sendLine(out)) {
+            bool sent = conn.out->sendLine(out);
+            obs::metrics().verbLatencyUs.observe(obs::usSince(t0));
+            if (!sent) {
                 dead = true;
                 break;
             }
@@ -745,6 +787,7 @@ DebugServer::stats() const
     s.workers = sched_.workers();
     if (opts_.faults)
         s.faultsInjected = opts_.faults->injected();
+    s.hists = obs::metrics().snapshotAll();
     return s;
 }
 

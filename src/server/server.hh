@@ -155,6 +155,13 @@ class DebugServer
      *  erased by the accept loop (and finally by stop()), so a
      *  long-lived daemon does not accumulate dead threads. */
     std::list<Conn> conns_;
+
+    /** trace-dump render cache: chunked fetches re-read one rendered
+     *  JSON string instead of re-walking the rings per chunk. The
+     *  tracer generation invalidates it across re-arms. */
+    std::mutex traceMu_;
+    std::string traceJson_;
+    uint64_t traceJsonGen_ = ~0ull;
 };
 
 } // namespace dise::server

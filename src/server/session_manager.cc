@@ -325,13 +325,18 @@ SessionManager::resurrect(uint64_t id, std::string *err)
     auto ms = std::make_shared<ManagedSession>(
         id, workload, std::move(prog), std::move(sopts), false);
 
-    bool done = false;
-    std::string serr;
-    if (!ms->session.resurrectBegin(img, done, &serr))
-        return quarantined(serr);
-    while (!done)
-        if (!ms->session.resurrectStep(0, done, &serr))
+    {
+        TRACE_SPAN("session", "session.resurrect");
+        uint64_t t0 = obs::nowNs();
+        bool done = false;
+        std::string serr;
+        if (!ms->session.resurrectBegin(img, done, &serr))
             return quarantined(serr);
+        while (!done)
+            if (!ms->session.resurrectStep(0, done, &serr))
+                return quarantined(serr);
+        obs::metrics().resurrectReplayUs.observe(obs::usSince(t0));
+    }
     ms->publishProgress();
 
     // Admit the resurrected session under the cap; at the cap an LRU

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "persist/store.hh"
 #include "session/debug_session.hh"
 
@@ -153,7 +155,13 @@ class ManagedSession
         std::lock_guard<std::mutex> lk(sinkMu_);
         if (sinks_.empty())
             return;
+        // Spans any backpressure stall: a full socket buffer parks
+        // deliver() inside this scope until TCP drains or times out.
+        TRACE_SPAN("session", "session.push");
+        uint64_t t0 = obs::nowNs();
+        bool pushed = false;
         for (const SessionEvent &ev : session.events().drain()) {
+            pushed = true;
             eventsPushed.fetch_add(1, std::memory_order_relaxed);
             for (auto it = sinks_.begin(); it != sinks_.end();) {
                 if ((*it)->deliver(ev)) {
@@ -173,6 +181,8 @@ class ManagedSession
                 droppedSinks.fetch_add(1, std::memory_order_relaxed);
             }
         }
+        if (pushed)
+            obs::metrics().eventPushUs.observe(obs::usSince(t0));
     }
     ///@}
 

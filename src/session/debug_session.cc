@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "replay/checkpoint.hh"
 
 namespace dise {
@@ -1432,6 +1433,7 @@ DebugSession::resurrectFinish(std::string *err)
 Response
 DebugSession::dispatch(const Request &req)
 {
+    TRACE_SPAN("session", requestKindName(req.kind));
     Response resp;
     resp.seq = req.seq;
     resp.inReplyTo = req.kind;
@@ -1569,6 +1571,10 @@ DebugSession::dispatch(const Request &req)
       case RequestKind::SessionHibernate:
       case RequestKind::SessionPersist:
       case RequestKind::StoreStats:
+      case RequestKind::TraceStart:
+      case RequestKind::TraceStop:
+      case RequestKind::TraceDump:
+      case RequestKind::Metrics:
         return errorOut("session management verbs are handled by the "
                         "multi-session server, not a session");
     }

@@ -50,6 +50,10 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::SessionHibernate, "session-hibernate"},
     {RequestKind::SessionPersist, "session-persist"},
     {RequestKind::StoreStats, "store-stats"},
+    {RequestKind::TraceStart, "trace-start"},
+    {RequestKind::TraceStop, "trace-stop"},
+    {RequestKind::TraceDump, "trace-dump"},
+    {RequestKind::Metrics, "metrics"},
 };
 
 struct BackendToken
@@ -321,6 +325,19 @@ class LineReader
         return it == kv_.end() ? std::string() : it->second;
     }
 
+    /** Visit every key=value whose key starts with @p prefix, in key
+     *  order (raw values; the caller unescapes if needed). */
+    template <typename Fn>
+    void
+    forEachWithPrefix(const std::string &prefix, Fn fn) const
+    {
+        for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0)
+                break;
+            fn(it->first, it->second);
+        }
+    }
+
   private:
     std::string verb_;
     std::map<std::string, std::string> kv_;
@@ -447,6 +464,14 @@ encodeRequest(const Request &req)
         if (req.session)
             w.num("session", req.session);
         break;
+      case RequestKind::TraceStart:
+        if (req.count != 1)
+            w.num("count", req.count); // ring KiB per thread (0=default)
+        break;
+      case RequestKind::TraceDump:
+        w.num("count", req.count); // max chunk bytes (0 = server pick)
+        w.num("value", req.value); // byte offset into the rendered JSON
+        break;
       default:
         break;
     }
@@ -557,6 +582,15 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
       case RequestKind::SessionPersist:
         r.num("session", req.session); // optional: default selected
         break;
+      case RequestKind::TraceStart:
+        req.count = 0;
+        r.num("count", req.count);
+        break;
+      case RequestKind::TraceDump:
+        req.count = 0;
+        r.num("count", req.count);
+        r.num("value", req.value);
+        break;
       default:
         break;
     }
@@ -644,6 +678,8 @@ encodeResponse(const Response &resp)
         w.str("bytes", bytesToHex(resp.bytes));
     if (resp.value)
         w.hex("value", resp.value);
+    if (!resp.text.empty())
+        w.str("text", resp.text);
     if (resp.inReplyTo == RequestKind::Stats) {
         w.num("st.time", resp.stats.time);
         w.num("st.insts", resp.stats.appInsts);
@@ -674,6 +710,20 @@ encodeResponse(const Response &resp)
         w.num("sv.resurrections", resp.server.resurrections);
         w.num("sv.quarantined", resp.server.quarantined);
         w.num("sv.faults", resp.server.faultsInjected);
+        // One key per latency family: hist.<name>=count:sum:b0,b1,...
+        // (digits, ':' and ',' pass the escaper untouched; unknown
+        // keys are ignored by older decoders).
+        for (const HistogramSnapshot &h : resp.server.hists) {
+            std::string key = "hist." + h.name;
+            std::string val = std::to_string(h.count) + ':' +
+                              std::to_string(h.sum) + ':';
+            for (size_t i = 0; i < h.buckets.size(); ++i) {
+                if (i)
+                    val += ',';
+                val += std::to_string(h.buckets[i]);
+            }
+            w.str(key.c_str(), val);
+        }
     }
     if (resp.inReplyTo == RequestKind::StoreStats) {
         w.num("ps.images", resp.store.images);
@@ -734,6 +784,7 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
     if (r.str("bytes", hex) && !hexToBytes(hex, resp.bytes))
         return fail(err, "bad byte string");
     r.num("value", resp.value);
+    r.str("text", resp.text);
     if (resp.inReplyTo == RequestKind::Stats) {
         r.num("st.time", resp.stats.time);
         r.num("st.insts", resp.stats.appInsts);
@@ -767,6 +818,37 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("sv.resurrections", resp.server.resurrections);
         r.num("sv.quarantined", resp.server.quarantined);
         r.num("sv.faults", resp.server.faultsInjected);
+        bool histsOk = true;
+        r.forEachWithPrefix(
+            "hist.", [&](const std::string &key, const std::string &raw) {
+                HistogramSnapshot h;
+                h.name = key.substr(5);
+                size_t c1 = raw.find(':');
+                size_t c2 = c1 == std::string::npos
+                                ? std::string::npos
+                                : raw.find(':', c1 + 1);
+                if (c2 == std::string::npos) {
+                    histsOk = false;
+                    return;
+                }
+                char *end = nullptr;
+                h.count = std::strtoull(raw.c_str(), &end, 10);
+                h.sum = std::strtoull(raw.c_str() + c1 + 1, &end, 10);
+                std::istringstream in(raw.substr(c2 + 1));
+                std::string item;
+                while (std::getline(in, item, ',')) {
+                    end = nullptr;
+                    uint64_t b = std::strtoull(item.c_str(), &end, 10);
+                    if (end == item.c_str() || *end != '\0') {
+                        histsOk = false;
+                        return;
+                    }
+                    h.buckets.push_back(b);
+                }
+                resp.server.hists.push_back(std::move(h));
+            });
+        if (!histsOk)
+            return fail(err, "bad histogram encoding");
     }
     if (resp.inReplyTo == RequestKind::StoreStats) {
         r.num("ps.images", resp.store.images);

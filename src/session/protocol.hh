@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "debug/backend.hh"
 #include "debug/debugger.hh"
 #include "replay/time_travel.hh"
@@ -72,6 +73,13 @@ enum class RequestKind : uint8_t {
     SessionHibernate, ///< evict session id= (default: selected) to disk
     SessionPersist,   ///< write a crash-consistent image, keep it live
     StoreStats,       ///< on-disk store statistics
+
+    // Observability verbs, handled by the server front end.
+    TraceStart, ///< arm the flight recorder (count = ring KiB/thread)
+    TraceStop,  ///< disarm; recorded spans stay dumpable
+    TraceDump,  ///< fetch Chrome trace JSON chunk at offset value=,
+                ///< up to count= bytes; response value = total bytes
+    Metrics,    ///< Prometheus text exposition of latency histograms
 };
 
 const char *requestKindName(RequestKind kind);
@@ -150,6 +158,10 @@ struct ServerStats
     uint64_t resurrections = 0; ///< sessions rebuilt from the store
     uint64_t quarantined = 0;   ///< corrupt artifacts set aside
     uint64_t faultsInjected = 0; ///< injected-fault hits (chaos runs)
+
+    /** Latency distributions (src/obs/metrics.hh families). Encoded
+     *  one per key: hist.<family>=<count>:<sum>:<b0>,<b1>,... */
+    std::vector<HistogramSnapshot> hists;
 };
 
 /** On-disk store aggregates (StoreStats request). */
@@ -178,6 +190,8 @@ struct Response
     std::vector<uint64_t> regs;  ///< ReadRegisters
     std::vector<uint8_t> bytes;  ///< ReadMemory
     uint64_t value = 0;          ///< scalar result (peek / session id)
+    std::string text;            ///< bulk text payload (TraceDump chunk,
+                                 ///< Metrics exposition)
     SessionStats stats;          ///< Stats
     ServerStats server;          ///< ServerStats
     StoreStats store;            ///< StoreStats

@@ -177,5 +177,107 @@ TEST(Logging, AssertMacro)
     EXPECT_NO_THROW(DISE_ASSERT(1 == 1, "fine"));
 }
 
+TEST(Logging, ParseLevelTokens)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("error", level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    // Unknown tokens fail and leave the out-param untouched.
+    EXPECT_FALSE(parseLogLevel("chatty", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+}
+
+TEST(Logging, SetLevelGatesAndRestores)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    EXPECT_FALSE(detail::levelEnabled(LogLevel::Warn));
+    EXPECT_FALSE(detail::levelEnabled(LogLevel::Info));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(detail::levelEnabled(LogLevel::Warn));
+    EXPECT_TRUE(detail::levelEnabled(LogLevel::Debug));
+    // panic/fatal ignore the level entirely.
+    setLogLevel(LogLevel::Error);
+    EXPECT_THROW(panic("still throws"), PanicError);
+    setLogLevel(before);
+}
+
+TEST(Histogram, BucketBoundaryTable)
+{
+    struct Case
+    {
+        uint64_t value;
+        size_t bucket;
+    };
+    // Bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i - 1].
+    const Case cases[] = {
+        {0, 0},         {1, 1},          {2, 2},
+        {3, 2},         {4, 3},          {7, 3},
+        {8, 4},         {1023, 10},      {1024, 11},
+        {1025, 11},     {(1u << 20), 21},
+        {(uint64_t(1) << 38), 39},
+        {(uint64_t(1) << 39) - 1, 39},
+        {uint64_t(1) << 39, 39}, // beyond range: last bucket absorbs
+        {~uint64_t(0), 39},
+    };
+    for (const Case &c : cases) {
+        EXPECT_EQ(Histogram::bucketIndex(c.value), c.bucket)
+            << "value " << c.value;
+        // The floor/ceil tables must agree with the index mapping.
+        EXPECT_LE(Histogram::bucketFloor(c.bucket), c.value);
+        EXPECT_GE(Histogram::bucketCeil(c.bucket), c.value);
+    }
+    for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketFloor(i)), i);
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketCeil(i)), i);
+        EXPECT_EQ(Histogram::bucketCeil(i) + 1,
+                  Histogram::bucketFloor(i + 1));
+    }
+    EXPECT_EQ(Histogram::bucketCeil(Histogram::kBuckets - 1),
+              ~uint64_t(0));
+}
+
+TEST(Histogram, ObserveAndSnapshotTrimsTrailingZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    h.observe(0);
+    h.observe(1);
+    h.observe(5); // bucket 3
+    h.observe(5);
+    HistogramSnapshot s = h.snapshot("t");
+    EXPECT_EQ(s.name, "t");
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.sum, 11u);
+    ASSERT_EQ(s.buckets.size(), 4u); // trimmed after last nonzero
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[2], 0u);
+    EXPECT_EQ(s.buckets[3], 2u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.snapshot("t").buckets.empty());
+}
+
+TEST(Histogram, SnapshotEquality)
+{
+    Histogram a, b;
+    for (uint64_t v : {0u, 3u, 900u, 900u})
+        a.observe(v), b.observe(v);
+    EXPECT_TRUE(a.snapshot("x") == b.snapshot("x"));
+    b.observe(900);
+    EXPECT_FALSE(a.snapshot("x") == b.snapshot("x"));
+}
+
 } // namespace
 } // namespace dise

@@ -18,6 +18,8 @@
 #include <random>
 #include <thread>
 
+#include "common/stats.hh"
+#include "persist/fault_injector.hh"
 #include "persist/store.hh"
 #include "persist/vfs.hh"
 #include "rsp/client.hh"
@@ -1242,6 +1244,220 @@ TEST(DebugServerTcp, RestartRecoversPersistedSessions)
     EXPECT_EQ(resp.stats.appInsts, posInsts);
     ASSERT_TRUE(wire.roundTripOk("session-persist seq=4", resp));
     EXPECT_EQ(resp.value, digest); // bit-identical resurrection
+    srv.stop();
+}
+
+// ------------------------------------------------------ observability
+
+TEST(Histogram, ConcurrentObserversAgree)
+{
+    // The TSan build runs this test: concurrent observe() against
+    // concurrent snapshot() must be race-free, and the final totals
+    // exact once the writers join.
+    Histogram h;
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kPerThread = 50000;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            (void)h.snapshot("concurrent");
+    });
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t)
+        writers.emplace_back([&h, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                h.observe(t * 1000 + (i % 7));
+        });
+    for (auto &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    uint64_t expectedSum = 0, bucketTotal = 0;
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (uint64_t i = 0; i < kPerThread; ++i)
+            expectedSum += t * 1000 + (i % 7);
+    EXPECT_EQ(h.sum(), expectedSum);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i)
+        bucketTotal += h.bucketCount(i);
+    EXPECT_EQ(bucketTotal, h.count());
+}
+
+TEST(DebugServerTcp, DurabilityCountersTravelTheWire)
+{
+    // sv.dropped / sv.quarantined / sv.faults, driven for real and
+    // read back through the typed wire — not just struct-to-struct.
+    Program demo = buildHeisenbugDemo();
+    Addr watchAddr = demo.symbol("directory");
+    std::string dir = storeScratch("counters");
+    persist::FaultInjector faults;
+
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    opts.storeDir = dir;
+    opts.faults = &faults;
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=1 name=demo",
+                                 resp));
+    uint64_t id = resp.value;
+    Request setw;
+    setw.kind = RequestKind::SetWatch;
+    setw.seq = 2;
+    setw.watch = WatchSpec::scalar("w", watchAddr, 8);
+    ASSERT_TRUE(wire.roundTripOk(encodeRequest(setw), resp));
+    ASSERT_TRUE(wire.roundTripOk("cont seq=3", resp));
+
+    // A sink that never drains: the first push drops it (sv.dropped).
+    class WedgedSink : public EventSink
+    {
+        bool deliver(const SessionEvent &) override { return false; }
+        void farewell(const SessionEvent &) override {}
+    };
+    {
+        ManagedSessionPtr ms = srv.sessions().find(id);
+        ASSERT_TRUE(ms);
+        ms->addSink(std::make_shared<WedgedSink>());
+        ms->pushEvents(); // events queued by the cont above
+        EXPECT_EQ(ms->subscriberCount(), 0u);
+    }
+
+    // One injected fsync fault: the persist fails cleanly (sv.faults).
+    faults.armNth(persist::FaultInjector::Site::Fsync, 1);
+    ASSERT_TRUE(wire.roundTrip("session-persist seq=4", resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+    faults.disarm();
+    EXPECT_GE(faults.injected(), 1u);
+
+    // Hibernate for real, then corrupt every image on disk so the
+    // resurrection quarantines it (sv.quarantined).
+    ASSERT_TRUE(wire.roundTripOk("session-persist seq=5", resp));
+    ASSERT_TRUE(wire.roundTripOk("session-hibernate seq=6", resp));
+    persist::RealVfs vfs;
+    std::vector<std::string> names;
+    ASSERT_TRUE(vfs.list(dir, names));
+    unsigned corrupted = 0;
+    for (const std::string &n : names) {
+        if (n.size() < 4 || n.compare(n.size() - 4, 4, ".img") != 0)
+            continue;
+        std::vector<uint8_t> bytes;
+        ASSERT_TRUE(vfs.readFile(dir + "/" + n, bytes, nullptr));
+        ASSERT_FALSE(bytes.empty());
+        bytes[bytes.size() / 2] ^= 0xff;
+        ASSERT_TRUE(vfs.writeFile(dir + "/" + n, bytes.data(),
+                                  bytes.size(), nullptr));
+        ++corrupted;
+    }
+    ASSERT_GE(corrupted, 1u);
+    char sel[64];
+    std::snprintf(sel, sizeof sel, "session-select seq=7 session=%llu",
+                  static_cast<unsigned long long>(id));
+    ASSERT_TRUE(wire.roundTrip(sel, resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+    EXPECT_NE(resp.error.find("bad-checksum"), std::string::npos)
+        << resp.error;
+
+    // dropped and faults arrive wire-decoded, alongside the latency
+    // histograms this connection's own verbs populated.
+    ASSERT_TRUE(wire.roundTripOk("server-stats seq=8", resp));
+    EXPECT_EQ(resp.server.dropped, 1u);
+    EXPECT_GE(resp.server.faultsInjected, 1u);
+    EXPECT_GE(resp.server.hists.size(), 5u);
+    bool sawVerbLatency = false;
+    for (const HistogramSnapshot &h : resp.server.hists)
+        if (h.name == "dise_verb_latency_us") {
+            sawVerbLatency = true;
+            EXPECT_GT(h.count, 0u);
+            uint64_t total = 0;
+            for (uint64_t b : h.buckets)
+                total += b;
+            EXPECT_EQ(total, h.count);
+        }
+    EXPECT_TRUE(sawVerbLatency);
+    srv.stop();
+
+    // The open-time scan is what quarantines the corrupt image (the
+    // mid-run load failure above reported but did not classify): a
+    // second server on the same store counts it in sv.quarantined.
+    DebugServer srv2(opts);
+    ASSERT_TRUE(srv2.start());
+    WireClient wire2;
+    ASSERT_TRUE(wire2.connectTo(srv2.port()));
+    ASSERT_TRUE(wire2.roundTripOk("server-stats seq=1", resp));
+    EXPECT_GE(resp.server.quarantined, 1u);
+    EXPECT_EQ(resp.server.hibernated, 0u); // the corrupt image is out
+    srv2.stop();
+}
+
+TEST(DebugServerTcp, TraceVerbsAndMetricsExposition)
+{
+    DebugServerOptions opts;
+    opts.maxSessions = 2;
+    opts.session = smallSessions();
+    DebugServer srv(opts);
+    ASSERT_TRUE(srv.start());
+
+    WireClient wire;
+    ASSERT_TRUE(wire.connectTo(srv.port()));
+    Response resp;
+    ASSERT_TRUE(wire.roundTripOk("trace-start seq=1 count=64", resp));
+    // Dumping mid-flight is refused: the rings are being written.
+    ASSERT_TRUE(wire.roundTrip("trace-dump seq=2", resp));
+    EXPECT_EQ(resp.status, ResponseStatus::Error);
+    EXPECT_NE(resp.error.find("armed"), std::string::npos)
+        << resp.error;
+
+    ASSERT_TRUE(wire.roundTripOk("session-create seq=3 name=demo",
+                                 resp));
+    ASSERT_TRUE(wire.roundTripOk("stepi seq=4 count=2000", resp));
+    // A session-dispatched verb (exec verbs go straight to the
+    // scheduler) so the dump carries session-layer spans too.
+    ASSERT_TRUE(wire.roundTripOk("stats seq=90", resp));
+    ASSERT_TRUE(wire.roundTripOk("trace-stop seq=5", resp));
+    EXPECT_GT(resp.value, 0u); // records captured
+
+    // Tiny chunks force several round trips; the reassembly must be
+    // byte-exact against the advertised total.
+    std::string dump;
+    uint64_t total = 0;
+    unsigned chunks = 0;
+    do {
+        char line[96];
+        std::snprintf(line, sizeof line,
+                      "trace-dump seq=%u count=2048 value=%llu",
+                      6 + chunks,
+                      static_cast<unsigned long long>(dump.size()));
+        ASSERT_TRUE(wire.roundTripOk(line, resp));
+        total = resp.value;
+        if (resp.text.empty())
+            break;
+        dump += resp.text;
+        ++chunks;
+    } while (dump.size() < total);
+    EXPECT_EQ(dump.size(), total);
+    EXPECT_GE(chunks, 2u);
+    EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(dump.find("\"cat\":\"sched\""), std::string::npos);
+    EXPECT_NE(dump.find("\"cat\":\"session\""), std::string::npos);
+    EXPECT_NE(dump.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(dump.find("\"ph\":\"E\""), std::string::npos);
+
+    // The Prometheus surface, over the same connection.
+    ASSERT_TRUE(wire.roundTripOk("metrics seq=100", resp));
+    EXPECT_NE(resp.text.find("# TYPE dise_verb_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(resp.text.find("dise_verb_latency_us_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(resp.text.find("# TYPE dise_sched_queue_wait_us histogram"),
+              std::string::npos);
+    EXPECT_NE(resp.text.find("dise_slice_duration_us_count"),
+              std::string::npos);
     srv.stop();
 }
 

@@ -139,6 +139,64 @@ TEST(SessionProtocol, ResponseRoundTrip)
     EXPECT_EQ(back.error, "no experiment: INDIRECT under vm");
 }
 
+TEST(SessionProtocol, ServerStatsHistogramsRoundTrip)
+{
+    Response resp;
+    resp.status = ResponseStatus::Ok;
+    resp.seq = 12;
+    resp.inReplyTo = RequestKind::ServerStats;
+    resp.server.activeSessions = 2;
+    resp.server.dropped = 3;
+    resp.server.quarantined = 4;
+    resp.server.faultsInjected = 5;
+    HistogramSnapshot verb;
+    verb.name = "dise_verb_latency_us";
+    verb.count = 7;
+    verb.sum = 12345;
+    verb.buckets = {1, 0, 2, 4}; // interior zero survives the wire
+    HistogramSnapshot fsync;
+    fsync.name = "dise_store_fsync_us";
+    fsync.count = 1;
+    fsync.sum = 9;
+    fsync.buckets = {0, 1};
+    HistogramSnapshot idle;
+    idle.name = "dise_event_push_us"; // never observed: no buckets
+    resp.server.hists = {verb, fsync, idle};
+
+    Response back;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    EXPECT_EQ(back.server.dropped, 3u);
+    EXPECT_EQ(back.server.quarantined, 4u);
+    EXPECT_EQ(back.server.faultsInjected, 5u);
+    ASSERT_EQ(back.server.hists.size(), 3u);
+    // The decoder iterates hist.* keys in lexicographic key order, so
+    // match by name rather than position.
+    for (const HistogramSnapshot &want : resp.server.hists) {
+        bool found = false;
+        for (const HistogramSnapshot &got : back.server.hists)
+            if (got.name == want.name) {
+                EXPECT_TRUE(got == want) << want.name;
+                found = true;
+            }
+        EXPECT_TRUE(found) << want.name;
+    }
+
+    // The free-text payload (metrics exposition / trace chunks) must
+    // survive escaping: newlines, quotes, percent signs.
+    resp = Response{};
+    resp.inReplyTo = RequestKind::Metrics;
+    resp.text = "# TYPE x histogram\nx_bucket{le=\"+Inf\"} 3\nx 100%\n";
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back));
+    EXPECT_EQ(back.text, resp.text);
+
+    // A mangled histogram value is a decode error, not silent zeros.
+    Response bad;
+    std::string err;
+    EXPECT_FALSE(decodeResponse(
+        "ok seq=1 re=server-stats hist.x=notanumber", bad, &err));
+    EXPECT_NE(err.find("histogram"), std::string::npos) << err;
+}
+
 TEST(SessionProtocol, EventRoundTripAndDescribe)
 {
     SessionEvent ev;

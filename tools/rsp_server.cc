@@ -21,17 +21,46 @@
  *   session-create seq=1 name=mcf backend=dise
  *   cont seq=2
  *   server-stats seq=3
+ *
+ * Observability: --trace-out arms the flight recorder at startup and
+ * writes the Chrome trace_event JSON (open it in Perfetto) on clean
+ * shutdown (SIGINT/SIGTERM); clients can also drive trace-start /
+ * trace-stop / trace-dump and scrape `metrics` over the wire at any
+ * time.
  */
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "server/server.hh"
 #include "workloads/workload.hh"
 
 using namespace dise;
+
+namespace {
+
+/** Self-pipe written by the signal handler: main blocks on the read
+ *  end instead of srv.wait(), so a SIGINT/SIGTERM unwinds through the
+ *  normal shutdown path (stop, dump trace, exit) instead of killing
+ *  the process mid-write. */
+int shutdownPipe[2] = {-1, -1};
+
+void
+onShutdownSignal(int)
+{
+    char byte = 1;
+    // Best effort; a full pipe means a shutdown is already pending.
+    [[maybe_unused]] ssize_t n = ::write(shutdownPipe[1], &byte, 1);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -39,6 +68,8 @@ main(int argc, char **argv)
     server::DebugServerOptions opts;
     opts.port = 7777;
     opts.session.timeTravel.checkpointInterval = 1024;
+    std::string traceOut;
+    uint64_t traceBufferKb = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -65,6 +96,16 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(next()));
         } else if (arg == "--store-dir") {
             opts.storeDir = next();
+        } else if (arg == "--trace-out") {
+            traceOut = next();
+        } else if (arg == "--trace-buffer-kb") {
+            traceBufferKb =
+                static_cast<uint64_t>(std::atoll(next()));
+        } else if (arg == "--log-level") {
+            LogLevel level = LogLevel::Info;
+            if (!parseLogLevel(next(), level))
+                fatal("unknown log level (error, warn, info, debug)");
+            setLogLevel(level);
         } else if (arg == "--chaos-seed") {
             // Probability-armed fault injection across every store
             // primitive and scheduler slice boundary — the daemon's
@@ -98,6 +139,13 @@ main(int argc, char **argv)
                 "  --store-dir DIR   durable session store: crash "
                 "recovery on start,\n"
                 "                    LRU hibernation at the cap\n"
+                "  --trace-out FILE  arm the flight recorder now; "
+                "write Chrome trace\n"
+                "                    JSON (Perfetto) on SIGINT/SIGTERM\n"
+                "  --trace-buffer-kb N  per-thread trace ring size "
+                "(default 256)\n"
+                "  --log-level L     error | warn | info | debug "
+                "(also: DISE_LOG env)\n"
                 "  --chaos-seed N    seeded fault injection on store + "
                 "scheduler paths\n"
                 "  --verbose         log packets and connections\n");
@@ -141,6 +189,45 @@ main(int argc, char **argv)
                     opts.storeDir.c_str(),
                     static_cast<unsigned long long>(
                         srv.stats().hibernated));
-    srv.wait();
+
+    if (traceOut.empty()) {
+        srv.wait();
+        return 0;
+    }
+
+    // Flight-recorder mode: arm now, block on the self-pipe instead of
+    // srv.wait(), and render the dump during orderly shutdown.
+    obs::Tracer::instance().arm(
+        static_cast<size_t>(traceBufferKb) * 1024);
+    std::printf("  flight recorder armed -> %s (%llu KiB/thread)\n",
+                traceOut.c_str(),
+                static_cast<unsigned long long>(
+                    traceBufferKb ? traceBufferKb : 256));
+    if (::pipe(shutdownPipe) != 0)
+        fatal("cannot create shutdown pipe");
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onShutdownSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    char byte;
+    while (::read(shutdownPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("shutting down; writing trace to %s\n",
+                traceOut.c_str());
+    srv.stop();
+    obs::Tracer::instance().disarm();
+    std::string json = obs::Tracer::instance().dumpJson();
+    std::FILE *f = std::fopen(traceOut.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", traceOut.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %llu bytes of trace (open in "
+                "https://ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(json.size()));
     return 0;
 }

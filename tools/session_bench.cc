@@ -21,7 +21,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,20 +124,44 @@ struct DurableResult
     double resurrectMs = 0; ///< mean load + rebuild-replay + verify
 };
 
+/** Unique scratch store directory under $TMPDIR (default /tmp),
+ *  emptied and removed on destruction — which also runs when a bench
+ *  assertion unwinds, so failed runs leave nothing behind. */
+struct ScratchDir
+{
+    std::string path;
+    persist::RealVfs vfs;
+
+    ScratchDir()
+    {
+        const char *tmp = std::getenv("TMPDIR");
+        std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                           "/session_bench_store_XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (!::mkdtemp(buf.data()))
+            fatal("cannot create scratch dir ", tmpl);
+        path = buf.data();
+    }
+
+    ~ScratchDir()
+    {
+        std::vector<std::string> names;
+        if (vfs.list(path, names))
+            for (const std::string &n : names)
+                vfs.remove(path + "/" + n);
+        ::rmdir(path.c_str());
+    }
+};
+
 /** Hibernate/resurrect round-trip latency at a mid-run position. */
 DurableResult
 runDurable(const std::string &workload, BackendKind backend,
            unsigned scale, unsigned iters)
 {
-    std::string dir = "session_bench_store_" +
-                      std::to_string(static_cast<long>(::getpid()));
-    persist::RealVfs vfs;
-    { // start from an empty store
-        std::vector<std::string> names;
-        if (vfs.list(dir, names))
-            for (const std::string &n : names)
-                vfs.remove(dir + "/" + n);
-    }
+    ScratchDir scratch;
+    const std::string &dir = scratch.path;
+    persist::RealVfs &vfs = scratch.vfs;
     persist::SessionStore store(dir, vfs);
     DISE_ASSERT(store.open().ok, "bench store open failed");
 
@@ -181,10 +207,6 @@ runDurable(const std::string &workload, BackendKind backend,
     r.imageBytes = store.counters().bytes;
 
     manager.destroy(id);
-    std::vector<std::string> names;
-    if (vfs.list(dir, names))
-        for (const std::string &n : names)
-            vfs.remove(dir + "/" + n);
     return r;
 }
 
@@ -230,20 +252,29 @@ main(int argc, char **argv)
                 slots ? std::to_string(slots).c_str() : "hw");
 
     std::vector<RunResult> results;
-    for (unsigned n : {1u, 2u, 4u, 8u}) {
-        RunResult r = runScale(n, workload, backend, scale, slots);
-        results.push_back(r);
-        std::printf(
-            "  %u session(s): %8.1f ms, %llu insts, %llu slices, "
-            "aggregate %.2f MIPS (%.2fx vs 1)\n",
-            n, r.wallMs, static_cast<unsigned long long>(r.totalInsts),
-            static_cast<unsigned long long>(r.slices), r.mips,
-            results.front().mips > 0 ? r.mips / results.front().mips
-                                     : 0);
-    }
+    DurableResult d;
+    // Catch bench assertions (they throw) so ScratchDir unwinds and
+    // early failures never leak a scratch store into the filesystem.
+    try {
+        for (unsigned n : {1u, 2u, 4u, 8u}) {
+            RunResult r = runScale(n, workload, backend, scale, slots);
+            results.push_back(r);
+            std::printf(
+                "  %u session(s): %8.1f ms, %llu insts, %llu slices, "
+                "aggregate %.2f MIPS (%.2fx vs 1)\n",
+                n, r.wallMs,
+                static_cast<unsigned long long>(r.totalInsts),
+                static_cast<unsigned long long>(r.slices), r.mips,
+                results.front().mips > 0
+                    ? r.mips / results.front().mips
+                    : 0);
+        }
 
-    DurableResult d =
-        runDurable(workload, backend, scale, quick ? 3 : 10);
+        d = runDurable(workload, backend, scale, quick ? 3 : 10);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench failed: %s\n", e.what());
+        return 1;
+    }
     std::printf("  durable round-trip @ %llu insts: hibernate %.2f ms, "
                 "resurrect %.2f ms, image %llu bytes (%u iters)\n",
                 static_cast<unsigned long long>(d.appInsts),
