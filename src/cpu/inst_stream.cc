@@ -99,6 +99,8 @@ InstStream::next(MicroOp &op)
             op.isTriggerCopy = seq_->triggerCopy[seqIdx_] != 0;
             ++seqIdx_;
             execute(op);
+            if (env_.observer && env_.observer->armed())
+                env_.observer->onUop(op);
             finishExpansionIfDone();
             return true;
         }
@@ -177,6 +179,8 @@ InstStream::next(MicroOp &op)
                 op.debug = act;
         }
         execute(op);
+        if (env_.observer && env_.observer->armed())
+            env_.observer->onUop(op);
         return true;
     }
 }
@@ -303,6 +307,11 @@ InstStream::execute(MicroOp &op)
               case SysMark:
                 if (env_.sink)
                     env_.sink->mark(rd(reg::a0));
+                break;
+              case SysAllocHint:
+              case SysFreeHint:
+                // Stateless allocator notifications for debug tools;
+                // the armed UopObserver reads a0/a1 after execute().
                 break;
               default:
                 fault(op, "unknown syscall " + std::to_string(in.imm));

@@ -67,6 +67,8 @@ struct StreamEnv
     /** Statement-boundary PCs that trigger monitor->onStatement. */
     const std::unordered_set<Addr> *stmtTraps = nullptr;
     OutputSink *sink = nullptr;
+    /** Armed µop tap for debug tools (asan, memtrace, ...). */
+    UopObserver *observer = nullptr;
     /** Predecoded µop cache (perf only; off for A/B benchmarking). */
     bool uopCache = true;
 };
@@ -77,6 +79,10 @@ enum : int64_t {
     SysPutChar = 1,
     SysPutInt = 2,
     SysMark = 3,
+    /** Allocator hint: a0 = block base, a1 = size (tools observe it). */
+    SysAllocHint = 4,
+    /** Allocator hint: a0 = block base being freed. */
+    SysFreeHint = 5,
 };
 
 class InstStream : public CodeWatcher

@@ -106,6 +106,29 @@ struct MicroOp
 };
 
 /**
+ * Low-cost functional-order µop tap for debug tools.
+ *
+ * Unlike DebugMonitor (which backends install to *classify* debugger
+ * transitions), a UopObserver passively watches every executed µop.
+ * The stream pays one inline non-virtual `armed()` check per op; the
+ * virtual dispatch happens only while at least one tool is enabled.
+ */
+class UopObserver
+{
+  public:
+    virtual ~UopObserver() = default;
+
+    /** True while any consumer is attached; inline fast-path gate. */
+    bool armed() const { return armed_; }
+
+    /** An op just executed (oracle fields filled, program order). */
+    virtual void onUop(const MicroOp &op) = 0;
+
+  protected:
+    bool armed_ = false;
+};
+
+/**
  * Functional-order observer installed by debugger backends.
  *
  * All callbacks run in program order with architectural memory state

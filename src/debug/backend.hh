@@ -23,6 +23,7 @@
 #include "cpu/microop.hh"
 #include "debug/target.hh"
 #include "debug/watch.hh"
+#include "tools/toolset.hh"
 
 namespace dise {
 
@@ -52,6 +53,8 @@ struct BackendSnapshot
     size_t protectionEvents = 0;
     uint64_t seq = 0;
     std::vector<WatchStateSnap> watches;
+    /** Serialized debug-tool state, one blob per enabled tool. */
+    tools::ToolSet::Blobs tools;
 };
 
 class DebugBackend : public DebugMonitor
@@ -82,8 +85,21 @@ class DebugBackend : public DebugMonitor
         StreamEnv env;
         env.monitor = this;
         env.sink = &target.sink;
+        tools_.bind(&target);
+        env.observer = &tools_;
         return env;
     }
+
+    /**
+     * Whether enabled debug tools should install their DISE production
+     * sets into the target's engine (DISE backend only; the others run
+     * the same host-side detection without in-pipeline payloads).
+     */
+    virtual bool usesDiseProductions() const { return false; }
+
+    /** The debug tools enabled on this backend. */
+    tools::ToolSet &tools() { return tools_; }
+    const tools::ToolSet &tools() const { return tools_; }
 
     const std::vector<WatchEvent> &watchEvents() const
     {
@@ -127,6 +143,7 @@ class DebugBackend : public DebugMonitor
         s.watches.reserve(watches_.size());
         for (const auto &w : watches_)
             s.watches.push_back(w.save());
+        s.tools = tools_.snapshot();
         return s;
     }
 
@@ -157,6 +174,7 @@ class DebugBackend : public DebugMonitor
         for (size_t i = 0; i < watches_.size() && i < s.watches.size();
              ++i)
             watches_[i].restore(s.watches[i]);
+        tools_.restore(s.tools);
     }
     ///@}
 
@@ -194,6 +212,7 @@ class DebugBackend : public DebugMonitor
     std::vector<BreakSpec> breaks_;
     uint64_t seq_ = 0;
     uint64_t eventsRecorded_ = 0;
+    tools::ToolSet tools_;
 };
 
 } // namespace dise

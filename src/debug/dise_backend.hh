@@ -76,6 +76,9 @@ class DiseBackend : public DebugBackend
 
     std::string name() const override { return "dise"; }
 
+    /** Debug tools install their production sets on this backend. */
+    bool usesDiseProductions() const override { return true; }
+
     bool install(DebugTarget &target, const std::vector<WatchSpec> &watches,
                  const std::vector<BreakSpec> &breaks) override;
 

@@ -113,6 +113,8 @@ class DiseEngine
     void setEnabled(bool on) { enabled_ = on; }
     bool enabled() const { return enabled_; }
     size_t productionCount() const;
+    /** Pattern-table slots total (installed + free). */
+    size_t patternCapacity() const { return slots_.size(); }
     const Production *production(ProductionId id) const;
     ///@}
 

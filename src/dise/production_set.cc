@@ -1,0 +1,77 @@
+#include "dise/production_set.hh"
+
+#include "common/logging.hh"
+
+namespace dise {
+
+void
+ProductionSet::add(Production p)
+{
+    DISE_ASSERT(!installed(),
+                "cannot stage into an installed production set '",
+                name_, "'");
+    prods_.push_back(std::move(p));
+}
+
+bool
+ProductionSet::install(DiseEngine &engine, std::string *err)
+{
+    DISE_ASSERT(!installed(), "production set '", name_,
+                "' is already installed");
+    size_t free = engine.patternCapacity() - engine.productionCount();
+    if (prods_.size() > free) {
+        if (err)
+            *err = "pattern table cannot hold production set '" +
+                   name_ + "' (" + std::to_string(prods_.size()) +
+                   " productions, " + std::to_string(free) +
+                   " free slots)";
+        return false;
+    }
+    ids_.reserve(prods_.size());
+    slots_.reserve(prods_.size());
+    for (const Production &p : prods_) {
+        ProductionId id = engine.addProduction(p);
+        ids_.push_back(id);
+        slots_.push_back(engine.slotOf(id));
+    }
+    return true;
+}
+
+bool
+ProductionSet::installAt(DiseEngine &engine,
+                         const std::vector<int> &slots, std::string *err)
+{
+    DISE_ASSERT(!installed(), "production set '", name_,
+                "' is already installed");
+    if (slots.size() != prods_.size()) {
+        if (err)
+            *err = "production set '" + name_ + "' has " +
+                   std::to_string(prods_.size()) + " productions but " +
+                   std::to_string(slots.size()) + " target slots";
+        return false;
+    }
+    for (int slot : slots) {
+        if (engine.idAt(slot) != 0) {
+            if (err)
+                *err = "pattern-table slot " + std::to_string(slot) +
+                       " is occupied";
+            return false;
+        }
+    }
+    ids_.reserve(prods_.size());
+    for (size_t i = 0; i < prods_.size(); ++i)
+        ids_.push_back(engine.addProductionAt(prods_[i], slots[i]));
+    slots_ = slots;
+    return true;
+}
+
+void
+ProductionSet::remove(DiseEngine &engine)
+{
+    for (ProductionId id : ids_)
+        engine.removeProduction(id);
+    ids_.clear();
+    slots_.clear();
+}
+
+} // namespace dise

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Named, composable DISE production sets.
+ *
+ * A ProductionSet is a shippable unit of instrumentation: an ordered
+ * list of productions that installs and removes as one atomic group.
+ * Multiple sets coexist in the 32-entry pattern table (each remembers
+ * the ids and slots it owns), which is what lets several debug tools —
+ * plus the debugger's own watch/break productions — be armed at once.
+ *
+ * Lifetime rules the table model imposes:
+ *  - install() is all-or-nothing: if the free pattern-table capacity
+ *    cannot hold the whole set, nothing is installed and install()
+ *    reports the shortfall (the engine itself fatals on overflow, so
+ *    the set is the layer that makes exhaustion a recoverable error).
+ *  - remove() erases exactly the productions this install() added, by
+ *    the ids it recorded — never by name or pattern, so two sets with
+ *    overlapping patterns cannot free each other's slots.
+ *  - slots() reports the table slots this set occupies; replay logs
+ *    them so deterministic reconstruction can re-arm the set and
+ *    unwind it from the exact slots (slot order breaks
+ *    equal-specificity match ties).
+ */
+
+#ifndef DISE_DISE_PRODUCTION_SET_HH
+#define DISE_DISE_PRODUCTION_SET_HH
+
+#include <string>
+#include <vector>
+
+#include "dise/engine.hh"
+
+namespace dise {
+
+class ProductionSet
+{
+  public:
+    explicit ProductionSet(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    size_t size() const { return prods_.size(); }
+    bool installed() const { return !ids_.empty(); }
+
+    /** Stage a production (must not be installed). */
+    void add(Production p);
+
+    /**
+     * Install every staged production into @p engine, in order.
+     * All-or-nothing: fails (and installs nothing) when the free
+     * pattern-table capacity cannot hold the whole set.
+     */
+    bool install(DiseEngine &engine, std::string *err = nullptr);
+
+    /**
+     * Install into exact pattern-table slots (one per staged
+     * production) — the unwind path of a logged removal, where
+     * first-free insertion would reorder the table and flip
+     * equal-specificity match ties.
+     */
+    bool installAt(DiseEngine &engine, const std::vector<int> &slots,
+                   std::string *err = nullptr);
+
+    /** Remove exactly the productions the last install() added. */
+    void remove(DiseEngine &engine);
+
+    /** Ids owned by the current installation (empty when uninstalled). */
+    const std::vector<ProductionId> &ids() const { return ids_; }
+    /** Pattern-table slots occupied by the current installation. */
+    const std::vector<int> &slots() const { return slots_; }
+
+  private:
+    std::string name_;
+    std::vector<Production> prods_;
+    std::vector<ProductionId> ids_;
+    std::vector<int> slots_;
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_PRODUCTION_SET_HH

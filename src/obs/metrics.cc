@@ -24,6 +24,8 @@ constexpr Family kFamilies[] = {
     {"dise_resurrect_replay_us",
      "Rebuild-replay time resurrecting a stored session"},
     {"dise_event_push_us", "Time pushing queued events to a subscriber"},
+    {"dise_tool_overhead_us",
+     "Debug-tool observer work per batch of 1024 armed uops"},
 };
 
 const char *
@@ -41,13 +43,14 @@ std::vector<HistogramSnapshot>
 Metrics::snapshotAll() const
 {
     std::vector<HistogramSnapshot> snaps;
-    snaps.reserve(6);
+    snaps.reserve(7);
     snaps.push_back(verbLatencyUs.snapshot(kFamilies[0].name));
     snaps.push_back(schedQueueWaitUs.snapshot(kFamilies[1].name));
     snaps.push_back(sliceDurationUs.snapshot(kFamilies[2].name));
     snaps.push_back(storeFsyncUs.snapshot(kFamilies[3].name));
     snaps.push_back(resurrectReplayUs.snapshot(kFamilies[4].name));
     snaps.push_back(eventPushUs.snapshot(kFamilies[5].name));
+    snaps.push_back(toolOverheadUs.snapshot(kFamilies[6].name));
     return snaps;
 }
 

@@ -32,6 +32,7 @@ struct Metrics
     Histogram storeFsyncUs;      ///< fsync inside SessionStore writes
     Histogram resurrectReplayUs; ///< rebuild-replay of a stored session
     Histogram eventPushUs;       ///< pushing queued events to a peer
+    Histogram toolOverheadUs;    ///< debug-tool work per 1024 armed µops
 
     /** Snapshot every family, in a fixed registry order. */
     std::vector<HistogramSnapshot> snapshotAll() const;

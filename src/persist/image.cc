@@ -350,6 +350,15 @@ encodeImage(const SessionImage &img)
         w.u32(iv.engineId);
         w.i32(iv.addIndex);
         w.i32(iv.slot);
+        w.str(iv.toolName);
+        w.u32(static_cast<uint32_t>(iv.toolConfig.size()));
+        for (const auto &kv : iv.toolConfig) {
+            w.str(kv.first);
+            w.str(kv.second);
+        }
+        w.u32(static_cast<uint32_t>(iv.toolSlots.size()));
+        for (int s : iv.toolSlots)
+            w.i32(s);
     }
     w.u32(static_cast<uint32_t>(img.marks.size()));
     for (const EventMark &mk : img.marks) {
@@ -367,6 +376,11 @@ encodeImage(const SessionImage &img)
     for (const CheckpointMeta &cp : img.checkpoints) {
         w.u64(cp.time);
         w.u64(cp.appInsts);
+    }
+    w.u32(static_cast<uint32_t>(img.toolDigests.size()));
+    for (const ToolDigest &td : img.toolDigests) {
+        w.str(td.name);
+        w.u64(td.digest);
     }
 
     w.u64(fnv64(w.bytes.data(), w.bytes.size()));
@@ -459,7 +473,7 @@ decodeImage(const uint8_t *data, size_t n, SessionImage &out,
     out.interventions.resize(r.ok() ? ni : 0);
     for (Intervention &iv : out.interventions) {
         iv.kind = r.enum8<InterventionKind>(
-            static_cast<uint8_t>(InterventionKind::RemoveProduction),
+            static_cast<uint8_t>(InterventionKind::ToolDisable),
             "intervention kind");
         iv.time = r.u64();
         iv.appInsts = r.u64();
@@ -473,6 +487,17 @@ decodeImage(const uint8_t *data, size_t n, SessionImage &out,
         iv.engineId = r.u32();
         iv.addIndex = r.i32();
         iv.slot = r.i32();
+        iv.toolName = r.str();
+        uint32_t ntc = r.count(8, "tool config");
+        iv.toolConfig.resize(r.ok() ? ntc : 0);
+        for (auto &kv : iv.toolConfig) {
+            kv.first = r.str();
+            kv.second = r.str();
+        }
+        uint32_t nts = r.count(4, "tool slot list");
+        iv.toolSlots.resize(r.ok() ? nts : 0);
+        for (int &s : iv.toolSlots)
+            s = r.i32();
     }
     uint32_t nm = r.count(29, "event timeline");
     out.marks.resize(r.ok() ? nm : 0);
@@ -493,6 +518,12 @@ decodeImage(const uint8_t *data, size_t n, SessionImage &out,
     for (CheckpointMeta &cp : out.checkpoints) {
         cp.time = r.u64();
         cp.appInsts = r.u64();
+    }
+    uint32_t ntd = r.count(12, "tool digest list");
+    out.toolDigests.resize(r.ok() ? ntd : 0);
+    for (ToolDigest &td : out.toolDigests) {
+        td.name = r.str();
+        td.digest = r.u64();
     }
 
     if (!r.ok())

@@ -46,6 +46,19 @@ struct CheckpointMeta
     bool operator==(const CheckpointMeta &) const = default;
 };
 
+/** Integrity anchor for one enabled debug tool (src/tools/): the
+ *  FNV-1a digest of its serialized state at persist time. Tool state
+ *  itself is NOT serialized — the seek replay re-derives it from the
+ *  ToolEnable interventions and the deterministic µop stream, and the
+ *  digest proves the re-derivation is bit-identical. */
+struct ToolDigest
+{
+    std::string name;
+    uint64_t digest = 0;
+
+    bool operator==(const ToolDigest &) const = default;
+};
+
 /** One serializable session. */
 struct SessionImage
 {
@@ -87,6 +100,8 @@ struct SessionImage
     /** stateDigest of the live session at persist time. */
     uint64_t digest = 0;
     std::vector<CheckpointMeta> checkpoints;
+    /** Per-tool state digests (enable order). */
+    std::vector<ToolDigest> toolDigests;
 };
 
 /** Typed decode failures (mapped to store quarantine reasons). */
@@ -101,7 +116,8 @@ enum class ImageErr : uint8_t {
 
 const char *imageErrName(ImageErr err);
 
-constexpr uint32_t kImageVersion = 1;
+/** v2 added tool-enable/disable interventions and tool digests. */
+constexpr uint32_t kImageVersion = 2;
 
 /** FNV-1a 64 (the persistence layer's integrity hash). */
 uint64_t fnv64(const uint8_t *data, size_t n);

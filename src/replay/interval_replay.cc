@@ -78,6 +78,27 @@ IntervalReplay::Worker::applyProduction(const Intervention &iv)
         engine.removeProduction(id);
         break;
       }
+      case InterventionKind::ToolEnable: {
+        // Re-arm at the exact recorded slots so the replica's pattern
+        // table matches the live session's slot-for-slot.
+        std::string err;
+        DebugBackend &backend = debugger_->backend();
+        bool ok = backend.tools().enable(
+            *target_, iv.toolName, iv.toolConfig,
+            backend.usesDiseProductions(), &err, nullptr,
+            iv.toolSlots.empty() ? nullptr : &iv.toolSlots);
+        DISE_ASSERT(ok, "interval replay could not re-enable tool '",
+                    iv.toolName, "': ", err);
+        break;
+      }
+      case InterventionKind::ToolDisable: {
+        std::string err;
+        bool ok = debugger_->backend().tools().disable(
+            *target_, iv.toolName, &err);
+        DISE_ASSERT(ok, "interval replay could not disable tool '",
+                    iv.toolName, "': ", err);
+        break;
+      }
       default:
         break;
     }
@@ -102,6 +123,24 @@ IntervalReplay::Worker::prepare()
     target_->mem.applyUndo(owner_.live_.mem.pendingUndo());
     for (size_t j = cps.size() - 1; j > interval_.cpFrom; --j)
         target_->mem.applyUndo(cps[j - 1].undo);
+
+    // Interventions before the interval: pokes are baked into the
+    // materialized image and register file; engine-table mutations and
+    // tool enables are host state the checkpoint does not carry, so
+    // re-apply them — before restoreHost, which refills the tool-state
+    // blobs the checkpoint captured into the re-enabled tools.
+    const auto &ivs = owner_.log_.interventions;
+    journalIds_.assign(ivs.size(), 0);
+    while (nextIntervention_ < ivs.size() &&
+           ivs[nextIntervention_].time < interval_.fromTime) {
+        const Intervention &iv = ivs[nextIntervention_];
+        if (iv.kind == InterventionKind::AddProduction ||
+            iv.kind == InterventionKind::RemoveProduction ||
+            iv.kind == InterventionKind::ToolEnable ||
+            iv.kind == InterventionKind::ToolDisable)
+            applyProduction(iv);
+        ++nextIntervention_;
+    }
 
     // Registers, backend host state, and the sink prefix as of the
     // checkpoint; the event-list prefix is adopted from the live
@@ -130,20 +169,6 @@ IntervalReplay::Worker::prepare()
     seenProt_ = cp.host.protectionEvents;
     markCursor_ = seenWatch_ + seenBreak_ + seenProt_;
     seenRecorded_ = backend.eventsRecorded();
-
-    // Interventions before the interval: pokes are baked into the
-    // materialized image and register file; engine-table mutations are
-    // host state the checkpoint does not carry, so re-apply them.
-    const auto &ivs = owner_.log_.interventions;
-    journalIds_.assign(ivs.size(), 0);
-    while (nextIntervention_ < ivs.size() &&
-           ivs[nextIntervention_].time < interval_.fromTime) {
-        const Intervention &iv = ivs[nextIntervention_];
-        if (iv.kind == InterventionKind::AddProduction ||
-            iv.kind == InterventionKind::RemoveProduction)
-            applyProduction(iv);
-        ++nextIntervention_;
-    }
 
     interval_.startDigest = stateDigest(*target_, backend);
     stream_ = std::make_unique<InstStream>(target_->arch, target_->mem,

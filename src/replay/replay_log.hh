@@ -27,6 +27,8 @@ enum class InterventionKind : uint8_t {
     PokeRegister,     ///< debugger wrote a target register
     AddProduction,    ///< debugger installed a DISE production
     RemoveProduction, ///< debugger removed a DISE production
+    ToolEnable,       ///< debugger enabled a debug tool
+    ToolDisable,      ///< debugger disabled a debug tool
 };
 
 inline const char *
@@ -37,6 +39,8 @@ interventionKindName(InterventionKind kind)
       case InterventionKind::PokeRegister: return "poke-register";
       case InterventionKind::AddProduction: return "add-production";
       case InterventionKind::RemoveProduction: return "remove-production";
+      case InterventionKind::ToolEnable: return "tool-enable";
+      case InterventionKind::ToolDisable: return "tool-disable";
     }
     return "?";
 }
@@ -84,6 +88,15 @@ struct Intervention
      *  Unwinding the removal re-installs into this exact slot, since
      *  slot order breaks equal-specificity match ties. */
     int slot = -1;
+
+    // ToolEnable / ToolDisable payload. ToolDisable carries the same
+    // name + config so unwinding it can re-enable the tool.
+    std::string toolName;
+    std::vector<std::pair<std::string, std::string>> toolConfig;
+    /** ToolEnable (DISE backend): pattern-table slots the tool's
+     *  production set occupied, for exact-slot re-install on unwind of
+     *  a ToolDisable and for journal round-trips. */
+    std::vector<int> toolSlots;
 };
 
 /** Which backend list a user-visible event was recorded in. */

@@ -605,6 +605,29 @@ TimeTravel::applyIntervention(Intervention &iv)
         target_.engine.removeProduction(id);
         break;
       }
+      case InterventionKind::ToolEnable: {
+        // Fresh tool state; forward replay re-derives it µop by µop.
+        // First-free slot insertion is deterministic given the same
+        // table history, but record the slots anyway for journal
+        // round-trips and exact-slot unwinds.
+        std::vector<int> slots;
+        std::string terr;
+        bool ok = backend_.tools().enable(
+            target_, iv.toolName, iv.toolConfig,
+            backend_.usesDiseProductions(), &terr, &slots);
+        DISE_ASSERT(ok, "tool-enable replay failed: ", terr);
+        iv.toolSlots = std::move(slots);
+        break;
+      }
+      case InterventionKind::ToolDisable: {
+        // Remember the slots the tool's productions held so unwinding
+        // this disable can re-install into exactly those slots.
+        iv.toolSlots = backend_.tools().installedSlots(iv.toolName);
+        std::string terr;
+        bool ok = backend_.tools().disable(target_, iv.toolName, &terr);
+        DISE_ASSERT(ok, "tool-disable replay failed: ", terr);
+        break;
+      }
     }
 }
 
@@ -627,6 +650,26 @@ TimeTravel::unwindIntervention(Intervention &iv)
         iv.engineId = id;
         if (iv.addIndex >= 0)
             log_.interventions[iv.addIndex].engineId = id;
+        break;
+      }
+      case InterventionKind::ToolEnable: {
+        // Crossing back over the enable: the tool ceases to exist at
+        // this position (the checkpoint restore that follows carries
+        // no blob for it either).
+        std::string terr;
+        bool ok = backend_.tools().disable(target_, iv.toolName, &terr);
+        DISE_ASSERT(ok, "tool-enable unwind failed: ", terr);
+        break;
+      }
+      case InterventionKind::ToolDisable: {
+        // Re-enable into the exact slots recorded at disable time; the
+        // checkpoint restore that follows refills the tool's state.
+        std::string terr;
+        bool ok = backend_.tools().enable(
+            target_, iv.toolName, iv.toolConfig,
+            backend_.usesDiseProductions(), &terr, nullptr,
+            &iv.toolSlots);
+        DISE_ASSERT(ok, "tool-disable unwind failed: ", terr);
         break;
       }
     }
@@ -709,6 +752,44 @@ TimeTravel::removeProduction(ProductionId id)
         }
     }
     recordIntervention(std::move(iv));
+}
+
+bool
+TimeTravel::enableTool(const std::string &name,
+                       const tools::ToolSet::Config &cfg,
+                       std::string *err)
+{
+    // Validate before touching the timeline: recordIntervention forks
+    // (truncates) the explored future, which a refused enable must not.
+    if (!backend_.tools().canEnable(target_, name, cfg,
+                                    backend_.usesDiseProductions(), err))
+        return false;
+    Intervention iv;
+    iv.kind = InterventionKind::ToolEnable;
+    iv.toolName = name;
+    iv.toolConfig = cfg;
+    recordIntervention(std::move(iv));
+    return true;
+}
+
+bool
+TimeTravel::disableTool(const std::string &name, std::string *err)
+{
+    if (!backend_.tools().isEnabled(name)) {
+        if (err)
+            *err = "tool '" + name + "' is not enabled";
+        return false;
+    }
+    Intervention iv;
+    iv.kind = InterventionKind::ToolDisable;
+    iv.toolName = name;
+    // Carry the config so unwinding the disable can re-enable.
+    for (const Intervention &other : log_.interventions)
+        if (other.kind == InterventionKind::ToolEnable &&
+            other.toolName == name)
+            iv.toolConfig = other.toolConfig;
+    recordIntervention(std::move(iv));
+    return true;
 }
 
 } // namespace dise

@@ -42,6 +42,7 @@
 #include "cpu/inst_stream.hh"
 #include "replay/checkpoint.hh"
 #include "replay/replay_log.hh"
+#include "tools/toolset.hh"
 
 namespace dise {
 
@@ -187,6 +188,15 @@ class TimeTravel
     void pokeRegister(RegId r, uint64_t value);
     ProductionId addProduction(const Production &p);
     void removeProduction(ProductionId id);
+    /**
+     * Enable/disable a debug tool as a logged intervention, so replay
+     * re-arms it at the same stream position and reverse travel
+     * unwinds it. Validated up front; failures leave the timeline
+     * untouched.
+     */
+    bool enableTool(const std::string &name,
+                    const tools::ToolSet::Config &cfg, std::string *err);
+    bool disableTool(const std::string &name, std::string *err);
     ///@}
 
     /** @name Position and introspection */

@@ -211,6 +211,23 @@ RspConnection::handleQuery(const std::string &p)
         return "OK";
     if (p == "qTStatus")
         return "";
+    if (p.rfind("qRcmd,", 0) == 0) {
+        // `monitor <cmd>` passthrough, the on-ramp to the debug tools
+        // from a stock gdb: the hex payload is a typed-wire command
+        // line, the hex reply its encoded response. Only the tool
+        // verbs pass — execution stays under gdb's own packets.
+        std::vector<uint8_t> bytes;
+        if (!fromHex(p.substr(6), bytes))
+            return "E01";
+        std::string cmd(bytes.begin(), bytes.end());
+        std::string out;
+        if (cmd.rfind("tool-", 0) == 0)
+            out = session_.handleEncoded(cmd) + "\n";
+        else
+            out = "unsupported monitor command (try tool-list, "
+                  "tool-enable name=<t>, tool-report name=<t>)\n";
+        return toHex(std::vector<uint8_t>(out.begin(), out.end()));
+    }
     return ""; // unsupported query
 }
 
@@ -466,14 +483,31 @@ RspConnection::handlePacket(const std::string &p)
     };
 
     // While a non-stop job is in flight the session belongs to the
-    // scheduler worker driving it: refuse session-touching packets
-    // until the %Stop lands (queries, stop polls, and detach stay
-    // available — that is what keeps the connection responsive).
+    // scheduler worker driving it: refuse mutating packets until the
+    // %Stop lands (queries, stop polls, and detach stay available —
+    // that is what keeps the connection responsive). Read-only peeks
+    // (`g`/`p`/`m`) and monitor tool verbs DO pass: they take the
+    // peek lock, which parks them at the job's next slice boundary,
+    // so gdb can watch registers, memory and sanitizer findings live
+    // while the target runs.
+    std::unique_lock<std::mutex> peek; // held across the dispatch below
     if (nonStop_) {
-        std::lock_guard<std::mutex> lk(async_->mu);
-        if (async_->running) {
+        bool busy = false;
+        {
+            std::lock_guard<std::mutex> lk(async_->mu);
+            busy = async_->running;
+        }
+        if (busy) {
+            bool needsPeekLock = false;
             switch (p[0]) {
+              case 'g':
+              case 'p':
+              case 'm':
+                needsPeekLock = true;
+                break;
               case 'q':
+                needsPeekLock = p.rfind("qRcmd,", 0) == 0;
+                break;
               case 'Q':
               case 'v':
               case '?':
@@ -484,6 +518,8 @@ RspConnection::handlePacket(const std::string &p)
               default:
                 return "E05";
             }
+            if (needsPeekLock && peekLockFn_)
+                peek = peekLockFn_();
         }
     }
 

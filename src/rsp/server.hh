@@ -89,11 +89,22 @@ class RspConnection
     using AsyncExecFn = std::function<std::function<void()>(
         RequestKind kind, uint64_t count, AsyncDoneFn done)>;
 
+    /**
+     * Peek serialization: returns a held lock that excludes the
+     * scheduler worker driving this session's job, so a read-only
+     * packet (`g`/`p`/`m`, monitor tool verbs) lands exactly at a
+     * slice boundary while a non-stop job is in flight. When empty,
+     * busy peeks run unlocked (single-threaded embeddings).
+     */
+    using PeekLockFn = std::function<std::unique_lock<std::mutex>()>;
+
     explicit RspConnection(DebugSession &session, ExecFn exec = {},
                            bool verbose = false);
 
     /** Enable non-stop support (see AsyncExecFn). */
     void setAsyncExec(AsyncExecFn fn) { asyncExecFn_ = std::move(fn); }
+    /** Serialize busy peeks against the job's slices (see PeekLockFn). */
+    void setPeekLock(PeekLockFn fn) { peekLockFn_ = std::move(fn); }
 
     /**
      * The transport-free core: map one decoded packet payload to the
@@ -156,6 +167,7 @@ class RspConnection
     DebugSession &session_;
     ExecFn execFn_;
     AsyncExecFn asyncExecFn_;
+    PeekLockFn peekLockFn_;
     bool verbose_ = false;
     bool wantClose_ = false;
     bool nonStop_ = false;

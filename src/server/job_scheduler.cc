@@ -232,6 +232,9 @@ JobScheduler::makeExecSlice(ManagedSessionPtr sp, RequestKind kind,
         ManagedSession &s = *sp;
         if (s.closing.load(std::memory_order_acquire))
             throw std::runtime_error("session destroyed");
+        // The slice is the exclusion unit: an RSP peek waiting on
+        // sliceMu gets the session at this boundary, never mid-µop.
+        std::lock_guard<std::mutex> sliceLk(s.sliceMu);
         bool done = false;
         switch (kind) {
           case RequestKind::Cont:

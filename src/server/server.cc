@@ -342,6 +342,9 @@ DebugServer::serveRsp(int fd)
     };
     rsp::RspConnection conn(ms->session, exec, opts_.verbose);
     conn.setAsyncExec(asyncExec);
+    conn.setPeekLock([ms] {
+        return std::unique_lock<std::mutex>(ms->sliceMu);
+    });
     conn.serve(fd);
     manager_.destroy(ms->id);
 }
@@ -645,6 +648,24 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         return resp;
       default:
         break;
+    }
+
+    // Tool verbs may address a session explicitly (session=); the id
+    // resolves through the same path as session-select, so a
+    // tool-enable aimed at a hibernated session transparently
+    // resurrects it.
+    if (req.session &&
+        (req.kind == RequestKind::ToolEnable ||
+         req.kind == RequestKind::ToolDisable ||
+         req.kind == RequestKind::ToolList ||
+         req.kind == RequestKind::ToolReport)) {
+        std::string err;
+        ManagedSessionPtr ms =
+            manager_.find(req.session, /*forSelect=*/true, &err);
+        if (!ms)
+            return errorOut("session " + std::to_string(req.session) +
+                            ": " + err);
+        sel = ms;
     }
 
     if (!sel)

@@ -12,6 +12,10 @@ defaultProgramFactory(const std::string &name, Program &out)
         out = buildHeisenbugDemo();
         return true;
     }
+    if (n == "tooldemo") {
+        out = buildToolDemo();
+        return true;
+    }
     for (const std::string &w : workloadNames()) {
         if (w == n) {
             out = buildWorkload(n).program;
@@ -460,6 +464,30 @@ SessionManager::stats() const
     s.resurrections = resurrections_;
     if (store_)
         s.quarantined = store_->counters().quarantined;
+    // Per-tool counters, rolled up by tool name across live sessions.
+    // Best-effort: a session mid-verb (its mutex held) is skipped and
+    // folds into the next snapshot rather than blocking stats.
+    for (const auto &kv : sessions_) {
+        ManagedSession &ms = *kv.second;
+        std::unique_lock<std::mutex> slk(ms.mu, std::try_to_lock);
+        if (!slk.owns_lock() || !ms.session.attached())
+            continue;
+        for (const tools::ToolStatsRow &row :
+             ms.session.debugger().backend().tools().statsRows()) {
+            tools::ToolStatsRow *agg = nullptr;
+            for (tools::ToolStatsRow &t : s.tools)
+                if (t.name == row.name)
+                    agg = &t;
+            if (!agg) {
+                s.tools.push_back(row);
+            } else {
+                agg->uopsSeen += row.uopsSeen;
+                agg->checks += row.checks;
+                agg->suppressed += row.suppressed;
+                agg->findings += row.findings;
+            }
+        }
+    }
     return s;
 }
 

@@ -78,6 +78,10 @@ class ManagedSession
     DebugSession session;
     /** Serializes shared (wire-selected) access to the session. */
     std::mutex mu;
+    /** Held by the scheduler worker for the duration of each job
+     *  slice; RSP busy peeks (`g`/`m`/`p`, monitor tool verbs while a
+     *  non-stop job runs) take it to land at a slice boundary. */
+    std::mutex sliceMu;
     /** Set by destroy(); observed at the next slice boundary. */
     std::atomic<bool> closing{false};
 

@@ -359,6 +359,20 @@ DebugSession::applyJournalEntry(const Intervention &iv)
         tt.removeProduction(id);
         break;
       }
+      case InterventionKind::ToolEnable: {
+        std::string terr;
+        bool ok = tt.enableTool(iv.toolName, iv.toolConfig, &terr);
+        DISE_ASSERT(ok, "rebuild replay could not re-enable tool '",
+                    iv.toolName, "': ", terr);
+        break;
+      }
+      case InterventionKind::ToolDisable: {
+        std::string terr;
+        bool ok = tt.disableTool(iv.toolName, &terr);
+        DISE_ASSERT(ok, "rebuild replay could not disable tool '",
+                    iv.toolName, "': ", terr);
+        break;
+      }
     }
 }
 
@@ -746,6 +760,27 @@ DebugSession::pumpEvents()
         ev.appInsts = mark ? mark->appInsts : insts;
         ev.pc = pe.pc;
         ev.addr = pe.addr;
+        events_.push(ev);
+    }
+
+    // Tool findings ride the same ordered queue. The findings list
+    // rolls back with the backend host state on restore, so (exactly
+    // like the event lists above) re-crossing a stretch of the
+    // timeline re-announces its findings.
+    const auto &tfs = backend.tools().findings();
+    announcedToolFindings_ = std::min(announcedToolFindings_, tfs.size());
+    for (; announcedToolFindings_ < tfs.size();
+         ++announcedToolFindings_) {
+        const tools::ToolFinding &f = tfs[announcedToolFindings_];
+        SessionEvent ev;
+        ev.kind = SessionEventKind::ToolFinding;
+        ev.time = now;
+        ev.appInsts = insts;
+        ev.pc = f.pc;
+        ev.addr = f.addr;
+        ev.value = f.value;
+        ev.tool = f.tool;
+        ev.detail = f.detail.empty() ? f.kind : f.kind + ": " + f.detail;
         events_.push(ev);
     }
 
@@ -1216,6 +1251,81 @@ DebugSession::detach()
     return true;
 }
 
+// -------------------------------------------------------- debug tools
+
+bool
+DebugSession::toolEnable(
+    const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &cfg,
+    std::string *err)
+{
+    if (detached_) {
+        if (err)
+            *err = "session is detached";
+        return false;
+    }
+    if (!ensureAttached()) {
+        if (err)
+            *err = std::string("the ") + backendName(backendKind()) +
+                   " backend cannot attach this session";
+        return false;
+    }
+    TimeTravel &tt = ensureTravel();
+    if (!tt.enableTool(name, cfg, err))
+        return false;
+    pumpEvents();
+    return true;
+}
+
+bool
+DebugSession::toolDisable(const std::string &name, std::string *err)
+{
+    if (!attached()) {
+        if (err)
+            *err = "tool '" + name + "' is not enabled";
+        return false;
+    }
+    TimeTravel &tt = ensureTravel();
+    if (!tt.disableTool(name, err))
+        return false;
+    pumpEvents();
+    return true;
+}
+
+std::string
+DebugSession::toolList() const
+{
+    std::string out;
+    for (const std::string &n :
+         tools::ToolRegistry::instance().names()) {
+        if (!out.empty())
+            out += ',';
+        out += n;
+        if (attached() && debugger_->backend().tools().isEnabled(n))
+            out += '*';
+    }
+    return out;
+}
+
+bool
+DebugSession::toolReport(const std::string &name, std::string *out,
+                         uint64_t *digest, std::string *err)
+{
+    if (!attached()) {
+        if (err)
+            *err = tools::ToolRegistry::instance().make(name)
+                       ? "tool '" + name + "' is not enabled"
+                       : "unknown tool '" + name + "'";
+        return false;
+    }
+    const tools::ToolSet &ts = debugger_->backend().tools();
+    if (!ts.report(name, out, err))
+        return false;
+    if (digest)
+        *digest = ts.digest(name);
+    return true;
+}
+
 // ---------------------------------------------------- durable sessions
 
 bool
@@ -1274,6 +1384,12 @@ DebugSession::exportImage(persist::SessionImage &img, std::string *err)
             img.checkpoints.push_back({cp.time, cp.appInsts});
     } else if (attached()) {
         img.digest = digest();
+    }
+    img.toolDigests.clear();
+    if (attached()) {
+        const tools::ToolSet &ts = debugger_->backend().tools();
+        for (const std::string &n : ts.enabledNames())
+            img.toolDigests.push_back({n, ts.digest(n)});
     }
     return true;
 }
@@ -1344,6 +1460,8 @@ DebugSession::resurrectBegin(const persist::SessionImage &img,
         resurrect_.appInsts = img.appInsts;
         resurrect_.digest = img.digest;
         resurrect_.checkpoints = img.checkpoints;
+        for (const persist::ToolDigest &td : img.toolDigests)
+            resurrect_.toolDigests.push_back({td.name, td.digest});
 
         tt.seekBegin(img.time, done);
         pumpEvents();
@@ -1425,6 +1543,18 @@ DebugSession::resurrectFinish(std::string *err)
                         std::to_string(cps[i].time) +
                         "; image recorded t=" +
                         std::to_string(plan.checkpoints[i].time));
+    // Tool state is excluded from the user-visible digest, so verify
+    // it separately: the replayed tool state must serialize to the
+    // exact bytes the image was taken from.
+    const tools::ToolSet &ts = debugger_->backend().tools();
+    for (const auto &td : plan.toolDigests) {
+        uint64_t live = ts.digest(td.first);
+        if (live != td.second)
+            return fail("resurrection tool '" + td.first +
+                        "' digest mismatch: replay produced " +
+                        std::to_string(live) + ", image says " +
+                        std::to_string(td.second));
+    }
     return true;
 }
 
@@ -1559,6 +1689,29 @@ DebugSession::dispatch(const Request &req)
         resp.value = rep.finalDigest;
         for (const IntervalReplay::Interval &iv : rep.intervals)
             resp.regs.push_back(iv.endDigest);
+        return resp;
+      }
+      case RequestKind::ToolEnable: {
+        if (!needAttach())
+            return unsupportedOut(cantAttach);
+        std::string terr;
+        if (!toolEnable(req.name, req.toolConfig, &terr))
+            return errorOut(terr);
+        return resp;
+      }
+      case RequestKind::ToolDisable: {
+        std::string terr;
+        if (!toolDisable(req.name, &terr))
+            return errorOut(terr);
+        return resp;
+      }
+      case RequestKind::ToolList:
+        resp.text = toolList();
+        return resp;
+      case RequestKind::ToolReport: {
+        std::string terr;
+        if (!toolReport(req.name, &resp.text, &resp.value, &terr))
+            return errorOut(terr);
         return resp;
       }
       case RequestKind::SessionCreate:

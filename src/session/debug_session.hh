@@ -205,6 +205,23 @@ class DebugSession
     FuncResult runFunctional(uint64_t maxAppInsts = 0);
     ///@}
 
+    /** @name Debug tools (src/tools/)
+     * Enable/disable are logged interventions: replay re-arms the tool
+     * at the same stream position, reverse travel unwinds it, and a
+     * resurrected session re-derives identical tool state. */
+    ///@{
+    bool toolEnable(const std::string &name,
+                    const std::vector<std::pair<std::string,
+                                                std::string>> &cfg,
+                    std::string *err = nullptr);
+    bool toolDisable(const std::string &name, std::string *err = nullptr);
+    /** Registered tools, comma-joined; enabled ones carry a '*'. */
+    std::string toolList() const;
+    /** Report text + serialized-state digest of an enabled tool. */
+    bool toolReport(const std::string &name, std::string *out,
+                    uint64_t *digest, std::string *err = nullptr);
+    ///@}
+
     /** @name State access
      * Reads work before attach (against a loaded preview of the
      * unmodified image); writes before attach are recorded and
@@ -296,6 +313,8 @@ class DebugSession
         uint64_t appInsts = 0;
         uint64_t digest = 0;
         std::vector<persist::CheckpointMeta> checkpoints;
+        /** Per-tool state digests the replay must reproduce. */
+        std::vector<std::pair<std::string, uint64_t>> toolDigests;
     };
 
     DebugTarget &ensurePeekTarget();
@@ -358,6 +377,7 @@ class DebugSession
     size_t announcedWatch_ = 0;
     size_t announcedBreak_ = 0;
     size_t announcedProt_ = 0;
+    size_t announcedToolFindings_ = 0;
     uint64_t announcedCheckpoints_ = 0;
     uint64_t announcedRestores_ = 0;
     uint64_t announcedPagesRestored_ = 0;

@@ -54,6 +54,10 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::TraceStop, "trace-stop"},
     {RequestKind::TraceDump, "trace-dump"},
     {RequestKind::Metrics, "metrics"},
+    {RequestKind::ToolEnable, "tool-enable"},
+    {RequestKind::ToolDisable, "tool-disable"},
+    {RequestKind::ToolList, "tool-list"},
+    {RequestKind::ToolReport, "tool-report"},
 };
 
 struct BackendToken
@@ -396,6 +400,7 @@ sessionEventKindName(SessionEventKind kind)
       case SessionEventKind::Halted: return "halted";
       case SessionEventKind::SubscriberDropped:
         return "subscriber-dropped";
+      case SessionEventKind::ToolFinding: return "tool-finding";
     }
     return "?";
 }
@@ -471,6 +476,23 @@ encodeRequest(const Request &req)
       case RequestKind::TraceDump:
         w.num("count", req.count); // max chunk bytes (0 = server pick)
         w.num("value", req.value); // byte offset into the rendered JSON
+        break;
+      case RequestKind::ToolEnable:
+        w.str("name", req.name);
+        for (const auto &kv : req.toolConfig)
+            w.str(("cfg." + kv.first).c_str(), kv.second);
+        if (req.session)
+            w.num("session", req.session);
+        break;
+      case RequestKind::ToolDisable:
+      case RequestKind::ToolReport:
+        w.str("name", req.name);
+        if (req.session)
+            w.num("session", req.session);
+        break;
+      case RequestKind::ToolList:
+        if (req.session)
+            w.num("session", req.session);
         break;
       default:
         break;
@@ -590,6 +612,33 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
         req.count = 0;
         r.num("count", req.count);
         r.num("value", req.value);
+        break;
+      case RequestKind::ToolEnable:
+      case RequestKind::ToolDisable:
+      case RequestKind::ToolReport: {
+        if (!r.str("name", req.name) || req.name.empty())
+            return fail(err, "tool verb needs name=");
+        r.num("session", req.session); // optional: default selected
+        if (req.kind == RequestKind::ToolEnable) {
+            bool cfgOk = true;
+            r.forEachWithPrefix(
+                "cfg.",
+                [&](const std::string &key, const std::string &raw) {
+                    std::string k = key.substr(4), v;
+                    if (k.empty() || !unescape(raw, v)) {
+                        cfgOk = false;
+                        return;
+                    }
+                    req.toolConfig.emplace_back(std::move(k),
+                                                std::move(v));
+                });
+            if (!cfgOk)
+                return fail(err, "bad tool configuration key");
+        }
+        break;
+      }
+      case RequestKind::ToolList:
+        r.num("session", req.session); // optional: default selected
         break;
       default:
         break;
@@ -724,6 +773,16 @@ encodeResponse(const Response &resp)
             }
             w.str(key.c_str(), val);
         }
+        // One key per tool, same dotted-family scheme:
+        // tool.<name>=<uops>:<checks>:<suppressed>:<findings>.
+        for (const tools::ToolStatsRow &t : resp.server.tools) {
+            std::string key = "tool." + t.name;
+            std::string val = std::to_string(t.uopsSeen) + ':' +
+                              std::to_string(t.checks) + ':' +
+                              std::to_string(t.suppressed) + ':' +
+                              std::to_string(t.findings);
+            w.str(key.c_str(), val);
+        }
     }
     if (resp.inReplyTo == RequestKind::StoreStats) {
         w.num("ps.images", resp.store.images);
@@ -849,6 +908,30 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
             });
         if (!histsOk)
             return fail(err, "bad histogram encoding");
+        bool toolsOk = true;
+        r.forEachWithPrefix(
+            "tool.", [&](const std::string &key, const std::string &raw) {
+                tools::ToolStatsRow t;
+                t.name = key.substr(5);
+                uint64_t *fields[] = {&t.uopsSeen, &t.checks,
+                                      &t.suppressed, &t.findings};
+                size_t pos = 0;
+                for (size_t i = 0; i < 4; ++i) {
+                    char *end = nullptr;
+                    *fields[i] =
+                        std::strtoull(raw.c_str() + pos, &end, 10);
+                    if (end == raw.c_str() + pos ||
+                        (i < 3 && *end != ':') ||
+                        (i == 3 && *end != '\0')) {
+                        toolsOk = false;
+                        return;
+                    }
+                    pos = end - raw.c_str() + 1;
+                }
+                resp.server.tools.push_back(std::move(t));
+            });
+        if (!toolsOk)
+            return fail(err, "bad tool-stats encoding");
     }
     if (resp.inReplyTo == RequestKind::StoreStats) {
         r.num("ps.images", resp.store.images);
@@ -915,6 +998,10 @@ encodeEvent(const SessionEvent &ev)
     w.hex("old", ev.oldValue);
     w.hex("new", ev.newValue);
     w.num("value", ev.value);
+    if (!ev.tool.empty())
+        w.str("tool", ev.tool);
+    if (!ev.detail.empty())
+        w.str("detail", ev.detail);
     return w.str();
 }
 
@@ -935,7 +1022,8 @@ decodeEvent(const std::string &line, SessionEvent &ev, std::string *err)
           SessionEventKind::Protection, SessionEventKind::Checkpoint,
           SessionEventKind::Restore, SessionEventKind::Attached,
           SessionEventKind::Halted,
-          SessionEventKind::SubscriberDropped}) {
+          SessionEventKind::SubscriberDropped,
+          SessionEventKind::ToolFinding}) {
         if (tok == sessionEventKindName(k)) {
             ev.kind = k;
             found = true;
@@ -954,6 +1042,8 @@ decodeEvent(const std::string &line, SessionEvent &ev, std::string *err)
     r.num("old", ev.oldValue);
     r.num("new", ev.newValue);
     r.num("value", ev.value);
+    r.str("tool", ev.tool);
+    r.str("detail", ev.detail);
     return true;
 }
 
@@ -991,6 +1081,11 @@ SessionEvent::describe() const
         break;
       case SessionEventKind::SubscriberDropped:
         os << "subscription dropped: the peer stopped draining events";
+        break;
+      case SessionEventKind::ToolFinding:
+        os << "tool " << tool << ": " << detail << " pc=0x" << std::hex
+           << pc << " addr=0x" << addr << " value=0x" << value
+           << std::dec;
         break;
     }
     os << " @ t=" << time << ", " << appInsts << " insts";

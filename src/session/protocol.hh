@@ -80,6 +80,14 @@ enum class RequestKind : uint8_t {
     TraceDump,  ///< fetch Chrome trace JSON chunk at offset value=,
                 ///< up to count= bytes; response value = total bytes
     Metrics,    ///< Prometheus text exposition of latency histograms
+
+    // Debug-tool verbs (src/tools/): name= selects the tool; enable
+    // accepts cfg.<key>=<value> pairs. With session=, the server
+    // front end resolves (and if needed resurrects) that session.
+    ToolEnable,  ///< arm a tool (logged intervention)
+    ToolDisable, ///< disarm a tool (logged intervention)
+    ToolList,    ///< registered tools, enabled ones marked
+    ToolReport,  ///< tool findings/report text + state digest
 };
 
 const char *requestKindName(RequestKind kind);
@@ -108,7 +116,10 @@ struct Request
     uint64_t value = 0;  ///< WriteMemory / WriteRegister
     unsigned reg = 0;    ///< WriteRegister flat index (32 = pc)
     uint64_t session = 0;  ///< SessionSelect / SessionDestroy id
-    std::string name;      ///< SessionCreate: workload ("demo", ...)
+    std::string name;      ///< SessionCreate: workload ("demo", ...);
+                           ///< Tool*: tool name
+    /** ToolEnable configuration, wire-encoded cfg.<key>=<value>. */
+    std::vector<std::pair<std::string, std::string>> toolConfig;
 
     std::string describe() const;
 };
@@ -162,6 +173,10 @@ struct ServerStats
     /** Latency distributions (src/obs/metrics.hh families). Encoded
      *  one per key: hist.<family>=<count>:<sum>:<b0>,<b1>,... */
     std::vector<HistogramSnapshot> hists;
+
+    /** Per-tool counters rolled up across live sessions. Encoded one
+     *  per key: tool.<name>=<uops>:<checks>:<suppressed>:<findings>. */
+    std::vector<tools::ToolStatsRow> tools;
 };
 
 /** On-disk store aggregates (StoreStats request). */
@@ -213,6 +228,8 @@ enum class SessionEventKind : uint8_t {
     Halted,     ///< target exited / halted / faulted
     SubscriberDropped, ///< farewell line: this subscription is being
                        ///< dropped (the peer stopped draining)
+    ToolFinding,       ///< a debug tool detected something (tool=,
+                       ///< detail=; addr/pc/value carry the specifics)
 };
 
 const char *sessionEventKindName(SessionEventKind kind);
@@ -237,6 +254,8 @@ struct SessionEvent
     uint64_t oldValue = 0;
     uint64_t newValue = 0;
     uint64_t value = 0;    ///< checkpoint/restore payload
+    std::string tool;      ///< ToolFinding: emitting tool name
+    std::string detail;    ///< ToolFinding: "<kind>: <free text>"
 
     std::string describe() const;
 };

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * The five built-in debug tools.
+ *
+ * Each tool is a host-side detector driven by the functional µop
+ * oracle plus (DISE backend) a production set modelling the
+ * in-pipeline payload the paper's hardware would execute. Detection
+ * reads only oracle fields and architectural registers, so findings
+ * are identical on every backend.
+ *
+ * All containers that reach save()/report() are ordered (std::map /
+ * std::set) — determinism is part of the tool contract.
+ */
+
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cpu/inst_stream.hh"
+#include "debug/target.hh"
+#include "dise/production_set.hh"
+#include "tools/tool.hh"
+#include "tools/toolset.hh"
+
+namespace dise::tools {
+
+namespace {
+
+std::string
+hexStr(uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+/** 8-byte shadow granule index. */
+constexpr Addr
+granule(Addr a)
+{
+    return a >> 3;
+}
+
+bool
+isSyscall(const MicroOp &op, int64_t code)
+{
+    return op.inst.op == Opcode::SYSCALL && op.inst.imm == code;
+}
+
+void
+saveAddrSet(BlobWriter &w, const std::set<Addr> &s)
+{
+    w.u64(s.size());
+    for (Addr a : s)
+        w.u64(a);
+}
+
+bool
+restoreAddrSet(BlobReader &r, std::set<Addr> &s)
+{
+    s.clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); ++i)
+        s.insert(r.u64());
+    return r.ok();
+}
+
+/** "Compute the effective address into DISE scratch" payload: the
+ *  in-pipeline work every memory-checking tool shares. dr6/dr7 are the
+ *  tool scratch registers (the debugger's own productions use dr0-dr5),
+ *  and the sequence ends in T.INST so semantics are untouched. */
+void
+addMemPayload(ProductionSet &set, const std::string &tool, OpClass cls)
+{
+    Production p;
+    p.name = tool + (cls == OpClass::Load ? "-loads" : "-stores");
+    p.pattern = Pattern::forClass(cls);
+    p.replacement = {
+        // dr6 = trigger base + trigger displacement (the access addr).
+        TemplateInst::mem(Opcode::LDA, TRegField::reg(dr(6)),
+                          TImmField::trigImm(), TRegField::trigRb()),
+        // dr7 = dr6 >> 3 (shadow-granule index lookup).
+        TemplateInst::opImm(Opcode::SRL_I, TRegField::reg(dr(6)), 3,
+                            TRegField::reg(dr(7))),
+        TemplateInst::trigInst(),
+    };
+    set.add(std::move(p));
+}
+
+/** "Capture the syscall argument into DISE scratch" payload for tools
+ *  anchored on allocator hints / output syscalls. */
+void
+addSyscallPayload(ProductionSet &set, const std::string &tool)
+{
+    Production p;
+    p.name = tool + "-syscalls";
+    p.pattern = Pattern::forOpcode(Opcode::SYSCALL);
+    p.replacement = {
+        TemplateInst::mem(Opcode::LDA, TRegField::reg(dr(6)),
+                          TImmField::imm(0), TRegField::reg(reg::a0)),
+        TemplateInst::trigInst(),
+    };
+    set.add(std::move(p));
+}
+
+// ------------------------------------------------------------------ asan
+
+/** Redzone poisoning around hinted allocations: out-of-bounds and
+ *  use-after-free detection on an 8-byte shadow granule map. */
+class AsanTool : public Tool
+{
+  public:
+    AsanTool() : Tool("asan") {}
+
+    bool
+    configure(const std::string &key, const std::string &val,
+              std::string *err) override
+    {
+        if (key == "redzone") {
+            uint64_t v;
+            if (!parseU64(val, &v) || v == 0 || v > 4096) {
+                if (err)
+                    *err = "asan: redzone must be 1..4096 bytes, got '" +
+                           val + "'";
+                return false;
+            }
+            redzone_ = v;
+            return true;
+        }
+        return Tool::configure(key, val, err);
+    }
+
+    void
+    onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) override
+    {
+        if (isSyscall(op, SysAllocHint)) {
+            Addr base = t.arch.read(reg::a0);
+            uint64_t size = t.arch.read(reg::a1);
+            for (Addr g = granule(base - redzone_); g < granule(base);
+                 ++g)
+                shadow_[g] = Redzone;
+            for (Addr g = granule(base);
+                 g < granule(base + size + 7); ++g)
+                shadow_.erase(g);
+            for (Addr g = granule(base + size + 7);
+                 g < granule(base + size + 7) + granule(redzone_); ++g)
+                shadow_[g] = Redzone;
+            allocs_[base] = size;
+            return;
+        }
+        if (isSyscall(op, SysFreeHint)) {
+            Addr base = t.arch.read(reg::a0);
+            auto it = allocs_.find(base);
+            if (it == allocs_.end()) {
+                if (seen_.insert({op.pc, base}).second)
+                    set.emit(*this,
+                             {"", "invalid-free", 0, op.pc, base, 0,
+                              "free of unallocated block " +
+                                  hexStr(base)});
+                return;
+            }
+            for (Addr g = granule(base);
+                 g < granule(base + it->second + 7); ++g)
+                shadow_[g] = Freed;
+            allocs_.erase(it);
+            return;
+        }
+        if (!op.memBytes ||
+            (!op.inst.isLoad() && !op.inst.isStore()))
+            return;
+        ++stats.checks;
+        for (Addr g = granule(op.effAddr);
+             g < granule(op.effAddr + op.memBytes + 7); ++g) {
+            auto it = shadow_.find(g);
+            if (it == shadow_.end())
+                continue;
+            const char *kind = it->second == Redzone
+                                   ? "heap-oob"
+                                   : "use-after-free";
+            if (seen_.insert({op.pc, g}).second)
+                set.emit(*this,
+                         {"", kind, 0, op.pc, op.effAddr, op.memBytes,
+                          std::string(op.inst.isStore() ? "store"
+                                                        : "load") +
+                              " of " + std::to_string(op.memBytes) +
+                              " bytes at " + hexStr(op.effAddr)});
+            break;
+        }
+    }
+
+    std::string
+    report() const override
+    {
+        std::ostringstream os;
+        os << "asan: redzone=" << redzone_ << "B, "
+           << stats.checks << " accesses checked, " << stats.findings
+           << " findings, " << allocs_.size() << " live allocations, "
+           << shadow_.size() << " poisoned granules\n";
+        for (const auto &kv : allocs_)
+            os << "  live " << hexStr(kv.first) << " size " << kv.second
+               << "\n";
+        return os.str();
+    }
+
+    void
+    save(BlobWriter &w) const override
+    {
+        w.u64(redzone_);
+        w.u64(shadow_.size());
+        for (const auto &kv : shadow_) {
+            w.u64(kv.first);
+            w.u8(kv.second);
+        }
+        w.u64(allocs_.size());
+        for (const auto &kv : allocs_) {
+            w.u64(kv.first);
+            w.u64(kv.second);
+        }
+        w.u64(seen_.size());
+        for (const auto &pg : seen_) {
+            w.u64(pg.first);
+            w.u64(pg.second);
+        }
+    }
+
+    bool
+    restore(BlobReader &r) override
+    {
+        redzone_ = r.u64();
+        shadow_.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            Addr g = r.u64();
+            shadow_[g] = r.u8();
+        }
+        allocs_.clear();
+        n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            Addr b = r.u64();
+            allocs_[b] = r.u64();
+        }
+        seen_.clear();
+        n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            uint64_t pc = r.u64();
+            seen_.insert({pc, r.u64()});
+        }
+        return r.ok();
+    }
+
+    void
+    buildProductions(ProductionSet &set) const override
+    {
+        addMemPayload(set, "asan", OpClass::Load);
+        addMemPayload(set, "asan", OpClass::Store);
+    }
+
+  private:
+    enum : uint8_t { Redzone = 1, Freed = 2 };
+
+    uint64_t redzone_ = 32;
+    std::map<Addr, uint8_t> shadow_; ///< granule -> poison state
+    std::map<Addr, uint64_t> allocs_;
+    std::set<std::pair<uint64_t, uint64_t>> seen_; ///< (pc, granule)
+};
+
+// ------------------------------------------------------------- leakcheck
+
+/** Allocation/free ledger with an end-of-run leak report. */
+class LeakcheckTool : public Tool
+{
+  public:
+    LeakcheckTool() : Tool("leakcheck") {}
+
+    void
+    onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) override
+    {
+        if (isSyscall(op, SysAllocHint)) {
+            ++stats.checks;
+            Addr base = t.arch.read(reg::a0);
+            ledger_[base] = {t.arch.read(reg::a1), op.pc};
+            ++allocs_;
+            return;
+        }
+        if (isSyscall(op, SysFreeHint)) {
+            ++stats.checks;
+            Addr base = t.arch.read(reg::a0);
+            auto it = ledger_.find(base);
+            if (it == ledger_.end()) {
+                if (badFrees_.insert(op.pc).second)
+                    set.emit(*this,
+                             {"", "bad-free", 0, op.pc, base, 0,
+                              "free of " + hexStr(base) +
+                                  " which is not allocated"});
+                return;
+            }
+            ledger_.erase(it);
+            ++frees_;
+            return;
+        }
+        if (op.isHalt && !reportedHalt_) {
+            reportedHalt_ = true;
+            for (const auto &kv : ledger_)
+                set.emit(*this,
+                         {"", "leak", 0, kv.second.second, kv.first,
+                          kv.second.first,
+                          std::to_string(kv.second.first) +
+                              " bytes at " + hexStr(kv.first) +
+                              " allocated at " +
+                              hexStr(kv.second.second) +
+                              " never freed"});
+        }
+    }
+
+    std::string
+    report() const override
+    {
+        uint64_t leakedBytes = 0;
+        for (const auto &kv : ledger_)
+            leakedBytes += kv.second.first;
+        std::ostringstream os;
+        os << "leakcheck: " << allocs_ << " allocs, " << frees_
+           << " frees, " << ledger_.size() << " live blocks ("
+           << leakedBytes << " bytes)"
+           << (reportedHalt_ ? ", end-of-run report emitted" : "")
+           << "\n";
+        for (const auto &kv : ledger_)
+            os << "  live " << hexStr(kv.first) << " size "
+               << kv.second.first << " from " << hexStr(kv.second.second)
+               << "\n";
+        return os.str();
+    }
+
+    void
+    save(BlobWriter &w) const override
+    {
+        w.u64(allocs_);
+        w.u64(frees_);
+        w.u8(reportedHalt_ ? 1 : 0);
+        w.u64(ledger_.size());
+        for (const auto &kv : ledger_) {
+            w.u64(kv.first);
+            w.u64(kv.second.first);
+            w.u64(kv.second.second);
+        }
+        saveAddrSet(w, badFrees_);
+    }
+
+    bool
+    restore(BlobReader &r) override
+    {
+        allocs_ = r.u64();
+        frees_ = r.u64();
+        reportedHalt_ = r.u8() != 0;
+        ledger_.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            Addr b = r.u64();
+            uint64_t size = r.u64();
+            ledger_[b] = {size, r.u64()};
+        }
+        return restoreAddrSet(r, badFrees_);
+    }
+
+    void
+    buildProductions(ProductionSet &set) const override
+    {
+        addSyscallPayload(set, "leakcheck");
+    }
+
+  private:
+    std::map<Addr, std::pair<uint64_t, Addr>> ledger_; ///< base->(size,pc)
+    std::set<Addr> badFrees_; ///< pcs already reported
+    uint64_t allocs_ = 0;
+    uint64_t frees_ = 0;
+    bool reportedHalt_ = false;
+};
+
+// -------------------------------------------------------------- coverage
+
+/** drcov-style basic-block hit map, dumpable over the wire. */
+class CoverageTool : public Tool
+{
+  public:
+    CoverageTool() : Tool("coverage") {}
+
+    void
+    onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) override
+    {
+        if (atBlockStart_) {
+            ++stats.checks;
+            ++hits_[op.pc];
+        }
+        atBlockStart_ = op.isCtrl;
+    }
+
+    std::string
+    report() const override
+    {
+        uint64_t entries = 0;
+        for (const auto &kv : hits_)
+            entries += kv.second;
+        std::ostringstream os;
+        os << "coverage: " << hits_.size() << " blocks, " << entries
+           << " block entries\n";
+        size_t listed = 0;
+        for (const auto &kv : hits_) {
+            if (++listed > 256) {
+                os << "  ... (" << hits_.size() - 256 << " more)\n";
+                break;
+            }
+            os << "  block " << hexStr(kv.first) << " hits "
+               << kv.second << "\n";
+        }
+        return os.str();
+    }
+
+    void
+    save(BlobWriter &w) const override
+    {
+        w.u8(atBlockStart_ ? 1 : 0);
+        w.u64(hits_.size());
+        for (const auto &kv : hits_) {
+            w.u64(kv.first);
+            w.u64(kv.second);
+        }
+    }
+
+    bool
+    restore(BlobReader &r) override
+    {
+        atBlockStart_ = r.u8() != 0;
+        hits_.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            Addr pc = r.u64();
+            hits_[pc] = r.u64();
+        }
+        return r.ok();
+    }
+
+    void
+    buildProductions(ProductionSet &set) const override
+    {
+        // Count block entries in dr7 at every conditional branch — the
+        // in-pipeline analog of the host-side hit map.
+        Production p;
+        p.name = "coverage-branches";
+        p.pattern = Pattern::forClass(OpClass::CtrlBr);
+        p.replacement = {
+            TemplateInst::opImm(Opcode::ADDQ_I, TRegField::reg(dr(7)),
+                                1, TRegField::reg(dr(7))),
+            TemplateInst::trigInst(),
+        };
+        set.add(std::move(p));
+    }
+
+  private:
+    std::map<Addr, uint64_t> hits_;
+    bool atBlockStart_ = true;
+};
+
+// -------------------------------------------------------------- memtrace
+
+/** Compacted load/store trace with same-address redundancy
+ *  suppression (arXiv 1703.02873): a direct-mapped table of recently
+ *  traced granules elides records the trace can prove redundant. */
+class MemtraceTool : public Tool
+{
+  public:
+    MemtraceTool() : Tool("memtrace") { table_.fill(~uint64_t{0}); }
+
+    bool
+    configure(const std::string &key, const std::string &val,
+              std::string *err) override
+    {
+        if (key == "suppress") {
+            if (val != "0" && val != "1") {
+                if (err)
+                    *err = "memtrace: suppress must be 0 or 1, got '" +
+                           val + "'";
+                return false;
+            }
+            suppress_ = val == "1";
+            return true;
+        }
+        return Tool::configure(key, val, err);
+    }
+
+    void
+    onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) override
+    {
+        if (!op.memBytes ||
+            (!op.inst.isLoad() && !op.inst.isStore()))
+            return;
+        ++stats.checks;
+        uint64_t g = granule(op.effAddr);
+        unsigned slot = static_cast<unsigned>(g & (TableSlots - 1));
+        if (suppress_ && table_[slot] == g) {
+            ++stats.suppressed;
+            return;
+        }
+        table_[slot] = g;
+        ++recorded_;
+        // The compaction payload: fold the access into the running
+        // trace digest (this is the work suppression elides).
+        auto mix = [&](uint64_t v) {
+            digest_ ^= v;
+            digest_ *= 1099511628211ull;
+        };
+        mix(op.effAddr);
+        mix(op.pc);
+        mix(op.memBytes);
+        mix(op.inst.isStore() ? op.storeNew : 1);
+        if (ring_.size() < RingCap)
+            ring_.push_back({op.pc, op.effAddr, op.memBytes,
+                             op.inst.isStore()});
+    }
+
+    std::string
+    report() const override
+    {
+        std::ostringstream os;
+        os << "memtrace: suppress=" << (suppress_ ? 1 : 0) << ", "
+           << stats.checks << " accesses, " << recorded_
+           << " recorded, " << stats.suppressed
+           << " suppressed, trace digest " << hexStr(digest_) << "\n";
+        size_t from = ring_.size() > 16 ? ring_.size() - 16 : 0;
+        for (size_t i = from; i < ring_.size(); ++i)
+            os << "  " << (ring_[i].store ? "st" : "ld") << " "
+               << ring_[i].bytes << "B " << hexStr(ring_[i].addr)
+               << " @ " << hexStr(ring_[i].pc) << "\n";
+        return os.str();
+    }
+
+    void
+    save(BlobWriter &w) const override
+    {
+        w.u8(suppress_ ? 1 : 0);
+        w.u64(recorded_);
+        w.u64(digest_);
+        for (uint64_t v : table_)
+            w.u64(v);
+        w.u64(ring_.size());
+        for (const Rec &rec : ring_) {
+            w.u64(rec.pc);
+            w.u64(rec.addr);
+            w.u64(rec.bytes);
+            w.u8(rec.store ? 1 : 0);
+        }
+    }
+
+    bool
+    restore(BlobReader &r) override
+    {
+        suppress_ = r.u8() != 0;
+        recorded_ = r.u64();
+        digest_ = r.u64();
+        for (uint64_t &v : table_)
+            v = r.u64();
+        ring_.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+            Rec rec;
+            rec.pc = r.u64();
+            rec.addr = r.u64();
+            rec.bytes = static_cast<unsigned>(r.u64());
+            rec.store = r.u8() != 0;
+            ring_.push_back(rec);
+        }
+        return r.ok();
+    }
+
+    void
+    buildProductions(ProductionSet &set) const override
+    {
+        addMemPayload(set, "memtrace", OpClass::Load);
+        addMemPayload(set, "memtrace", OpClass::Store);
+    }
+
+  private:
+    struct Rec
+    {
+        Addr pc = 0;
+        Addr addr = 0;
+        unsigned bytes = 0;
+        bool store = false;
+    };
+
+    static constexpr unsigned TableSlots = 64;
+    static constexpr size_t RingCap = 512;
+
+    bool suppress_ = true;
+    std::array<uint64_t, TableSlots> table_;
+    uint64_t recorded_ = 0;
+    uint64_t digest_ = 1469598103934665603ull;
+    std::vector<Rec> ring_;
+};
+
+// -------------------------------------------------------------- addrleak
+
+/** Taint tracking from address sources (allocator hints) to output
+ *  sinks (put syscalls), after zzoru/addr-leaks. */
+class AddrleakTool : public Tool
+{
+  public:
+    AddrleakTool() : Tool("addrleak") {}
+
+    void
+    onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) override
+    {
+        const Inst &in = op.inst;
+        if (in.op == Opcode::SYSCALL) {
+            ++stats.checks;
+            if (in.imm == SysAllocHint) {
+                // The returned block address is the taint source.
+                setTaint(reg::a0, true);
+            } else if (in.imm == SysPutInt || in.imm == SysPutChar) {
+                if (taintOf(reg::a0) &&
+                    sinks_.insert(op.pc).second)
+                    set.emit(*this,
+                             {"", "addr-leak", 0, op.pc,
+                              t.arch.read(reg::a0), 0,
+                              "address value " +
+                                  hexStr(t.arch.read(reg::a0)) +
+                                  " reaches an output sink"});
+            }
+            return;
+        }
+        if (in.isLoad() && op.memBytes) {
+            ++stats.checks;
+            setTaint(in.ra, taintMem_.count(granule(op.effAddr)) != 0);
+            return;
+        }
+        if (in.isStore() && op.memBytes) {
+            ++stats.checks;
+            if (taintOf(in.ra))
+                taintMem_.insert(granule(op.effAddr));
+            else
+                taintMem_.erase(granule(op.effAddr));
+            return;
+        }
+        RegId d = dstReg(in);
+        if (!d.valid())
+            return;
+        ++stats.checks;
+        SrcRegs srcs = srcRegs(in);
+        bool tainted = taintOf(srcs.r[0]) || taintOf(srcs.r[1]);
+        setTaint(d, tainted);
+    }
+
+    std::string
+    report() const override
+    {
+        std::ostringstream os;
+        unsigned regs = 0;
+        for (unsigned i = 0; i < NumLogicalRegs; ++i)
+            if (taintRegs_ & (uint64_t{1} << i))
+                ++regs;
+        os << "addrleak: " << stats.findings << " leaks at "
+           << sinks_.size() << " sinks, " << regs
+           << " tainted registers, " << taintMem_.size()
+           << " tainted granules\n";
+        for (Addr pc : sinks_)
+            os << "  sink @ " << hexStr(pc) << "\n";
+        return os.str();
+    }
+
+    void
+    save(BlobWriter &w) const override
+    {
+        w.u64(taintRegs_);
+        saveAddrSet(w, taintMem_);
+        saveAddrSet(w, sinks_);
+    }
+
+    bool
+    restore(BlobReader &r) override
+    {
+        taintRegs_ = r.u64();
+        return restoreAddrSet(r, taintMem_) &&
+               restoreAddrSet(r, sinks_);
+    }
+
+    void
+    buildProductions(ProductionSet &set) const override
+    {
+        addSyscallPayload(set, "addrleak");
+    }
+
+  private:
+    bool
+    taintOf(RegId r) const
+    {
+        if (!r.valid() || r.isZero())
+            return false;
+        return (taintRegs_ & (uint64_t{1} << r.flat())) != 0;
+    }
+
+    void
+    setTaint(RegId r, bool on)
+    {
+        if (!r.valid() || r.isZero())
+            return;
+        if (on)
+            taintRegs_ |= uint64_t{1} << r.flat();
+        else
+            taintRegs_ &= ~(uint64_t{1} << r.flat());
+    }
+
+    uint64_t taintRegs_ = 0; ///< bit per flat logical register
+    std::set<Addr> taintMem_; ///< tainted 8-byte granules
+    std::set<Addr> sinks_;    ///< leak pcs already reported
+};
+
+} // namespace
+
+std::unique_ptr<Tool>
+makeAsanTool()
+{
+    return std::make_unique<AsanTool>();
+}
+
+std::unique_ptr<Tool>
+makeLeakcheckTool()
+{
+    return std::make_unique<LeakcheckTool>();
+}
+
+std::unique_ptr<Tool>
+makeCoverageTool()
+{
+    return std::make_unique<CoverageTool>();
+}
+
+std::unique_ptr<Tool>
+makeMemtraceTool()
+{
+    return std::make_unique<MemtraceTool>();
+}
+
+std::unique_ptr<Tool>
+makeAddrleakTool()
+{
+    return std::make_unique<AddrleakTool>();
+}
+
+} // namespace dise::tools

@@ -1,0 +1,68 @@
+#include "tools/tool.hh"
+
+namespace dise::tools {
+
+bool
+Tool::configure(const std::string &key, const std::string &val,
+                std::string *err)
+{
+    if (err)
+        *err = "tool '" + name_ + "' has no config key '" + key + "'";
+    return false;
+}
+
+bool
+Tool::parseU64(const std::string &val, uint64_t *out)
+{
+    if (val.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : val) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+ToolRegistry &
+ToolRegistry::instance()
+{
+    static ToolRegistry reg;
+    return reg;
+}
+
+ToolRegistry::ToolRegistry()
+{
+    add("asan", [] { return makeAsanTool(); });
+    add("leakcheck", [] { return makeLeakcheckTool(); });
+    add("coverage", [] { return makeCoverageTool(); });
+    add("memtrace", [] { return makeMemtraceTool(); });
+    add("addrleak", [] { return makeAddrleakTool(); });
+}
+
+void
+ToolRegistry::add(std::string name, Factory f)
+{
+    factories_[std::move(name)] = f;
+}
+
+std::unique_ptr<Tool>
+ToolRegistry::make(const std::string &name) const
+{
+    auto it = factories_.find(name);
+    return it == factories_.end() ? nullptr : it->second();
+}
+
+std::vector<std::string>
+ToolRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &kv : factories_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace dise::tools

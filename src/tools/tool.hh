@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The debug-tool library: reusable instrumentation tools shipped as
+ * DISE production sets plus host-side tool state.
+ *
+ * The paper's thesis is that DISE makes debugging tools cheap enough to
+ * leave on. This subsystem supplies the tools: each Tool is a named,
+ * individually enable-able payload (asan, leakcheck, coverage,
+ * memtrace, addrleak) that observes the functional µop stream through
+ * the ToolSet (a UopObserver bound into every backend's StreamEnv) and,
+ * on the DISE backend, additionally installs a ProductionSet modelling
+ * the in-pipeline instrumentation the paper would synthesize — so the
+ * timing model charges DISE expansion cost for the payload while
+ * finding *detection* stays host-side and therefore bit-identical
+ * across all five backends.
+ *
+ * Determinism contract: a tool's entire behaviour is a pure function of
+ * the µop stream it has observed since enable plus its configuration.
+ * No wall-clock, no host addresses, no iteration over unordered
+ * containers in anything observable. That is what lets tool state
+ * checkpoint/restore with time travel, replay deterministically in
+ * interval workers, and survive hibernate/resurrect bit-identically.
+ */
+
+#ifndef DISE_TOOLS_TOOL_HH
+#define DISE_TOOLS_TOOL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/microop.hh"
+#include "isa/inst.hh"
+
+namespace dise {
+
+class DebugTarget;
+class ProductionSet;
+
+namespace tools {
+
+/** One user-visible tool detection (becomes a ToolFinding event). */
+struct ToolFinding
+{
+    std::string tool;   ///< emitting tool (filled by the ToolSet)
+    std::string kind;   ///< e.g. "heap-oob", "use-after-free", "leak"
+    uint64_t seq = 0;   ///< set-wide ordinal (filled by the ToolSet)
+    Addr pc = 0;        ///< triggering instruction
+    Addr addr = 0;      ///< offending address (0 when n/a)
+    uint64_t value = 0; ///< kind-specific payload (size, count, ...)
+    std::string detail; ///< one-line human-readable description
+};
+
+/** Deterministic per-tool counters (serialized with the tool state). */
+struct ToolStats
+{
+    uint64_t uopsSeen = 0;   ///< app µops observed while enabled
+    uint64_t checks = 0;     ///< payload checks actually performed
+    uint64_t suppressed = 0; ///< checks elided as provably redundant
+    uint64_t findings = 0;   ///< findings emitted
+};
+
+/** @name Bounds-checked little-endian blob serialization */
+///@{
+struct BlobWriter
+{
+    std::vector<uint8_t> &out;
+
+    void u8(uint8_t v) { out.push_back(v); }
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        out.insert(out.end(), s.begin(), s.end());
+    }
+};
+
+struct BlobReader
+{
+    const uint8_t *p = nullptr;
+    size_t n = 0;
+    size_t off = 0;
+    bool fail = false;
+
+    uint8_t
+    u8()
+    {
+        if (off + 1 > n) {
+            fail = true;
+            return 0;
+        }
+        return p[off++];
+    }
+    uint64_t
+    u64()
+    {
+        if (off + 8 > n) {
+            fail = true;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p[off + i]) << (8 * i);
+        off += 8;
+        return v;
+    }
+    std::string
+    str()
+    {
+        uint64_t len = u64();
+        if (fail || off + len > n) {
+            fail = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(p + off), len);
+        off += len;
+        return s;
+    }
+    bool ok() const { return !fail; }
+};
+///@}
+
+class ToolSet;
+
+/** Base class for one enable-able debug tool. */
+class Tool
+{
+  public:
+    explicit Tool(std::string name) : name_(std::move(name)) {}
+    virtual ~Tool() = default;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Apply one key=val configuration pair (before the first µop).
+     * Unknown keys and malformed values fail with a message.
+     */
+    virtual bool configure(const std::string &key, const std::string &val,
+                           std::string *err);
+
+    /** Observe one app-level µop (oracle fields filled, program order). */
+    virtual void onUop(const MicroOp &op, DebugTarget &t, ToolSet &set) = 0;
+
+    /** Human-readable findings/state report (wire tool-report verb). */
+    virtual std::string report() const = 0;
+
+    /** @name Deterministic state serialization (checkpoint/persist) */
+    ///@{
+    virtual void save(BlobWriter &w) const = 0;
+    virtual bool restore(BlobReader &r) = 0;
+    ///@}
+
+    /**
+     * Stage this tool's DISE production set (DISE backend only): the
+     * in-pipeline payload the paper's hardware would execute. Sequences
+     * must be semantically transparent — DISE registers only, ending in
+     * T.INST — because finding detection is host-side.
+     */
+    virtual void buildProductions(ProductionSet &set) const {}
+
+    /** Deterministic counters; serialized alongside the tool state. */
+    ToolStats stats;
+
+  protected:
+    /** Parse an unsigned decimal config value. */
+    static bool parseU64(const std::string &val, uint64_t *out);
+
+  private:
+    std::string name_;
+};
+
+/** Maps tool names to factories; built-ins register at construction. */
+class ToolRegistry
+{
+  public:
+    using Factory = std::unique_ptr<Tool> (*)();
+
+    static ToolRegistry &instance();
+
+    void add(std::string name, Factory f);
+    std::unique_ptr<Tool> make(const std::string &name) const;
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    ToolRegistry();
+    std::map<std::string, Factory> factories_;
+};
+
+/** @name Built-in tool factories */
+///@{
+std::unique_ptr<Tool> makeAsanTool();
+std::unique_ptr<Tool> makeLeakcheckTool();
+std::unique_ptr<Tool> makeCoverageTool();
+std::unique_ptr<Tool> makeMemtraceTool();
+std::unique_ptr<Tool> makeAddrleakTool();
+///@}
+
+} // namespace tools
+} // namespace dise
+
+#endif // DISE_TOOLS_TOOL_HH

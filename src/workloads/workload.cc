@@ -142,4 +142,97 @@ buildHeisenbugDemo()
     return a.finish("main");
 }
 
+Program
+buildToolDemo()
+{
+    using namespace reg;
+    Assembler a;
+    a.data(layout::DataBase);
+    // The "heap": three 32-byte blocks at +0, +96 and +192 — spaced
+    // so one block's redzone (32B either side) never overlaps another
+    // block's data — plus untouched tail used for the invalid free.
+    a.label("heap");
+    a.space(1024);
+    a.label("scratch"); // the memtrace hammer target
+    a.quad(0);
+    a.space(56);
+
+    a.text(layout::TextBase);
+    a.label("main");
+    a.la(s0, "heap");
+
+    // alloc A = heap+0 (freed cleanly, but stored past its end first).
+    a.stmt(1);
+    a.mov(s0, a0);
+    a.li(a1, 32);
+    a.syscall(SysAllocHint);
+    a.mov(a0, s1);
+    // alloc B = heap+96 (freed, then read: use-after-free).
+    a.lda(a0, 96, s0);
+    a.li(a1, 32);
+    a.syscall(SysAllocHint);
+    a.mov(a0, s2);
+    // alloc C = heap+192 (never freed: the leak).
+    a.lda(a0, 192, s0);
+    a.li(a1, 32);
+    a.syscall(SysAllocHint);
+    a.mov(a0, s3);
+
+    // Legitimate fill of A — in-bounds stores are clean.
+    a.stmt(2);
+    a.mov(s1, t0);
+    a.li(t1, 4);
+    a.label("fill");
+    a.stq(t9, 0, t0);
+    a.addq(t0, 8, t0);
+    a.subq(t1, 1, t1);
+    a.bne(t1, "fill");
+
+    // Bug 1: store one quad past A's end, into the trailing redzone.
+    // Early in the run on purpose — the hibernate test persists
+    // mid-run with this finding already on the books.
+    a.stmt(3);
+    a.label("oob_store");
+    a.stq(t9, 32, s1);
+
+    // Same-address hammer: 64 read-modify-writes of one granule, the
+    // redundancy memtrace's suppression table elides.
+    a.stmt(4);
+    a.la(t2, "scratch");
+    a.li(t1, 64);
+    a.label("hammer");
+    a.ldq(t3, 0, t2);
+    a.addq(t3, 1, t3);
+    a.stq(t3, 0, t2);
+    a.subq(t1, 1, t1);
+    a.bne(t1, "hammer");
+
+    // Bug 2: free B, then load from it.
+    a.stmt(5);
+    a.mov(s2, a0);
+    a.syscall(SysFreeHint);
+    a.label("uaf_load");
+    a.ldq(t4, 0, s2);
+
+    // Bug 3: free an address that was never allocated.
+    a.stmt(6);
+    a.lda(a0, 800, s0);
+    a.syscall(SysFreeHint);
+
+    // A is released properly (so exactly one block leaks: C).
+    a.mov(s1, a0);
+    a.syscall(SysFreeHint);
+
+    // Bug 4: print C's address — an address value reaching an output
+    // sink (addrleak). The second put is a benign untainted value.
+    a.stmt(7);
+    a.mov(s3, a0);
+    a.syscall(SysPutInt);
+    a.li(a0, 42);
+    a.syscall(SysPutInt);
+
+    a.syscall(SysExit); // leakcheck's end-of-run report fires here
+    return a.finish("main");
+}
+
 } // namespace dise

@@ -97,6 +97,18 @@ const std::vector<std::string> &workloadNames();
  */
 Program buildHeisenbugDemo();
 
+/**
+ * The debug-tool demo scenario (src/tools/): a guest bump allocator
+ * announcing blocks via SysAllocHint/SysFreeHint, with one seeded bug
+ * per tool — an out-of-bounds store into a redzone ("oob_store"), a
+ * use-after-free load ("uaf_load"), an invalid free, a leaked block,
+ * and a block address printed to an output sink (addrleak). A
+ * same-address hammer loop feeds memtrace's redundancy suppression
+ * and the loops give coverage a real block map. Symbols: "heap",
+ * "scratch", "oob_store", "uaf_load".
+ */
+Program buildToolDemo();
+
 Workload buildWorkload(const std::string &name,
                        const WorkloadParams &params = {});
 

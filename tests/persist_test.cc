@@ -25,6 +25,8 @@
 #include "persist/store.hh"
 #include "persist/vfs.hh"
 #include "session/debug_session.hh"
+#include "tools/toolset.hh"
+#include "workloads/workload.hh"
 
 namespace dise {
 namespace {
@@ -121,6 +123,14 @@ sampleImage(uint64_t id)
     iv.size = 8;
     iv.value = 0x99;
     img.interventions.push_back(iv);
+    Intervention te;
+    te.kind = InterventionKind::ToolEnable;
+    te.time = 140;
+    te.appInsts = 35;
+    te.toolName = "asan";
+    te.toolConfig.push_back({"redzone", "16"});
+    te.toolSlots = {4, 5};
+    img.interventions.push_back(te);
     EventMark m;
     m.kind = EventKind::Watch;
     m.index = 0;
@@ -133,6 +143,7 @@ sampleImage(uint64_t id)
     img.digest = 0xfeedface;
     img.checkpoints.push_back({0, 0});
     img.checkpoints.push_back({160, 40});
+    img.toolDigests.push_back({"asan", 0x1234abcd});
     return img;
 }
 
@@ -169,10 +180,17 @@ TEST(SessionImage, RoundTripAllFields)
     EXPECT_EQ(back.pokes[0].value, 0xabcdu);
     EXPECT_EQ(back.seed, 0x5eedu);
     EXPECT_EQ(back.programName, "doubler");
-    ASSERT_EQ(back.interventions.size(), 1u);
+    ASSERT_EQ(back.interventions.size(), 2u);
     EXPECT_EQ(back.interventions[0].kind, InterventionKind::PokeMemory);
     EXPECT_EQ(back.interventions[0].time, 120u);
     EXPECT_TRUE(back.interventions[0].atEventPark);
+    EXPECT_EQ(back.interventions[1].kind, InterventionKind::ToolEnable);
+    EXPECT_EQ(back.interventions[1].toolName, "asan");
+    ASSERT_EQ(back.interventions[1].toolConfig.size(), 1u);
+    EXPECT_EQ(back.interventions[1].toolConfig[0].first, "redzone");
+    EXPECT_EQ(back.interventions[1].toolConfig[0].second, "16");
+    EXPECT_EQ(back.interventions[1].toolSlots,
+              (std::vector<int>{4, 5}));
     ASSERT_EQ(back.marks.size(), 1u);
     EXPECT_EQ(back.marks[0].time, 115u);
     EXPECT_EQ(back.time, 400u);
@@ -180,6 +198,9 @@ TEST(SessionImage, RoundTripAllFields)
     EXPECT_EQ(back.digest, 0xfeedfaceu);
     ASSERT_EQ(back.checkpoints.size(), 2u);
     EXPECT_EQ(back.checkpoints[1], (persist::CheckpointMeta{160, 40}));
+    ASSERT_EQ(back.toolDigests.size(), 1u);
+    EXPECT_EQ(back.toolDigests[0],
+              (persist::ToolDigest{"asan", 0x1234abcd}));
 }
 
 TEST(SessionImage, HostileInputsRejectTyped)
@@ -660,6 +681,85 @@ TEST(SessionResurrect, RoundTripEveryBackend)
         EXPECT_EQ(a.time, b.time);
         EXPECT_EQ(live.digest(), res.digest());
     }
+}
+
+TEST(SessionResurrect, ToolStateSurvivesHibernationBitIdentically)
+{
+    // Satellite of the debug-tool subsystem: enable asan + coverage,
+    // run to a position with findings on the books, hibernate through
+    // the serialized form, resurrect, and demand bit-identical tool
+    // state — the per-tool digests in the image are the proof
+    // obligation the seek replay must discharge.
+    Program prog = buildToolDemo();
+    DebugSession live(prog, sessionOptions(BackendKind::Dise));
+    std::string err;
+    ASSERT_TRUE(live.toolEnable("asan", {{"redzone", "16"}}, &err))
+        << err;
+    ASSERT_TRUE(live.toolEnable("coverage", {}, &err)) << err;
+
+    // Step until asan has caught the seeded out-of-bounds store (but
+    // before the run ends, so resurrection really replays).
+    const tools::ToolSet &liveTools =
+        live.debugger().backend().tools();
+    for (int i = 0; i < 100 && liveTools.findings().empty(); ++i) {
+        StopInfo s = live.stepi(25);
+        ASSERT_EQ(s.reason, StopReason::Step);
+    }
+    ASSERT_FALSE(liveTools.findings().empty());
+
+    SessionImage img;
+    img.id = 9;
+    img.workload = "tooldemo";
+    ASSERT_TRUE(live.exportImage(img, &err)) << err;
+    ASSERT_EQ(img.toolDigests.size(), 2u);
+    for (const persist::ToolDigest &td : img.toolDigests)
+        EXPECT_NE(td.digest, 0u) << td.name;
+
+    // Through the bytes, like the store would ship them.
+    std::vector<uint8_t> bytes = persist::encodeImage(img);
+    SessionImage loaded;
+    ASSERT_EQ(persist::decodeImage(bytes, loaded), ImageErr::None);
+    EXPECT_EQ(loaded.toolDigests, img.toolDigests);
+
+    DebugSession res(prog, sessionOptions(BackendKind::Dise));
+    ASSERT_TRUE(resurrectAll(res, loaded, &err)) << err;
+
+    const tools::ToolSet &resTools = res.debugger().backend().tools();
+    EXPECT_EQ(resTools.digest("asan"), liveTools.digest("asan"));
+    EXPECT_EQ(resTools.digest("coverage"),
+              liveTools.digest("coverage"));
+    ASSERT_EQ(resTools.findings().size(), liveTools.findings().size());
+    for (size_t i = 0; i < resTools.findings().size(); ++i) {
+        EXPECT_EQ(resTools.findings()[i].kind,
+                  liveTools.findings()[i].kind);
+        EXPECT_EQ(resTools.findings()[i].pc,
+                  liveTools.findings()[i].pc);
+        EXPECT_EQ(resTools.findings()[i].detail,
+                  liveTools.findings()[i].detail);
+    }
+    std::string liveReport, resReport;
+    uint64_t d0 = 0, d1 = 0;
+    ASSERT_TRUE(live.toolReport("asan", &liveReport, &d0, &err)) << err;
+    ASSERT_TRUE(res.toolReport("asan", &resReport, &d1, &err)) << err;
+    EXPECT_EQ(liveReport, resReport);
+    EXPECT_EQ(d0, d1);
+
+    // Both sessions keep finding the same bugs in the same future.
+    StopInfo a = live.runToEnd();
+    StopInfo b = res.runToEnd();
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(live.digest(), res.digest());
+    EXPECT_EQ(resTools.digest("asan"), liveTools.digest("asan"));
+    EXPECT_EQ(resTools.findings().size(), liveTools.findings().size());
+
+    // A tampered tool digest is caught, and the vessel is detached
+    // rather than left holding unverified tool state.
+    SessionImage bad = img;
+    bad.toolDigests[0].digest ^= 1;
+    DebugSession vessel(prog, sessionOptions(BackendKind::Dise));
+    EXPECT_FALSE(resurrectAll(vessel, bad, &err));
+    EXPECT_NE(err.find("tool"), std::string::npos) << err;
+    EXPECT_FALSE(vessel.attached());
 }
 
 TEST(SessionResurrect, ConfigOnlyImageNeedsNoReplay)

@@ -467,7 +467,9 @@ TEST(RspFuzz, OversizedAndPathologicalFramesSingleConnection)
         {"Zx,0,0", "E01"},      {"Z2,,", "E01"},
         {"z2,beef,8", "E03"},   {"p999", "E01"},
         {"P=deadbeef", "E01"},  {"Pzz=00", "E01"},
-        {"G0011", "E01"},       {"qRcmd,beef", ""},
+        // qRcmd now answers: bad hex is E01, a decodable non-tool
+        // command gets a hex-encoded usage hint (checked elsewhere).
+        {"G0011", "E01"},       {"qRcmd,zz", "E01"},
         {"vAttach;1", ""},      {"Hg-1", "OK"},
         {"X0,0:", ""},          {"!", ""},
         {"R00", ""},
