@@ -191,12 +191,69 @@ measure(const Workload &w, Config config, bool optimized,
     return best;
 }
 
+/**
+ * One trace-JIT run: the fully-optimized interpreter with the target's
+ * trace cache wired in (or not), same workload and instrumentation.
+ * The jit-off leg leaves env.jit null, so it pays zero cache overhead —
+ * it is exactly the interpreter the `runs` section measures.
+ */
+Measurement
+measureJitOnce(const Workload &w, Config config, bool jitOn,
+               const Options &opts)
+{
+    DebugTarget target(w.program);
+    if (config != Config::Off) {
+        target.engine.addProduction(
+            storeCheckProduction(config == Config::Cond));
+        target.arch.writeDise(3, w.hotAddr);
+        target.arch.writeDise(4, 0xdeadbeefcafeull);
+    }
+    target.load();
+
+    StreamEnv env;
+    env.sink = &target.sink;
+    env.uopCache = true;
+    if (jitOn)
+        env.jit = target.jit();
+    FuncCpu cpu(target.arch, target.mem, &target.engine, env);
+
+    auto t0 = std::chrono::steady_clock::now();
+    FuncResult r = cpu.run(opts.maxAppInsts);
+    auto t1 = std::chrono::steady_clock::now();
+    if (r.halt == HaltReason::Fault)
+        fatal("jit throughput run of '", w.name, "' faulted: ",
+              r.faultMessage);
+
+    Measurement m;
+    m.workload = w.name;
+    m.config = config;
+    m.optimized = jitOn;
+    m.appInsts = r.appInsts;
+    m.microOps = r.microOps;
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return m;
+}
+
+Measurement
+measureJit(const Workload &w, Config config, bool jitOn,
+           const Options &opts)
+{
+    Measurement best;
+    for (unsigned i = 0; i < opts.reps; ++i) {
+        Measurement m = measureJitOnce(w, config, jitOn, opts);
+        if (i == 0 || m.mips() > best.mips())
+            best = m;
+    }
+    return best;
+}
+
 /** One cycle-level run: simulated MIPS of the timing model itself. */
 struct TimingMeasurement
 {
     std::string workload;
     Config config = Config::Off;
     bool cursors = true;
+    bool opRefs = true;
     uint64_t appInsts = 0;
     uint64_t cycles = 0;
     double seconds = 0.0;
@@ -206,7 +263,7 @@ struct TimingMeasurement
 
 TimingMeasurement
 measureTimingOnce(const Workload &w, Config config, bool cursors,
-                  const Options &opts)
+                  bool opRefs, const Options &opts)
 {
     DebugTarget target(w.program);
     if (config != Config::Off) {
@@ -221,6 +278,7 @@ measureTimingOnce(const Workload &w, Config config, bool cursors,
     env.sink = &target.sink;
     TimingConfig cfg;
     cfg.robCursors = cursors;
+    cfg.opRefs = opRefs;
     TimingCpu cpu(target.arch, target.mem, &target.engine, env, cfg);
     RunLimits lim;
     lim.maxAppInsts = opts.timingInsts;
@@ -236,6 +294,7 @@ measureTimingOnce(const Workload &w, Config config, bool cursors,
     m.workload = w.name;
     m.config = config;
     m.cursors = cursors;
+    m.opRefs = opRefs;
     m.appInsts = r.appInsts;
     m.cycles = r.cycles;
     m.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -244,11 +303,12 @@ measureTimingOnce(const Workload &w, Config config, bool cursors,
 
 TimingMeasurement
 measureTiming(const Workload &w, Config config, bool cursors,
-              const Options &opts)
+              bool opRefs, const Options &opts)
 {
     TimingMeasurement best;
     for (unsigned i = 0; i < opts.reps; ++i) {
-        TimingMeasurement m = measureTimingOnce(w, config, cursors, opts);
+        TimingMeasurement m =
+            measureTimingOnce(w, config, cursors, opRefs, opts);
         if (i == 0 || m.mips() > best.mips())
             best = m;
     }
@@ -356,6 +416,55 @@ main(int argc, char **argv)
     std::printf("min unconditional-instrumentation speedup: %.2fx\n",
                 uncondSpeedupMin);
 
+    // Trace-JIT section: the optimized interpreter with the trace
+    // cache on vs off. µop MIPS is the honest metric here — the JIT's
+    // job is retiring expansion µops cheaply.
+    std::vector<Measurement> jitResults;
+    double jitSpeedupMin = 0.0;
+    {
+        TextTable jtable;
+        jtable.setHeader({"workload", "config", "jit µMIPS",
+                          "interp µMIPS", "speedup"});
+        bool jfirst = true;
+        for (const auto &name : names) {
+            WorkloadParams params;
+            Workload w = buildWorkload(name, params);
+            for (Config config : configs) {
+                Measurement on = measureJit(w, config, true, opts);
+                Measurement off = measureJit(w, config, false, opts);
+                if (on.appInsts != off.appInsts ||
+                    on.microOps != off.microOps)
+                    fatal("trace JIT changed retirement counts on '",
+                          name, "/", configName(config), "': ",
+                          on.appInsts, "/", on.microOps, " vs ",
+                          off.appInsts, "/", off.microOps);
+                jitResults.push_back(on);
+                jitResults.push_back(off);
+                double sp = off.microMips() > 0
+                                ? on.microMips() / off.microMips()
+                                : 0.0;
+                if (config == Config::Uncond) {
+                    if (jfirst || sp < jitSpeedupMin)
+                        jitSpeedupMin = sp;
+                    jfirst = false;
+                }
+                char onBuf[32], offBuf[32], spBuf[32];
+                std::snprintf(onBuf, sizeof onBuf, "%.2f",
+                              on.microMips());
+                std::snprintf(offBuf, sizeof offBuf, "%.2f",
+                              off.microMips());
+                std::snprintf(spBuf, sizeof spBuf, "%.2fx", sp);
+                jtable.addRow(
+                    {name, configName(config), onBuf, offBuf, spBuf});
+            }
+        }
+        std::printf("\ntrace JIT (cache on vs off, µop MIPS):\n");
+        std::fputs(jtable.render().c_str(), stdout);
+        std::printf(
+            "min unconditional-instrumentation JIT speedup: %.2fx\n",
+            jitSpeedupMin);
+    }
+
     // Cycle-level section: simulated MIPS of the timing model with ROB
     // scan cursors vs the legacy linear window walks.
     std::vector<TimingMeasurement> timingResults;
@@ -363,6 +472,9 @@ main(int argc, char **argv)
         TextTable ttable;
         ttable.setHeader({"workload", "config", "cursors MIPS",
                           "linear MIPS", "speedup"});
+        TextTable otable;
+        otable.setHeader({"workload", "config", "refs MIPS",
+                          "copy MIPS", "speedup"});
         std::vector<std::string> tnames =
             opts.quick ? std::vector<std::string>{"bzip2"}
                        : std::vector<std::string>{"bzip2", "mcf"};
@@ -371,14 +483,20 @@ main(int argc, char **argv)
             Workload w = buildWorkload(name, params);
             for (Config config : {Config::Off, Config::Uncond}) {
                 TimingMeasurement cur =
-                    measureTiming(w, config, true, opts);
+                    measureTiming(w, config, true, true, opts);
                 TimingMeasurement lin =
-                    measureTiming(w, config, false, opts);
+                    measureTiming(w, config, false, true, opts);
+                TimingMeasurement cpy =
+                    measureTiming(w, config, true, false, opts);
                 if (cur.cycles != lin.cycles)
                     fatal("ROB cursors changed simulated cycles on '",
                           name, "': ", cur.cycles, " vs ", lin.cycles);
+                if (cur.cycles != cpy.cycles)
+                    fatal("µop references changed simulated cycles on '",
+                          name, "': ", cur.cycles, " vs ", cpy.cycles);
                 timingResults.push_back(cur);
                 timingResults.push_back(lin);
+                timingResults.push_back(cpy);
                 double sp = lin.mips() > 0 ? cur.mips() / lin.mips() : 0;
                 char curBuf[32], linBuf[32], spBuf[32];
                 std::snprintf(curBuf, sizeof curBuf, "%.2f", cur.mips());
@@ -386,10 +504,18 @@ main(int argc, char **argv)
                 std::snprintf(spBuf, sizeof spBuf, "%.2fx", sp);
                 ttable.addRow(
                     {name, configName(config), curBuf, linBuf, spBuf});
+                double osp = cpy.mips() > 0 ? cur.mips() / cpy.mips() : 0;
+                char cpyBuf[32], ospBuf[32];
+                std::snprintf(cpyBuf, sizeof cpyBuf, "%.2f", cpy.mips());
+                std::snprintf(ospBuf, sizeof ospBuf, "%.2fx", osp);
+                otable.addRow(
+                    {name, configName(config), curBuf, cpyBuf, ospBuf});
             }
         }
         std::printf("\ntiming model (ROB cursors vs linear scans):\n");
         std::fputs(ttable.render().c_str(), stdout);
+        std::printf("\ntiming model (µop references vs copies):\n");
+        std::fputs(otable.render().c_str(), stdout);
     }
 
     std::ofstream os(opts.out);
@@ -398,6 +524,7 @@ main(int argc, char **argv)
     os << "{\n  \"bench\": \"throughput\",\n";
     os << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n";
     os << "  \"uncond_speedup_min\": " << uncondSpeedupMin << ",\n";
+    os << "  \"jit_uncond_speedup_min\": " << jitSpeedupMin << ",\n";
     os << "  \"runs\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const Measurement &m = results[i];
@@ -410,12 +537,25 @@ main(int argc, char **argv)
            << ", \"micro_mips\": " << m.microMips() << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"jit_runs\": [\n";
+    for (size_t i = 0; i < jitResults.size(); ++i) {
+        const Measurement &m = jitResults[i];
+        os << "    {\"workload\": \"" << m.workload << "\", \"config\": \""
+           << configName(m.config) << "\", \"jit\": \""
+           << (m.optimized ? "on" : "off")
+           << "\", \"app_insts\": " << m.appInsts
+           << ", \"micro_ops\": " << m.microOps
+           << ", \"seconds\": " << m.seconds << ", \"mips\": " << m.mips()
+           << ", \"micro_mips\": " << m.microMips() << "}"
+           << (i + 1 < jitResults.size() ? "," : "") << "\n";
+    }
     os << "  ],\n  \"timing_runs\": [\n";
     for (size_t i = 0; i < timingResults.size(); ++i) {
         const TimingMeasurement &m = timingResults[i];
         os << "    {\"workload\": \"" << m.workload << "\", \"config\": \""
            << configName(m.config) << "\", \"rob_scan\": \""
            << (m.cursors ? "cursors" : "linear")
+           << "\", \"op_mode\": \"" << (m.opRefs ? "refs" : "copy")
            << "\", \"app_insts\": " << m.appInsts
            << ", \"cycles\": " << m.cycles << ", \"seconds\": " << m.seconds
            << ", \"mips\": " << m.mips() << "}"

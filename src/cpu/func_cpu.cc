@@ -13,7 +13,27 @@ FuncCpu::run(uint64_t maxAppInsts)
 {
     FuncResult res;
     MicroOp op;
-    while (stream_.next(op)) {
+    const bool jit = stream_.env().jit != nullptr;
+    for (;;) {
+        if (jit) {
+            // Drain cached traces first; they retire in bulk. Traces
+            // hold no handler ops, so non-app retirement is all
+            // expansion work.
+            auto c = stream_.runTraced(
+                0, maxAppInsts ? maxAppInsts - res.appInsts : 0,
+                /*appStopAtBoundary=*/false);
+            res.microOps += c.uops;
+            res.appInsts += c.appInsts;
+            res.loads += c.appLoads;
+            res.stores += c.appStores;
+            res.expansionOps += c.uops - c.appInsts;
+            if (maxAppInsts && res.appInsts >= maxAppInsts) {
+                res.halt = HaltReason::InstLimit;
+                break;
+            }
+        }
+        if (!stream_.next(op))
+            break;
         ++res.microOps;
         if (op.isAppInst()) {
             ++res.appInsts;

@@ -4,6 +4,7 @@
 #include "cpu/alu.hh"
 #include "isa/disasm.hh"
 #include "isa/encoding.hh"
+#include "jit/trace_cache.hh"
 
 namespace dise {
 
@@ -13,6 +14,8 @@ InstStream::InstStream(ArchState &arch, MainMemory &mem, DiseEngine *engine,
 {
     if (env_.uopCache)
         mem_.addCodeWatcher(this);
+    if (env_.jit)
+        env_.jit->bindEnv(env_);
 }
 
 InstStream::~InstStream()
@@ -54,6 +57,8 @@ InstStream::beginExpansion(int slot, const Inst &trigger, Addr pc)
     trigPc_ = pc;
     seqNextPc_ = pc + 4;
     expanding_ = true;
+    curSlot_ = slot;
+    ++expId_;
 }
 
 void
@@ -102,6 +107,8 @@ InstStream::next(MicroOp &op)
             if (env_.observer && env_.observer->armed())
                 env_.observer->onUop(op);
             finishExpansionIfDone();
+            if (env_.jit)
+                jitAfterOp(op);
             return true;
         }
 
@@ -181,6 +188,8 @@ InstStream::next(MicroOp &op)
         execute(op);
         if (env_.observer && env_.observer->armed())
             env_.observer->onUop(op);
+        if (env_.jit)
+            jitAfterOp(op);
         return true;
     }
 }

@@ -41,6 +41,9 @@
 
 namespace dise {
 
+class TraceCache;
+struct Trace;
+
 /** Destination for syscall output and test marks. */
 class OutputSink
 {
@@ -71,6 +74,18 @@ struct StreamEnv
     UopObserver *observer = nullptr;
     /** Predecoded µop cache (perf only; off for A/B benchmarking). */
     bool uopCache = true;
+    /** Trace cache for the hot path (owned by the DebugTarget; null
+     *  disables both trace recording and dispatch). */
+    TraceCache *jit = nullptr;
+    /**
+     * The monitor's monotonic event counter
+     * (DebugBackend::eventsRecorded). Trace execution samples it after
+     * every monitor callback and side-exits the moment an event is
+     * recorded, so event parks land at the exact µop the interpreter
+     * would park at. Monitored ops are not recorded into traces without
+     * it.
+     */
+    const uint64_t *events = nullptr;
 };
 
 /** Syscall codes understood by the simulated OS layer. */
@@ -100,6 +115,32 @@ class InstStream : public CodeWatcher
      * Returns false once the program has halted or faulted.
      */
     bool next(MicroOp &op);
+
+    /** µops retired by one runTraced() call, split the way the callers
+     *  account them. */
+    struct TracedCounts
+    {
+        uint64_t uops = 0;
+        uint64_t appInsts = 0;
+        uint64_t appLoads = 0;
+        uint64_t appStores = 0;
+    };
+
+    /**
+     * Execute cached traces from the current position for as long as
+     * they keep applying. Budgets are relative and 0 means unlimited;
+     * with @p appStopAtBoundary the app-instruction budget only stops
+     * execution before a raw op (TimeTravel's stop discipline), without
+     * it before any op once met (FuncCpu's). Returns zero counts when
+     * no trace applies here (halted, mid-expansion, observer armed, jit
+     * disabled, or no valid trace at this PC) — the caller falls back
+     * to next(). On return, stream state is exactly what interpreting
+     * the retired µops would have produced.
+     */
+    TracedCounts runTraced(uint64_t maxUops, uint64_t maxAppInsts,
+                           bool appStopAtBoundary);
+
+    const StreamEnv &env() const { return env_; }
 
     bool halted() const { return halted_; }
     HaltReason haltReason() const { return haltReason_; }
@@ -139,6 +180,15 @@ class InstStream : public CodeWatcher
     UopEntry *uopEntryFor(Addr pc);
     void beginExpansion(int slot, const Inst &trigger, Addr pc);
 
+    // Trace recording/execution (jit/trace_exec.cc).
+    enum class TraceExit { End, Budget, Guard, Event };
+    TraceExit execTrace(const Trace &t, TracedCounts &c, uint64_t maxUops,
+                        uint64_t maxAppInsts, bool appStopAtBoundary);
+    void jitAfterOp(const MicroOp &op);
+    void jitRecordOp(const MicroOp &op);
+    void jitStartRecording(Addr startPc);
+    void jitFinalize(bool full);
+
     ArchState &arch_;
     MainMemory &mem_;
     DiseEngine *engine_;
@@ -174,6 +224,25 @@ class InstStream : public CodeWatcher
     HaltReason haltReason_ = HaltReason::None;
     std::string faultMsg_;
     uint64_t seqCounter_ = 0;
+
+    /** Pattern-table slot of the expansion in flight (trace recording
+     *  needs it to rebuild the side-exit context). */
+    int curSlot_ = -1;
+    /** Distinct-expansion counter; disambiguates two expansions of the
+     *  same production at the same PC while recording. */
+    uint64_t expId_ = 0;
+
+    // In-flight trace recording.
+    struct JitRec
+    {
+        bool active = false;
+        std::shared_ptr<Trace> trace;
+        /** Ops recorded up to the last raw-op boundary (trim point). */
+        size_t lastBoundaryOps = 0;
+        Addr lastBoundaryPc = 0;
+        /** expId_ of the expansion the newest ctx entry belongs to. */
+        uint64_t lastExpId = 0;
+    } jitRec_;
 };
 
 } // namespace dise

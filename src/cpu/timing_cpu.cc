@@ -14,6 +14,15 @@ TimingCpu::TimingCpu(ArchState &arch, MainMemory &mem, DiseEngine *engine,
     DISE_ASSERT(cfg_.robSize > 0 && cfg_.rsSize > 0 && cfg_.width > 0,
                 "bad pipeline configuration");
     rob_.resize(cfg_.robSize);
+    if (cfg_.opRefs) {
+        pool_.resize(cfg_.robSize + 2);
+        freeSlots_.reserve(pool_.size());
+        for (int i = static_cast<int>(pool_.size()) - 1; i > 0; --i)
+            freeSlots_.push_back(i);
+        pendingSlot_ = 0;
+    } else {
+        opStore_.resize(cfg_.robSize);
+    }
     std::fill(std::begin(renameMap_), std::end(renameMap_), -1);
 }
 
@@ -71,7 +80,7 @@ TimingCpu::sourcesReady(const RobEntry &e, uint64_t now) const
         if (p < 0)
             continue;
         const RobEntry &prod = rob_[p];
-        if (prod.state == SlotState::Free || prod.op.seq != e.prodSeq[j])
+        if (prod.state == SlotState::Free || prod.op->seq != e.prodSeq[j])
             continue; // producer already retired
         if (prod.state != SlotState::Done || prod.doneCycle > now)
             return false;
@@ -100,7 +109,7 @@ TimingCpu::olderStoresAddrKnown(int slot, uint64_t now) const
         if (s == slot)
             return true;
         const RobEntry &e = rob_[s];
-        if (e.op.isStoreOp() &&
+        if (e.op->isStoreOp() &&
             (e.state != SlotState::Done || e.doneCycle > now))
             return false;
     }
@@ -110,7 +119,7 @@ TimingCpu::olderStoresAddrKnown(int slot, uint64_t now) const
 int
 TimingCpu::forwardingStore(int slot) const
 {
-    const MicroOp &load = rob_[slot].op;
+    const MicroOp &load = *rob_[slot].op;
     Addr lo = load.effAddr;
     Addr hi = lo + load.memBytes;
     if (cfg_.robCursors) {
@@ -122,8 +131,8 @@ TimingCpu::forwardingStore(int slot) const
             if (robAge(*it) >= age)
                 continue;
             const RobEntry &e = rob_[*it];
-            Addr slo = e.op.effAddr;
-            Addr shi = slo + e.op.memBytes;
+            Addr slo = e.op->effAddr;
+            Addr shi = slo + e.op->memBytes;
             if (slo < hi && lo < shi)
                 return *it;
         }
@@ -141,10 +150,10 @@ TimingCpu::forwardingStore(int slot) const
     for (int i = offset - 1; i >= 0; --i) {
         int s = (robHead_ + i) % static_cast<int>(cfg_.robSize);
         const RobEntry &e = rob_[s];
-        if (!e.op.isStoreOp())
+        if (!e.op->isStoreOp())
             continue;
-        Addr slo = e.op.effAddr;
-        Addr shi = slo + e.op.memBytes;
+        Addr slo = e.op->effAddr;
+        Addr shi = slo + e.op->memBytes;
         if (slo < hi && lo < shi)
             return s;
     }
@@ -177,10 +186,11 @@ TimingCpu::run(const RunLimits &lim)
                 break;
             if (commitStallUntil_ > now)
                 break;
+            const MicroOp &op = *e.op;
 
             // A spurious debugger transition flushes and stalls for the
             // full round-trip before the op can retire.
-            if (e.op.debug.spurious() && !e.stallCharged) {
+            if (op.debug.spurious() && !e.stallCharged) {
                 e.stallCharged = true;
                 commitStallUntil_ = now + cfg_.transitionCost;
                 stats.transitionStallCycles += cfg_.transitionCost;
@@ -192,14 +202,14 @@ TimingCpu::run(const RunLimits &lim)
                 break;
             }
 
-            if (e.op.isStoreOp()) {
+            if (op.isStoreOp()) {
                 if (portUsed_ >= cfg_.cachePorts)
                     break;
                 ++portUsed_;
-                memSys_.dataAccess(e.op.effAddr, true, now);
+                memSys_.dataAccess(op.effAddr, true, now);
             }
 
-            switch (e.op.debug.kind) {
+            switch (op.debug.kind) {
               case TransitionKind::User:
                 ++stats.transitionsUser;
                 break;
@@ -216,42 +226,45 @@ TimingCpu::run(const RunLimits &lim)
                 break;
             }
 
-            if (e.op.flush == FlushClass::Serialize) {
+            if (op.flush == FlushClass::Serialize) {
                 ++stats.serializeFlushes;
                 frontResumeCycle_ = std::max(frontResumeCycle_,
                                              now + 1 + cfg_.frontDepth);
                 frontBlocked_ = false;
                 lastFetchLine_ = ~uint64_t{0};
-            } else if (e.op.debug.spurious()) {
+            } else if (op.debug.spurious()) {
                 frontBlocked_ = false;
-            } else if (e.op.flush == FlushClass::Mispredict) {
+            } else if (op.flush == FlushClass::Mispredict) {
                 ++stats.mispredictFlushes;
-            } else if (e.op.flush == FlushClass::DiseTransfer) {
+            } else if (op.flush == FlushClass::DiseTransfer) {
                 ++stats.diseFlushes;
             }
 
             ++stats.microOps;
-            if (e.op.isAppInst()) {
+            if (op.isAppInst()) {
                 ++stats.appInsts;
-                if (e.op.isStoreOp())
+                if (op.isStoreOp())
                     ++stats.stores;
-                if (e.op.isLoadOp())
+                if (op.isLoadOp())
                     ++stats.loads;
-            } else if (e.op.inHandler) {
+            } else if (op.inHandler) {
                 ++stats.handlerOps;
             } else {
                 ++stats.expansionOps;
             }
 
-            bool wasHalt = e.op.isHalt;
-            HaltReason hr = e.op.haltReason;
+            bool wasHalt = op.isHalt;
+            HaltReason hr = op.haltReason;
             retireRenameRefs(robHead_);
-            if (e.op.isStoreOp() && !storeSlots_.empty() &&
+            if (op.isStoreOp() && !storeSlots_.empty() &&
                 storeSlots_.front() == robHead_)
                 storeSlots_.pop_front();
             if (issueSkip_ > 0)
                 --issueSkip_; // offsets shift as the head advances
             e.state = SlotState::Free;
+            if (cfg_.opRefs)
+                freeSlots_.push_back(
+                    static_cast<int>(e.op - pool_.data()));
             robHead_ = (robHead_ + 1) % static_cast<int>(cfg_.robSize);
             --robCount_;
             ++committed;
@@ -289,7 +302,7 @@ TimingCpu::run(const RunLimits &lim)
             if (!sourcesReady(e, now))
                 continue;
 
-            const MicroOp &op = e.op;
+            const MicroOp &op = *e.op;
             uint64_t done;
             if (op.isLoadOp()) {
                 if (!olderStoresAddrKnown(slot, now))
@@ -342,15 +355,18 @@ TimingCpu::run(const RunLimits &lim)
                     streamDone_ = true;
                     break;
                 }
+                // With opRefs the stream decodes straight into the
+                // pending pool slot; no staging copy exists.
+                MicroOp &op =
+                    cfg_.opRefs ? pool_[pendingSlot_] : pending_;
                 if (!havePending_) {
-                    if (!stream_.next(pending_)) {
+                    if (!stream_.next(op)) {
                         streamDone_ = true;
                         break;
                     }
                     havePending_ = true;
-                    classifyControl(pending_);
+                    classifyControl(op);
                 }
-                MicroOp &op = pending_;
 
                 if (!op.fromExpansion) {
                     uint64_t line =
@@ -391,10 +407,28 @@ TimingCpu::run(const RunLimits &lim)
                 int slot = (robHead_ + robCount_) %
                            static_cast<int>(cfg_.robSize);
                 RobEntry &e = rob_[slot];
-                e = RobEntry{};
-                e.op = op;
+                if (cfg_.opRefs) {
+                    // Ownership of the pending slot transfers to the
+                    // ROB entry; the next decode gets a free slot.
+                    e.op = &pool_[pendingSlot_];
+                    DISE_ASSERT(!freeSlots_.empty(),
+                                "micro-op pool exhausted");
+                    pendingSlot_ = freeSlots_.back();
+                    freeSlots_.pop_back();
+                } else {
+                    // Faithful to the pre-refs dispatch: the entry's
+                    // op storage was default-constructed (RobEntry{})
+                    // and then overwritten with the staged copy.
+                    opStore_[slot] = MicroOp{};
+                    opStore_[slot] = op;
+                    e.op = &opStore_[slot];
+                }
                 e.state = SlotState::Dispatched;
                 e.dispatchCycle = now;
+                e.doneCycle = 0;
+                e.prod[0] = e.prod[1] = -1;
+                e.prodSeq[0] = e.prodSeq[1] = 0;
+                e.stallCharged = false;
 
                 SrcRegs srcs = srcRegs(op.inst);
                 for (int j = 0; j < 2; ++j) {
@@ -404,7 +438,7 @@ TimingCpu::run(const RunLimits &lim)
                     int p = renameMap_[r.flat()];
                     if (p >= 0 && rob_[p].state != SlotState::Free) {
                         e.prod[j] = p;
-                        e.prodSeq[j] = rob_[p].op.seq;
+                        e.prodSeq[j] = rob_[p].op->seq;
                     }
                 }
                 RegId dst = dstReg(op.inst);

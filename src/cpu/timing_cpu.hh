@@ -50,6 +50,14 @@ struct TimingConfig
      * measurement (bench/throughput.cc --timing).
      */
     bool robCursors = true;
+    /**
+     * Host-side perf switch (simulated behavior is identical): the
+     * stream decodes each micro-op directly into a fixed pool slot and
+     * the ROB holds stable pointers, so an op is never copied between
+     * delivery and retirement. Off reproduces the legacy
+     * copy-into-the-window mode for A/B measurement.
+     */
+    bool opRefs = true;
     MemSystemConfig mem{};
     BranchPredictorConfig bpred{};
 };
@@ -111,7 +119,10 @@ class TimingCpu
 
     struct RobEntry
     {
-        MicroOp op;
+        /** Stable µop storage: a pool_ slot (cfg_.opRefs) or the
+         *  entry's opStore_ slot (legacy copy mode). Valid while the
+         *  entry is in flight; stale once the slot is Free. */
+        const MicroOp *op = nullptr;
         SlotState state = SlotState::Free;
         uint64_t dispatchCycle = 0;
         uint64_t doneCycle = 0;
@@ -153,6 +164,16 @@ class TimingCpu
     // in-flight stores, oldest first, instead of the whole window.
     int issueSkip_ = 0;           ///< head-relative all-issued prefix
     std::deque<int> storeSlots_;  ///< in-flight store slots, age order
+
+    // µop storage (cfg_.opRefs): robSize + 2 pool slots cover the full
+    // window plus the pending op; freeSlots_ is a stack of unowned
+    // slot indices and pendingSlot_ is the slot the stream decodes
+    // into next. Legacy copy mode uses opStore_ (indexed by ROB slot)
+    // and the pending_ staging op instead.
+    std::vector<MicroOp> pool_;
+    std::vector<int> freeSlots_;
+    int pendingSlot_ = 0;
+    std::vector<MicroOp> opStore_;
 
     // Rename map: logical register -> producing ROB slot.
     int renameMap_[NumLogicalRegs];

@@ -87,6 +87,8 @@ class DebugBackend : public DebugMonitor
         env.sink = &target.sink;
         tools_.bind(&target);
         env.observer = &tools_;
+        env.jit = target.jit();
+        env.events = &eventsRecorded_;
         return env;
     }
 

@@ -9,11 +9,14 @@
 #ifndef DISE_DEBUG_TARGET_HH
 #define DISE_DEBUG_TARGET_HH
 
+#include <memory>
+
 #include "asm/program.hh"
 #include "cpu/arch_state.hh"
 #include "cpu/inst_stream.hh"
 #include "cpu/loader.hh"
 #include "dise/engine.hh"
+#include "jit/trace_cache.hh"
 #include "mem/mainmem.hh"
 
 namespace dise {
@@ -21,7 +24,14 @@ namespace dise {
 class DebugTarget
 {
   public:
-    explicit DebugTarget(Program prog) : program(std::move(prog)) {}
+    explicit DebugTarget(Program prog)
+        : program(std::move(prog)),
+          jit_(std::make_unique<TraceCache>(mem))
+    {
+    }
+
+    /** The target's trace cache (hot-path JIT over this memory). */
+    TraceCache *jit() { return jit_.get(); }
 
     /** Load the (possibly backend-modified) image into memory. */
     void
@@ -46,6 +56,8 @@ class DebugTarget
 
   private:
     bool loaded_ = false;
+    /** Declared after mem (registers as a CodeWatcher with it). */
+    std::unique_ptr<TraceCache> jit_;
 };
 
 } // namespace dise

@@ -40,6 +40,7 @@ void
 DiseEngine::touchTable()
 {
     ++generation_;
+    ++tableVersion_;
     memo_.clear();
     rebuildIndex();
 }

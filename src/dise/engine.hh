@@ -110,7 +110,13 @@ class DiseEngine
      */
     ProductionId addProductionAt(Production p, int slot);
     void clear();
-    void setEnabled(bool on) { enabled_ = on; }
+    void
+    setEnabled(bool on)
+    {
+        if (enabled_ != on)
+            ++tableVersion_;
+        enabled_ = on;
+    }
     bool enabled() const { return enabled_; }
     size_t productionCount() const;
     /** Pattern-table slots total (installed + free). */
@@ -152,6 +158,16 @@ class DiseEngine
      * may have been rolled back under the caches.
      */
     void invalidateMatchCaches() { ++generation_; }
+
+    /**
+     * Advances only on semantic table changes (production add/remove,
+     * clear, enable toggle) — never on the cache-invalidation-only
+     * generation bumps a checkpoint restore performs. Consumers whose
+     * cached state depends on table *contents* rather than rolled-back
+     * memory (the trace JIT bakes expansions into trace bodies) key on
+     * this so restores do not wipe them.
+     */
+    uint64_t tableVersion() const { return tableVersion_; }
 
     /** Instantiate production @p prod for @p trigger (uncached). */
     std::vector<Inst> expand(const Production &prod,
@@ -227,6 +243,7 @@ class DiseEngine
     std::vector<RtLine> rtLines_;
     uint64_t rtClock_ = 0;
     uint64_t generation_ = 0;
+    uint64_t tableVersion_ = 0;
 
     // Candidate indexes, rebuilt on each (rare) table mutation.
     SlotMask validMask_ = 0;   ///< all installed slots

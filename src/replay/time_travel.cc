@@ -127,11 +127,18 @@ TimeTravel::stepUop(bool &firedEvent)
         haltReason_ = op.haltReason;
     }
 
+    pollEvents(firedEvent);
+    return true;
+}
+
+void
+TimeTravel::pollEvents(bool &firedEvent)
+{
     // Record-mode fast path: detection is batched behind the backend's
     // monotonic event counter, so the common no-event µop pays one
     // integer compare instead of three list polls.
     if (backend_.eventsRecorded() == seenRecorded_)
-        return true;
+        return;
     seenRecorded_ = backend_.eventsRecorded();
 
     auto noteEvents = [&](EventKind kind, size_t &seen, size_t now,
@@ -164,7 +171,60 @@ TimeTravel::stepUop(bool &firedEvent)
                backend_.protectionEvents().size(), [&](size_t i) {
                    return backend_.protectionEvents()[i].pc;
                });
-    return true;
+}
+
+uint64_t
+TimeTravel::bulkStep(uint64_t stopTime, uint64_t stopAppInsts,
+                     bool &firedEvent)
+{
+    firedEvent = false;
+    if (halted_)
+        return 0;
+    ensureStream();
+
+    // Absolute µop positions execution must not cross: the travel
+    // target and the next logged intervention (callers run
+    // replayPendingInterventions() first, so a pending one is strictly
+    // in the future — if not, defer to the per-µop path).
+    uint64_t maxUops = 0;
+    auto capTime = [&](uint64_t absTime) {
+        if (absTime <= time_)
+            return false;
+        uint64_t left = absTime - time_;
+        if (!maxUops || left < maxUops)
+            maxUops = left;
+        return true;
+    };
+    if (stopTime && !capTime(stopTime))
+        return 0;
+    if (nextIntervention_ < log_.interventions.size() &&
+        !capTime(log_.interventions[nextIntervention_].time))
+        return 0;
+
+    // Absolute app-instruction caps, tightest wins. nextCheckpointAt_
+    // keeps checkpoint placement bit-identical to per-µop stepping:
+    // the trace executor stops at exactly the boundary maybeCheckpoint
+    // would fire on.
+    uint64_t maxApp = nextCheckpointAt_;
+    if (cfg_.maxAppInsts && cfg_.maxAppInsts < maxApp)
+        maxApp = cfg_.maxAppInsts;
+    if (stopAppInsts && stopAppInsts < maxApp)
+        maxApp = stopAppInsts;
+    if (maxApp <= appInsts_)
+        return 0;
+
+    InstStream::TracedCounts c = stream_->runTraced(
+        maxUops, maxApp - appInsts_, /*appStopAtBoundary=*/true);
+    if (!c.uops)
+        return 0;
+    time_ += c.uops;
+    appInsts_ += c.appInsts;
+    stats_.uops += c.uops;
+    // An event exit retires the firing µop and stops immediately after
+    // it, so the mark lands at the identical time_/appInsts_ a
+    // stepUop-by-stepUop run would record.
+    pollEvents(firedEvent);
+    return c.uops;
 }
 
 void
@@ -295,9 +355,14 @@ TimeTravel::travelToTime(uint64_t targetTime, int eventIndex)
     while (time_ < targetTime) {
         replayPendingInterventions();
         bool fired = false;
-        if (!stepUop(fired))
+        uint64_t bulk = bulkStep(targetTime, 0, fired);
+        if (bulk) {
+            stats_.replayedUops += bulk;
+        } else if (stepUop(fired)) {
+            ++stats_.replayedUops;
+        } else {
             break;
-        ++stats_.replayedUops;
+        }
         maybeCheckpoint();
     }
     replayPendingInterventions();
@@ -323,7 +388,8 @@ TimeTravel::runForward(uint64_t stopAppInsts, bool stopOnEvent)
             return stopHere(StopReason::Step);
         replayPendingInterventions();
         bool fired = false;
-        stepUop(fired);
+        if (!bulkStep(0, stopAppInsts, fired))
+            stepUop(fired);
         maybeCheckpoint();
         if (fired && stopOnEvent)
             return stopHere(StopReason::Event,
@@ -522,9 +588,15 @@ TimeTravel::travelStep(uint64_t maxAppInsts, bool &done)
                (!budgetEnd || appInsts_ < budgetEnd)) {
             replayPendingInterventions();
             bool fired = false;
-            if (!stepUop(fired))
+            uint64_t bulk = bulkStep(travel_.targetTime, budgetEnd,
+                                     fired);
+            if (bulk) {
+                stats_.replayedUops += bulk;
+            } else if (stepUop(fired)) {
+                ++stats_.replayedUops;
+            } else {
                 break;
-            ++stats_.replayedUops;
+            }
             maybeCheckpoint();
         }
         if (time_ < travel_.targetTime) {
@@ -547,9 +619,17 @@ TimeTravel::travelStep(uint64_t maxAppInsts, bool &done)
            (!budgetEnd || appInsts_ < budgetEnd)) {
         replayPendingInterventions();
         bool fired = false;
-        if (!stepUop(fired))
+        uint64_t stopApp = travel_.targetInsts;
+        if (budgetEnd && (!stopApp || budgetEnd < stopApp))
+            stopApp = budgetEnd;
+        uint64_t bulk = bulkStep(0, stopApp, fired);
+        if (bulk) {
+            stats_.replayedUops += bulk;
+        } else if (stepUop(fired)) {
+            ++stats_.replayedUops;
+        } else {
             break;
-        ++stats_.replayedUops;
+        }
         maybeCheckpoint();
     }
     if (!halted_ && (appInsts_ < travel_.targetInsts || !atBoundary()))

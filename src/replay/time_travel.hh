@@ -230,6 +230,22 @@ class TimeTravel
     bool atBoundary() const;
     void ensureStream();
     bool stepUop(bool &firedEvent);
+    /** Pin any events the backend recorded since the last poll to the
+     *  current stream position (verifying against the known timeline
+     *  when replaying). Shared by stepUop() and bulkStep(). */
+    void pollEvents(bool &firedEvent);
+    /**
+     * Retire µops in bulk through the target's trace cache, stopping at
+     * whichever comes first: @p stopTime (absolute µop position, 0 =
+     * none), @p stopAppInsts (absolute app-instruction position at a
+     * boundary, 0 = none), the next pending intervention, the next
+     * checkpoint position, cfg_.maxAppInsts, an event, or a trace side
+     * exit. Returns the µops retired (0 = no trace applied; fall back
+     * to stepUop). Event pinning and position accounting are identical
+     * to the equivalent stepUop sequence.
+     */
+    uint64_t bulkStep(uint64_t stopTime, uint64_t stopAppInsts,
+                      bool &firedEvent);
     void takeCheckpoint();
     void maybeCheckpoint();
     size_t checkpointAtOrBefore(uint64_t time) const;

@@ -409,53 +409,63 @@ DebugSession::rebuildBegin()
         // A session stopped on an event sits mid-instruction (inside
         // the detecting expansion), below app-instruction resolution.
         size_t cur = tt.eventsSoFar();
-        if (!rebuild_.parkedAtHalt && cur > 0 &&
-            log.marks[cur - 1].time == tt.time()) {
-            rebuild_.parkedAtEvent = true;
-            rebuild_.parkMark = log.marks[cur - 1];
-            markDetail(rebuild_.parkMark, rebuild_.parkSessIdx,
-                       rebuild_.parkAddr);
-            for (size_t i = 0; i + 1 < cur; ++i) {
+        // Build a park goal from the last mark at or before index
+        // markIdx whose time is exactly @p time: the mark's identity
+        // plus its absolute occurrence among identical earlier marks.
+        auto makeGoal = [&](size_t markIdx) {
+            ParkGoal g;
+            g.mark = log.marks[markIdx];
+            markDetail(g.mark, g.sessIdx, g.addr);
+            for (size_t i = 0; i < markIdx; ++i) {
                 const EventMark &mk = log.marks[i];
-                if (mk.kind != rebuild_.parkMark.kind ||
-                    mk.pc != rebuild_.parkMark.pc ||
-                    mk.appInsts != rebuild_.parkMark.appInsts)
+                if (mk.kind != g.mark.kind || mk.pc != g.mark.pc ||
+                    mk.appInsts != g.mark.appInsts)
                     continue;
                 int si = -1;
                 Addr ad = 0;
                 markDetail(mk, si, ad);
-                if (si == rebuild_.parkSessIdx &&
-                    ad == rebuild_.parkAddr)
-                    ++rebuild_.parkOccurrence;
+                if (si == g.sessIdx && ad == g.addr)
+                    ++g.occurrence;
             }
+            return g;
+        };
+        if (!rebuild_.parkedAtHalt && cur > 0 &&
+            log.marks[cur - 1].time == tt.time()) {
+            rebuild_.parkedAtEvent = true;
+            rebuild_.finalPark = makeGoal(cur - 1);
         }
         for (size_t n = 0; n < log.interventions.size(); ++n) {
             const Intervention &iv = log.interventions[n];
             if (iv.time > tt.time())
                 break; // truncated future
             // A poke recorded at an INTERIOR event park (the client
-            // parked mid-expansion, poked, and then ran on) has no
-            // instrumentation-invariant coordinate: re-applying it at
-            // the enclosing boundary could change what the parked
-            // instruction's remaining µops read and silently fork the
-            // replay. Refuse the rebuild; pokes at the CURRENT park
-            // re-apply exactly (phase 3, after the park is re-found).
+            // parked mid-expansion, poked, and then ran on) sits below
+            // app-instruction resolution, so the replay must navigate
+            // to it the way it navigates to the current park: by the
+            // parked-on mark's identity and occurrence. Pokes at the
+            // CURRENT park re-apply in phase 3, after that park is
+            // re-found.
+            int parkIdx = -1;
             if (iv.atEventPark &&
                 !(rebuild_.parkedAtEvent && iv.time == tt.time())) {
-                refusal_ =
-                    "rebuild refused: journal entry #" +
-                    std::to_string(n) + " (" +
-                    interventionKindName(iv.kind) + " at t=" +
-                    std::to_string(iv.time) + ", " +
-                    std::to_string(iv.appInsts) +
-                    " insts) was recorded at an interior event park "
-                    "and has no instrumentation-invariant re-apply "
-                    "position; remove the spec instead, or re-travel "
-                    "to that park before enlarging the set";
-                rebuild_ = RebuildPlan{};
-                return false;
+                if (!rebuild_.parks.empty() &&
+                    rebuild_.parks.back().mark.time == iv.time) {
+                    // Another poke while parked at the same event.
+                    parkIdx = static_cast<int>(rebuild_.parks.size()) - 1;
+                } else {
+                    size_t mi = log.marks.size();
+                    for (size_t i = 0; i < log.marks.size(); ++i)
+                        if (log.marks[i].time == iv.time)
+                            mi = i; // last mark of the park's µop
+                    DISE_ASSERT(mi < log.marks.size(),
+                                "event-park intervention at t=",
+                                iv.time, " has no event mark");
+                    rebuild_.parks.push_back(makeGoal(mi));
+                    parkIdx = static_cast<int>(rebuild_.parks.size()) - 1;
+                }
             }
             rebuild_.journal.push_back(iv);
+            rebuild_.journalPark.push_back(parkIdx);
         }
     }
 
@@ -520,17 +530,74 @@ DebugSession::rebuildStep(uint64_t maxInsts)
         return true;
     };
 
-    // Phase 1: journal entries at their app-inst stamps. Entries
-    // recorded while parked on the final event stop wait for phase 3.
+    // Feed every mark the replay has produced since the last scan to
+    // every park goal. Matching marks only exist at a goal's own
+    // instruction, and the single monotone cursor means goals sharing
+    // an identity (two parks on the same instruction) count each mark
+    // exactly once between them.
+    auto scanMarks = [&]() {
+        const auto &marks = debugger_->replayLog().marks;
+        auto feed = [&](ParkGoal &g, const EventMark &mk) {
+            if (g.reached || mk.kind != g.mark.kind ||
+                mk.pc != g.mark.pc || mk.appInsts != g.mark.appInsts)
+                return;
+            int si = -1;
+            Addr ad = 0;
+            markDetail(mk, si, ad);
+            if (si != g.sessIdx || ad != g.addr)
+                return;
+            if (g.seen++ == g.occurrence)
+                g.reached = true;
+        };
+        for (; rebuild_.scanned < tt.eventsSoFar(); ++rebuild_.scanned) {
+            const EventMark &mk = marks[rebuild_.scanned];
+            for (ParkGoal &g : rebuild_.parks)
+                feed(g, mk);
+            if (rebuild_.parkedAtEvent)
+                feed(rebuild_.finalPark, mk);
+        }
+    };
+    // Run event to event until @p goal's occurrence shows up; the
+    // replay then sits parked on that event's µop, exactly where the
+    // original poke was recorded. Returns false on budget expiry.
+    auto runToPark = [&](ParkGoal &goal) {
+        while (!goal.reached) {
+            uint64_t chunk =
+                std::min<uint64_t>(budgetLeft(), uint64_t{1} << 30);
+            if (chunk == 0)
+                return false;
+            uint64_t before = tt.appInsts();
+            StopInfo stop = tt.contTo(tt.appInsts() + chunk);
+            used += tt.appInsts() - before;
+            scanMarks();
+            DISE_ASSERT(goal.reached ||
+                            stop.reason == StopReason::Event ||
+                            stop.reason == StopReason::Step,
+                        "rebuild replay lost its event position (",
+                        eventKindName(goal.mark.kind), " at pc=0x",
+                        std::hex, goal.mark.pc, std::dec, ", ",
+                        goal.mark.appInsts, " insts)");
+        }
+        return true;
+    };
+
+    // Phase 1: journal entries at their app-inst stamps — or, for
+    // entries recorded at an interior event park, at that park's
+    // re-found event. Entries recorded while parked on the final event
+    // stop wait for phase 3.
     while (rebuild_.nextJournal < rebuild_.journal.size()) {
         const Intervention &iv =
             rebuild_.journal[rebuild_.nextJournal];
-        if (rebuild_.parkedAtEvent && iv.atEventPark &&
-            iv.appInsts >= rebuild_.targetInsts)
-            break;
-        if (iv.appInsts > tt.appInsts() &&
-            !boundedStepi(iv.appInsts - tt.appInsts()))
+        int parkIdx = rebuild_.journalPark[rebuild_.nextJournal];
+        if (iv.atEventPark && parkIdx < 0)
+            break; // recorded at the final park: phase 3
+        if (parkIdx >= 0) {
+            if (!runToPark(rebuild_.parks[parkIdx]))
+                return false;
+        } else if (iv.appInsts > tt.appInsts() &&
+                   !boundedStepi(iv.appInsts - tt.appInsts())) {
             return false;
+        }
         applyJournalEntry(iv);
         ++rebuild_.nextJournal;
     }
@@ -549,53 +616,12 @@ DebugSession::rebuildStep(uint64_t maxInsts)
             used += tt.appInsts() - before;
         }
     } else if (rebuild_.parkedAtEvent) {
-        // Occurrence matching starts at the post-journal frontier
-        // (events crossed while re-applying the journal precede the
-        // positions the park occurrence count was taken over).
-        if (!rebuild_.scanInit) {
-            rebuild_.scanned = tt.eventsSoFar();
-            rebuild_.scanInit = true;
-        }
-        // Run event to event until the occurrence shows up; the new
-        // spec's own hits pass by (and get announced) on the way.
-        while (!rebuild_.parked) {
-            uint64_t chunk =
-                std::min<uint64_t>(budgetLeft(), uint64_t{1} << 30);
-            if (chunk == 0)
-                return false;
-            uint64_t before = tt.appInsts();
-            StopInfo stop = tt.contTo(tt.appInsts() + chunk);
-            used += tt.appInsts() - before;
-            const auto &marks = debugger_->replayLog().marks;
-            for (; rebuild_.scanned < tt.eventsSoFar();
-                 ++rebuild_.scanned) {
-                const EventMark &mk = marks[rebuild_.scanned];
-                if (mk.kind != rebuild_.parkMark.kind ||
-                    mk.pc != rebuild_.parkMark.pc ||
-                    mk.appInsts != rebuild_.parkMark.appInsts)
-                    continue;
-                // Same full identity (the owner translation works on
-                // the NEW maps here; session indices are stable).
-                int si = -1;
-                Addr ad = 0;
-                markDetail(mk, si, ad);
-                if (si != rebuild_.parkSessIdx ||
-                    ad != rebuild_.parkAddr)
-                    continue;
-                if (rebuild_.occurrence++ == rebuild_.parkOccurrence) {
-                    rebuild_.parked = true;
-                    break;
-                }
-            }
-            DISE_ASSERT(rebuild_.parked ||
-                            stop.reason == StopReason::Event ||
-                            stop.reason == StopReason::Step,
-                        "rebuild replay lost its event position (",
-                        eventKindName(rebuild_.parkMark.kind),
-                        " at pc=0x", std::hex, rebuild_.parkMark.pc,
-                        std::dec, ", ", rebuild_.parkMark.appInsts,
-                        " insts)");
-        }
+        // Run to the final park's occurrence; the new spec's own hits
+        // pass by (and get announced) on the way. (The owner
+        // translation works on the NEW maps here; session indices are
+        // stable.)
+        if (!runToPark(rebuild_.finalPark))
+            return false;
     } else if (rebuild_.targetInsts > tt.appInsts()) {
         if (!boundedStepi(rebuild_.targetInsts - tt.appInsts()))
             return false;

@@ -283,6 +283,21 @@ class DebugSession
         std::vector<int> installedBreakOwner;
     };
 
+    /** An event park the rebuild-replay must re-find on the rebuilt
+     *  timeline: the parked-on mark's instrumentation-invariant
+     *  identity (kind, pc, appInsts, owner, address) plus its absolute
+     *  occurrence index among identical marks of the old timeline.
+     *  `seen`/`reached` are replay-side scan state. */
+    struct ParkGoal
+    {
+        EventMark mark{};
+        int sessIdx = -1;
+        Addr addr = 0;
+        int occurrence = 0;
+        int seen = 0;
+        bool reached = false;
+    };
+
     /** Resumable state of a post-attach rebuild-replay. */
     struct RebuildPlan
     {
@@ -291,18 +306,19 @@ class DebugSession
         bool parkedAtEvent = false;
         bool parkedAtHalt = false;
         uint64_t targetInsts = 0;
-        EventMark parkMark{};
-        int parkOccurrence = 0;
-        int parkSessIdx = -1;
-        Addr parkAddr = 0;
+        /** The current (outermost) park, when parkedAtEvent. */
+        ParkGoal finalPark{};
+        /** Interior event parks holding journal entries, time order. */
+        std::vector<ParkGoal> parks;
         std::vector<Intervention> journal;
+        /** Journal-parallel: index into parks of the interior park the
+         *  entry was recorded at, or -1 (boundary / final park). */
+        std::vector<int> journalPark;
         size_t nextJournal = 0;
-        /** Event-occurrence scan cursor over the rebuilt timeline
-         *  (initialized once the journal is fully re-applied). */
+        /** Mark scan cursor over the rebuilt timeline; every scanned
+         *  mark feeds every goal's occurrence count, so goals sharing
+         *  an identity stay consistent. */
         size_t scanned = 0;
-        bool scanInit = false;
-        int occurrence = 0;
-        bool parked = false;
     };
 
     /** Position/digest anchors of an in-flight resurrection replay. */

@@ -781,38 +781,40 @@ TEST(DebugSession, PokeAtWatchStopWithoutStepping)
     EXPECT_EQ(session.readMemory(scratch, 1)[0], 0x99);
 
     // This timeline now holds a poke at an INTERIOR park (the first
-    // hit's, run past long ago). A machinery rebuild is refused for
-    // it: there is no instrumentation-invariant position to re-apply
-    // an interior mid-expansion poke at, and a silently forked replay
-    // would be worse than an error.
-    EXPECT_EQ(
-        session.setWatch(WatchSpec::scalar("x4", prog.symbol("x"), 4)),
-        -1);
-    // The refusal is typed and actionable: it names the offending
-    // journal entry (index, kind, stamp) and what to do about it.
-    const std::string &refusal = session.lastRefusal();
-    EXPECT_NE(refusal.find("rebuild refused"), std::string::npos)
-        << refusal;
-    EXPECT_NE(refusal.find("journal entry #"), std::string::npos)
-        << refusal;
-    EXPECT_NE(refusal.find("poke-memory"), std::string::npos) << refusal;
-    EXPECT_NE(refusal.find("t=" + std::to_string(hit.time)),
-              std::string::npos)
-        << refusal;
-    EXPECT_NE(refusal.find("interior event park"), std::string::npos)
-        << refusal;
+    // hit's, run past long ago). A machinery rebuild used to refuse
+    // it; now the replay navigates to the interior park by the parked
+    // mark's (kind, pc, appInsts, owner, address) occurrence and
+    // re-applies the poke there, so enlarging the spec set succeeds.
+    int x4 =
+        session.setWatch(WatchSpec::scalar("x4", prog.symbol("x"), 4));
+    EXPECT_GE(x4, 0) << session.lastRefusal();
+    EXPECT_TRUE(session.lastRefusal().empty());
+    // Back at the second hit's position, both pokes replayed in order.
+    EXPECT_EQ(session.stats().appInsts, hit2.appInsts);
+    EXPECT_EQ(session.readMemory(scratch, 1)[0], 0x99);
 
-    // The same refusal travels the wire as the unsupported detail.
+    // The interior poke re-applied at its exact position: the first
+    // boundary past the first hit sees 0xabcd (the interior poke,
+    // before the later 0x99 overwrote it), and a boundary before the
+    // watched store predates it.
+    session.reverseStep(hit2.appInsts - hit.appInsts);
+    EXPECT_LT(session.stats().appInsts, hit2.appInsts);
+    EXPECT_EQ(session.readMemory(scratch, 1)[0], 0xcd);
+    session.reverseStep(2);
+    EXPECT_LT(session.stats().appInsts, hit.appInsts);
+    EXPECT_EQ(session.readMemory(scratch, 1)[0], 0x00);
+
+    // Enlarging again over the wire (another rebuild, now with a
+    // boundary position) answers ok, not unsupported.
     Request setw;
     setw.kind = RequestKind::SetWatch;
     setw.seq = 10;
-    setw.watch = WatchSpec::scalar("x4", prog.symbol("x"), 4);
+    setw.watch = WatchSpec::scalar("x2", prog.symbol("x"), 2);
     Response rw;
     ASSERT_TRUE(
         decodeResponse(session.handleEncoded(encodeRequest(setw)), rw));
-    EXPECT_EQ(rw.status, ResponseStatus::Unsupported);
-    EXPECT_NE(rw.error.find("journal entry #"), std::string::npos)
-        << rw.error;
+    EXPECT_TRUE(rw.ok()) << rw.error;
+    EXPECT_EQ(session.readMemory(scratch, 1)[0], 0x00);
 
     // A session whose only park poke is at the CURRENT park rebuilds
     // fine: phase 3 re-applies it after re-finding the park.
