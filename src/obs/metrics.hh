@@ -49,6 +49,18 @@ uint64_t nowNs();
 uint64_t usSince(uint64_t startNs);
 
 /**
+ * Fold @p add into @p into by family name: counts, sums, and
+ * per-bucket tallies accumulate; families only present in @p add are
+ * appended. Used by the shard supervisor to merge per-worker
+ * ServerStats histograms into one fleet-wide view.
+ */
+void mergeHistogramSnapshots(std::vector<HistogramSnapshot> &into,
+                             const std::vector<HistogramSnapshot> &add);
+
+/** Mean of a snapshot in the family's native unit (0 when empty). */
+double histogramMean(const HistogramSnapshot &h);
+
+/**
  * Render snapshots as Prometheus text exposition format v0: for each
  * family a `# HELP` / `# TYPE ... histogram` header, cumulative
  * `_bucket{le="..."}` lines ending at `le="+Inf"`, then `_sum` and

@@ -1,7 +1,6 @@
 #include "replay/interval_replay.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 
 #include "common/logging.hh"
@@ -24,13 +23,14 @@ IntervalReplay::IntervalReplay(TimeTravel &tt, DebugTarget &live,
     DISE_ASSERT(!cps.empty(), "no checkpoints to replay from");
     // Cut the checkpoint list into `pieces` contiguous ranges of
     // near-equal length; the last range runs to the live position.
+    // With stealing on this is only the seed cut — idle workers
+    // re-split in-flight ranges at checkpoint granularity.
     size_t pieces =
         std::max<size_t>(1, std::min<size_t>(opts_.pieces, cps.size()));
     for (size_t p = 0; p < pieces; ++p) {
         size_t lo = p * cps.size() / pieces;
         size_t hi = (p + 1) * cps.size() / pieces;
         Interval iv;
-        iv.index = p;
         iv.cpFrom = lo;
         iv.cpTo = hi;
         iv.fromTime = cps[lo].time;
@@ -40,18 +40,118 @@ IntervalReplay::IntervalReplay(TimeTravel &tt, DebugTarget &live,
     }
 }
 
-std::unique_ptr<IntervalReplay::Worker>
-IntervalReplay::makeWorker(size_t idx) const
+std::unique_ptr<IntervalReplay::Pool>
+IntervalReplay::makePool() const
 {
-    DISE_ASSERT(idx < plan_.size(), "interval index out of range");
-    return std::unique_ptr<Worker>(new Worker(*this, idx));
+    return std::unique_ptr<Pool>(new Pool(*this));
+}
+
+// ----------------------------------------------------------------- pool
+
+IntervalReplay::Pool::Pool(const IntervalReplay &owner) : owner_(owner)
+{
+    for (const Interval &iv : owner_.plan_)
+        pending_.push_back(iv);
+}
+
+std::unique_ptr<IntervalReplay::Worker>
+IntervalReplay::Pool::claim()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Interval iv;
+    if (!pending_.empty()) {
+        iv = pending_.front();
+        pending_.pop_front();
+    } else if (owner_.opts_.steal) {
+        // Split the largest in-flight range: take its far half, from
+        // the midpoint of what the victim has not yet reached. The
+        // victim re-reads its end under this lock at every checkpoint
+        // boundary, so it stops exactly at the handoff.
+        auto victim = active_.end();
+        size_t best = 1; // a single checkpoint interval is not worth it
+        for (auto it = active_.begin(); it != active_.end(); ++it) {
+            size_t remaining = it->second.end - it->second.progress;
+            if (remaining > best) {
+                best = remaining;
+                victim = it;
+            }
+        }
+        if (victim == active_.end())
+            return nullptr; // nothing splittable left in flight
+        const auto &cps = owner_.tt_.checkpoints();
+        size_t mid = victim->second.progress + (best + 1) / 2;
+        iv.cpFrom = mid;
+        iv.cpTo = victim->second.end;
+        iv.fromTime = cps[mid].time;
+        iv.fromInsts = cps[mid].appInsts;
+        iv.toTime = iv.cpTo < cps.size() ? cps[iv.cpTo].time
+                                         : owner_.tt_.time();
+        iv.stolen = true;
+        victim->second.end = mid;
+        ++steals_;
+    } else {
+        return nullptr;
+    }
+    iv.index = nextIndex_++;
+    iv.slot = nextSlot_++;
+    active_[iv.slot] = Active{iv.cpFrom, iv.cpTo};
+    return std::unique_ptr<Worker>(new Worker(owner_, iv, this));
+}
+
+size_t
+IntervalReplay::Pool::checkpointReached(unsigned slot, size_t cp)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = active_.find(slot);
+    DISE_ASSERT(it != active_.end(), "boundary publish on a retired "
+                                     "pool slot");
+    it->second.progress = cp;
+    return it->second.end;
+}
+
+void
+IntervalReplay::Pool::complete(const Worker &w)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.erase(w.interval_.slot);
+    done_.push_back(w.interval_);
+}
+
+void
+IntervalReplay::Pool::abandon(const Worker &w, const std::string &error)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.erase(w.interval_.slot);
+    if (error_.empty())
+        error_ = "range [" + std::to_string(w.interval_.cpFrom) + "," +
+                 std::to_string(w.interval_.cpTo) + "): " + error;
+}
+
+std::vector<IntervalReplay::Interval>
+IntervalReplay::Pool::take()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return std::move(done_);
+}
+
+uint64_t
+IntervalReplay::Pool::steals() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return steals_;
+}
+
+const std::string &
+IntervalReplay::Pool::error() const
+{
+    return error_;
 }
 
 // --------------------------------------------------------------- worker
 
-IntervalReplay::Worker::Worker(const IntervalReplay &owner, size_t idx)
-    : owner_(owner), interval_(owner.plan_[idx]),
-      final_(idx + 1 == owner.plan_.size())
+IntervalReplay::Worker::Worker(const IntervalReplay &owner, Interval iv,
+                               Pool *pool)
+    : owner_(owner), interval_(iv), pool_(pool)
 {
 }
 
@@ -164,6 +264,7 @@ IntervalReplay::Worker::prepare()
 
     time_ = cp.time;
     appInsts_ = cp.appInsts;
+    nextCp_ = interval_.cpFrom + 1;
     seenWatch_ = cp.host.watchEvents;
     seenBreak_ = cp.host.breakEvents;
     seenProt_ = cp.host.protectionEvents;
@@ -217,6 +318,7 @@ IntervalReplay::Worker::step(uint64_t maxUops)
     TRACE_SPAN("replay", "ireplay.step");
     DISE_ASSERT(prepared_, "step() before prepare()");
     const auto &ivs = owner_.log_.interventions;
+    const auto &cps = owner_.tt_.checkpoints();
     uint64_t budget = maxUops ? maxUops : ~uint64_t{0};
 
     auto applyHere = [&] {
@@ -249,15 +351,30 @@ IntervalReplay::Worker::step(uint64_t maxUops)
         if (op.isAppInst())
             ++appInsts_;
         pollEvents();
+        // Checkpoint boundary: publish progress and honor a steal
+        // that shrank this range. A thief only ever takes checkpoints
+        // beyond the published progress, so the shrunk end is always
+        // still ahead — or exactly here, ending the range cleanly at
+        // the boundary it was cut at.
+        if (pool_ && nextCp_ < interval_.cpTo &&
+            time_ == cps[nextCp_].time) {
+            size_t end = pool_->checkpointReached(interval_.slot,
+                                                  nextCp_);
+            if (end != interval_.cpTo) {
+                interval_.cpTo = end;
+                interval_.toTime = cps[end].time;
+            }
+            ++nextCp_;
+        }
     }
     if (time_ < interval_.toTime)
         return false; // budget expired; call step() again
 
-    // The final interval ends at the live position, where same-time
+    // The final chunk ends at the live position, where same-time
     // interventions were applied live (and are part of the live
-    // digest). Interior intervals leave them to their successor's
+    // digest). Interior chunks leave them to their successor's
     // first µop, matching the checkpoint-restore convention.
-    if (final_)
+    if (interval_.cpTo == cps.size())
         applyHere();
     interval_.endDigest = stateDigest(*target_, debugger_->backend());
     return true;
@@ -268,48 +385,47 @@ IntervalReplay::Worker::step(uint64_t maxUops)
 IntervalReplay::Report
 IntervalReplay::run(unsigned workers) const
 {
-    std::vector<Interval> results(plan_.size());
-    std::vector<std::string> errors(plan_.size());
-    std::atomic<size_t> next{0};
+    Pool pool(*this);
     auto work = [&] {
         for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= plan_.size())
+            std::unique_ptr<Worker> w = pool.claim();
+            if (!w)
                 return;
             try {
-                std::unique_ptr<Worker> w = makeWorker(i);
                 w->prepare();
                 while (!w->step(opts_.sliceUops)) {
                 }
-                results[i] = w->result();
+                pool.complete(*w);
             } catch (const std::exception &e) {
-                errors[i] = e.what();
-                results[i] = plan_[i];
+                pool.abandon(*w, e.what());
             }
         }
     };
 
+    // More threads than checkpoints can never all find work; beyond
+    // that, stealing lets any worker count profit from any cut.
     unsigned n = std::max<size_t>(
-        1, std::min<size_t>(workers ? workers : 1, plan_.size()));
+        1, std::min<size_t>(workers ? workers : 1,
+                            tt_.checkpoints().size()));
     if (n == 1) {
         work();
     } else {
-        std::vector<std::thread> pool;
+        std::vector<std::thread> pool_threads;
         for (unsigned i = 0; i < n; ++i)
-            pool.emplace_back(work);
-        for (auto &t : pool)
+            pool_threads.emplace_back(work);
+        for (auto &t : pool_threads)
             t.join();
     }
 
-    Report r = stitch(std::move(results));
+    uint64_t steals = pool.steals();
+    std::string err = pool.error();
+    Report r = stitch(pool.take());
     r.workers = n;
-    for (size_t i = 0; i < errors.size(); ++i) {
-        if (!errors[i].empty()) {
-            r.ok = false;
-            if (r.error.empty())
-                r.error = "interval " + std::to_string(i) + ": " +
-                          errors[i];
-        }
+    r.steals = steals;
+    if (!err.empty()) {
+        r.ok = false;
+        if (r.error.empty())
+            r.error = err;
     }
     return r;
 }
@@ -319,24 +435,44 @@ IntervalReplay::stitch(std::vector<Interval> results) const
 {
     Report r;
     r.intervals = std::move(results);
+    std::sort(r.intervals.begin(), r.intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.cpFrom < b.cpFrom;
+              });
     r.liveDigest = stateDigest(live_, liveBackend_);
     r.ok = !r.intervals.empty();
+    const size_t cpCount = tt_.checkpoints().size();
     for (size_t i = 0; i < r.intervals.size(); ++i) {
         const Interval &iv = r.intervals[i];
         r.uopsReplayed += iv.uopsReplayed;
         r.marksVerified += iv.marksVerified;
-        // Deterministic stitch: each interval must end exactly where
+        // Full coverage: the sorted chunks must tile the checkpoint
+        // list exactly, whatever mix of planned and stolen ranges
+        // executed them.
+        size_t wantFrom = i == 0 ? 0 : r.intervals[i - 1].cpTo;
+        if (iv.cpFrom != wantFrom) {
+            r.ok = false;
+            if (r.error.empty())
+                r.error = "coverage gap before checkpoint " +
+                          std::to_string(iv.cpFrom);
+        }
+        // Deterministic stitch: each chunk must end exactly where
         // the next one starts.
         if (i + 1 < r.intervals.size() &&
             iv.endDigest != r.intervals[i + 1].startDigest) {
             r.ok = false;
             if (r.error.empty())
-                r.error = "stitch mismatch between intervals " +
+                r.error = "stitch mismatch between chunks " +
                           std::to_string(i) + " and " +
                           std::to_string(i + 1);
         }
     }
     if (!r.intervals.empty()) {
+        if (r.intervals.back().cpTo != cpCount) {
+            r.ok = false;
+            if (r.error.empty())
+                r.error = "coverage ends before the live position";
+        }
         r.finalDigest = r.intervals.back().endDigest;
         if (r.finalDigest != r.liveDigest) {
             r.ok = false;

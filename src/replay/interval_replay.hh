@@ -16,11 +16,21 @@
  *
  * Fanned out across workers this turns an O(trace) serial
  * reconstruction into O(trace/workers) wall time; the results are
- * stitched deterministically by digest: interval k's end-state digest
- * must equal interval k+1's start-state digest, and the final
- * interval's end digest must equal the live session's digest
- * bit-for-bit. Any mismatch means determinism was broken — the whole
- * point of running the reconstruction.
+ * stitched deterministically by digest: chunk k's end-state digest
+ * must equal the start-state digest of the chunk that begins at k's
+ * last checkpoint, and the final chunk's end digest must equal the
+ * live session's digest bit-for-bit. Any mismatch means determinism
+ * was broken — the whole point of running the reconstruction.
+ *
+ * Work distribution is dynamic: claimed ranges live in a shared Pool,
+ * and an idle worker with no pending range left *steals* the far half
+ * of the largest in-flight range. The victim publishes its checkpoint
+ * progress at every boundary crossing and re-reads its (possibly
+ * shrunk) end under the pool lock at the same point, so a steal is
+ * race-free: the thief only ever takes checkpoints the victim has not
+ * reached, and both sides agree on the handoff boundary exactly. This
+ * is what lets W workers profit from any initial cut — including
+ * workers > pieces, where static assignment used to leave cores idle.
  *
  * Workers read the live session (checkpoints, marks, interventions,
  * memory pages) strictly read-only, so any number of them may run
@@ -32,8 +42,11 @@
 #ifndef DISE_REPLAY_INTERVAL_REPLAY_HH
 #define DISE_REPLAY_INTERVAL_REPLAY_HH
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,20 +74,28 @@ class IntervalReplay
         /** µops per step() call in run() (preemption grain). */
         uint64_t sliceUops = 250000;
         /**
-         * How many independent pieces to cut the timeline into. Each
-         * piece is a contiguous RANGE of checkpoint intervals replayed
-         * by one worker — coarse enough that replica setup and digest
-         * cost amortize, fine enough to fan out. The piece boundaries
-         * (not the worker count) determine the digest chain, so runs
-         * with different worker counts stay comparable.
+         * How many ranges to cut the timeline into up front. Each
+         * range is a contiguous run of checkpoint intervals — coarse
+         * enough that replica setup and digest cost amortize, fine
+         * enough to fan out. With stealing on this is only the seed
+         * cut; idle workers split in-flight ranges further.
          */
         unsigned pieces = 8;
+        /**
+         * Dynamic work-stealing: an idle worker splits the largest
+         * remaining in-flight range instead of going idle. Off =
+         * static assignment (the pre-stealing behavior, kept for
+         * benchmarking the difference).
+         */
+        bool steal = true;
     };
 
-    /** One timeline piece (a run of checkpoint intervals). */
+    /** One executed chunk (a run of checkpoint intervals). */
     struct Interval
     {
-        size_t index = 0;
+        size_t index = 0;       ///< claim order
+        unsigned slot = 0;      ///< pool slot that executed it
+        bool stolen = false;    ///< carved from an in-flight range
         size_t cpFrom = 0;      ///< first checkpoint of the range
         size_t cpTo = 0;        ///< one past the last checkpoint
         uint64_t fromTime = 0;  ///< starting checkpoint's µop position
@@ -92,11 +113,12 @@ class IntervalReplay
         bool ok = false;
         std::string error;
         unsigned workers = 0;
+        uint64_t steals = 0;      ///< ranges split off in-flight work
         uint64_t liveDigest = 0;  ///< the session's own digest
-        uint64_t finalDigest = 0; ///< last interval's end digest
+        uint64_t finalDigest = 0; ///< last chunk's end digest
         uint64_t uopsReplayed = 0;
         size_t marksVerified = 0;
-        std::vector<Interval> intervals;
+        std::vector<Interval> intervals; ///< sorted by cpFrom
     };
 
     IntervalReplay(TimeTravel &tt, DebugTarget &live,
@@ -106,13 +128,17 @@ class IntervalReplay
     size_t intervalCount() const { return plan_.size(); }
     const Options &options() const { return opts_; }
 
+    class Pool;
+
     /**
-     * One interval's share-nothing worker. prepare() builds the
-     * replica and materializes the interval's start state (throws on a
-     * factory failure or a start-state mismatch); step() replays a
-     * bounded chunk and returns true once the interval is complete
-     * (throws on replay divergence). Workers of different intervals
-     * are fully independent.
+     * A share-nothing worker for one claimed range. prepare() builds
+     * the replica and materializes the range's start state (throws on
+     * a factory failure or a start-state mismatch); step() replays a
+     * bounded chunk and returns true once the range is complete
+     * (throws on replay divergence). While stepping, the worker
+     * publishes checkpoint progress to its pool at every boundary
+     * crossing and honors steals that shrink its end. Workers of
+     * different ranges are fully independent.
      */
     class Worker
     {
@@ -124,14 +150,15 @@ class IntervalReplay
 
       private:
         friend class IntervalReplay;
-        Worker(const IntervalReplay &owner, size_t idx);
+        friend class Pool;
+        Worker(const IntervalReplay &owner, Interval iv, Pool *pool);
 
         void applyProduction(const Intervention &iv);
         void pollEvents();
 
         const IntervalReplay &owner_;
         Interval interval_;
-        bool final_ = false;
+        Pool *pool_ = nullptr;
         bool prepared_ = false;
 
         std::unique_ptr<DebugTarget> target_;
@@ -140,6 +167,7 @@ class IntervalReplay
 
         uint64_t time_ = 0;
         uint64_t appInsts_ = 0;
+        size_t nextCp_ = 0; ///< next checkpoint boundary to publish
         size_t nextIntervention_ = 0;
         size_t markCursor_ = 0;
         size_t seenWatch_ = 0, seenBreak_ = 0, seenProt_ = 0;
@@ -150,15 +178,65 @@ class IntervalReplay
         MicroOp scratchOp_{};
     };
 
-    std::unique_ptr<Worker> makeWorker(size_t idx) const;
+    /**
+     * The shared work queue one reconstruction drains. claim() hands
+     * out the next pending range — or, when stealing is on and the
+     * queue is dry, splits the largest in-flight range — and returns
+     * nullptr once no further parallel work can be extracted. Safe to
+     * call from any number of threads or scheduler jobs.
+     */
+    class Pool
+    {
+      public:
+        /** Next range to execute, or nullptr when drained. */
+        std::unique_ptr<Worker> claim();
+        /** Record a finished worker's chunk. */
+        void complete(const Worker &w);
+        /** Record a worker that died mid-range (leaves a gap). */
+        void abandon(const Worker &w, const std::string &error);
+        /** All completed chunks (call after the workers are done). */
+        std::vector<Interval> take();
+        uint64_t steals() const;
+        const std::string &error() const;
+
+      private:
+        friend class IntervalReplay;
+        friend class Worker;
+        explicit Pool(const IntervalReplay &owner);
+
+        /** Victim-side boundary publish: records that @p slot reached
+         *  checkpoint @p cp and returns its current (possibly stolen-
+         *  from) end. */
+        size_t checkpointReached(unsigned slot, size_t cp);
+
+        struct Active
+        {
+            size_t progress; ///< last checkpoint boundary reached
+            size_t end;      ///< one past the last owned checkpoint
+        };
+
+        const IntervalReplay &owner_;
+        mutable std::mutex mu_;
+        std::deque<Interval> pending_;
+        std::map<unsigned, Active> active_;
+        std::vector<Interval> done_;
+        unsigned nextSlot_ = 0;
+        size_t nextIndex_ = 0;
+        uint64_t steals_ = 0;
+        std::string error_;
+    };
+
+    /** A fresh pool over the full timeline cut. */
+    std::unique_ptr<Pool> makePool() const;
 
     /**
-     * Reconstruct every interval on @p workers threads (1 = serial)
-     * and stitch. Worker errors land in the report, never throw.
+     * Reconstruct the whole timeline on @p workers threads (1 =
+     * serial) with dynamic stealing and stitch. Worker errors land in
+     * the report, never throw.
      */
     Report run(unsigned workers) const;
 
-    /** Digest-chain verification of externally driven workers. */
+    /** Digest-chain + coverage verification of executed chunks. */
     Report stitch(std::vector<Interval> results) const;
 
   private:

@@ -483,13 +483,15 @@ RspConnection::handlePacket(const std::string &p)
     };
 
     // While a non-stop job is in flight the session belongs to the
-    // scheduler worker driving it: refuse mutating packets until the
-    // %Stop lands (queries, stop polls, and detach stay available —
-    // that is what keeps the connection responsive). Read-only peeks
-    // (`g`/`p`/`m`) and monitor tool verbs DO pass: they take the
-    // peek lock, which parks them at the job's next slice boundary,
-    // so gdb can watch registers, memory and sanitizer findings live
-    // while the target runs.
+    // scheduler worker driving it: resume packets are refused until
+    // the %Stop lands (queries, stop polls, and detach stay available
+    // — that is what keeps the connection responsive). Slice-atomic
+    // packets DO pass: read peeks (`g`/`p`/`m`), monitor tool verbs,
+    // and write-class packets (`G`/`M`/`P` pokes, `Z`/`z` break- and
+    // watchpoint edits) all take the peek lock, which parks them at
+    // the job's next slice boundary — so gdb can watch registers live
+    // AND plant a breakpoint or patch memory while the target runs,
+    // exactly like stock gdbserver's non-stop mode.
     std::unique_lock<std::mutex> peek; // held across the dispatch below
     if (nonStop_) {
         bool busy = false;
@@ -503,6 +505,12 @@ RspConnection::handlePacket(const std::string &p)
               case 'g':
               case 'p':
               case 'm':
+              case 'G':
+              case 'M':
+              case 'P':
+              case 'X':
+              case 'Z':
+              case 'z':
                 needsPeekLock = true;
                 break;
               case 'q':

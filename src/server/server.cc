@@ -12,9 +12,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/hex.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "persist/image.hh"
 #include "rsp/server.hh"
 
 namespace dise::server {
@@ -109,7 +111,9 @@ struct DebugServer::WireConn
 DebugServer::DebugServer(DebugServerOptions opts,
                          SessionManager::ProgramFactory factory)
     : opts_(opts),
-      manager_({opts.maxSessions, opts.session}, std::move(factory)),
+      manager_({opts.maxSessions, opts.session, opts.idStart,
+                opts.idStride},
+               std::move(factory)),
       sched_({opts.slots, opts.sliceInsts, opts.faults})
 {
 }
@@ -406,9 +410,11 @@ DebugServer::driveSpecJob(ManagedSession &s, const Request &req)
 
 /**
  * Interval-parallel replay as sibling jobs: one preemptible job per
- * checkpoint interval, fanned out across the scheduler's workers
- * (share-nothing replicas, read-only against the live session), then
- * stitched deterministically by digest.
+ * scheduler worker, each repeatedly claiming checkpoint ranges from a
+ * shared work-stealing pool (share-nothing replicas, read-only
+ * against the live session), then stitched deterministically by
+ * digest. An idle job splits the largest in-flight range, so every
+ * scheduler worker stays busy regardless of the seed cut.
  */
 Response
 DebugServer::driveReplayVerify(ManagedSession &s, const Request &req)
@@ -433,33 +439,40 @@ DebugServer::driveReplayVerify(ManagedSession &s, const Request &req)
                         "first, and batch runs cannot be "
                         "reconstructed)");
 
-    struct WorkerJob
+    struct PoolJob
     {
         std::unique_ptr<IntervalReplay::Worker> w;
         bool prepared = false;
     };
-    size_t n = ir->intervalCount();
-    std::vector<IntervalReplay::Interval> results(n);
+    std::shared_ptr<IntervalReplay::Pool> pool = ir->makePool();
+    size_t n = std::max<size_t>(
+        1, std::min<size_t>(sched_.workers(), ir->intervalCount()));
     std::vector<JobScheduler::TicketPtr> tickets;
     for (size_t i = 0; i < n; ++i) {
-        auto wj = std::make_shared<WorkerJob>();
-        wj->w = ir->makeWorker(i);
-        tickets.push_back(sched_.submit([wj, &results, &s,
-                                         i](uint64_t slice) {
+        auto pj = std::make_shared<PoolJob>();
+        tickets.push_back(sched_.submit([pj, pool, &s](uint64_t slice) {
             if (s.closing.load(std::memory_order_acquire))
                 throw std::runtime_error("session destroyed");
-            if (!wj->prepared) {
+            if (!pj->w) {
+                pj->w = pool->claim();
+                if (!pj->w)
+                    return true; // pool drained; job done
+                pj->prepared = false;
+                return false;
+            }
+            if (!pj->prepared) {
                 // Materializing the start state is its own slice.
-                wj->w->prepare();
-                wj->prepared = true;
+                pj->w->prepare();
+                pj->prepared = true;
                 return false;
             }
             // The scheduler's grain is app-instructions; replay
             // slices meter µops (≈4 per instrumented instruction).
-            if (!wj->w->step(slice * 4))
+            if (!pj->w->step(slice * 4))
                 return false;
-            results[i] = wj->w->result();
-            return true;
+            pool->complete(*pj->w);
+            pj->w.reset();
+            return false; // claim the next range next slice
         }));
     }
     bool ok = true;
@@ -475,12 +488,13 @@ DebugServer::driveReplayVerify(ManagedSession &s, const Request &req)
     s.jobs.fetch_add(tickets.size(), std::memory_order_relaxed);
     if (!ok)
         return errorOut(err);
-    IntervalReplay::Report rep = ir->stitch(std::move(results));
+    IntervalReplay::Report rep = ir->stitch(pool->take());
     if (!rep.ok)
         return errorOut(rep.error.empty()
                             ? "replay verification failed"
                             : rep.error);
     resp.value = rep.finalDigest;
+    resp.index = static_cast<int64_t>(pool->steals());
     for (const IntervalReplay::Interval &iv : rep.intervals)
         resp.regs.push_back(iv.endDigest);
     return resp;
@@ -512,6 +526,13 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         return resp;
       }
       case RequestKind::SessionSelect: {
+        // session=0 deselects: the connection drops its reference so
+        // the session counts idle again (migration/hibernate need
+        // this without hanging up the control connection).
+        if (!req.session) {
+            sel.reset();
+            return resp;
+        }
         // find() transparently resurrects a hibernated id; a typed
         // resurrection/quarantine error surfaces to the client.
         std::string err;
@@ -597,6 +618,62 @@ DebugServer::handleWire(const Request &req, WireConn &conn)
         resp.value = digest;
         return resp;
       }
+      case RequestKind::SessionExport: {
+        // Migration source half: extract the session as a portable
+        // image (hex in text=) and forget it. The digest rides in
+        // value= so the adopting shard's replay can be cross-checked
+        // end to end.
+        uint64_t id = req.session ? req.session : (sel ? sel->id : 0);
+        if (!id)
+            return errorOut("no session selected");
+        if (opts_.faults &&
+            opts_.faults->shouldFail(
+                persist::FaultInjector::Site::MigrateExport))
+            return errorOut("injected fault: migrate-export");
+        // Our own selection reference would count the session busy.
+        bool wasSelected = sel && sel->id == id;
+        if (wasSelected)
+            sel.reset();
+        persist::SessionImage img;
+        std::string err;
+        if (!manager_.extract(id, img, &err)) {
+            if (wasSelected)
+                sel = manager_.find(id);
+            return errorOut(err);
+        }
+        resp.value = img.digest;
+        resp.text = bytesToHex(persist::encodeImage(img));
+        return resp;
+      }
+      case RequestKind::SessionAdopt: {
+        // Migration target half: decode, rebuild, and digest-verified
+        // replay the image into this server's table.
+        if (opts_.faults &&
+            opts_.faults->shouldFail(
+                persist::FaultInjector::Site::MigrateAdopt))
+            return errorOut("injected fault: migrate-adopt");
+        std::vector<uint8_t> bytes;
+        if (!hexToBytes(req.data, bytes))
+            return errorOut("bad image encoding (expected hex)");
+        persist::SessionImage img;
+        std::string detail;
+        persist::ImageErr ie = persist::decodeImage(bytes, img, &detail);
+        if (ie != persist::ImageErr::None)
+            return errorOut(std::string("bad image: ") +
+                            persist::imageErrName(ie) +
+                            (detail.empty() ? "" : ": " + detail));
+        std::string err;
+        ManagedSessionPtr ms = manager_.adopt(img, &err);
+        if (!ms)
+            return errorOut(err);
+        resp.value = ms->id;
+        return resp;
+      }
+      case RequestKind::SessionMigrate:
+      case RequestKind::ShardStats:
+        return errorOut(
+            "this server is not sharded (shard verbs are handled by "
+            "the shard supervisor)");
       case RequestKind::StoreStats: {
         if (!store_)
             return errorOut(
@@ -750,8 +827,10 @@ DebugServer::serveWire(int fd)
         if (n <= 0)
             break;
         buf.append(chunk, static_cast<size_t>(n));
-        // A hostile peer must not grow the buffer without bound.
-        if (buf.size() > (1u << 20))
+        // A hostile peer must not grow the buffer without bound. The
+        // cap leaves room for a session-adopt payload (a hex-encoded
+        // SessionImage of a long-lived session runs to megabytes).
+        if (buf.size() > (8u << 20))
             break;
         size_t nl;
         bool dead = false;

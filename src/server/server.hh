@@ -72,6 +72,11 @@ struct DebugServerOptions
     /** When set, every store filesystem primitive and every scheduler
      *  slice boundary consults it (chaos testing). Not owned. */
     persist::FaultInjector *faults = nullptr;
+    /** Session-id minting lattice: shard worker k of N runs with
+     *  idStart=k+1, idStride=N so sibling shards mint disjoint ids
+     *  with no coordination (see SessionManagerOptions). */
+    uint64_t idStart = 1;
+    uint64_t idStride = 1;
 };
 
 class DebugServer

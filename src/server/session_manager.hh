@@ -203,6 +203,13 @@ struct SessionManagerOptions
     unsigned maxSessions = 8;
     /** Template for new sessions (backend overridden per create). */
     SessionOptions session{};
+    /** First id this manager mints and the step between minted ids.
+     *  A sharded server gives worker k idStart=k+1, idStride=N so the
+     *  shards create disjoint ids with no coordination (adopted /
+     *  migrated-in ids may break the residue; minting skips past
+     *  them while keeping it). */
+    uint64_t idStart = 1;
+    uint64_t idStride = 1;
 };
 
 class SessionManager
@@ -277,6 +284,21 @@ class SessionManager
     void touch(ManagedSession &ms);
     ///@}
 
+    /** @name Live migration (sharded servers)
+     * extract() serializes an idle session out of this manager — same
+     * idle checks as hibernate(), but the image leaves in memory and
+     * the session (plus any on-disk artifact) is gone from this shard
+     * on success. adopt() is the other half: rebuild + digest-verified
+     * replay from a wire-carried image, admitted under the cap and
+     * re-persisted to this shard's store so a crash right after the
+     * migration still recovers it. Both fail with no state change. */
+    ///@{
+    bool extract(uint64_t id, persist::SessionImage &img,
+                 std::string *err = nullptr);
+    ManagedSessionPtr adopt(const persist::SessionImage &img,
+                            std::string *err = nullptr);
+    ///@}
+
     /** Admission counters + per-session rollups (live + retired).
      *  Never blocks on a running session. */
     ServerStats stats() const;
@@ -284,6 +306,9 @@ class SessionManager
   private:
     ManagedSessionPtr resurrect(uint64_t id, std::string *err);
     bool exportToStore(ManagedSession &ms, std::string *err);
+    /** Bump nextId_ past @p id, preserving the idStart residue. Call
+     *  with mu_ held. */
+    void reserveIdLocked(uint64_t id);
     /** Pick the LRU evictable victim id not in @p tried (0 = none).
      *  Call with mu_ held. */
     uint64_t victimLocked(const std::set<uint64_t> &tried) const;
@@ -308,6 +333,8 @@ class SessionManager
     uint64_t peak_ = 0;
     uint64_t evictions_ = 0;
     uint64_t resurrections_ = 0;
+    uint64_t migratedIn_ = 0;
+    uint64_t migratedOut_ = 0;
     // Totals folded in from destroyed (or hibernated) sessions.
     uint64_t retiredUops_ = 0;
     uint64_t retiredInsts_ = 0;

@@ -1024,7 +1024,7 @@ DebugSession::runToEvent(uint64_t n)
 }
 
 std::unique_ptr<IntervalReplay>
-DebugSession::beginIntervalReplay()
+DebugSession::beginIntervalReplay(unsigned pieces, bool steal)
 {
     if (!attached() || !debugger_->timeTraveling() || batchRan_)
         return nullptr;
@@ -1042,16 +1042,21 @@ DebugSession::beginIntervalReplay()
             d = std::move(m.debugger);
             return true;
         };
+    IntervalReplay::Options opts;
+    if (pieces)
+        opts.pieces = pieces;
+    opts.steal = steal;
     return std::make_unique<IntervalReplay>(
         debugger_->timeTravel(), *target_, debugger_->backend(),
-        debugger_->replayLog(), std::move(factory),
-        IntervalReplay::Options{});
+        debugger_->replayLog(), std::move(factory), opts);
 }
 
 IntervalReplay::Report
-DebugSession::verifyReplay(unsigned workers)
+DebugSession::verifyReplay(unsigned workers, unsigned pieces,
+                           bool steal)
 {
-    std::unique_ptr<IntervalReplay> ir = beginIntervalReplay();
+    std::unique_ptr<IntervalReplay> ir =
+        beginIntervalReplay(pieces, steal);
     if (!ir) {
         IntervalReplay::Report r;
         r.error = "no replayable timeline (attach and run first, and "
@@ -1754,6 +1759,10 @@ DebugSession::dispatch(const Request &req)
       case RequestKind::TraceStop:
       case RequestKind::TraceDump:
       case RequestKind::Metrics:
+      case RequestKind::SessionMigrate:
+      case RequestKind::ShardStats:
+      case RequestKind::SessionExport:
+      case RequestKind::SessionAdopt:
         return errorOut("session management verbs are handled by the "
                         "multi-session server, not a session");
     }

@@ -153,11 +153,15 @@ class DebugSession
      * equal digest() bit-for-bit — the determinism proof a client can
      * ask for over the wire (replay-verify).
      */
-    IntervalReplay::Report verifyReplay(unsigned workers);
+    IntervalReplay::Report verifyReplay(unsigned workers,
+                                        unsigned pieces = 0,
+                                        bool steal = true);
     /** The underlying plan, for callers that schedule the interval
-     *  workers themselves (the server fans them out as sibling jobs).
-     *  Null when there is no replayable timeline. */
-    std::unique_ptr<IntervalReplay> beginIntervalReplay();
+     *  workers themselves (the server fans them out as sibling jobs
+     *  over a shared work-stealing pool). pieces = 0 keeps the default
+     *  seed cut. Null when there is no replayable timeline. */
+    std::unique_ptr<IntervalReplay> beginIntervalReplay(
+        unsigned pieces = 0, bool steal = true);
 
     /** Position-only stop record for the current state (reports an
      *  interrupted job's landing point). */

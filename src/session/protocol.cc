@@ -58,6 +58,10 @@ constexpr KindToken kRequestTokens[] = {
     {RequestKind::ToolDisable, "tool-disable"},
     {RequestKind::ToolList, "tool-list"},
     {RequestKind::ToolReport, "tool-report"},
+    {RequestKind::SessionMigrate, "session-migrate"},
+    {RequestKind::ShardStats, "shard-stats"},
+    {RequestKind::SessionExport, "session-export"},
+    {RequestKind::SessionAdopt, "session-adopt"},
 };
 
 struct BackendToken
@@ -459,10 +463,21 @@ encodeRequest(const Request &req)
       case RequestKind::SessionCreate:
         w.str("name", req.name);
         w.str("backend", backendToken(req.backend));
+        if (req.shard >= 0)
+            w.snum("shard", req.shard);
         break;
       case RequestKind::SessionSelect:
       case RequestKind::SessionDestroy:
+      case RequestKind::SessionExport:
         w.num("session", req.session);
+        break;
+      case RequestKind::SessionMigrate:
+        w.num("session", req.session);
+        if (req.shard >= 0)
+            w.snum("shard", req.shard);
+        break;
+      case RequestKind::SessionAdopt:
+        w.str("data", req.data);
         break;
       case RequestKind::SessionHibernate:
       case RequestKind::SessionPersist:
@@ -593,12 +608,23 @@ decodeRequest(const std::string &line, Request &req, std::string *err)
         std::string tok = r.raw("backend");
         if (!tok.empty() && !parseBackendToken(tok, req.backend))
             return fail(err, "unknown backend '" + tok + "'");
+        r.snum("shard", req.shard); // optional: balancer picks
         break;
       }
       case RequestKind::SessionSelect:
       case RequestKind::SessionDestroy:
+      case RequestKind::SessionExport:
         if (!r.num("session", req.session))
             return fail(err, "session verb needs session=");
+        break;
+      case RequestKind::SessionMigrate:
+        if (!r.num("session", req.session))
+            return fail(err, "session-migrate needs session=");
+        r.snum("shard", req.shard); // optional: balancer picks
+        break;
+      case RequestKind::SessionAdopt:
+        if (!r.str("data", req.data) || req.data.empty())
+            return fail(err, "session-adopt needs data=");
         break;
       case RequestKind::SessionHibernate:
       case RequestKind::SessionPersist:
@@ -759,6 +785,8 @@ encodeResponse(const Response &resp)
         w.num("sv.resurrections", resp.server.resurrections);
         w.num("sv.quarantined", resp.server.quarantined);
         w.num("sv.faults", resp.server.faultsInjected);
+        w.num("sv.migin", resp.server.migratedIn);
+        w.num("sv.migout", resp.server.migratedOut);
         // One key per latency family: hist.<name>=count:sum:b0,b1,...
         // (digits, ':' and ',' pass the escaper untouched; unknown
         // keys are ignored by older decoders).
@@ -792,6 +820,25 @@ encodeResponse(const Response &resp)
         w.num("ps.erases", resp.store.erases);
         w.num("ps.quarantined", resp.store.quarantined);
         w.num("ps.orphans", resp.store.orphansRemoved);
+    }
+    // One key per shard, same dotted-family scheme as hist./tool.:
+    // shard.<index>=<pid>:<sessions>:<hibernated>:<jobs>:<uops>:
+    // <appInsts>:<queueWaitMeanUs>:<restarts>:<migratedIn>:
+    // <migratedOut>.
+    for (const ShardStatsRow &sh : resp.shards) {
+        std::string key = "shard." + std::to_string(sh.index);
+        std::string val =
+            std::to_string(sh.pid) + ':' +
+            std::to_string(sh.sessions) + ':' +
+            std::to_string(sh.hibernated) + ':' +
+            std::to_string(sh.jobs) + ':' +
+            std::to_string(sh.totalUops) + ':' +
+            std::to_string(sh.appInsts) + ':' +
+            std::to_string(sh.queueWaitMeanUs) + ':' +
+            std::to_string(sh.restarts) + ':' +
+            std::to_string(sh.migratedIn) + ':' +
+            std::to_string(sh.migratedOut);
+        w.str(key.c_str(), val);
     }
     return w.str();
 }
@@ -877,6 +924,8 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("sv.resurrections", resp.server.resurrections);
         r.num("sv.quarantined", resp.server.quarantined);
         r.num("sv.faults", resp.server.faultsInjected);
+        r.num("sv.migin", resp.server.migratedIn);
+        r.num("sv.migout", resp.server.migratedOut);
         bool histsOk = true;
         r.forEachWithPrefix(
             "hist.", [&](const std::string &key, const std::string &raw) {
@@ -942,6 +991,39 @@ decodeResponse(const std::string &line, Response &resp, std::string *err)
         r.num("ps.quarantined", resp.store.quarantined);
         r.num("ps.orphans", resp.store.orphansRemoved);
     }
+    bool shardsOk = true;
+    r.forEachWithPrefix(
+        "shard.", [&](const std::string &key, const std::string &raw) {
+            ShardStatsRow sh;
+            char *end = nullptr;
+            const char *idx = key.c_str() + 6;
+            sh.index = std::strtoull(idx, &end, 10);
+            if (end == idx || *end != '\0') {
+                shardsOk = false;
+                return;
+            }
+            uint64_t *fields[] = {&sh.pid, &sh.sessions,
+                                  &sh.hibernated, &sh.jobs,
+                                  &sh.totalUops, &sh.appInsts,
+                                  &sh.queueWaitMeanUs, &sh.restarts,
+                                  &sh.migratedIn, &sh.migratedOut};
+            constexpr size_t n = sizeof fields / sizeof fields[0];
+            size_t pos = 0;
+            for (size_t i = 0; i < n; ++i) {
+                end = nullptr;
+                *fields[i] = std::strtoull(raw.c_str() + pos, &end, 10);
+                if (end == raw.c_str() + pos ||
+                    (i + 1 < n && *end != ':') ||
+                    (i + 1 == n && *end != '\0')) {
+                    shardsOk = false;
+                    return;
+                }
+                pos = end - raw.c_str() + 1;
+            }
+            resp.shards.push_back(sh);
+        });
+    if (!shardsOk)
+        return fail(err, "bad shard-stats encoding");
     return true;
 }
 

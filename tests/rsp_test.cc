@@ -666,6 +666,99 @@ TEST(RspNonStop, AsyncContinueNotifiesStopAndStaysResponsive)
     EXPECT_NE(back.find("replaylog:begin"), std::string::npos) << back;
 }
 
+TEST(RspNonStop, WritePacketsLandAtSliceBoundariesWhileRunning)
+{
+    // Write-class packets (M/P/Z/z) during a non-stop run used to get
+    // a flat E05; they now take the peek lock like g/p/m, landing the
+    // mutation exactly at a slice boundary — stock gdbserver behavior.
+    using namespace server;
+    Program prog = buildHeisenbugDemo();
+    Addr watchAddr = prog.symbol("directory");
+
+    SessionManagerOptions mopts;
+    mopts.maxSessions = 1;
+    mopts.session = optionsFor(BackendKind::Dise);
+    SessionManager mgr(mopts);
+    JobScheduler sched({1, 200});
+    ManagedSessionPtr ms =
+        mgr.create("demo", BackendKind::Dise, /*exclusive=*/true);
+    ASSERT_TRUE(ms);
+
+    auto exec = [&](RequestKind kind, uint64_t count, StopInfo &out,
+                    std::string *err) {
+        return sched.drive(*ms, kind, count, out, err);
+    };
+    rsp::RspConnection conn(ms->session, exec);
+    conn.setAsyncExec(
+        [&](RequestKind kind, uint64_t count,
+            rsp::RspConnection::AsyncDoneFn done)
+            -> std::function<void()> {
+            JobScheduler::TicketPtr t = sched.driveAsync(
+                ms, kind, count,
+                [done](bool ok, bool interrupted, const StopInfo &stop,
+                       const std::string &err) {
+                    done(ok, interrupted, stop, err);
+                });
+            if (!t)
+                return {};
+            return [&sched, t] { sched.cancel(t); };
+        });
+    conn.setPeekLock([ms] {
+        return std::unique_lock<std::mutex>(ms->sliceMu);
+    });
+
+    EXPECT_EQ(conn.handlePacket("QNonStop:1"), "OK");
+
+    // Park the job deterministically: holding sliceMu keeps the async
+    // run alive (running between slices) while we poke at it.
+    std::unique_lock<std::mutex> park(ms->sliceMu);
+    ASSERT_EQ(conn.handlePacket("vCont;c"), "OK");
+
+    std::thread poker([&] {
+        // These block on the peek lock until the parker releases,
+        // then mutate at the slice boundary instead of failing.
+        Addr scratch = watchAddr + 48;
+        char m[96];
+        std::snprintf(m, sizeof m, "M%llx,8:efbeadde00000000",
+                      static_cast<unsigned long long>(scratch));
+        EXPECT_EQ(conn.handlePacket(m), "OK");
+        char z2[64];
+        std::snprintf(z2, sizeof z2, "Z2,%llx,8",
+                      static_cast<unsigned long long>(watchAddr));
+        EXPECT_EQ(conn.handlePacket(z2), "OK");
+        std::snprintf(m, sizeof m, "m%llx,8",
+                      static_cast<unsigned long long>(scratch));
+        EXPECT_EQ(conn.handlePacket(m), "efbeadde00000000");
+    });
+    // Give the poker time to block on the held lock, then release.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    park.unlock();
+    poker.join();
+
+    // The run finishes healthy: either the freshly inserted watch
+    // fires (T05) or the program runs to its natural end (W00) when
+    // the scheduler got ahead of the poke — never a wedge, never a
+    // corrupted stop. What must NOT happen is the old E05.
+    std::string stop;
+    for (int spin = 0; spin < 5000; ++spin) {
+        stop = conn.handlePacket("?");
+        if (stop.rfind("T05", 0) == 0 || stop.rfind("W", 0) == 0)
+            break;
+        EXPECT_EQ(stop, "OK");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (stop.rfind("T05", 0) == 0) {
+        EXPECT_NE(stop.find("watch:"), std::string::npos) << stop;
+        EXPECT_EQ(conn.handlePacket("vStopped"), "OK");
+    }
+    // The mid-run insert registered for real: removing it succeeds.
+    char z2off[64];
+    std::snprintf(z2off, sizeof z2off, "z2,%llx,8",
+                  static_cast<unsigned long long>(watchAddr));
+    EXPECT_EQ(conn.handlePacket(z2off), "OK");
+    EXPECT_EQ(conn.handlePacket("QNonStop:0"), "OK");
+}
+
 TEST(RspServerTcp, LoopbackSessionEndToEnd)
 {
     Program prog = buildHeisenbugDemo();

@@ -838,9 +838,13 @@ TEST(DebugServerTcp, ReplayVerifyRunsAsSiblingJobs)
     uint64_t jobsBefore = srv.stats().jobs;
     ASSERT_TRUE(wire.roundTripOk("replay-verify seq=5 count=4", resp));
     EXPECT_EQ(resp.value, refRep.finalDigest);
-    EXPECT_EQ(resp.regs.size(), refRep.intervals.size());
-    // One sibling job per interval was scheduled.
-    EXPECT_GE(srv.stats().jobs - jobsBefore, resp.regs.size());
+    // Chunk boundaries may differ between the two runs (stealing cuts
+    // by thread timing) but both cover the same timeline and agree on
+    // the stitched digest above.
+    EXPECT_GE(resp.regs.size(), 2u);
+    // One sibling pool job per scheduler worker was scheduled, each
+    // draining checkpoint ranges until the pool ran dry.
+    EXPECT_GE(srv.stats().jobs - jobsBefore, 2u);
     srv.stop();
 }
 
